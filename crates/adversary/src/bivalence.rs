@@ -1,0 +1,184 @@
+//! The valence-computing adversary against register-based consensus.
+
+use std::hash::Hash;
+
+use slx_history::{History, ProcessId};
+use slx_memory::{Process, StepEffect, System, Word};
+use slx_explorer::decidable_values;
+
+/// Report of a [`run_bivalence_adversary`] run.
+#[derive(Debug, Clone)]
+pub struct BivalenceReport {
+    /// Steps the adversary scheduled.
+    pub steps: u64,
+    /// Per-process step counts (both must grow for the (1,2)-freedom
+    /// violation to be about two *steppers*).
+    pub step_counts: Vec<u64>,
+    /// Whether any process decided (the adversary *loses* if so).
+    pub decided: bool,
+    /// Whether every configuration along the path had two witnessed
+    /// decidable values (the Chor–Israeli–Li invariant).
+    pub bivalent_throughout: bool,
+    /// The driven history.
+    pub history: History,
+}
+
+impl BivalenceReport {
+    /// Whether the adversary succeeded: it kept the implementation from
+    /// deciding for the whole budget while both processes kept stepping
+    /// and every configuration remained (witnessed) bivalent.
+    pub fn adversary_won(&self) -> bool {
+        !self.decided && self.bivalent_throughout && self.step_counts.iter().all(|&c| c > 0)
+    }
+}
+
+/// Runs the **Chor–Israeli–Li adversary** against an arbitrary
+/// deterministic consensus implementation (provided as a configured
+/// [`System`] whose two `active` processes have already proposed two
+/// *different* values).
+///
+/// At every turn the adversary model-checks each candidate step (via
+/// [`decidable_values`]) and schedules a process whose step keeps the
+/// configuration bivalent, preferring the process with fewer steps so far
+/// so both step infinitely often. The CIL theorem guarantees such a step
+/// exists for implementations from registers; if none is found within the
+/// valence budget the run reports `bivalent_throughout = false` (which
+/// would falsify the experiment loudly rather than silently).
+///
+/// A successful run of `budget` steps is the finite prefix of an infinite
+/// execution in which both processes take infinitely many steps and
+/// neither ever decides — the (1,2)-freedom violation of Theorem 5.2, and
+/// the mechanical core of Corollaries 4.5/4.10.
+pub fn run_bivalence_adversary<W, P>(
+    sys: &mut System<W, P>,
+    active: &[ProcessId],
+    budget: u64,
+    valence_budget: usize,
+) -> BivalenceReport
+where
+    W: Word,
+    P: Process<W> + Clone + Eq + Hash,
+{
+    let mut report = BivalenceReport {
+        steps: 0,
+        step_counts: vec![0; sys.n()],
+        decided: false,
+        bivalent_throughout: true,
+        history: History::new(),
+    };
+
+    for _ in 0..budget {
+        // Candidates ordered fairest-first.
+        let mut candidates: Vec<ProcessId> = active
+            .iter()
+            .copied()
+            .filter(|&p| sys.can_step(p))
+            .collect();
+        candidates.sort_by_key(|p| report.step_counts[p.index()]);
+        let mut moved = false;
+        for p in candidates {
+            let mut next = sys.clone();
+            let effect = next.step(p).expect("steppable");
+            if matches!(effect, StepEffect::Responded(_)) {
+                // Stepping p would decide now; a bivalence-preserving
+                // adversary never takes that edge.
+                continue;
+            }
+            let d = decidable_values(&next, active, valence_budget);
+            if d.bivalent() {
+                *sys = next;
+                report.steps += 1;
+                report.step_counts[p.index()] += 1;
+                moved = true;
+                break;
+            }
+        }
+        if !moved {
+            // No bivalence-preserving step found within budget.
+            report.bivalent_throughout = false;
+            break;
+        }
+    }
+    report.decided = sys
+        .history()
+        .iter()
+        .any(|a| matches!(a, slx_history::Action::Respond { .. }));
+    report.history = sys.history().clone();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slx_consensus::{CasConsensus, ConsWord, ObstructionFreeConsensus};
+    use slx_history::{Operation, Value};
+    use slx_memory::Memory;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn v(x: i64) -> Value {
+        Value::new(x)
+    }
+
+    #[test]
+    fn adversary_starves_register_consensus() {
+        // Corollary 4.5 / Theorem 5.2, excluded side: the adversary keeps
+        // the obstruction-free register consensus undecided for the whole
+        // budget, with both processes stepping.
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let layout = ObstructionFreeConsensus::layout(&mut mem, 2, 64);
+        let procs = vec![
+            ObstructionFreeConsensus::new(layout.clone(), p(0), 2),
+            ObstructionFreeConsensus::new(layout, p(1), 2),
+        ];
+        let mut sys = System::new(mem, procs);
+        sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
+        sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
+        let report = run_bivalence_adversary(&mut sys, &[p(0), p(1)], 150, 60_000);
+        assert!(
+            report.adversary_won(),
+            "decided={} bivalent={} counts={:?}",
+            report.decided,
+            report.bivalent_throughout,
+            report.step_counts
+        );
+        assert_eq!(report.steps, 150);
+        // Both processes are still pending: nobody decided.
+        assert!(report.history.pending(p(0)));
+        assert!(report.history.pending(p(1)));
+    }
+
+    #[test]
+    fn adversary_cannot_starve_cas_consensus() {
+        // Against CAS-based consensus the very first step of either
+        // process makes the configuration univalent, so no bivalence-
+        // preserving step exists: the adversary loses immediately. This is
+        // Figure 1a's caveat "from registers" made executable.
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let obj = CasConsensus::alloc(&mut mem);
+        let mut sys = System::new(mem, vec![CasConsensus::new(obj), CasConsensus::new(obj)]);
+        sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
+        sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
+        let report = run_bivalence_adversary(&mut sys, &[p(0), p(1)], 50, 10_000);
+        assert!(!report.adversary_won());
+        assert!(!report.bivalent_throughout);
+    }
+
+    #[test]
+    fn equal_proposals_leave_adversary_powerless() {
+        // With equal proposals the configuration is univalent from the
+        // start; the adversary has nothing to preserve.
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let layout = ObstructionFreeConsensus::layout(&mut mem, 2, 64);
+        let procs = vec![
+            ObstructionFreeConsensus::new(layout.clone(), p(0), 2),
+            ObstructionFreeConsensus::new(layout, p(1), 2),
+        ];
+        let mut sys = System::new(mem, procs);
+        sys.invoke(p(0), Operation::Propose(v(5))).unwrap();
+        sys.invoke(p(1), Operation::Propose(v(5))).unwrap();
+        let report = run_bivalence_adversary(&mut sys, &[p(0), p(1)], 50, 20_000);
+        assert!(!report.adversary_won());
+    }
+}

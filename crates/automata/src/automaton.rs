@@ -1,0 +1,550 @@
+//! The finite I/O automaton structure.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Index of a state within an [`Automaton`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub usize);
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A finite execution: alternating states and actions, starting (and, per
+/// the paper, ending) with a state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution<L> {
+    /// The visited states; `states.len() == actions.len() + 1`.
+    pub states: Vec<StateId>,
+    /// The actions taken.
+    pub actions: Vec<L>,
+}
+
+impl<L> Execution<L> {
+    /// The final state of the execution.
+    pub fn last_state(&self) -> StateId {
+        *self.states.last().expect("executions are non-empty")
+    }
+}
+
+/// A finite I/O automaton `(states, sig, init, trans)` with action labels
+/// of type `L` (Section 2). The signature partitions actions into input,
+/// output and internal sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Automaton<L> {
+    name: String,
+    n_states: usize,
+    init: BTreeSet<StateId>,
+    inputs: BTreeSet<L>,
+    outputs: BTreeSet<L>,
+    internals: BTreeSet<L>,
+    trans: BTreeSet<(StateId, L, StateId)>,
+    /// Actions treated as crash actions: they are inputs, and their being
+    /// enabled does not make an execution unfair (Section 3.2's fairness
+    /// explicitly exempts crash actions).
+    crashes: BTreeSet<L>,
+}
+
+impl<L: Clone + Ord + fmt::Debug> Automaton<L> {
+    /// Creates an automaton with `n_states` states (identified `s0..`),
+    /// the given initial states and signature. Transitions are added with
+    /// [`Automaton::add_transition`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three action sets overlap, or an initial state is out
+    /// of range.
+    pub fn new(
+        name: impl Into<String>,
+        n_states: usize,
+        init: impl IntoIterator<Item = StateId>,
+        inputs: impl IntoIterator<Item = L>,
+        outputs: impl IntoIterator<Item = L>,
+        internals: impl IntoIterator<Item = L>,
+    ) -> Self {
+        let inputs: BTreeSet<L> = inputs.into_iter().collect();
+        let outputs: BTreeSet<L> = outputs.into_iter().collect();
+        let internals: BTreeSet<L> = internals.into_iter().collect();
+        assert!(
+            inputs.is_disjoint(&outputs)
+                && inputs.is_disjoint(&internals)
+                && outputs.is_disjoint(&internals),
+            "action signature sets must be disjoint"
+        );
+        let init: BTreeSet<StateId> = init.into_iter().collect();
+        assert!(
+            init.iter().all(|s| s.0 < n_states),
+            "initial state out of range"
+        );
+        Automaton {
+            name: name.into(),
+            n_states,
+            init,
+            inputs,
+            outputs,
+            internals,
+            trans: BTreeSet::new(),
+            crashes: BTreeSet::new(),
+        }
+    }
+
+    /// The automaton's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// The initial states.
+    pub fn init(&self) -> &BTreeSet<StateId> {
+        &self.init
+    }
+
+    /// Input actions.
+    pub fn inputs(&self) -> &BTreeSet<L> {
+        &self.inputs
+    }
+
+    /// Output actions.
+    pub fn outputs(&self) -> &BTreeSet<L> {
+        &self.outputs
+    }
+
+    /// Internal actions.
+    pub fn internals(&self) -> &BTreeSet<L> {
+        &self.internals
+    }
+
+    /// All actions of the signature.
+    pub fn actions(&self) -> BTreeSet<L> {
+        let mut all = self.inputs.clone();
+        all.extend(self.outputs.iter().cloned());
+        all.extend(self.internals.iter().cloned());
+        all
+    }
+
+    /// Marks `label` as a crash action (must already be an input action).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is not an input action.
+    pub fn mark_crash(&mut self, label: L) {
+        assert!(
+            self.inputs.contains(&label),
+            "crash actions must be input actions"
+        );
+        self.crashes.insert(label);
+    }
+
+    /// Adds a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if states are out of range or the action is not in the
+    /// signature.
+    pub fn add_transition(&mut self, from: StateId, action: L, to: StateId) {
+        assert!(from.0 < self.n_states && to.0 < self.n_states, "state out of range");
+        assert!(
+            self.inputs.contains(&action)
+                || self.outputs.contains(&action)
+                || self.internals.contains(&action),
+            "action {action:?} not in signature"
+        );
+        self.trans.insert((from, action, to));
+    }
+
+    /// The actions enabled at `state`.
+    pub fn enabled(&self, state: StateId) -> BTreeSet<L> {
+        self.trans
+            .iter()
+            .filter(|(s, _, _)| *s == state)
+            .map(|(_, a, _)| a.clone())
+            .collect()
+    }
+
+    /// Successor states of `state` under `action`.
+    pub fn successors(&self, state: StateId, action: &L) -> Vec<StateId> {
+        self.trans
+            .iter()
+            .filter(|(s, a, _)| *s == state && a == action)
+            .map(|(_, _, t)| *t)
+            .collect()
+    }
+
+    /// Whether every input action is enabled at every state (the standard
+    /// I/O-automata input-enabledness; the paper's refinement that only
+    /// non-pending processes accept invocations is modeled by *which*
+    /// input labels exist).
+    pub fn is_input_enabled(&self) -> bool {
+        (0..self.n_states).all(|s| {
+            let en = self.enabled(StateId(s));
+            self.inputs.iter().all(|i| en.contains(i))
+        })
+    }
+
+    /// A finite execution is **fair** iff no action other than a crash is
+    /// enabled at its final state (Section 3.2 condition (I)).
+    pub fn is_fair_finite(&self, exec: &Execution<L>) -> bool {
+        self.enabled(exec.last_state())
+            .into_iter()
+            .all(|a| self.crashes.contains(&a))
+    }
+
+    /// Enumerates all executions with at most `depth` actions, starting
+    /// from every initial state.
+    pub fn executions(&self, depth: usize) -> Vec<Execution<L>> {
+        let mut out = Vec::new();
+        let mut queue: VecDeque<Execution<L>> = self
+            .init
+            .iter()
+            .map(|&s| Execution {
+                states: vec![s],
+                actions: vec![],
+            })
+            .collect();
+        while let Some(e) = queue.pop_front() {
+            if e.actions.len() < depth {
+                let s = e.last_state();
+                for a in self.enabled(s) {
+                    for t in self.successors(s, &a) {
+                        let mut e2 = e.clone();
+                        e2.states.push(t);
+                        e2.actions.push(a.clone());
+                        queue.push_back(e2);
+                    }
+                }
+            }
+            out.push(e);
+        }
+        out
+    }
+
+    /// The *histories* of fair executions with at most `depth` actions:
+    /// the external (input + output) action subsequences, deduplicated.
+    ///
+    /// This is a finite truncation of the paper's `fair(A_I)`; Lemma 4.8
+    /// tests quantify over it.
+    pub fn fair_histories(&self, depth: usize) -> BTreeSet<Vec<L>> {
+        self.executions(depth)
+            .into_iter()
+            .filter(|e| self.is_fair_finite(e))
+            .map(|e| {
+                e.actions
+                    .into_iter()
+                    .filter(|a| self.inputs.contains(a) || self.outputs.contains(a))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// All histories (fair or not) with at most `depth` actions.
+    pub fn histories(&self, depth: usize) -> BTreeSet<Vec<L>> {
+        self.executions(depth)
+            .into_iter()
+            .map(|e| {
+                e.actions
+                    .into_iter()
+                    .filter(|a| self.inputs.contains(a) || self.outputs.contains(a))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Whether the automata are compatible for composition:
+    /// `out(A1) ∩ out(A2) = ∅`, `int(A1) ∩ acts(A2) = ∅`,
+    /// `int(A2) ∩ acts(A1) = ∅`.
+    pub fn compatible(&self, other: &Automaton<L>) -> bool {
+        self.outputs.is_disjoint(&other.outputs)
+            && self.internals.iter().all(|a| !other.actions().contains(a))
+            && other.internals.iter().all(|a| !self.actions().contains(a))
+    }
+
+    /// The composition `A1 × A2` of Section 2: product states, shared
+    /// actions synchronized, matched input/output pairs hidden (they become
+    /// internal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the automata are not compatible.
+    pub fn compose(&self, other: &Automaton<L>) -> Automaton<L> {
+        assert!(self.compatible(other), "incompatible automata");
+        let pair = |a: usize, b: usize| StateId(a * other.n_states + b);
+
+        // Signature per the paper's (simplified) composition.
+        let mut internals: BTreeSet<L> = self.internals.union(&other.internals).cloned().collect();
+        for a in self.inputs.intersection(&other.outputs) {
+            internals.insert(a.clone());
+        }
+        for a in other.inputs.intersection(&self.outputs) {
+            internals.insert(a.clone());
+        }
+        let inputs: BTreeSet<L> = self
+            .inputs
+            .union(&other.inputs)
+            .filter(|a| !internals.contains(*a))
+            .cloned()
+            .collect();
+        let outputs: BTreeSet<L> = self
+            .outputs
+            .union(&other.outputs)
+            .filter(|a| !internals.contains(*a))
+            .cloned()
+            .collect();
+
+        let init = self
+            .init
+            .iter()
+            .flat_map(|&a| other.init.iter().map(move |&b| pair(a.0, b.0)));
+        let mut composed = Automaton::new(
+            format!("{}×{}", self.name, other.name),
+            self.n_states * other.n_states,
+            init,
+            inputs,
+            outputs,
+            internals,
+        );
+        for crash in self.crashes.union(&other.crashes) {
+            if composed.inputs.contains(crash) {
+                composed.crashes.insert(crash.clone());
+            }
+        }
+
+        let all_actions: BTreeSet<L> = self.actions().union(&other.actions()).cloned().collect();
+        let self_acts = self.actions();
+        let other_acts = other.actions();
+        for a in 0..self.n_states {
+            for b in 0..other.n_states {
+                for act in &all_actions {
+                    let sa: Vec<StateId> = if self_acts.contains(act) {
+                        self.successors(StateId(a), act)
+                    } else {
+                        vec![StateId(a)]
+                    };
+                    let sb: Vec<StateId> = if other_acts.contains(act) {
+                        other.successors(StateId(b), act)
+                    } else {
+                        vec![StateId(b)]
+                    };
+                    // If a component has the action in its signature but no
+                    // transition from its current state, the composed action
+                    // is disabled.
+                    if self_acts.contains(act) && sa.is_empty() {
+                        continue;
+                    }
+                    if other_acts.contains(act) && sb.is_empty() {
+                        continue;
+                    }
+                    for &ta in &sa {
+                        for &tb in &sb {
+                            composed.add_transition(
+                                pair(a, b),
+                                act.clone(),
+                                pair(ta.0, tb.0),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        composed
+    }
+
+    /// Crash augmentation (Section 2): adds a fresh `crashed` state, a
+    /// `crash` input transition from every state into it, and marks the
+    /// label as a crash action. No action is enabled at the crashed state.
+    pub fn with_crash(mut self, crash_label: L) -> Automaton<L> {
+        let crashed = StateId(self.n_states);
+        self.n_states += 1;
+        self.inputs.insert(crash_label.clone());
+        for s in 0..self.n_states {
+            self.trans
+                .insert((StateId(s), crash_label.clone(), crashed));
+        }
+        self.crashes.insert(crash_label);
+        self
+    }
+
+    /// Reachable states (for sanity checks and size reports).
+    pub fn reachable(&self) -> BTreeSet<StateId> {
+        let mut seen: BTreeSet<StateId> = self.init.clone();
+        let mut queue: VecDeque<StateId> = seen.iter().copied().collect();
+        // Group transitions by source for speed.
+        let mut by_src: BTreeMap<StateId, Vec<StateId>> = BTreeMap::new();
+        for (s, _, t) in &self.trans {
+            by_src.entry(*s).or_default().push(*t);
+        }
+        while let Some(s) = queue.pop_front() {
+            for &t in by_src.get(&s).into_iter().flatten() {
+                if seen.insert(t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A one-shot channel: input "send", then output "deliver".
+    fn channel() -> Automaton<&'static str> {
+        let mut a = Automaton::new(
+            "chan",
+            3,
+            [StateId(0)],
+            ["send"],
+            ["deliver"],
+            Vec::<&str>::new(),
+        );
+        a.add_transition(StateId(0), "send", StateId(1));
+        a.add_transition(StateId(1), "deliver", StateId(2));
+        // Input-enabledness: "send" must be enabled everywhere.
+        a.add_transition(StateId(1), "send", StateId(1));
+        a.add_transition(StateId(2), "send", StateId(2));
+        a
+    }
+
+    /// A consumer of "deliver" that then outputs "ack".
+    fn consumer() -> Automaton<&'static str> {
+        let mut a = Automaton::new(
+            "cons",
+            3,
+            [StateId(0)],
+            ["deliver"],
+            ["ack"],
+            Vec::<&str>::new(),
+        );
+        a.add_transition(StateId(0), "deliver", StateId(1));
+        a.add_transition(StateId(1), "ack", StateId(2));
+        a.add_transition(StateId(1), "deliver", StateId(1));
+        a.add_transition(StateId(2), "deliver", StateId(2));
+        a
+    }
+
+    #[test]
+    fn enabled_and_successors() {
+        let a = channel();
+        assert_eq!(a.enabled(StateId(0)), BTreeSet::from(["send"]));
+        assert_eq!(a.successors(StateId(1), &"deliver"), vec![StateId(2)]);
+        assert!(a.is_input_enabled());
+    }
+
+    #[test]
+    fn fairness_finite() {
+        let a = channel();
+        // Ending at s1 with "deliver" enabled: unfair.
+        let unfair = Execution {
+            states: vec![StateId(0), StateId(1)],
+            actions: vec!["send"],
+        };
+        assert!(!a.is_fair_finite(&unfair));
+        // Ending at s2 where only the input "send" is enabled: also unfair
+        // under the strict rule (inputs count) — unless the only enabled
+        // actions are crashes. s2 enables "send" (input, not crash).
+        let at_end = Execution {
+            states: vec![StateId(0), StateId(1), StateId(2)],
+            actions: vec!["send", "deliver"],
+        };
+        assert!(!a.is_fair_finite(&at_end));
+    }
+
+    #[test]
+    fn crash_augmentation_makes_quiet_states_fair() {
+        let a = channel().with_crash("crash");
+        // The crashed state (s3) enables nothing: fair.
+        let crashed = Execution {
+            states: vec![StateId(0), StateId(3)],
+            actions: vec!["crash"],
+        };
+        assert!(a.is_fair_finite(&crashed));
+        // Crash is enabled everywhere.
+        for s in 0..3 {
+            assert!(a.enabled(StateId(s)).contains("crash"));
+        }
+    }
+
+    #[test]
+    fn executions_enumeration_bounded() {
+        let a = channel();
+        let execs = a.executions(2);
+        // Depth 0: 1; depth 1: send; depth 2: send·deliver, send·send.
+        assert!(execs.iter().any(|e| e.actions == vec!["send", "deliver"]));
+        assert!(execs.iter().all(|e| e.actions.len() <= 2));
+    }
+
+    #[test]
+    fn composition_hides_matched_actions() {
+        let c = channel().compose(&consumer());
+        // "deliver" was output of channel and input of consumer: internal.
+        assert!(c.internals().contains("deliver"));
+        assert!(c.inputs().contains("send"));
+        assert!(c.outputs().contains("ack"));
+        assert!(!c.inputs().contains("deliver"));
+    }
+
+    #[test]
+    fn composition_synchronizes() {
+        let c = channel().compose(&consumer());
+        // send → deliver (internal) → ack must be an execution.
+        let execs = c.executions(3);
+        let ok = execs
+            .iter()
+            .any(|e| e.actions == vec!["send", "deliver", "ack"]);
+        assert!(ok, "composed execution missing");
+        // Histories hide the internal action.
+        let hs = c.histories(3);
+        assert!(hs.contains(&vec!["send", "ack"]));
+    }
+
+    #[test]
+    fn incompatible_automata_rejected() {
+        let a = channel();
+        let b = channel();
+        // Both output "deliver": incompatible.
+        assert!(!a.compatible(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn compose_panics_on_incompatible() {
+        let _ = channel().compose(&channel());
+    }
+
+    #[test]
+    fn reachable_states() {
+        let a = channel();
+        assert_eq!(a.reachable().len(), 3);
+    }
+
+    #[test]
+    fn fair_histories_of_channel_with_crash() {
+        let a = channel().with_crash("crash");
+        let fh = a.fair_histories(3);
+        // A fair finite history must end with nothing (but crash) enabled —
+        // e.g. after crash.
+        assert!(fh.contains(&vec!["send", "crash"]));
+        // "send" alone is unfair (deliver pending).
+        assert!(!fh.contains(&vec!["send"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_signature_panics() {
+        let _ = Automaton::new(
+            "bad",
+            1,
+            [StateId(0)],
+            ["a"],
+            ["a"],
+            Vec::<&str>::new(),
+        );
+    }
+}

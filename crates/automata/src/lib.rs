@@ -1,0 +1,33 @@
+//! Explicit finite I/O automata (Section 2's formal model).
+//!
+//! The simulator in `slx-memory` is the workhorse for running algorithms;
+//! this crate is the *formal* side: explicit finite I/O automata with
+//! action signatures, the composition operator of Section 2 (matched
+//! input/output actions become internal), execution enumeration, the
+//! fairness criterion of Section 3.2, input-enabledness, and crash
+//! augmentation.
+//!
+//! It exists because two of the paper's proofs are *constructions of
+//! automata*, not algorithms:
+//!
+//! - the trivial implementation `It` that never responds (used in Theorem
+//!   4.9 to show a liveness property `Lt` not weaker than any candidate
+//!   `Ls`), built by [`trivial_it`];
+//! - the single-response implementation `Ib` (same theorem, second half),
+//!   built by [`single_response_ib`];
+//!
+//! and one of its lemmas is a statement about `fair(A_I)` directly
+//! (Lemma 4.8: the strongest liveness property an implementation `I`
+//! ensures is `Lmax ∪ fair(A_I)`), which [`Automaton::fair_histories`]
+//! makes checkable on finite truncations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod automaton;
+mod lemma48;
+mod theorem49;
+
+pub use automaton::{Automaton, Execution, StateId};
+pub use lemma48::{lemma_4_8_holds, BoundedLiveness};
+pub use theorem49::{single_response_ib, trivial_it};

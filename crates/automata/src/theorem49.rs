@@ -1,0 +1,303 @@
+//! The automaton constructions of Theorem 4.9.
+//!
+//! Both constructions are *implementations that use no base objects*: their
+//! behaviour is entirely in the automaton structure. They are the paper's
+//! tool for defeating any candidate "strongest liveness property that does
+//! not exclude S" other than `Lmax`:
+//!
+//! - [`trivial_it`] never responds to anything. All its histories consist
+//!   of invocations and crashes only, so it ensures *every* safety property
+//!   (under the paper's standing assumptions), while its fair histories are
+//!   very particular (every process pending or crashed).
+//! - [`single_response_ib`] responds `res` to the first designated
+//!   invocation by the designated process, and goes silent on everything
+//!   else.
+
+use slx_history::{Action, Operation, ProcessId, Response};
+
+use crate::automaton::{Automaton, StateId};
+
+/// Builds the trivial implementation `It` for `n` processes over the given
+/// invocation alphabet: it accepts invocations (respecting pendingness) and
+/// crashes, and never responds.
+///
+/// The automaton's states track each process's status (idle / pending /
+/// crashed), so every generated history is well-formed. Response labels are
+/// in the output signature but never enabled.
+pub fn trivial_it(n: usize, ops: &[Operation], resps: &[Response]) -> Automaton<Action> {
+    // State encoding: base-3 digits, one per process: 0 idle, 1 pending,
+    // 2 crashed.
+    let n_states = 3usize.pow(n as u32);
+    let digit = |s: usize, i: usize| (s / 3usize.pow(i as u32)) % 3;
+    let with_digit = |s: usize, i: usize, d: usize| {
+        let old = digit(s, i);
+        s + (d as i64 - old as i64) as usize * 3usize.pow(i as u32)
+    };
+
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    for p in ProcessId::all(n) {
+        for &op in ops {
+            inputs.push(Action::invoke(p, op));
+        }
+        inputs.push(Action::crash(p));
+        for &r in resps {
+            outputs.push(Action::respond(p, r));
+        }
+    }
+    let mut a = Automaton::new(
+        "It",
+        n_states,
+        [StateId(0)],
+        inputs,
+        outputs,
+        Vec::<Action>::new(),
+    );
+    for p in ProcessId::all(n) {
+        a.mark_crash(Action::crash(p));
+    }
+    for s in 0..n_states {
+        for p in ProcessId::all(n) {
+            let i = p.index();
+            match digit(s, i) {
+                0 => {
+                    // Idle: every invocation enabled; crash enabled.
+                    for &op in ops {
+                        a.add_transition(
+                            StateId(s),
+                            Action::invoke(p, op),
+                            StateId(with_digit(s, i, 1)),
+                        );
+                    }
+                    a.add_transition(StateId(s), Action::crash(p), StateId(with_digit(s, i, 2)));
+                }
+                1 => {
+                    // Pending: only crash enabled (It never responds).
+                    a.add_transition(StateId(s), Action::crash(p), StateId(with_digit(s, i, 2)));
+                }
+                _ => {} // crashed: nothing enabled
+            }
+        }
+    }
+    a
+}
+
+/// Builds the component automaton `A_Ib_i` of Theorem 4.9's second
+/// construction, for process `i`:
+///
+/// - if `i == l`: respond `res` to the first invocation `inv` (the
+///   designated one), then go silent on the next invocation; any *other*
+///   first invocation silences it immediately;
+/// - if `i != l`: go silent on any invocation.
+///
+/// Compose the components with [`Automaton::compose`] to obtain `A_Ib`.
+pub fn single_response_ib(
+    i: ProcessId,
+    l: ProcessId,
+    inv: Operation,
+    res: Response,
+    ops: &[Operation],
+) -> Automaton<Action> {
+    let mut inputs: Vec<Action> = ops.iter().map(|&op| Action::invoke(i, op)).collect();
+    inputs.push(Action::crash(i));
+    let outputs = vec![Action::respond(i, res)];
+
+    if i == l {
+        // States: 0 init, 1 responding (s^l), 2 enabled after response
+        // (s^l_en), 3 dead, 4 crashed.
+        let mut a = Automaton::new(
+            format!("Ib_{i}"),
+            5,
+            [StateId(0)],
+            inputs,
+            outputs,
+            Vec::<Action>::new(),
+        );
+        for &op in ops {
+            let target = if op == inv { StateId(1) } else { StateId(3) };
+            a.add_transition(StateId(0), Action::invoke(i, op), target);
+            // From s^l_en every invocation leads to the dead state.
+            a.add_transition(StateId(2), Action::invoke(i, op), StateId(3));
+        }
+        a.add_transition(StateId(1), Action::respond(i, res), StateId(2));
+        for s in 0..4 {
+            a.add_transition(StateId(s), Action::crash(i), StateId(4));
+        }
+        a.mark_crash(Action::crash(i));
+        a
+    } else {
+        // States: 0 init, 1 dead, 2 crashed.
+        let mut a = Automaton::new(
+            format!("Ib_{i}"),
+            3,
+            [StateId(0)],
+            inputs,
+            outputs,
+            Vec::<Action>::new(),
+        );
+        for &op in ops {
+            a.add_transition(StateId(0), Action::invoke(i, op), StateId(1));
+        }
+        a.add_transition(StateId(0), Action::crash(i), StateId(2));
+        a.add_transition(StateId(1), Action::crash(i), StateId(2));
+        a.mark_crash(Action::crash(i));
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slx_history::{History, Value};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn propose(v: i64) -> Operation {
+        Operation::Propose(Value::new(v))
+    }
+
+    fn ops() -> Vec<Operation> {
+        vec![propose(1), propose(2)]
+    }
+
+    fn resps() -> Vec<Response> {
+        vec![
+            Response::Decided(Value::new(1)),
+            Response::Decided(Value::new(2)),
+        ]
+    }
+
+    #[test]
+    fn it_never_responds() {
+        let it = trivial_it(2, &ops(), &resps());
+        for h in it.histories(4) {
+            assert!(
+                h.iter().all(|a| !matches!(a, Action::Respond { .. })),
+                "It produced a response in {h:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn it_histories_are_well_formed() {
+        let it = trivial_it(2, &ops(), &resps());
+        for h in it.histories(5) {
+            let hist = History::from_actions(h.iter().copied());
+            assert!(hist.is_well_formed(), "malformed {hist}");
+        }
+    }
+
+    #[test]
+    fn it_fair_histories_have_all_processes_pending_or_crashed() {
+        let it = trivial_it(2, &ops(), &resps());
+        for h in it.fair_histories(4) {
+            let hist = History::from_actions(h.iter().copied());
+            for q in ProcessId::all(2) {
+                assert!(
+                    hist.pending(q) || hist.crashed(q),
+                    "fair It history {hist} leaves {q} idle"
+                );
+            }
+        }
+        // And such histories exist (e.g. both processes invoke).
+        let both_invoke = vec![
+            Action::invoke(p(0), propose(1)),
+            Action::invoke(p(1), propose(2)),
+        ];
+        assert!(it.fair_histories(4).contains(&both_invoke));
+    }
+
+    #[test]
+    fn it_ensures_consensus_safety() {
+        // Theorem 4.9's first step: It ensures S because its histories are
+        // invocation/crash-only, which every (assumption-satisfying) safety
+        // property allows.
+        use slx_safety::{ConsensusSafety, SafetyProperty};
+        let it = trivial_it(2, &ops(), &resps());
+        let safety = ConsensusSafety::new();
+        for h in it.histories(5) {
+            let hist = History::from_actions(h.iter().copied());
+            assert!(safety.allows(&hist), "It history violates safety: {hist}");
+        }
+    }
+
+    fn build_ib() -> Automaton<Action> {
+        let res = Response::Decided(Value::new(1));
+        let a0 = single_response_ib(p(0), p(0), propose(1), res, &ops());
+        let a1 = single_response_ib(p(1), p(0), propose(1), res, &ops());
+        a0.compose(&a1)
+    }
+
+    #[test]
+    fn ib_responds_exactly_once_with_designated_response() {
+        let ib = build_ib();
+        for h in ib.histories(6) {
+            let responses: Vec<&Action> = h
+                .iter()
+                .filter(|a| matches!(a, Action::Respond { .. }))
+                .collect();
+            assert!(responses.len() <= 1, "Ib responded twice in {h:?}");
+            if let Some(Action::Respond { proc, resp }) = responses.first() {
+                assert_eq!(*proc, p(0));
+                assert_eq!(*resp, Response::Decided(Value::new(1)));
+                // The designated invocation must precede it.
+                assert!(h.contains(&Action::invoke(p(0), propose(1))));
+            }
+        }
+    }
+
+    #[test]
+    fn ib_silences_after_wrong_invocation() {
+        let ib = build_ib();
+        // propose(2) first: no history may ever respond afterwards.
+        for h in ib.histories(6) {
+            if h.first() == Some(&Action::invoke(p(0), propose(2))) {
+                assert!(h.iter().all(|a| !matches!(a, Action::Respond { .. })));
+            }
+        }
+    }
+
+    #[test]
+    fn pending_designated_invocation_is_unfair() {
+        // The key fairness argument of Theorem 4.9: a history in which the
+        // designated invocation is pending (response enabled but not
+        // delivered) corresponds to no fair execution of A_Ib.
+        let ib = build_ib();
+        let h_pending = vec![Action::invoke(p(0), propose(1))];
+        assert!(
+            !ib.fair_histories(3).contains(&h_pending),
+            "history with enabled response counted as fair"
+        );
+        // After the response, a quiescent-ish continuation can be fair once
+        // the other process is also silenced.
+        let h_full = vec![
+            Action::invoke(p(0), propose(1)),
+            Action::respond(p(0), Response::Decided(Value::new(1))),
+            Action::invoke(p(0), propose(1)),
+            Action::invoke(p(1), propose(2)),
+        ];
+        assert!(ib.fair_histories(4).contains(&h_full));
+    }
+
+    #[test]
+    fn ib_histories_well_formed() {
+        let ib = build_ib();
+        for h in ib.histories(5) {
+            let hist = History::from_actions(h.iter().copied());
+            assert!(hist.is_well_formed(), "malformed {hist}");
+        }
+    }
+
+    #[test]
+    fn ib_ensures_consensus_safety() {
+        use slx_safety::{ConsensusSafety, SafetyProperty};
+        let ib = build_ib();
+        let safety = ConsensusSafety::new();
+        for h in ib.histories(6) {
+            let hist = History::from_actions(h.iter().copied());
+            assert!(safety.allows(&hist), "Ib history violates safety: {hist}");
+        }
+    }
+}

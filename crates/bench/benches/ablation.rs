@@ -1,0 +1,76 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! 1. **Timestamp rule on/off**: Algorithm I(1,2) vs the same TM without
+//!    the rule (`GlobalVersionTm`) — the rule's cost is one snapshot scan
+//!    per `tryC()` plus the forced aborts at ≥ 3 synchronized timestamps.
+//! 2. **Snapshot substrate**: base snapshot object (`AgpTm`) vs
+//!    register-only double collect (`AgpTmDc`) — the substrate swap
+//!    multiplies scan cost by ~2n register reads (more under
+//!    interference) without changing any verdicts.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slx_bench::{agp_system, commits, contended_scheduler, gv_system};
+use slx_core::history::ProcessId;
+use slx_core::memory::{Memory, System};
+use slx_core::tm::{AgpTmDc, TmWord};
+
+const EVENTS: u64 = 4_000;
+
+fn agp_dc_system(n: usize) -> System<TmWord, AgpTmDc> {
+    let mut mem: Memory<TmWord> = Memory::new();
+    let (c, r) = AgpTmDc::alloc(&mut mem, n, 1);
+    let procs = (0..n)
+        .map(|i| AgpTmDc::new(c, r.clone(), ProcessId::new(i), 1))
+        .collect();
+    System::new(mem, procs)
+}
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_per_4k_events");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for &n in &[2usize, 3, 5] {
+        group.bench_with_input(
+            BenchmarkId::new("rule_off_global_version", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut sys = gv_system(n);
+                    let mut sched = contended_scheduler(n, 11);
+                    sys.run(&mut sched, EVENTS);
+                    commits(sys.history())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rule_on_snapshot_object", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut sys = agp_system(n);
+                    let mut sched = contended_scheduler(n, 11);
+                    sys.run(&mut sched, EVENTS);
+                    commits(sys.history())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rule_on_double_collect", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut sys = agp_dc_system(n);
+                    let mut sched = contended_scheduler(n, 11);
+                    sys.run(&mut sched, EVENTS);
+                    commits(sys.history())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

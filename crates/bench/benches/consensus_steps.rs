@@ -1,0 +1,71 @@
+//! B2 — consensus decision cost: register-only obstruction-free consensus
+//! (solo and contended) vs wait-free CAS consensus.
+//!
+//! Quantifies the price of the weaker base objects that make the paper's
+//! exclusions bite: the CAS algorithm decides in 2 primitives, the
+//! register-only one in O(n) per commit-adopt round with round counts
+//! depending on the schedule.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slx_core::consensus::{CasConsensus, ConsWord, ObstructionFreeConsensus};
+use slx_core::history::{Operation, ProcessId, Value};
+use slx_core::memory::{Memory, RoundRobin, SoloScheduler, System};
+
+fn of_system(n: usize) -> System<ConsWord, ObstructionFreeConsensus> {
+    let mut mem: Memory<ConsWord> = Memory::new();
+    let layout = ObstructionFreeConsensus::layout(&mut mem, n, 64);
+    let procs = (0..n)
+        .map(|i| ObstructionFreeConsensus::new(layout.clone(), ProcessId::new(i), n))
+        .collect();
+    System::new(mem, procs)
+}
+
+fn consensus_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_decide");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for &n in &[2usize, 3, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("of_registers_solo", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sys = of_system(n);
+                let p0 = ProcessId::new(0);
+                sys.invoke(p0, Operation::Propose(Value::new(1))).unwrap();
+                sys.run(&mut SoloScheduler::new(p0), 100_000)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("of_registers_lockstep", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut sys = of_system(n);
+                    for i in 0..n {
+                        sys.invoke(ProcessId::new(i), Operation::Propose(Value::new(i as i64)))
+                            .unwrap();
+                    }
+                    sys.run(&mut RoundRobin::new(), 1_000_000)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("cas_lockstep", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut mem: Memory<ConsWord> = Memory::new();
+                let obj = CasConsensus::alloc(&mut mem);
+                let procs = (0..n).map(|_| CasConsensus::new(obj)).collect();
+                let mut sys = System::new(mem, procs);
+                for i in 0..n {
+                    sys.invoke(ProcessId::new(i), Operation::Propose(Value::new(i as i64)))
+                        .unwrap();
+                }
+                sys.run(&mut RoundRobin::new(), 100_000)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, consensus_steps);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! B4 — explorer and adversary machinery cost: exhaustive safety
+//! exploration vs depth, valence queries, and the full bivalence-adversary
+//! step.
+//!
+//! These are the engines behind Figure 1's verdicts; the bench documents
+//! how far the small-scope checks can be pushed.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slx_core::adversary::run_bivalence_adversary;
+use slx_core::consensus::{ConsWord, ObstructionFreeConsensus};
+use slx_core::explorer::{decidable_values, explore_safety};
+use slx_core::history::{Operation, ProcessId, Value};
+use slx_core::memory::{Memory, System};
+use slx_core::safety::ConsensusSafety;
+
+fn of_system() -> System<ConsWord, ObstructionFreeConsensus> {
+    let mut mem: Memory<ConsWord> = Memory::new();
+    let layout = ObstructionFreeConsensus::layout(&mut mem, 2, 64);
+    let procs = vec![
+        ObstructionFreeConsensus::new(layout.clone(), ProcessId::new(0), 2),
+        ObstructionFreeConsensus::new(layout, ProcessId::new(1), 2),
+    ];
+    let mut sys = System::new(mem, procs);
+    sys.invoke(ProcessId::new(0), Operation::Propose(Value::new(1)))
+        .unwrap();
+    sys.invoke(ProcessId::new(1), Operation::Propose(Value::new(2)))
+        .unwrap();
+    sys
+}
+
+fn digest(h: &slx_core::history::History) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut hasher = DefaultHasher::new();
+    for a in h.iter() {
+        a.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+fn explorer_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explorer");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let active = [ProcessId::new(0), ProcessId::new(1)];
+
+    for &depth in &[10usize, 14, 18, 22] {
+        group.bench_with_input(
+            BenchmarkId::new("explore_safety_depth", depth),
+            &depth,
+            |b, &depth| {
+                let sys = of_system();
+                let safety = ConsensusSafety::new();
+                b.iter(|| explore_safety(&sys, &active, depth, &safety, digest))
+            },
+        );
+    }
+
+    group.bench_function("valence_query_initial", |b| {
+        let sys = of_system();
+        b.iter(|| decidable_values(&sys, &active, 60_000))
+    });
+
+    group.bench_function("bivalence_adversary_20_steps", |b| {
+        b.iter(|| {
+            let mut sys = of_system();
+            run_bivalence_adversary(&mut sys, &active, 20, 40_000)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, explorer_benches);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! B3 — opacity checker scaling: exhaustive witness search (the paper's
+//! definition, exponential) vs the polynomial unique-write certifier.
+//!
+//! The cross-over justifies the two-checker design documented in
+//! DESIGN.md: the exhaustive checker is the semantic ground truth at small
+//! scope; the certifier is what makes history-scale validation feasible.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slx_bench::{contended_scheduler, gv_system};
+use slx_core::history::{History, Value};
+use slx_core::safety::{certify_unique_writes, Opacity, SafetyProperty};
+
+fn history_of_len(events: u64) -> History {
+    let mut sys = gv_system(2);
+    let mut sched = contended_scheduler(2, 7);
+    sys.run(&mut sched, events);
+    sys.history().clone()
+}
+
+fn opacity_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opacity_checkers");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for &events in &[40u64, 80, 120, 160] {
+        let h = history_of_len(events);
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", h.len()),
+            &h,
+            |b, h| {
+                let checker = Opacity::new(Value::new(0));
+                b.iter(|| checker.allows(h))
+            },
+        );
+    }
+    for &events in &[40u64, 200, 1_000, 5_000] {
+        let h = history_of_len(events);
+        group.bench_with_input(
+            BenchmarkId::new("certifier", h.len()),
+            &h,
+            |b, h| b.iter(|| certify_unique_writes(h, Value::new(0))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, opacity_check);
+criterion_main!(benches);

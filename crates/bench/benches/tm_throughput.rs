@@ -1,0 +1,51 @@
+//! B1 — TM commit throughput and abort behaviour under contention.
+//!
+//! Not a paper figure (the paper has no performance evaluation); this
+//! bench characterizes the three TMs so the liveness classifications have
+//! quantitative texture: the lock-free TM's commits scale with events
+//! regardless of contention, Algorithm I(1,2) pays its timestamp rule only
+//! at ≥ 3 concurrent same-numbered transactions, and the lock TM
+//! serializes everything.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slx_bench::{agp_system, commits, contended_scheduler, gv_system, lock_system};
+
+const EVENTS: u64 = 5_000;
+
+fn tm_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tm_commits_per_5k_events");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for &n in &[1usize, 2, 3, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("global_version", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sys = gv_system(n);
+                let mut sched = contended_scheduler(n, 42);
+                sys.run(&mut sched, EVENTS);
+                commits(sys.history())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("agp_i12", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sys = agp_system(n);
+                let mut sched = contended_scheduler(n, 42);
+                sys.run(&mut sched, EVENTS);
+                commits(sys.history())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lock_baseline", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sys = lock_system(n);
+                let mut sched = contended_scheduler(n, 42);
+                sys.run(&mut sched, EVENTS);
+                commits(sys.history())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tm_throughput);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerates **Figure 1** (both panes) with anchor evidence.
+//!
+//! Run with: `cargo run --release -p slx-bench --bin fig1 [n]`
+
+use slx_core::grid::{consensus_grid, tm_grid, Verdict};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    for (pane, grid) in [("(a)", consensus_grid(n)), ("(b)", tm_grid(n))] {
+        println!("=== Figure 1{pane} ===");
+        println!("{grid}");
+        println!();
+        println!(
+            "strongest implementable: {}",
+            grid.strongest_implementable()
+                .iter()
+                .map(|p| p.lk.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!(
+            "weakest excluded       : {}",
+            grid.weakest_excluded()
+                .iter()
+                .map(|p| p.lk.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!("evidence:");
+        for p in &grid.points {
+            let (mark, basis) = match &p.verdict {
+                Verdict::Implementable { basis } => ("○", basis),
+                Verdict::Excluded { basis } => ("●", basis),
+            };
+            println!("  {mark} {:<14} {}", p.lk.to_string(), basis);
+        }
+        println!();
+    }
+}

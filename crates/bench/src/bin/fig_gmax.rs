@@ -1,0 +1,30 @@
+//! Regenerates the `Gmax = ∅` demonstrations behind Corollaries 4.5/4.6.
+//!
+//! Run with: `cargo run --release -p slx-bench --bin fig_gmax`
+
+use slx_core::theorems::{consensus_gmax_demo, tm_gmax_demo};
+
+fn main() {
+    let c = consensus_gmax_demo();
+    println!("=== {} ===", c.corollary);
+    println!("F1 = {}", c.f1);
+    println!("F2 = {}", c.f2);
+    println!("F1 ∩ F2 = {}", c.gmax);
+    println!("established: {}\n", c.establishes_corollary());
+
+    let t = tm_gmax_demo(800);
+    println!("=== {} ===", t.corollary);
+    println!(
+        "F1 sample: {} histories from the §4.1 strategy vs every opaque TM in the workspace",
+        t.f1.len()
+    );
+    for h in t.f1.iter() {
+        println!("  first action: {}   length: {}", h.actions()[0], h.len());
+    }
+    println!("F2 sample: {} histories from the role-swapped twin", t.f2.len());
+    for h in t.f2.iter() {
+        println!("  first action: {}   length: {}", h.actions()[0], h.len());
+    }
+    println!("F1 ∩ F2 empty: {}", t.gmax.is_empty());
+    println!("established: {}", t.establishes_corollary());
+}

@@ -1,0 +1,45 @@
+//! Regenerates the Section 6 structural reports (S-freedom, (n,x)-liveness).
+//!
+//! Run with: `cargo run --release -p slx-bench --bin fig_sect6 [n]`
+
+use slx_core::sect6::{nx_report, s_freedom_report};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    let s = s_freedom_report(n);
+    println!("=== Section 6: S-freedom (n = {n}) ===");
+    println!(
+        "implementable singletons: {}",
+        s.singletons
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("pairwise incomparable   : {}", s.pairwise_incomparable);
+    println!("⇒ no strongest implementable S-freedom property exists\n");
+
+    let nx = nx_report(n);
+    println!("=== Section 6: (n,x)-liveness (n = {n}) ===");
+    println!(
+        "chain (weak → strong)   : {}",
+        nx.chain
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(" < ")
+    );
+    println!("totally ordered         : {}", nx.totally_ordered);
+    println!(
+        "strongest implementable : {} (pure obstruction-freedom)",
+        nx.strongest_implementable
+    );
+    println!(
+        "weakest non-implementable: {} (one wait-free process suffices for impossibility)",
+        nx.weakest_non_implementable
+    );
+}

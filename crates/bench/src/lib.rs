@@ -1,0 +1,79 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The binaries in `src/bin` regenerate the paper's figure and the
+//! corollary demonstrations (`fig1`, `fig_gmax`, `fig_s`, `fig_sect6`);
+//! the Criterion benches in `benches/` measure the performance
+//! characteristics of the workspace itself (TM throughput and abort
+//! rates, consensus step complexity, checker scaling, explorer
+//! throughput). See `EXPERIMENTS.md` at the workspace root for the
+//! mapping from paper claims to targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use slx_core::history::{ProcessId, VarId};
+use slx_core::memory::{FairRandom, Memory, RepeatTxn, System, WorkloadScheduler};
+use slx_core::tm::{AgpTm, GlobalVersionTm, LockTm, TmWord};
+
+/// Builds an `AgpTm` system of `n` processes over one variable.
+pub fn agp_system(n: usize) -> System<TmWord, AgpTm> {
+    let mut mem: Memory<TmWord> = Memory::new();
+    let (c, r) = AgpTm::alloc(&mut mem, n, 1);
+    let procs = (0..n)
+        .map(|i| AgpTm::new(c, r, ProcessId::new(i), n, 1))
+        .collect();
+    System::new(mem, procs)
+}
+
+/// Builds a `GlobalVersionTm` system of `n` processes over one variable.
+pub fn gv_system(n: usize) -> System<TmWord, GlobalVersionTm> {
+    let mut mem: Memory<TmWord> = Memory::new();
+    let c = GlobalVersionTm::alloc(&mut mem, 1);
+    let procs = (0..n).map(|_| GlobalVersionTm::new(c, 1)).collect();
+    System::new(mem, procs)
+}
+
+/// Builds a `LockTm` system of `n` processes over one variable.
+pub fn lock_system(n: usize) -> System<TmWord, LockTm> {
+    let mut mem: Memory<TmWord> = Memory::new();
+    let (lock, store) = LockTm::alloc(&mut mem, 1);
+    let procs = (0..n).map(|_| LockTm::new(lock, store, 1)).collect();
+    System::new(mem, procs)
+}
+
+/// The standard contended workload scheduler: every process repeatedly
+/// runs `start; read x1; write x1; tryC`, retrying on abort.
+pub fn contended_scheduler(n: usize, seed: u64) -> WorkloadScheduler<RepeatTxn, FairRandom> {
+    let workload = RepeatTxn::new(n, vec![VarId::new(0)], vec![VarId::new(0)], None);
+    WorkloadScheduler::new(n, workload, FairRandom::new(seed))
+}
+
+/// Counts commit responses in a history.
+pub fn commits(h: &slx_core::history::History) -> u64 {
+    h.iter()
+        .filter(|a| a.as_respond().is_some_and(|r| r.is_commit()))
+        .count() as u64
+}
+
+/// Counts abort responses in a history.
+pub fn aborts(h: &slx_core::history::History) -> u64 {
+    h.iter()
+        .filter(|a| a.as_respond().is_some_and(|r| r.is_abort()))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_running_systems() {
+        let mut sys = gv_system(2);
+        let mut sched = contended_scheduler(2, 1);
+        sys.run(&mut sched, 500);
+        assert!(commits(sys.history()) > 0);
+        let _ = aborts(sys.history());
+        let _ = agp_system(2);
+        let _ = lock_system(2);
+    }
+}

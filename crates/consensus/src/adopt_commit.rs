@@ -1,0 +1,268 @@
+//! Gafni's commit-adopt object from registers, as a resumable sub-machine.
+
+use slx_history::Value;
+use slx_memory::{Memory, ObjId, PrimOutcome, Primitive};
+
+use crate::word::ConsWord;
+
+/// Outcome of a commit-adopt round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcOutcome {
+    /// Everyone that finishes this object will leave with this value.
+    Commit(Value),
+    /// Keep going with this (possibly changed) estimate.
+    Adopt(Value),
+}
+
+impl AcOutcome {
+    /// The carried value.
+    pub fn value(self) -> Value {
+        match self {
+            AcOutcome::Commit(v) | AcOutcome::Adopt(v) => v,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Pc {
+    WriteA,
+    CollectA(usize),
+    WriteB,
+    CollectB(usize),
+}
+
+/// A single-use **commit-adopt** object implemented from `2n` registers,
+/// executed one primitive per [`AdoptCommit::step`] call.
+///
+/// Guarantees (all exercised by the tests):
+///
+/// 1. *Validity*: the outcome value was some participant's input.
+/// 2. *Convergence*: if all participants input the same value, everyone
+///    commits it.
+/// 3. *Coherence*: if anyone commits `v`, everyone commits or adopts `v`.
+///
+/// The object is wait-free: a participant finishes in exactly `2n + 2`
+/// primitives regardless of scheduling.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AdoptCommit {
+    a: Vec<ObjId>,
+    b: Vec<ObjId>,
+    me: usize,
+    input: Value,
+    pc: Pc,
+    all_a_equal: bool,
+    committed_seen: Option<Value>,
+    all_b_commit: bool,
+    any_b: bool,
+    min_b_seen: Option<Value>,
+}
+
+impl AdoptCommit {
+    /// Allocates the shared registers for one commit-adopt object shared by
+    /// `n` processes. Call once; hand the returned ids to every
+    /// participant.
+    pub fn alloc(mem: &mut Memory<ConsWord>, n: usize) -> (Vec<ObjId>, Vec<ObjId>) {
+        let a = (0..n).map(|_| mem.alloc_register(ConsWord::Bot)).collect();
+        let b = (0..n).map(|_| mem.alloc_register(ConsWord::Bot)).collect();
+        (a, b)
+    }
+
+    /// Starts participation of process index `me` with input `input`.
+    pub fn new(a: Vec<ObjId>, b: Vec<ObjId>, me: usize, input: Value) -> Self {
+        assert_eq!(a.len(), b.len(), "register arrays must have equal length");
+        assert!(me < a.len(), "participant index out of range");
+        AdoptCommit {
+            a,
+            b,
+            me,
+            input,
+            pc: Pc::WriteA,
+            all_a_equal: true,
+            committed_seen: None,
+            all_b_commit: true,
+            any_b: false,
+            min_b_seen: None,
+        }
+    }
+
+    fn read(&self, mem: &mut Memory<ConsWord>, obj: ObjId) -> ConsWord {
+        match mem.apply(Primitive::Read(obj)).expect("register allocated") {
+            PrimOutcome::Value(w) => w,
+            _ => unreachable!("registers return values"),
+        }
+    }
+
+    /// Performs one primitive. Returns `Some(outcome)` when finished.
+    pub fn step(&mut self, mem: &mut Memory<ConsWord>) -> Option<AcOutcome> {
+        let n = self.a.len();
+        match self.pc {
+            Pc::WriteA => {
+                mem.apply(Primitive::Write(self.a[self.me], ConsWord::Val(self.input)))
+                    .expect("register allocated");
+                self.pc = Pc::CollectA(0);
+                None
+            }
+            Pc::CollectA(j) => {
+                let w = self.read(mem, self.a[j]);
+                if let Some(v) = w.value() {
+                    if v != self.input {
+                        self.all_a_equal = false;
+                    }
+                }
+                self.pc = if j + 1 < n {
+                    Pc::CollectA(j + 1)
+                } else {
+                    Pc::WriteB
+                };
+                None
+            }
+            Pc::WriteB => {
+                let entry = ConsWord::Flagged(self.all_a_equal, self.input);
+                mem.apply(Primitive::Write(self.b[self.me], entry))
+                    .expect("register allocated");
+                self.pc = Pc::CollectB(0);
+                None
+            }
+            Pc::CollectB(j) => {
+                let w = self.read(mem, self.b[j]);
+                if let ConsWord::Flagged(flag, v) = w {
+                    self.any_b = true;
+                    self.min_b_seen = Some(match self.min_b_seen {
+                        Some(m) if m <= v => m,
+                        _ => v,
+                    });
+                    if flag {
+                        self.committed_seen = Some(v);
+                    } else {
+                        self.all_b_commit = false;
+                    }
+                }
+                if j + 1 < n {
+                    self.pc = Pc::CollectB(j + 1);
+                    return None;
+                }
+                // Finished the B collect: compute the outcome. With no
+                // commit in sight, adopt the *minimum* value seen, so that
+                // symmetric (e.g. lockstep) schedules converge to a common
+                // estimate instead of livelocking. Validity is preserved —
+                // every seen value is some participant's input.
+                Some(match (self.all_b_commit && self.any_b, self.committed_seen) {
+                    (true, Some(v)) => AcOutcome::Commit(v),
+                    (_, Some(v)) => AcOutcome::Adopt(v),
+                    (_, None) => AcOutcome::Adopt(self.min_b_seen.unwrap_or(self.input)),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: i64) -> Value {
+        Value::new(x)
+    }
+
+    fn run_solo(ac: &mut AdoptCommit, mem: &mut Memory<ConsWord>) -> AcOutcome {
+        loop {
+            if let Some(out) = ac.step(mem) {
+                return out;
+            }
+        }
+    }
+
+    /// Runs participants under an arbitrary interleaving given by a
+    /// schedule of participant indices; returns outcomes in participant
+    /// order.
+    fn run_schedule(
+        inputs: &[i64],
+        schedule: impl IntoIterator<Item = usize>,
+    ) -> Vec<AcOutcome> {
+        let n = inputs.len();
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let (a, b) = AdoptCommit::alloc(&mut mem, n);
+        let mut parts: Vec<AdoptCommit> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| AdoptCommit::new(a.clone(), b.clone(), i, v(x)))
+            .collect();
+        let mut outcomes: Vec<Option<AcOutcome>> = vec![None; n];
+        for i in schedule {
+            if outcomes[i].is_none() {
+                outcomes[i] = parts[i].step(&mut mem);
+            }
+        }
+        // Finish everyone solo.
+        for i in 0..n {
+            if outcomes[i].is_none() {
+                outcomes[i] = Some(run_solo(&mut parts[i], &mut mem));
+            }
+        }
+        outcomes.into_iter().map(Option::unwrap).collect()
+    }
+
+    #[test]
+    fn solo_participant_commits_own_value() {
+        let out = run_schedule(&[7], std::iter::empty());
+        assert_eq!(out, vec![AcOutcome::Commit(v(7))]);
+    }
+
+    #[test]
+    fn convergence_same_inputs_all_commit() {
+        for n in 2..=4 {
+            let inputs = vec![5; n];
+            let out = run_schedule(&inputs, std::iter::empty());
+            assert!(out.iter().all(|o| *o == AcOutcome::Commit(v(5))), "{out:?}");
+        }
+    }
+
+    #[test]
+    fn coherence_under_exhaustive_two_process_interleavings() {
+        // Exhaustively interleave two participants (each needs 6 steps:
+        // writeA, 2 collectA, writeB, 2 collectB). Check validity,
+        // coherence and the at-most-one-committed-value property.
+        let total = 12usize;
+        for mask in 0u32..(1 << total) {
+            if mask.count_ones() != 6 {
+                continue;
+            }
+            let schedule: Vec<usize> = (0..total)
+                .map(|i| usize::from(mask & (1 << i) != 0))
+                .collect();
+            let out = run_schedule(&[1, 2], schedule);
+            // Validity.
+            for o in &out {
+                assert!(o.value() == v(1) || o.value() == v(2), "{out:?}");
+            }
+            // Coherence: a commit forces the other's value.
+            match (out[0], out[1]) {
+                (AcOutcome::Commit(a), other) => assert_eq!(other.value(), a, "{out:?}"),
+                (other, AcOutcome::Commit(b)) => assert_eq!(other.value(), b, "{out:?}"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn wait_free_step_count() {
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let (a, b) = AdoptCommit::alloc(&mut mem, 3);
+        let mut ac = AdoptCommit::new(a, b, 0, v(9));
+        let mut steps = 0;
+        while ac.step(&mut mem).is_none() {
+            steps += 1;
+        }
+        // 1 writeA + 3 collectA + 1 writeB + 3 collectB = 8 primitives, the
+        // last collectB step returns the outcome (so 7 None steps).
+        assert_eq!(steps, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let (a, b) = AdoptCommit::alloc(&mut mem, 2);
+        let _ = AdoptCommit::new(a, b, 5, v(0));
+    }
+}

@@ -1,0 +1,150 @@
+//! Wait-free consensus from a single compare-and-swap object.
+
+use slx_history::{Operation, Response, Value};
+use slx_memory::{Memory, ObjId, PrimOutcome, Primitive, Process, StepEffect};
+
+use crate::word::ConsWord;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Pc {
+    Idle,
+    TryCas(Value),
+    ReadBack,
+}
+
+/// Consensus from one CAS object: `propose(v)` CASes `⊥ → v`, then reads
+/// the object and decides whatever is there.
+///
+/// Wait-free in exactly two primitives — the paper's impossibilities
+/// evaporate once the base objects are stronger than registers, which is
+/// why Figure 1a is stated *for implementations from registers*. This
+/// implementation is the control in the Figure 1a experiment and the
+/// baseline in the step-complexity benches.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CasConsensus {
+    obj: ObjId,
+    pc: Pc,
+}
+
+impl CasConsensus {
+    /// Allocates the shared CAS object.
+    pub fn alloc(mem: &mut Memory<ConsWord>) -> ObjId {
+        mem.alloc_cas(ConsWord::Bot)
+    }
+
+    /// Creates the algorithm instance for one process.
+    pub fn new(obj: ObjId) -> Self {
+        CasConsensus { obj, pc: Pc::Idle }
+    }
+}
+
+impl Process<ConsWord> for CasConsensus {
+    fn on_invoke(&mut self, op: Operation) {
+        let Operation::Propose(v) = op else {
+            panic!("consensus accepts only propose(), got {op}");
+        };
+        self.pc = Pc::TryCas(v);
+    }
+
+    fn has_step(&self) -> bool {
+        !matches!(self.pc, Pc::Idle)
+    }
+
+    fn step(&mut self, mem: &mut Memory<ConsWord>) -> StepEffect {
+        match self.pc {
+            Pc::Idle => StepEffect::Idle,
+            Pc::TryCas(v) => {
+                mem.apply(Primitive::Cas {
+                    obj: self.obj,
+                    expected: ConsWord::Bot,
+                    new: ConsWord::Val(v),
+                })
+                .expect("cas object allocated");
+                self.pc = Pc::ReadBack;
+                StepEffect::Ran
+            }
+            Pc::ReadBack => {
+                let w = match mem
+                    .apply(Primitive::Read(self.obj))
+                    .expect("cas object allocated")
+                {
+                    PrimOutcome::Value(w) => w,
+                    _ => unreachable!("cas read returns a value"),
+                };
+                self.pc = Pc::Idle;
+                match w {
+                    ConsWord::Val(v) => StepEffect::Responded(Response::Decided(v)),
+                    _ => unreachable!("decision written before read-back"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slx_history::{History, ProcessId};
+    use slx_memory::{FairRandom, System};
+    use slx_safety::{ConsensusSafety, SafetyProperty};
+
+    fn v(x: i64) -> Value {
+        Value::new(x)
+    }
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn system(n: usize) -> System<ConsWord, CasConsensus> {
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let obj = CasConsensus::alloc(&mut mem);
+        let procs = (0..n).map(|_| CasConsensus::new(obj)).collect();
+        System::new(mem, procs)
+    }
+
+    fn decided(h: &History, q: ProcessId) -> Option<Value> {
+        h.responses_of(q).iter().find_map(|r| match r {
+            Response::Decided(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn wait_free_two_steps() {
+        let mut sys = system(1);
+        sys.invoke(p(0), Operation::Propose(v(3))).unwrap();
+        assert_eq!(sys.step(p(0)).unwrap(), StepEffect::Ran);
+        assert_eq!(
+            sys.step(p(0)).unwrap(),
+            StepEffect::Responded(Response::Decided(v(3)))
+        );
+    }
+
+    #[test]
+    fn every_schedule_decides_and_agrees() {
+        for seed in 0..100 {
+            let mut sys = system(3);
+            for i in 0..3 {
+                sys.invoke(p(i), Operation::Propose(v(i as i64 + 1))).unwrap();
+            }
+            sys.run(&mut FairRandom::new(seed), 1000);
+            let d0 = decided(sys.history(), p(0)).expect("wait-free");
+            for i in 1..3 {
+                assert_eq!(decided(sys.history(), p(i)), Some(d0));
+            }
+            assert!(ConsensusSafety::new().allows(sys.history()));
+        }
+    }
+
+    #[test]
+    fn decision_survives_crashes_of_others() {
+        let mut sys = system(2);
+        sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
+        sys.step(p(0)).unwrap(); // p1's CAS lands
+        sys.crash(p(0)).unwrap();
+        sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
+        sys.step(p(1)).unwrap();
+        sys.step(p(1)).unwrap();
+        assert_eq!(decided(sys.history(), p(1)), Some(v(1)));
+    }
+}

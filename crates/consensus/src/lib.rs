@@ -1,0 +1,35 @@
+//! Consensus implementations over simulated shared memory.
+//!
+//! The paper's consensus corollaries (4.5, 4.10, Theorem 5.2 / Figure 1a)
+//! quantify over implementations *from read/write registers*. This crate
+//! provides:
+//!
+//! - [`AdoptCommit`] — Gafni's commit-adopt object from registers
+//!   (wait-free, single-use), the building block;
+//! - [`ObstructionFreeConsensus`] — rounds of adopt-commit plus a decision
+//!   register: a register-only consensus that is (1,1)-free
+//!   (obstruction-free) and ensures agreement and validity. This is the
+//!   witness for the *white* point (1,1) in Figure 1a;
+//! - [`CasConsensus`] — wait-free consensus from a single compare-and-swap
+//!   object: the contrast showing the exclusion is about the base-object
+//!   model, not consensus per se;
+//! - [`TrivialNoResponse`] and [`SingleResponse`] — process-level versions
+//!   of Theorem 4.9's `It` and `Ib` (the automata-level versions live in
+//!   `slx-automata`), usable inside the simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adopt_commit;
+mod cas_consensus;
+mod kset;
+mod of_consensus;
+mod trivial;
+mod word;
+
+pub use adopt_commit::{AcOutcome, AdoptCommit};
+pub use cas_consensus::CasConsensus;
+pub use kset::grouped_kset;
+pub use of_consensus::ObstructionFreeConsensus;
+pub use trivial::{SingleResponse, TrivialNoResponse};
+pub use word::ConsWord;

@@ -1,0 +1,272 @@
+//! Obstruction-free consensus from registers: rounds of commit-adopt plus
+//! a decision register.
+
+use slx_history::{Operation, ProcessId, Response, Value};
+use slx_memory::{Memory, ObjId, PrimOutcome, Primitive, Process, StepEffect};
+
+use crate::adopt_commit::{AcOutcome, AdoptCommit};
+use crate::word::ConsWord;
+
+/// Shared register layout for one [`ObstructionFreeConsensus`] instance:
+/// a decision register and `max_rounds` pre-allocated commit-adopt objects.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layout {
+    decision: ObjId,
+    rounds: Vec<(Vec<ObjId>, Vec<ObjId>)>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Pc {
+    Idle,
+    CheckDecision,
+    Round(AdoptCommit),
+    WriteDecision(Value),
+}
+
+/// The register-only consensus used for Figure 1a's white point:
+/// **obstruction-free** ((1,1)-free) and safe (agreement + validity).
+///
+/// Algorithm (the classic rounds-of-commit-adopt construction, cf. the
+/// paper's citations [20, 17] for obstruction-free consensus from
+/// registers): a proposer keeps an estimate, and in round `r` runs
+/// commit-adopt object `AC_r`. On `Commit(v)` it writes the decision
+/// register `D` and decides `v`; on `Adopt(v)` it sets its estimate to `v`
+/// and moves to round `r + 1`, first checking `D` (deciding whatever a
+/// faster process decided). Commit-adopt coherence makes disagreement
+/// impossible; a process running solo reaches a round nobody else touched
+/// and commits — obstruction-freedom. Under contention, rounds can adopt
+/// forever, which is exactly the behaviour the paper's adversary exploits.
+///
+/// Rounds are pre-allocated; see [`ObstructionFreeConsensus::layout`]'s
+/// `max_rounds` (the run panics if an execution exceeds it, which bounds
+/// experiments honestly instead of silently mis-deciding).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObstructionFreeConsensus {
+    layout: Layout,
+    me: ProcessId,
+    n: usize,
+    est: Value,
+    round: usize,
+    pc: Pc,
+    /// Completed commit-adopt rounds (exposed for step-complexity benches).
+    rounds_used: u64,
+}
+
+impl ObstructionFreeConsensus {
+    /// Allocates the shared registers: 1 decision register plus
+    /// `max_rounds` commit-adopt objects of `2n` registers each.
+    pub fn layout(mem: &mut Memory<ConsWord>, n: usize, max_rounds: usize) -> Layout {
+        let decision = mem.alloc_register(ConsWord::Bot);
+        let rounds = (0..max_rounds)
+            .map(|_| AdoptCommit::alloc(mem, n))
+            .collect();
+        Layout { decision, rounds }
+    }
+
+    /// Creates the algorithm instance of process `me` (of `n`).
+    pub fn new(layout: Layout, me: ProcessId, n: usize) -> Self {
+        ObstructionFreeConsensus {
+            layout,
+            me,
+            n,
+            est: Value::new(0),
+            round: 0,
+            pc: Pc::Idle,
+            rounds_used: 0,
+        }
+    }
+
+    /// Commit-adopt rounds completed so far by this process.
+    pub fn rounds_used(&self) -> u64 {
+        self.rounds_used
+    }
+}
+
+impl Process<ConsWord> for ObstructionFreeConsensus {
+    fn on_invoke(&mut self, op: Operation) {
+        let Operation::Propose(v) = op else {
+            panic!("consensus accepts only propose(), got {op}");
+        };
+        self.est = v;
+        self.round = 0;
+        self.pc = Pc::CheckDecision;
+    }
+
+    fn has_step(&self) -> bool {
+        !matches!(self.pc, Pc::Idle)
+    }
+
+    fn step(&mut self, mem: &mut Memory<ConsWord>) -> StepEffect {
+        match std::mem::replace(&mut self.pc, Pc::Idle) {
+            Pc::Idle => StepEffect::Idle,
+            Pc::CheckDecision => {
+                let d = match mem
+                    .apply(Primitive::Read(self.layout.decision))
+                    .expect("decision register allocated")
+                {
+                    PrimOutcome::Value(w) => w,
+                    _ => unreachable!("registers return values"),
+                };
+                if let ConsWord::Val(v) = d {
+                    return StepEffect::Responded(Response::Decided(v));
+                }
+                let (a, b) = self
+                    .layout
+                    .rounds
+                    .get(self.round)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "consensus exhausted its {} pre-allocated rounds",
+                            self.layout.rounds.len()
+                        )
+                    })
+                    .clone();
+                self.pc = Pc::Round(AdoptCommit::new(a, b, self.me.index(), self.est));
+                StepEffect::Ran
+            }
+            Pc::Round(mut ac) => {
+                match ac.step(mem) {
+                    None => self.pc = Pc::Round(ac),
+                    Some(AcOutcome::Commit(v)) => {
+                        self.rounds_used += 1;
+                        self.pc = Pc::WriteDecision(v);
+                    }
+                    Some(AcOutcome::Adopt(v)) => {
+                        self.rounds_used += 1;
+                        self.est = v;
+                        self.round += 1;
+                        self.pc = Pc::CheckDecision;
+                    }
+                }
+                StepEffect::Ran
+            }
+            Pc::WriteDecision(v) => {
+                mem.apply(Primitive::Write(self.layout.decision, ConsWord::Val(v)))
+                    .expect("decision register allocated");
+                StepEffect::Responded(Response::Decided(v))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slx_history::History;
+    use slx_memory::{FairRandom, RoundRobin, SoloScheduler, System};
+    use slx_safety::{ConsensusSafety, SafetyProperty};
+
+    fn v(x: i64) -> Value {
+        Value::new(x)
+    }
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn system(n: usize) -> System<ConsWord, ObstructionFreeConsensus> {
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let layout = ObstructionFreeConsensus::layout(&mut mem, n, 64);
+        let procs = (0..n)
+            .map(|i| ObstructionFreeConsensus::new(layout.clone(), p(i), n))
+            .collect();
+        System::new(mem, procs)
+    }
+
+    fn decided(h: &History, q: ProcessId) -> Option<Value> {
+        h.responses_of(q).iter().find_map(|r| match r {
+            Response::Decided(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn solo_run_decides_own_value() {
+        let mut sys = system(2);
+        sys.invoke(p(0), Operation::Propose(v(7))).unwrap();
+        sys.run(&mut SoloScheduler::new(p(0)), 10_000);
+        assert_eq!(decided(sys.history(), p(0)), Some(v(7)));
+        assert!(ConsensusSafety::new().allows(sys.history()));
+    }
+
+    #[test]
+    fn sequential_proposers_agree() {
+        let mut sys = system(2);
+        sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
+        sys.run(&mut SoloScheduler::new(p(0)), 10_000);
+        sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
+        sys.run(&mut SoloScheduler::new(p(1)), 10_000);
+        assert_eq!(decided(sys.history(), p(0)), Some(v(1)));
+        assert_eq!(decided(sys.history(), p(1)), Some(v(1)));
+        assert!(ConsensusSafety::new().allows(sys.history()));
+    }
+
+    #[test]
+    fn round_robin_contention_terminates_and_agrees() {
+        // Lockstep is not an adversarial schedule for this algorithm: both
+        // adopt a common value and commit in the next round.
+        let mut sys = system(2);
+        sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
+        sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
+        sys.run(&mut RoundRobin::new(), 100_000);
+        let d0 = decided(sys.history(), p(0)).expect("p1 decided");
+        let d1 = decided(sys.history(), p(1)).expect("p2 decided");
+        assert_eq!(d0, d1);
+        assert!(ConsensusSafety::new().allows(sys.history()));
+    }
+
+    #[test]
+    fn random_schedules_always_safe() {
+        for seed in 0..50 {
+            let mut sys = system(3);
+            sys.invoke(p(0), Operation::Propose(v(10))).unwrap();
+            sys.invoke(p(1), Operation::Propose(v(20))).unwrap();
+            sys.invoke(p(2), Operation::Propose(v(30))).unwrap();
+            sys.run(&mut FairRandom::new(seed), 50_000);
+            assert!(
+                ConsensusSafety::new().allows(sys.history()),
+                "seed {seed}: {}",
+                sys.history()
+            );
+            // Fair random runs of this length should also decide (this is
+            // probabilistic termination, not wait-freedom).
+            for q in ProcessId::all(3) {
+                assert!(decided(sys.history(), q).is_some(), "seed {seed} {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_of_leader_does_not_block_others() {
+        let mut sys = system(2);
+        sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
+        // p1 takes a few steps then crashes mid-round.
+        for _ in 0..3 {
+            sys.step(p(0)).unwrap();
+        }
+        sys.crash(p(0)).unwrap();
+        sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
+        sys.run(&mut SoloScheduler::new(p(1)), 10_000);
+        let d1 = decided(sys.history(), p(1)).expect("survivor decides");
+        // The survivor may adopt the crashed process's value or keep its
+        // own; either way validity holds.
+        assert!(d1 == v(1) || d1 == v(2));
+        assert!(ConsensusSafety::new().allows(sys.history()));
+    }
+
+    #[test]
+    fn late_solo_proposer_adopts_existing_decision() {
+        let mut sys = system(3);
+        sys.invoke(p(0), Operation::Propose(v(5))).unwrap();
+        sys.run(&mut SoloScheduler::new(p(0)), 10_000);
+        sys.invoke(p(2), Operation::Propose(v(9))).unwrap();
+        sys.run(&mut SoloScheduler::new(p(2)), 10_000);
+        assert_eq!(decided(sys.history(), p(2)), Some(v(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "propose")]
+    fn non_propose_rejected() {
+        let mut sys = system(1);
+        let _ = sys.invoke(p(0), Operation::TxStart);
+    }
+}

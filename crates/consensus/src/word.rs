@@ -1,0 +1,58 @@
+//! The register alphabet of the consensus implementations.
+
+use slx_history::Value;
+
+/// Contents of the registers used by the consensus algorithms: the
+/// uninitialized marker `⊥`, a bare value (proposal/estimate arrays and the
+/// decision register), or a phase-2 commit-adopt entry `(flag, value)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConsWord {
+    /// `⊥` — not yet written.
+    Bot,
+    /// A bare value.
+    Val(Value),
+    /// A commit-adopt phase-2 entry: `true` means "commit".
+    Flagged(bool, Value),
+}
+
+impl ConsWord {
+    /// Extracts the value, if any.
+    pub fn value(self) -> Option<Value> {
+        match self {
+            ConsWord::Bot => None,
+            ConsWord::Val(v) | ConsWord::Flagged(_, v) => Some(v),
+        }
+    }
+}
+
+impl std::fmt::Display for ConsWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsWord::Bot => write!(f, "⊥"),
+            ConsWord::Val(v) => write!(f, "{v}"),
+            ConsWord::Flagged(true, v) => write!(f, "(commit,{v})"),
+            ConsWord::Flagged(false, v) => write!(f, "(adopt,{v})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_extraction() {
+        assert_eq!(ConsWord::Bot.value(), None);
+        assert_eq!(ConsWord::Val(Value::new(3)).value(), Some(Value::new(3)));
+        assert_eq!(
+            ConsWord::Flagged(true, Value::new(4)).value(),
+            Some(Value::new(4))
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ConsWord::Bot.to_string(), "⊥");
+        assert_eq!(ConsWord::Flagged(false, Value::new(1)).to_string(), "(adopt,1)");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based validation of commit-adopt and the consensus built on it
+//! under randomly generated schedules.
+
+use proptest::prelude::*;
+use slx_consensus::{AcOutcome, AdoptCommit, ConsWord, ObstructionFreeConsensus};
+use slx_history::{Operation, ProcessId, Response, Value};
+use slx_memory::{Memory, System};
+use slx_safety::{ConsensusSafety, SafetyProperty};
+
+/// Runs `n` commit-adopt participants under an arbitrary interleaving
+/// (schedule entries are participant indices; leftovers run solo at the
+/// end), returning the outcomes.
+fn run_ac(inputs: &[i64], schedule: &[usize]) -> Vec<AcOutcome> {
+    let n = inputs.len();
+    let mut mem: Memory<ConsWord> = Memory::new();
+    let (a, b) = AdoptCommit::alloc(&mut mem, n);
+    let mut parts: Vec<AdoptCommit> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| AdoptCommit::new(a.clone(), b.clone(), i, Value::new(x)))
+        .collect();
+    let mut outcomes: Vec<Option<AcOutcome>> = vec![None; n];
+    for &i in schedule {
+        let i = i % n;
+        if outcomes[i].is_none() {
+            outcomes[i] = parts[i].step(&mut mem);
+        }
+    }
+    for i in 0..n {
+        while outcomes[i].is_none() {
+            outcomes[i] = parts[i].step(&mut mem);
+        }
+    }
+    outcomes.into_iter().map(Option::unwrap).collect()
+}
+
+proptest! {
+    #[test]
+    fn adopt_commit_validity_and_coherence(
+        inputs in prop::collection::vec(0i64..4, 2..5),
+        schedule in prop::collection::vec(0usize..5, 0..60),
+    ) {
+        let outcomes = run_ac(&inputs, &schedule);
+        // Validity: every outcome value is someone's input.
+        for o in &outcomes {
+            prop_assert!(inputs.contains(&o.value().raw()), "{outcomes:?}");
+        }
+        // Coherence: all commits carry one value, and a commit forces
+        // everyone's value.
+        let commit_vals: Vec<Value> = outcomes
+            .iter()
+            .filter_map(|o| match o {
+                AcOutcome::Commit(v) => Some(*v),
+                AcOutcome::Adopt(_) => None,
+            })
+            .collect();
+        if let Some(&v) = commit_vals.first() {
+            prop_assert!(commit_vals.iter().all(|&w| w == v), "{outcomes:?}");
+            prop_assert!(outcomes.iter().all(|o| o.value() == v), "{outcomes:?}");
+        }
+        // Convergence: identical inputs all commit.
+        if inputs.iter().all(|&x| x == inputs[0]) {
+            prop_assert!(outcomes
+                .iter()
+                .all(|o| matches!(o, AcOutcome::Commit(v) if v.raw() == inputs[0])));
+        }
+    }
+
+    #[test]
+    fn of_consensus_safe_under_random_schedules(
+        proposals in prop::collection::vec(0i64..4, 2..4),
+        schedule in prop::collection::vec(0usize..4, 0..200),
+    ) {
+        let n = proposals.len();
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let layout = ObstructionFreeConsensus::layout(&mut mem, n, 64);
+        let procs = (0..n)
+            .map(|i| ObstructionFreeConsensus::new(layout.clone(), ProcessId::new(i), n))
+            .collect();
+        let mut sys: System<ConsWord, ObstructionFreeConsensus> = System::new(mem, procs);
+        for (i, &v) in proposals.iter().enumerate() {
+            sys.invoke(ProcessId::new(i), Operation::Propose(Value::new(v))).unwrap();
+        }
+        for &i in &schedule {
+            let q = ProcessId::new(i % n);
+            if sys.can_step(q) {
+                let _ = sys.step(q);
+            }
+        }
+        prop_assert!(
+            ConsensusSafety::new().allows(sys.history()),
+            "history: {}",
+            sys.history()
+        );
+        // Any process that decided agrees with every other decider — and
+        // validity ties decisions to proposals.
+        let decided: Vec<Value> = (0..n)
+            .flat_map(|i| sys.history().responses_of(ProcessId::new(i)))
+            .filter_map(|r| match r {
+                Response::Decided(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        if let Some(&first) = decided.first() {
+            prop_assert!(decided.iter().all(|&v| v == first));
+            prop_assert!(proposals.contains(&first.raw()));
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Figure 1: classification of (l,k)-freedom points.
+
+use std::fmt;
+
+use slx_adversary::{run_bivalence_adversary, TmStarvation};
+use slx_consensus::{ConsWord, ObstructionFreeConsensus};
+use slx_explorer::{explore_safety, verify_solo_progress};
+use slx_history::{Operation, ProcessId, Value, VarId};
+use slx_liveness::LkFreedom;
+use slx_memory::{Memory, System};
+use slx_safety::ConsensusSafety;
+use slx_tm::{GlobalVersionTm, TmWord};
+
+/// Classification of one (l,k) point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// A white point of Figure 1: some implementation ensures the safety
+    /// property together with this liveness property.
+    Implementable {
+        /// How the verdict was established.
+        basis: String,
+    },
+    /// A black point: the liveness property excludes the safety property.
+    Excluded {
+        /// How the verdict was established.
+        basis: String,
+    },
+}
+
+/// One grid point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridPoint {
+    /// The (l,k)-freedom property.
+    pub lk: LkFreedom,
+    /// Its classification.
+    pub verdict: Verdict,
+}
+
+impl GridPoint {
+    /// Whether the point is white (implementable).
+    pub fn implementable(&self) -> bool {
+        matches!(self.verdict, Verdict::Implementable { .. })
+    }
+}
+
+/// A full Figure-1 pane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    /// Name of the safety property classified against.
+    pub safety: String,
+    /// System size `n`.
+    pub n: usize,
+    /// All points with `1 ≤ l ≤ k ≤ n`.
+    pub points: Vec<GridPoint>,
+}
+
+impl Grid {
+    /// The point for a given (l,k), if on the grid.
+    pub fn point(&self, l: usize, k: usize) -> Option<&GridPoint> {
+        self.points
+            .iter()
+            .find(|p| p.lk.l() == l && p.lk.k() == k)
+    }
+
+    /// The *maximal* white points (no white point strictly stronger):
+    /// the "strongest implementable" frontier of Section 5.2.
+    pub fn strongest_implementable(&self) -> Vec<&GridPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.implementable())
+            .filter(|p| {
+                !self.points.iter().any(|q| {
+                    q.implementable()
+                        && q.lk != p.lk
+                        && q.lk.is_stronger_or_equal(&p.lk)
+                })
+            })
+            .collect()
+    }
+
+    /// CSV rendering (`l,k,verdict` rows) for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("l,k,verdict\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                p.lk.l(),
+                p.lk.k(),
+                if p.implementable() {
+                    "implementable"
+                } else {
+                    "excluded"
+                }
+            ));
+        }
+        out
+    }
+
+    /// The *minimal* black points (no black point strictly weaker): the
+    /// "weakest non-implementable" frontier.
+    pub fn weakest_excluded(&self) -> Vec<&GridPoint> {
+        self.points
+            .iter()
+            .filter(|p| !p.implementable())
+            .filter(|p| {
+                !self.points.iter().any(|q| {
+                    !q.implementable() && q.lk != p.lk && p.lk.is_stronger_or_equal(&q.lk)
+                })
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Grid {
+    /// Renders the pane in the style of Figure 1: `k` on the horizontal
+    /// axis, `l` on the vertical, `○` white (implementable), `●` black
+    /// (excluded), blank where `l > k`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "S = {} (n = {})", self.safety, self.n)?;
+        for l in (1..=self.n).rev() {
+            write!(f, "l={l} |")?;
+            for k in 1..=self.n {
+                match self.point(l, k) {
+                    Some(p) if p.implementable() => write!(f, " ○")?,
+                    Some(_) => write!(f, " ●")?,
+                    None => write!(f, "  ")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        write!(f, "     ")?;
+        for k in 1..=self.n {
+            write!(f, "k={k}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Tuning knobs for the grid experiments (exposed so benches can scale
+/// them; the defaults regenerate the paper's figure in seconds).
+#[derive(Debug, Clone, Copy)]
+pub struct GridConfig {
+    /// Depth of the exhaustive safety exploration for the white consensus
+    /// point.
+    pub explore_depth: usize,
+    /// Depth of reachable-configuration enumeration for the solo-progress
+    /// check.
+    pub solo_depth: usize,
+    /// Step budget of a solo run before it must respond.
+    pub solo_budget: usize,
+    /// Steps the bivalence adversary must survive.
+    pub adversary_steps: u64,
+    /// Configuration budget per valence query.
+    pub valence_budget: usize,
+    /// Events the TM starvation adversary runs for.
+    pub tm_adversary_events: u64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            explore_depth: 18,
+            solo_depth: 8,
+            solo_budget: 400,
+            adversary_steps: 60,
+            valence_budget: 40_000,
+            tm_adversary_events: 2_000,
+        }
+    }
+}
+
+/// **Figure 1(a)**: consensus from read/write registers. White iff
+/// `(l,k) = (1,1)` (Theorem 5.2).
+///
+/// The two anchor verdicts are established experimentally:
+///
+/// - *(1,1) white*: `ObstructionFreeConsensus` passes (i) exhaustive
+///   small-scope safety exploration (agreement and validity on **all**
+///   schedules to the depth bound) and (ii) exhaustive solo-progress
+///   (from every reachable configuration, a solo process decides);
+/// - *(1,2) black*: the valence-computing adversary keeps the same
+///   implementation undecided with two processes stepping — and since the
+///   adversary is implementation-agnostic (it model-checks whatever
+///   deterministic register-based implementation it is given), the point
+///   is excluded, not merely unwitnessed. Every (l,k) ≥ (1,2) inherits
+///   the exclusion (a stronger property excludes whenever a weaker one
+///   does).
+pub fn consensus_grid(n: usize) -> Grid {
+    consensus_grid_with(n, GridConfig::default())
+}
+
+/// [`consensus_grid`] with explicit tuning.
+pub fn consensus_grid_with(n: usize, cfg: GridConfig) -> Grid {
+    let p0 = ProcessId::new(0);
+    let p1 = ProcessId::new(1);
+
+    // White anchor (1,1): exhaustive safety + solo progress at small scope.
+    let build = || {
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let layout = ObstructionFreeConsensus::layout(&mut mem, 2, 64);
+        let procs = vec![
+            ObstructionFreeConsensus::new(layout.clone(), p0, 2),
+            ObstructionFreeConsensus::new(layout, p1, 2),
+        ];
+        let mut sys = System::new(mem, procs);
+        sys.invoke(p0, Operation::Propose(Value::new(1))).unwrap();
+        sys.invoke(p1, Operation::Propose(Value::new(2))).unwrap();
+        sys
+    };
+    let safety_out = explore_safety(
+        &build(),
+        &[p0, p1],
+        cfg.explore_depth,
+        &ConsensusSafety::new(),
+        history_digest,
+    );
+    let solo_cex = verify_solo_progress(&build(), &[p0, p1], cfg.solo_depth, cfg.solo_budget);
+    let white_ok = safety_out.holds() && solo_cex.is_none();
+    let white_basis = format!(
+        "obstruction-free consensus from registers: safety exhaustive to depth {} \
+         ({} configs, ok={}), solo progress exhaustive to depth {} (ok={})",
+        cfg.explore_depth,
+        safety_out.configs,
+        safety_out.holds(),
+        cfg.solo_depth,
+        solo_cex.is_none()
+    );
+
+    // Black anchor (1,2): the bivalence adversary starves two steppers.
+    let mut sys = build();
+    let report = run_bivalence_adversary(
+        &mut sys,
+        &[p0, p1],
+        cfg.adversary_steps,
+        cfg.valence_budget,
+    );
+    let black_ok = report.adversary_won();
+    let black_basis = format!(
+        "bivalence adversary kept 2 steppers undecided for {} steps \
+         (bivalent throughout: {})",
+        report.steps, report.bivalent_throughout
+    );
+
+    let points = LkFreedom::grid(n)
+        .into_iter()
+        .map(|lk| {
+            let verdict = if lk.l() == 1 && lk.k() == 1 {
+                if white_ok {
+                    Verdict::Implementable {
+                        basis: white_basis.clone(),
+                    }
+                } else {
+                    Verdict::Excluded {
+                        basis: "white-anchor experiment FAILED".to_owned(),
+                    }
+                }
+            } else if black_ok {
+                Verdict::Excluded {
+                    basis: format!(
+                        "{lk} is stronger than (1,2)-freedom; {black_basis}"
+                    ),
+                }
+            } else {
+                Verdict::Implementable {
+                    basis: "black-anchor experiment FAILED".to_owned(),
+                }
+            };
+            GridPoint { lk, verdict }
+        })
+        .collect();
+
+    Grid {
+        safety: "consensus agreement and validity (register implementations)".to_owned(),
+        n,
+        points,
+    }
+}
+
+/// **Figure 1(b)**: transactional memory with opacity. White iff `l = 1`
+/// (Theorem 5.3: strongest implementable (1,n), weakest excluded (2,2)).
+///
+/// - *(1,n) white*: `GlobalVersionTm` commits under full contention
+///   (lock-freedom: a failed CAS certifies someone else's commit), and its
+///   runs certify opaque;
+/// - *(2,2) black*: the Section 4.1 starvation strategy drives any
+///   single-winner TM into a two-stepper run with one process starving;
+///   against our TMs the run is periodic, which the test suite converts
+///   into a lasso proof. Every l ≥ 2 point inherits the exclusion.
+pub fn tm_grid(n: usize) -> Grid {
+    tm_grid_with(n, GridConfig::default())
+}
+
+/// [`tm_grid`] with explicit tuning.
+pub fn tm_grid_with(n: usize, cfg: GridConfig) -> Grid {
+    // White anchor: lock-freedom of GlobalVersionTm under full contention.
+    let mut mem: Memory<TmWord> = Memory::new();
+    let c = GlobalVersionTm::alloc(&mut mem, 1);
+    let procs: Vec<GlobalVersionTm> = (0..n.max(2)).map(|_| GlobalVersionTm::new(c, 1)).collect();
+    let mut sys = System::new(mem, procs);
+    let workload = slx_memory::RepeatTxn::new(n.max(2), vec![VarId::new(0)], vec![VarId::new(0)], None);
+    let mut sched =
+        slx_memory::WorkloadScheduler::new(n.max(2), workload, slx_memory::FairRandom::new(7));
+    sys.run(&mut sched, cfg.tm_adversary_events);
+    let commits = sys
+        .history()
+        .iter()
+        .filter(|a| a.as_respond().is_some_and(|r| r.is_commit()))
+        .count();
+    let opaque = slx_safety::certify_unique_writes(sys.history(), Value::new(0));
+    let white_ok = commits > 0 && opaque;
+    let white_basis = format!(
+        "GlobalVersionTm under full {}-process contention: {} commits, opacity certified: {}",
+        n.max(2),
+        commits,
+        opaque
+    );
+
+    // Black anchor: §4.1 starvation strategy on two processes.
+    let mut mem: Memory<TmWord> = Memory::new();
+    let c = GlobalVersionTm::alloc(&mut mem, 1);
+    let procs: Vec<GlobalVersionTm> = (0..2).map(|_| GlobalVersionTm::new(c, 1)).collect();
+    let mut sys = System::new(mem, procs);
+    let mut adv = TmStarvation::new(ProcessId::new(0), ProcessId::new(1), VarId::new(0));
+    sys.run(&mut adv, cfg.tm_adversary_events);
+    let black_ok = !adv.lost() && adv.rounds() >= 2;
+    let black_basis = format!(
+        "§4.1 starvation strategy: victim aborted through {} committer rounds without committing",
+        adv.rounds()
+    );
+
+    let points = LkFreedom::grid(n)
+        .into_iter()
+        .map(|lk| {
+            let verdict = if lk.l() == 1 {
+                if white_ok {
+                    Verdict::Implementable {
+                        basis: format!("{lk} is weaker than (1,{n})-freedom; {white_basis}"),
+                    }
+                } else {
+                    Verdict::Excluded {
+                        basis: "white-anchor experiment FAILED".to_owned(),
+                    }
+                }
+            } else if black_ok {
+                Verdict::Excluded {
+                    basis: format!("{lk} is stronger than (2,2)-freedom; {black_basis}"),
+                }
+            } else {
+                Verdict::Implementable {
+                    basis: "black-anchor experiment FAILED".to_owned(),
+                }
+            };
+            GridPoint { lk, verdict }
+        })
+        .collect();
+
+    Grid {
+        safety: "TM opacity".to_owned(),
+        n,
+        points,
+    }
+}
+
+/// History digest for consensus exploration: hashes the full external
+/// history (sound for any safety property).
+fn history_digest(h: &slx_history::History) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut hasher = DefaultHasher::new();
+    for a in h.iter() {
+        a.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1a_shape() {
+        let g = consensus_grid(3);
+        // Exactly one white point: (1,1).
+        let white: Vec<&GridPoint> =
+            g.points.iter().filter(|p| p.implementable()).collect();
+        assert_eq!(white.len(), 1);
+        assert_eq!(white[0].lk, LkFreedom::new(1, 1));
+        // Frontiers match Theorem 5.2.
+        let strongest: Vec<LkFreedom> = g
+            .strongest_implementable()
+            .iter()
+            .map(|p| p.lk)
+            .collect();
+        assert_eq!(strongest, vec![LkFreedom::new(1, 1)]);
+        let weakest: Vec<LkFreedom> = g.weakest_excluded().iter().map(|p| p.lk).collect();
+        assert_eq!(weakest, vec![LkFreedom::new(1, 2)]);
+    }
+
+    #[test]
+    fn figure_1b_shape() {
+        let n = 4;
+        let g = tm_grid(n);
+        for p in &g.points {
+            assert_eq!(
+                p.implementable(),
+                p.lk.l() == 1,
+                "wrong verdict at {}",
+                p.lk
+            );
+        }
+        // Frontiers match Theorem 5.3: strongest implementable (1,n),
+        // weakest excluded (2,2) — and they are incomparable.
+        let strongest: Vec<LkFreedom> = g
+            .strongest_implementable()
+            .iter()
+            .map(|p| p.lk)
+            .collect();
+        assert_eq!(strongest, vec![LkFreedom::new(1, n)]);
+        let weakest: Vec<LkFreedom> = g.weakest_excluded().iter().map(|p| p.lk).collect();
+        assert_eq!(weakest, vec![LkFreedom::new(2, 2)]);
+        assert_eq!(
+            strongest[0].partial_cmp_strength(&weakest[0]),
+            None,
+            "the paper notes these two are incomparable"
+        );
+    }
+
+    #[test]
+    fn grid_display_renders() {
+        let g = tm_grid(3);
+        let s = g.to_string();
+        assert!(s.contains("○"));
+        assert!(s.contains("●"));
+        assert!(s.contains("l=1"));
+    }
+
+    #[test]
+    fn grid_csv_rows() {
+        let g = tm_grid(3);
+        let csv = g.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "l,k,verdict");
+        assert_eq!(lines.len(), 1 + g.points.len());
+        assert!(lines.contains(&"1,3,implementable"));
+        assert!(lines.contains(&"2,2,excluded"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Lasso detection: repeated configurations under deterministic schedulers.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use slx_memory::{Event, Process, Scheduler, System, Word};
+
+/// A lasso: a finite stem followed by a cycle that the deterministic
+/// system-plus-scheduler pair repeats forever.
+///
+/// Because both the system *and the scheduler state* repeated exactly, the
+/// infinite execution `stem · cycle^ω` is a real execution of the system —
+/// this is the constructive witness the liveness exclusion results need
+/// (e.g.: a cycle with both processes stepping and no commit response is an
+/// infinite fair execution violating (2,2)-freedom).
+#[derive(Debug, Clone)]
+pub struct CycleWitness {
+    /// Events before the cycle starts.
+    pub stem: Vec<Event>,
+    /// Events of one cycle iteration (repeats forever).
+    pub cycle: Vec<Event>,
+}
+
+impl CycleWitness {
+    /// Events of `stem · cycle^k` — a finite unrolling, useful for feeding
+    /// the window-based liveness evaluators.
+    pub fn unroll(&self, k: usize) -> Vec<Event> {
+        let mut out = self.stem.clone();
+        for _ in 0..k {
+            out.extend(self.cycle.iter().copied());
+        }
+        out
+    }
+
+    /// The processes that take a computation step inside the cycle.
+    pub fn cycle_steppers(&self) -> Vec<slx_history::ProcessId> {
+        let mut out = Vec::new();
+        for e in &self.cycle {
+            if let Event::Stepped(p) = e {
+                if !out.contains(p) {
+                    out.push(*p);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Whether any response on the cycle satisfies `good`.
+    pub fn cycle_has_good_response(
+        &self,
+        good: impl Fn(slx_history::Response) -> bool,
+    ) -> bool {
+        self.cycle.iter().any(|e| match e {
+            Event::Responded(_, r) => good(*r),
+            _ => false,
+        })
+    }
+
+    /// Evaluates a liveness property on the infinite execution
+    /// `stem · cycle^ω`, **exactly**: the analysis window is one full cycle
+    /// iteration (after a warm-up iteration), so "steps in the window"
+    /// coincides with "takes infinitely many steps" and "good response in
+    /// the window" with "receives infinitely many good responses". This is
+    /// the evaluation the paper's Definition 5.1 calls for, with no
+    /// finite-run approximation left.
+    pub fn evaluate_liveness<L: slx_liveness::LivenessProperty>(
+        &self,
+        property: &L,
+        n: usize,
+        kind: slx_liveness::ProgressKind,
+    ) -> bool {
+        let events = self.unroll(2);
+        let window_start = self.stem.len() + self.cycle.len();
+        let view = slx_liveness::ExecutionView::new(&events, n, window_start, kind);
+        property.satisfied(&view)
+    }
+}
+
+/// Runs `scheduler` on `sys` and watches for a repeat of the combined
+/// (system configuration, scheduler state). On a repeat, returns the
+/// lasso; returns `None` if `max_events` elapse first or the run halts.
+///
+/// The scheduler must be deterministic for the witness to be meaningful;
+/// the `Clone + Eq + Hash` bounds let the detector key on its state
+/// exactly.
+pub fn run_until_cycle<W, P, S>(
+    sys: &mut System<W, P>,
+    scheduler: &mut S,
+    max_events: u64,
+) -> Option<CycleWitness>
+where
+    W: Word,
+    P: Process<W> + Clone + Eq + Hash,
+    S: Scheduler<W, P> + Clone + Eq + Hash,
+{
+    run_until_cycle_keyed(sys, scheduler, max_events, |sys, sched| {
+        (sys.clone(), sched.clone())
+    })
+}
+
+/// Like [`run_until_cycle`], but detects repeats of a caller-supplied
+/// **key** instead of the raw configuration.
+///
+/// This is how cycles *modulo a symmetry* are found: algorithms whose
+/// per-iteration state grows by a uniform shift (the TM version counter,
+/// Algorithm 1's timestamps) never repeat a raw configuration, but their
+/// behaviour is invariant under the shift, so a repeat of the normalized
+/// key still witnesses an infinite execution (`slx-tm` provides the
+/// normalizing maps and documents the invariance argument).
+pub fn run_until_cycle_keyed<W, P, S, K>(
+    sys: &mut System<W, P>,
+    scheduler: &mut S,
+    max_events: u64,
+    key: impl Fn(&System<W, P>, &S) -> K,
+) -> Option<CycleWitness>
+where
+    W: Word,
+    P: Process<W>,
+    S: Scheduler<W, P>,
+    K: Hash + Eq,
+{
+    use slx_memory::Decision;
+
+    let mut seen: HashMap<K, usize> = HashMap::new();
+    seen.insert(key(sys, scheduler), 0);
+    let start_events = sys.events().len();
+
+    for _ in 0..max_events {
+        match scheduler.decide(sys) {
+            Decision::Halt => return None,
+            Decision::Invoke(p, op) => {
+                if sys.invoke(p, op).is_err() {
+                    return None;
+                }
+            }
+            Decision::Step(p) => {
+                if sys.step(p).is_err() {
+                    return None;
+                }
+            }
+            Decision::Crash(p) => {
+                if sys.crash(p).is_err() {
+                    return None;
+                }
+            }
+        }
+        let k = key(sys, scheduler);
+        let now = sys.events().len() - start_events;
+        if let Some(&first) = seen.get(&k) {
+            let events = &sys.events()[start_events..];
+            return Some(CycleWitness {
+                stem: events[..first].to_vec(),
+                cycle: events[first..now].to_vec(),
+            });
+        }
+        seen.insert(k, now);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slx_history::{Operation, ProcessId, Response, Value};
+    use slx_memory::{Decision, Memory, StepEffect};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// A process that loops through 3 internal states forever.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct Looper {
+        phase: u8,
+        pending: bool,
+    }
+
+    impl slx_memory::Process<i64> for Looper {
+        fn on_invoke(&mut self, _op: Operation) {
+            self.pending = true;
+        }
+        fn has_step(&self) -> bool {
+            self.pending
+        }
+        fn step(&mut self, _mem: &mut Memory<i64>) -> StepEffect {
+            self.phase = (self.phase + 1) % 3;
+            StepEffect::Ran
+        }
+    }
+
+    /// Deterministic: always step p1.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct AlwaysP0;
+
+    impl slx_memory::Scheduler<i64, Looper> for AlwaysP0 {
+        fn decide(&mut self, sys: &System<i64, Looper>) -> Decision {
+            if sys.can_step(p(0)) {
+                Decision::Step(p(0))
+            } else {
+                Decision::Halt
+            }
+        }
+    }
+
+    #[test]
+    fn detects_three_step_cycle() {
+        let mem: Memory<i64> = Memory::new();
+        let mut sys = System::new(
+            mem,
+            vec![Looper {
+                phase: 0,
+                pending: false,
+            }],
+        );
+        sys.invoke(p(0), Operation::Propose(Value::new(0))).unwrap();
+        let mut sched = AlwaysP0;
+        let w = run_until_cycle(&mut sys, &mut sched, 100).expect("cycle exists");
+        assert_eq!(w.cycle.len(), 3);
+        assert_eq!(w.cycle_steppers(), vec![p(0)]);
+        assert!(!w.cycle_has_good_response(|_| true));
+        // Unrolling includes the stem plus k cycles.
+        assert_eq!(w.unroll(2).len(), w.stem.len() + 6);
+    }
+
+    /// A process that responds after 2 steps — no cycle while productive.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct Finisher {
+        remaining: u8,
+    }
+
+    impl slx_memory::Process<i64> for Finisher {
+        fn on_invoke(&mut self, _op: Operation) {
+            self.remaining = 2;
+        }
+        fn has_step(&self) -> bool {
+            self.remaining > 0
+        }
+        fn step(&mut self, _mem: &mut Memory<i64>) -> StepEffect {
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                StepEffect::Responded(Response::Ok)
+            } else {
+                StepEffect::Ran
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct StepOnce;
+
+    impl slx_memory::Scheduler<i64, Finisher> for StepOnce {
+        fn decide(&mut self, sys: &System<i64, Finisher>) -> Decision {
+            if sys.can_step(p(0)) {
+                Decision::Step(p(0))
+            } else {
+                Decision::Halt
+            }
+        }
+    }
+
+    #[test]
+    fn halting_run_yields_no_cycle() {
+        let mem: Memory<i64> = Memory::new();
+        let mut sys = System::new(mem, vec![Finisher { remaining: 0 }]);
+        sys.invoke(p(0), Operation::Propose(Value::new(0))).unwrap();
+        let mut sched = StepOnce;
+        assert!(run_until_cycle(&mut sys, &mut sched, 100).is_none());
+    }
+}

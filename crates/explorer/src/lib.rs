@@ -1,0 +1,32 @@
+//! Small-scope exhaustive exploration of simulated systems.
+//!
+//! Liveness and safety claims in the paper are universally quantified over
+//! schedules. At small scope this crate discharges them mechanically:
+//!
+//! - [`explore_safety`] enumerates *every* schedule of a set of processes
+//!   up to a depth bound and checks a safety property on every produced
+//!   history (configurations are memoized together with a caller-supplied
+//!   history digest, so the enumeration is exact for properties that
+//!   depend on history only through the digest);
+//! - [`decidable_values`] computes which consensus values are reachable
+//!   decisions from a configuration — the valence analysis that powers the
+//!   bivalence adversary (Corollary 4.5 / Figure 1a's black points);
+//! - [`run_until_cycle`] runs a *deterministic* scheduler and detects a
+//!   repeated (system, scheduler) configuration: a genuine lasso, i.e. a
+//!   witness of an infinite execution (used to prove liveness violations:
+//!   if no good response occurs on the cycle, the infinite execution
+//!   starves everyone on it);
+//! - [`verify_solo_progress`] checks obstruction-freedom exhaustively: from
+//!   every reachable configuration, every pending process running alone
+//!   responds within a step budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explore;
+mod lasso;
+mod valence;
+
+pub use explore::{explore_safety, verify_solo_progress, ExploreOutcome, SoloCounterexample};
+pub use lasso::{run_until_cycle, run_until_cycle_keyed, CycleWitness};
+pub use valence::{decidable_values, DecidableSet};

@@ -1,0 +1,152 @@
+//! Valence analysis for consensus configurations.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::hash::Hash;
+
+use slx_history::{ProcessId, Response, Value};
+use slx_memory::{Process, StepEffect, System, Word};
+
+/// Values decidable from a configuration, with a truncation flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecidableSet {
+    /// Values for which some schedule reaches a decision.
+    pub values: BTreeSet<Value>,
+    /// Whether the search budget cut branches (found values are still
+    /// genuinely decidable; absent values might be too).
+    pub truncated: bool,
+    /// Configurations explored.
+    pub configs: usize,
+}
+
+impl DecidableSet {
+    /// Whether the configuration is (witnessed) bivalent: at least two
+    /// distinct reachable decisions. A `true` answer is exact — both
+    /// witnesses are real schedules.
+    pub fn bivalent(&self) -> bool {
+        self.values.len() >= 2
+    }
+}
+
+/// Computes the set of values decidable from `sys` by scheduling only the
+/// `active` processes (no crashes, no further invocations), exploring at
+/// most `budget` configurations (BFS, memoized).
+///
+/// This is the engine of the Chor–Israeli–Li-style adversary: from a
+/// bivalent configuration the adversary steps whichever process keeps the
+/// successor bivalent, and this function supplies the bivalence witnesses.
+/// BFS order matters: solo runs decide quickly, so both witnesses are
+/// usually found within a few hundred configurations.
+pub fn decidable_values<W, P>(
+    sys: &System<W, P>,
+    active: &[ProcessId],
+    budget: usize,
+) -> DecidableSet
+where
+    W: Word,
+    P: Process<W> + Clone + Eq + Hash,
+{
+    let mut out = DecidableSet {
+        values: BTreeSet::new(),
+        truncated: false,
+        configs: 0,
+    };
+    let mut seen: HashSet<System<W, P>> = HashSet::new();
+    let mut queue: VecDeque<System<W, P>> = VecDeque::new();
+    queue.push_back(sys.clone());
+    while let Some(s) = queue.pop_front() {
+        if !seen.insert(s.clone()) {
+            continue;
+        }
+        out.configs += 1;
+        if out.configs >= budget {
+            out.truncated = true;
+            break;
+        }
+        for &p in active {
+            if !s.can_step(p) {
+                continue;
+            }
+            let mut next = s.clone();
+            match next.step(p).expect("steppable") {
+                StepEffect::Responded(Response::Decided(v)) => {
+                    // A decision seals the configuration's fate; record and
+                    // do not explore past it (agreement makes the rest
+                    // univalent, and we only need first decisions).
+                    out.values.insert(v);
+                }
+                _ => queue.push_back(next),
+            }
+        }
+        // Early exit once bivalence is witnessed: callers only need two.
+        if out.values.len() >= 2 {
+            return out;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slx_consensus::{CasConsensus, ConsWord, ObstructionFreeConsensus};
+    use slx_history::Operation;
+    use slx_memory::Memory;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn v(x: i64) -> Value {
+        Value::new(x)
+    }
+
+    #[test]
+    fn initial_cas_consensus_config_is_bivalent() {
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let obj = CasConsensus::alloc(&mut mem);
+        let mut sys = System::new(mem, vec![CasConsensus::new(obj), CasConsensus::new(obj)]);
+        sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
+        sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
+        let d = decidable_values(&sys, &[p(0), p(1)], 10_000);
+        assert!(d.bivalent(), "{d:?}");
+    }
+
+    #[test]
+    fn after_cas_lands_config_is_univalent() {
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let obj = CasConsensus::alloc(&mut mem);
+        let mut sys = System::new(mem, vec![CasConsensus::new(obj), CasConsensus::new(obj)]);
+        sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
+        sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
+        sys.step(p(0)).unwrap(); // p1's CAS decides the outcome
+        let d = decidable_values(&sys, &[p(0), p(1)], 10_000);
+        assert_eq!(d.values, BTreeSet::from([v(1)]));
+        assert!(!d.bivalent());
+        assert!(!d.truncated);
+    }
+
+    #[test]
+    fn of_consensus_initial_config_is_bivalent() {
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let layout = ObstructionFreeConsensus::layout(&mut mem, 2, 32);
+        let procs = vec![
+            ObstructionFreeConsensus::new(layout.clone(), p(0), 2),
+            ObstructionFreeConsensus::new(layout, p(1), 2),
+        ];
+        let mut sys = System::new(mem, procs);
+        sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
+        sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
+        let d = decidable_values(&sys, &[p(0), p(1)], 50_000);
+        assert!(d.bivalent(), "{d:?}");
+    }
+
+    #[test]
+    fn same_proposals_yield_single_value() {
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let obj = CasConsensus::alloc(&mut mem);
+        let mut sys = System::new(mem, vec![CasConsensus::new(obj), CasConsensus::new(obj)]);
+        sys.invoke(p(0), Operation::Propose(v(5))).unwrap();
+        sys.invoke(p(1), Operation::Propose(v(5))).unwrap();
+        let d = decidable_values(&sys, &[p(0), p(1)], 10_000);
+        assert_eq!(d.values, BTreeSet::from([v(5)]));
+    }
+}

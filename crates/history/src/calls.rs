@@ -1,0 +1,82 @@
+//! Matched invocation/response pairs ("calls").
+
+use std::fmt;
+
+use crate::action::{Operation, Response};
+use crate::ids::ProcessId;
+
+/// Completion status of a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CallStatus {
+    /// The invocation received a matching response.
+    Completed,
+    /// The invocation is still awaiting its response.
+    Pending,
+}
+
+/// One operation instance in a history: an invocation together with its
+/// matching response, if any.
+///
+/// Produced by [`History::calls`](crate::History::calls). The indices refer
+/// to positions in the originating history and support the real-time
+/// precedence order used by linearizability and opacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpCall {
+    /// The invoking process.
+    pub proc: ProcessId,
+    /// The invocation.
+    pub op: Operation,
+    /// The matching response, if the call completed.
+    pub resp: Option<Response>,
+    /// Index of the invocation action in the history.
+    pub invoke_index: usize,
+    /// Index of the response action in the history, if completed.
+    pub respond_index: Option<usize>,
+}
+
+impl OpCall {
+    /// The completion status of the call.
+    pub fn status(&self) -> CallStatus {
+        if self.resp.is_some() {
+            CallStatus::Completed
+        } else {
+            CallStatus::Pending
+        }
+    }
+}
+
+impl fmt::Display for OpCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.resp {
+            Some(r) => write!(f, "{}:{}→{}", self.proc, self.op, r),
+            None => write!(f, "{}:{}→?", self.proc, self.op),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Value;
+
+    #[test]
+    fn status_and_display() {
+        let done = OpCall {
+            proc: ProcessId::new(0),
+            op: Operation::Propose(Value::new(1)),
+            resp: Some(Response::Decided(Value::new(1))),
+            invoke_index: 0,
+            respond_index: Some(1),
+        };
+        assert_eq!(done.status(), CallStatus::Completed);
+        assert_eq!(done.to_string(), "p1:propose(1)→decided(1)");
+
+        let open = OpCall {
+            resp: None,
+            respond_index: None,
+            ..done
+        };
+        assert_eq!(open.status(), CallStatus::Pending);
+        assert_eq!(open.to_string(), "p1:propose(1)→?");
+    }
+}

@@ -1,0 +1,184 @@
+//! The completion operator `comp(h)` of Section 4.1.
+//!
+//! A completion of a TM history `h` is any history obtained by appending,
+//! for every transaction that has not invoked a commit request, `tryC · A`
+//! (it aborts), and for every transaction whose commit request is pending,
+//! either `C` or `A`. Opacity quantifies over completions; this module
+//! makes the operator itself a first-class, tested artifact.
+
+use crate::action::{Action, Operation, Response};
+use crate::history::History;
+use crate::txn::{TransactionStatus, TxnEvent, TxnView};
+
+/// Enumerates all completions `comp(h)` of a TM history.
+///
+/// Each live transaction with a pending `tryC()` contributes a binary
+/// choice (commit or abort); every other live transaction is aborted
+/// deterministically. The result therefore has `2^p` members where `p` is
+/// the number of commit-pending transactions.
+///
+/// Transactions of *crashed* processes cannot receive appended events in a
+/// well-formed way; following the standard reading, their pending
+/// operations are completed just like live ones (the appended events stand
+/// for the fate of the transaction, not steps of the crashed process), so
+/// completions of histories with crashes may be non-well-formed as raw
+/// action sequences. The safety checkers work at transaction granularity
+/// and are insensitive to this.
+///
+/// # Panics
+///
+/// Panics if `h` is not TM-client well-formed
+/// ([`TxnView::client_well_formed`]): a process that started a new
+/// transaction while its previous one was still live has shadowed a
+/// transaction that appended events can no longer reach.
+pub fn completions(h: &History) -> Vec<History> {
+    let view = TxnView::parse(h);
+    assert!(
+        view.client_well_formed(),
+        "completions require TM-client well-formed histories \
+         (no process starts a transaction while its previous one is live)"
+    );
+    // Partition live transactions.
+    let mut commit_pending = Vec::new();
+    let mut to_abort = Vec::new();
+    for t in view.transactions() {
+        if t.status() != TransactionStatus::Live {
+            continue;
+        }
+        let last_is_pending_tryc =
+            matches!(t.events.last(), Some(TxnEvent::TryCommit { resp: None }));
+        if last_is_pending_tryc {
+            commit_pending.push(t.id);
+        } else {
+            to_abort.push((t.id, t.events.clone()));
+        }
+    }
+
+    let mut out = Vec::new();
+    for choice in 0u64..(1 << commit_pending.len()) {
+        let mut c = h.clone();
+        // Commit-pending transactions: append the chosen verdict.
+        for (bit, id) in commit_pending.iter().enumerate() {
+            let resp = if choice & (1 << bit) != 0 {
+                Response::Committed
+            } else {
+                Response::Aborted
+            };
+            c.push(Action::respond(id.proc, resp));
+        }
+        // Other live transactions: finish the pending operation (if any)
+        // with an abort, or append tryC · A.
+        for (id, events) in &to_abort {
+            let last_pending = events.last().is_some_and(|e| e.response().is_none());
+            if last_pending {
+                // The pending read/write/start aborts.
+                c.push(Action::respond(id.proc, Response::Aborted));
+            } else {
+                c.push(Action::invoke(id.proc, Operation::TxCommit));
+                c.push(Action::respond(id.proc, Response::Aborted));
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ProcessId, Value, VarId};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn complete_history_has_single_trivial_completion() {
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::TxStart),
+            Action::respond(p(0), Response::Ok),
+            Action::invoke(p(0), Operation::TxCommit),
+            Action::respond(p(0), Response::Committed),
+        ]);
+        let cs = completions(&h);
+        assert_eq!(cs, vec![h]);
+    }
+
+    #[test]
+    fn commit_pending_yields_two_completions() {
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::TxStart),
+            Action::respond(p(0), Response::Ok),
+            Action::invoke(p(0), Operation::TxCommit),
+        ]);
+        let cs = completions(&h);
+        assert_eq!(cs.len(), 2);
+        let statuses: Vec<TransactionStatus> = cs
+            .iter()
+            .map(|c| TxnView::parse(c).transactions()[0].status())
+            .collect();
+        assert!(statuses.contains(&TransactionStatus::Committed));
+        assert!(statuses.contains(&TransactionStatus::Aborted));
+    }
+
+    #[test]
+    fn live_without_tryc_gets_aborting_tryc_appended() {
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::TxStart),
+            Action::respond(p(0), Response::Ok),
+            Action::invoke(p(0), Operation::TxWrite(VarId::new(0), Value::new(1))),
+            Action::respond(p(0), Response::Ok),
+        ]);
+        let cs = completions(&h);
+        assert_eq!(cs.len(), 1);
+        let view = TxnView::parse(&cs[0]);
+        assert_eq!(view.transactions()[0].status(), TransactionStatus::Aborted);
+        assert!(view.transactions()[0].invoked_commit());
+        assert!(cs[0].is_well_formed());
+    }
+
+    #[test]
+    fn pending_read_aborts_in_completion() {
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::TxStart),
+            Action::respond(p(0), Response::Ok),
+            Action::invoke(p(0), Operation::TxRead(VarId::new(0))),
+        ]);
+        let cs = completions(&h);
+        assert_eq!(cs.len(), 1);
+        let view = TxnView::parse(&cs[0]);
+        assert_eq!(view.transactions()[0].status(), TransactionStatus::Aborted);
+        assert!(cs[0].is_well_formed());
+    }
+
+    #[test]
+    fn two_commit_pending_yield_four_completions() {
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::TxStart),
+            Action::respond(p(0), Response::Ok),
+            Action::invoke(p(1), Operation::TxStart),
+            Action::respond(p(1), Response::Ok),
+            Action::invoke(p(0), Operation::TxCommit),
+            Action::invoke(p(1), Operation::TxCommit),
+        ]);
+        assert_eq!(completions(&h).len(), 4);
+    }
+
+    #[test]
+    fn every_completion_has_no_live_transactions() {
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::TxStart),
+            Action::respond(p(0), Response::Ok),
+            Action::invoke(p(1), Operation::TxStart),
+            Action::respond(p(1), Response::Ok),
+            Action::invoke(p(1), Operation::TxCommit),
+        ]);
+        for c in completions(&h) {
+            let view = TxnView::parse(&c);
+            assert!(view
+                .transactions()
+                .iter()
+                .all(|t| t.status() != TransactionStatus::Live));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Identifier newtypes shared across the workspace.
+
+use std::fmt;
+
+/// Identifier of a process `pi` in a system of `n` asynchronous processes.
+///
+/// Process identifiers are zero-based internally; the [`fmt::Display`]
+/// rendering is one-based (`p1`, `p2`, ...) to match the paper's notation.
+///
+/// # Examples
+///
+/// ```
+/// use slx_history::ProcessId;
+/// let p = ProcessId::new(0);
+/// assert_eq!(p.index(), 0);
+/// assert_eq!(p.to_string(), "p1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Creates a process identifier from a zero-based index.
+    pub const fn new(index: usize) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the zero-based index of the process.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Enumerates the identifiers of the first `n` processes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use slx_history::ProcessId;
+    /// let all: Vec<_> = ProcessId::all(3).collect();
+    /// assert_eq!(all.len(), 3);
+    /// assert_eq!(all[2], ProcessId::new(2));
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> {
+        (0..n).map(ProcessId)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(index: usize) -> Self {
+        ProcessId(index)
+    }
+}
+
+/// A value proposed to, stored in, or returned by a shared object.
+///
+/// The paper's results never depend on the structure of values beyond
+/// equality, so a signed 64-bit payload suffices for every object type
+/// modeled here (consensus proposals, register contents, transactional
+/// variable contents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(i64);
+
+impl Value {
+    /// Wraps a raw payload.
+    pub const fn new(raw: i64) -> Self {
+        Value(raw)
+    }
+
+    /// Returns the raw payload.
+    pub const fn raw(self) -> i64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(raw: i64) -> Self {
+        Value(raw)
+    }
+}
+
+/// Identifier of a transactional variable (`x1`, `x2`, ...) or of a
+/// register cell in a multi-variable object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VarId(usize);
+
+impl VarId {
+    /// Creates a variable identifier from a zero-based index.
+    pub const fn new(index: usize) -> Self {
+        VarId(index)
+    }
+
+    /// Returns the zero-based index of the variable.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for VarId {
+    fn from(index: usize) -> Self {
+        VarId(index)
+    }
+}
+
+/// Identifier of a transaction within a history: the `t`-th transaction of
+/// process `pi`, written `T_{i,t}`.
+///
+/// The paper's property `S` of Section 5.3 quantifies over transactions with
+/// equal per-process sequence numbers, which is why the sequence number is
+/// part of the identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId {
+    /// The process executing the transaction.
+    pub proc: ProcessId,
+    /// One-based sequence number of the transaction in `h|pi`.
+    pub seq: usize,
+}
+
+impl TxnId {
+    /// Creates a transaction identifier.
+    pub const fn new(proc: ProcessId, seq: usize) -> Self {
+        TxnId { proc, seq }
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T[{},{}]", self.proc, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_display_is_one_based() {
+        assert_eq!(ProcessId::new(0).to_string(), "p1");
+        assert_eq!(ProcessId::new(9).to_string(), "p10");
+    }
+
+    #[test]
+    fn process_all_enumerates() {
+        assert_eq!(ProcessId::all(0).count(), 0);
+        assert_eq!(
+            ProcessId::all(2).collect::<Vec<_>>(),
+            vec![ProcessId::new(0), ProcessId::new(1)]
+        );
+    }
+
+    #[test]
+    fn value_round_trips() {
+        assert_eq!(Value::new(-7).raw(), -7);
+        assert_eq!(Value::from(42), Value::new(42));
+        assert_eq!(Value::default(), Value::new(0));
+    }
+
+    #[test]
+    fn var_display() {
+        assert_eq!(VarId::new(0).to_string(), "x1");
+    }
+
+    #[test]
+    fn txn_id_orders_by_process_then_seq() {
+        let a = TxnId::new(ProcessId::new(0), 2);
+        let b = TxnId::new(ProcessId::new(1), 1);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "T[p1,2]");
+    }
+}

@@ -1,0 +1,59 @@
+//! Histories of shared-object computations.
+//!
+//! This crate implements Section 2 and the history-level parts of Section 3
+//! of *Bushkov & Guerraoui, "Safety-Liveness Exclusion in Distributed
+//! Computing" (PODC 2015)*: the external alphabet `ext(Tp)` of a shared
+//! object type (invocations, responses and crash events, each tagged with a
+//! process identifier), finite histories over that alphabet, per-process
+//! projections `h|pi`, well-formedness, prefix machinery, and finite sets of
+//! histories with intersection (used to exhibit the disjoint adversary sets
+//! `F1 ∩ F2 = ∅` behind Corollaries 4.5 and 4.6).
+//!
+//! # Design notes
+//!
+//! The paper works with histories over an *arbitrary* object type
+//! `Tp = (St, Inv, Res, Seq)`. Here the invocation and response alphabets
+//! are concrete Rust enums ([`Operation`], [`Response`]) covering every
+//! object type the paper's results are instantiated on: consensus,
+//! read/write registers, test-and-set, compare-and-swap, fetch-and-add and
+//! transactional memory. Code that is generic in the paper (safety and
+//! liveness property traits, projections, prefix closure) is generic over
+//! histories here; only the alphabet is fixed.
+//!
+//! # Examples
+//!
+//! Build the first history of the paper's consensus adversary set `F1`
+//! (`propose1(v) · propose2(v')`) and project it:
+//!
+//! ```
+//! use slx_history::{Action, History, Operation, ProcessId, Value};
+//!
+//! let p1 = ProcessId::new(0);
+//! let p2 = ProcessId::new(1);
+//! let h = History::from_actions([
+//!     Action::invoke(p1, Operation::Propose(Value::new(1))),
+//!     Action::invoke(p2, Operation::Propose(Value::new(2))),
+//! ]);
+//! assert!(h.is_well_formed());
+//! assert_eq!(h.projection(p1).len(), 1);
+//! assert!(h.pending(p1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod calls;
+mod completion;
+mod history;
+mod ids;
+mod set;
+mod txn;
+
+pub use action::{Action, ActionKind, Operation, Response};
+pub use calls::{CallStatus, OpCall};
+pub use completion::completions;
+pub use history::History;
+pub use ids::{ProcessId, TxnId, Value, VarId};
+pub use set::HistorySet;
+pub use txn::{Transaction, TransactionStatus, TxnEvent, TxnView};

@@ -1,0 +1,219 @@
+//! Finite, explicitly enumerated sets of histories.
+//!
+//! The paper's adversary-set arguments (Section 4.1) hinge on *set-theoretic*
+//! facts about sets of histories — most importantly that the two consensus
+//! adversary sets `F1` and `F2` are disjoint, so their intersection `Gmax`
+//! is empty and, by Theorem 4.4, no weakest excluding liveness property
+//! exists. This module provides finite history sets with the operations
+//! those arguments need: union, intersection, emptiness, prefix closure.
+//!
+//! Safety and liveness properties in general are *infinite* sets; those are
+//! represented intensionally as predicates in `slx-safety` and
+//! `slx-liveness`. [`HistorySet`] is for the finite witnesses.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::history::History;
+
+/// A finite set of histories.
+///
+/// # Examples
+///
+/// ```
+/// use slx_history::{Action, History, HistorySet, Operation, ProcessId, Value};
+///
+/// let p1 = ProcessId::new(0);
+/// let h = History::from_actions([Action::invoke(p1, Operation::Propose(Value::new(1)))]);
+/// let f1 = HistorySet::from_histories([h.clone()]);
+/// let f2 = HistorySet::new();
+/// assert!(f1.intersection(&f2).is_empty());
+/// assert!(f1.contains(&h));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistorySet {
+    histories: BTreeSet<History>,
+}
+
+impl HistorySet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        HistorySet::default()
+    }
+
+    /// Creates a set from an iterator of histories.
+    pub fn from_histories<I: IntoIterator<Item = History>>(histories: I) -> Self {
+        HistorySet {
+            histories: histories.into_iter().collect(),
+        }
+    }
+
+    /// Inserts a history; returns `true` if it was not already present.
+    pub fn insert(&mut self, h: History) -> bool {
+        self.histories.insert(h)
+    }
+
+    /// Whether the set contains `h`.
+    pub fn contains(&self, h: &History) -> bool {
+        self.histories.contains(h)
+    }
+
+    /// Number of histories in the set.
+    pub fn len(&self) -> usize {
+        self.histories.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.histories.is_empty()
+    }
+
+    /// Iterates over the histories in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &History> {
+        self.histories.iter()
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &HistorySet) -> HistorySet {
+        HistorySet {
+            histories: self
+                .histories
+                .intersection(&other.histories)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &HistorySet) -> HistorySet {
+        HistorySet {
+            histories: self.histories.union(&other.histories).cloned().collect(),
+        }
+    }
+
+    /// Whether the two sets are disjoint.
+    pub fn is_disjoint(&self, other: &HistorySet) -> bool {
+        self.histories.is_disjoint(&other.histories)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &HistorySet) -> bool {
+        self.histories.is_subset(&other.histories)
+    }
+
+    /// The prefix closure of the set: every prefix of every member.
+    ///
+    /// Safety properties are prefix-closed (Definition 3.1); this is the
+    /// finite analogue used by tests that validate property implementations
+    /// against the definition.
+    pub fn prefix_closure(&self) -> HistorySet {
+        let mut out = BTreeSet::new();
+        for h in &self.histories {
+            for p in h.prefixes() {
+                out.insert(p);
+            }
+        }
+        HistorySet { histories: out }
+    }
+
+    /// Whether the set is prefix-closed.
+    pub fn is_prefix_closed(&self) -> bool {
+        self.histories
+            .iter()
+            .all(|h| h.prefixes().all(|p| self.histories.contains(&p)))
+    }
+}
+
+impl fmt::Display for HistorySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{")?;
+        for h in &self.histories {
+            writeln!(f, "  {h}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<History> for HistorySet {
+    fn from_iter<I: IntoIterator<Item = History>>(iter: I) -> Self {
+        HistorySet::from_histories(iter)
+    }
+}
+
+impl Extend<History> for HistorySet {
+    fn extend<I: IntoIterator<Item = History>>(&mut self, iter: I) {
+        self.histories.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, Operation};
+    use crate::ids::{ProcessId, Value};
+
+    fn h1() -> History {
+        History::from_actions([Action::invoke(
+            ProcessId::new(0),
+            Operation::Propose(Value::new(1)),
+        )])
+    }
+
+    fn h2() -> History {
+        History::from_actions([Action::invoke(
+            ProcessId::new(1),
+            Operation::Propose(Value::new(2)),
+        )])
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = HistorySet::new();
+        assert!(s.insert(h1()));
+        assert!(!s.insert(h1()));
+        assert!(s.contains(&h1()));
+        assert!(!s.contains(&h2()));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn intersection_and_disjointness() {
+        let a = HistorySet::from_histories([h1(), h2()]);
+        let b = HistorySet::from_histories([h2()]);
+        let i = a.intersection(&b);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(&h2()));
+        let c = HistorySet::from_histories([h1()]);
+        assert!(b.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let a = HistorySet::from_histories([h1()]);
+        let b = HistorySet::from_histories([h2()]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert!(a.is_subset(&u));
+        assert!(b.is_subset(&u));
+        assert!(!u.is_subset(&a));
+    }
+
+    #[test]
+    fn prefix_closure_adds_prefixes() {
+        let s = HistorySet::from_histories([h1().concat(&h2())]);
+        assert!(!s.is_prefix_closed());
+        let c = s.prefix_closure();
+        assert!(c.is_prefix_closed());
+        // ε, h1, h1·h2
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(&History::new()));
+    }
+
+    #[test]
+    fn display_lists_members() {
+        let s = HistorySet::from_histories([h1()]);
+        let out = s.to_string();
+        assert!(out.contains("propose(1)@p1"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Window-based progress analysis of finite executions.
+
+use slx_history::{ProcessId, Response};
+use slx_memory::Event;
+
+/// Which responses count as "good" (the paper's `G_Tp ⊆ Res`): for
+/// consensus and registers any response is progress; for transactional
+/// memory only commit events are (aborting everything would otherwise be a
+/// trivially "live" TM — exactly the paper's motivation for `G_Tp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProgressKind {
+    /// Every response is progress (consensus, registers, ...).
+    AnyResponse,
+    /// Only `C` (commit) responses are progress (transactional memory).
+    CommitOnly,
+}
+
+impl ProgressKind {
+    /// Whether `resp` is a good response under this kind.
+    pub fn is_good(self, resp: Response) -> bool {
+        match self {
+            ProgressKind::AnyResponse => true,
+            ProgressKind::CommitOnly => resp.is_commit(),
+        }
+    }
+}
+
+/// A finite execution with a designated steady-state window, exposing the
+/// quantities liveness definitions talk about:
+///
+/// - a process *takes infinitely many steps* ⇔ it steps inside the window;
+/// - a process is *correct* ⇔ it never crashes in the execution;
+/// - a process *makes progress* ⇔ it receives a good response inside the
+///   window, or is genuinely inactive (no invocation inside the window and
+///   nothing pending at the end — a process that stopped requesting is not
+///   being denied anything, but a process caught between retries is).
+#[derive(Debug, Clone)]
+pub struct ExecutionView {
+    n: usize,
+    kind: ProgressKind,
+    stepped_in_window: Vec<bool>,
+    crashed: Vec<bool>,
+    good_in_window: Vec<u64>,
+    invoked_in_window: Vec<bool>,
+    pending_at_end: Vec<bool>,
+}
+
+impl ExecutionView {
+    /// Analyzes `events` for `n` processes with the window starting at
+    /// event index `window_start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_start > events.len()`.
+    pub fn new(events: &[Event], n: usize, window_start: usize, kind: ProgressKind) -> Self {
+        assert!(
+            window_start <= events.len(),
+            "window_start {window_start} beyond execution length {}",
+            events.len()
+        );
+        let mut view = ExecutionView {
+            n,
+            kind,
+            stepped_in_window: vec![false; n],
+            crashed: vec![false; n],
+            good_in_window: vec![0; n],
+            invoked_in_window: vec![false; n],
+            pending_at_end: vec![false; n],
+        };
+        for (i, e) in events.iter().enumerate() {
+            match e {
+                Event::Invoked(p, _) => {
+                    view.pending_at_end[p.index()] = true;
+                    if i >= window_start {
+                        view.invoked_in_window[p.index()] = true;
+                    }
+                }
+                Event::Responded(p, r) => {
+                    view.pending_at_end[p.index()] = false;
+                    if i >= window_start && kind.is_good(*r) {
+                        view.good_in_window[p.index()] += 1;
+                    }
+                }
+                Event::Crashed(p) => view.crashed[p.index()] = true,
+                Event::Stepped(p) => {
+                    if i >= window_start {
+                        view.stepped_in_window[p.index()] = true;
+                    }
+                }
+            }
+        }
+        view
+    }
+
+    /// Convenience: window = the second half of the execution.
+    pub fn second_half(events: &[Event], n: usize, kind: ProgressKind) -> Self {
+        ExecutionView::new(events, n, events.len() / 2, kind)
+    }
+
+    /// Number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The progress kind in use.
+    pub fn kind(&self) -> ProgressKind {
+        self.kind
+    }
+
+    /// Processes that step inside the window ("take infinitely many steps").
+    pub fn steppers(&self) -> Vec<ProcessId> {
+        (0..self.n)
+            .filter(|&i| self.stepped_in_window[i])
+            .map(ProcessId::new)
+            .collect()
+    }
+
+    /// Whether `p` is correct (never crashed).
+    pub fn is_correct(&self, p: ProcessId) -> bool {
+        !self.crashed[p.index()]
+    }
+
+    /// The correct processes.
+    pub fn correct(&self) -> Vec<ProcessId> {
+        (0..self.n)
+            .filter(|&i| !self.crashed[i])
+            .map(ProcessId::new)
+            .collect()
+    }
+
+    /// Whether `p` makes progress: a good response in the window, or
+    /// genuine inactivity (nothing invoked in the window and nothing
+    /// pending at the end).
+    pub fn makes_progress(&self, p: ProcessId) -> bool {
+        self.good_in_window[p.index()] > 0
+            || (!self.invoked_in_window[p.index()] && !self.pending_at_end[p.index()])
+    }
+
+    /// Number of good responses `p` received in the window.
+    pub fn good_responses(&self, p: ProcessId) -> u64 {
+        self.good_in_window[p.index()]
+    }
+
+    /// Correct processes that make progress.
+    pub fn progressing_correct(&self) -> Vec<ProcessId> {
+        self.correct()
+            .into_iter()
+            .filter(|&p| self.makes_progress(p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slx_history::{Operation, Value};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn propose(i: usize) -> Event {
+        Event::Invoked(p(i), Operation::Propose(Value::new(0)))
+    }
+
+    #[test]
+    fn progress_kinds() {
+        assert!(ProgressKind::AnyResponse.is_good(Response::Aborted));
+        assert!(!ProgressKind::CommitOnly.is_good(Response::Aborted));
+        assert!(ProgressKind::CommitOnly.is_good(Response::Committed));
+    }
+
+    #[test]
+    fn window_analysis() {
+        let events = vec![
+            propose(0),
+            propose(1),
+            Event::Stepped(p(0)),
+            // --- window starts here (index 3) ---
+            Event::Stepped(p(1)),
+            Event::Responded(p(1), Response::Decided(Value::new(0))),
+            Event::Crashed(p(2)),
+        ];
+        let v = ExecutionView::new(&events, 3, 3, ProgressKind::AnyResponse);
+        assert_eq!(v.steppers(), vec![p(1)]);
+        assert!(!v.is_correct(p(2)));
+        assert_eq!(v.correct(), vec![p(0), p(1)]);
+        assert!(v.makes_progress(p(1)));
+        assert!(!v.makes_progress(p(0))); // pending, no response in window
+        assert!(v.makes_progress(p(2))); // nothing pending
+        assert_eq!(v.good_responses(p(1)), 1);
+        assert_eq!(v.progressing_correct(), vec![p(1)]);
+    }
+
+    #[test]
+    fn response_before_window_not_counted_but_unpends() {
+        let events = vec![
+            propose(0),
+            Event::Stepped(p(0)),
+            Event::Responded(p(0), Response::Decided(Value::new(0))),
+            // --- window starts here ---
+            Event::Stepped(p(1)),
+        ];
+        let v = ExecutionView::new(&events, 2, 3, ProgressKind::AnyResponse);
+        assert_eq!(v.good_responses(p(0)), 0);
+        // Not pending at the end, so still "making progress".
+        assert!(v.makes_progress(p(0)));
+    }
+
+    #[test]
+    fn commit_only_counts_commits() {
+        let events = vec![
+            Event::Invoked(p(0), Operation::TxCommit),
+            Event::Responded(p(0), Response::Aborted),
+            Event::Invoked(p(0), Operation::TxCommit),
+            Event::Responded(p(0), Response::Committed),
+        ];
+        let v = ExecutionView::new(&events, 1, 0, ProgressKind::CommitOnly);
+        assert_eq!(v.good_responses(p(0)), 1);
+    }
+
+    #[test]
+    fn second_half_window() {
+        let events = vec![propose(0); 10];
+        let v = ExecutionView::second_half(&events, 1, ProgressKind::AnyResponse);
+        assert_eq!(v.n(), 1);
+        assert_eq!(v.kind(), ProgressKind::AnyResponse);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond execution length")]
+    fn bad_window_panics() {
+        let _ = ExecutionView::new(&[], 1, 5, ProgressKind::AnyResponse);
+    }
+}

@@ -1,0 +1,566 @@
+//! Base objects and the shared memory that holds them.
+
+use std::fmt;
+use std::hash::Hash;
+
+/// A word storable in a base object.
+///
+/// The paper's base objects hold arbitrary atomic state; making the word
+/// type a parameter lets the compare-and-swap object of Algorithm I(1,2)
+/// atomically hold a `(version, value-vector)` pair exactly as written,
+/// while consensus implementations use plain integers. The `Eq + Hash`
+/// bounds are what the exhaustive explorer needs to identify configurations
+/// exactly (no lossy fingerprints).
+pub trait Word: Clone + Eq + Hash + fmt::Debug {}
+
+impl<T: Clone + Eq + Hash + fmt::Debug> Word for T {}
+
+/// Index of a base object within a [`Memory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(usize);
+
+impl ObjId {
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// One base object: an atomic hardware-like primitive object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BaseObject<W> {
+    /// Read/write register.
+    Register(W),
+    /// Compare-and-swap object (also readable).
+    Cas(W),
+    /// Test-and-set bit.
+    Tas(bool),
+    /// Fetch-and-add counter.
+    Counter(i64),
+    /// Atomic snapshot object: per-process update, atomic scan.
+    Snapshot(Vec<W>),
+}
+
+/// An atomic primitive applied to a base object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Primitive<W> {
+    /// Read a register or CAS object.
+    Read(ObjId),
+    /// Write a register.
+    Write(ObjId, W),
+    /// Compare-and-swap: replace `expected` with `new`, reporting success.
+    Cas {
+        /// Target object.
+        obj: ObjId,
+        /// Value the object must hold.
+        expected: W,
+        /// Replacement value.
+        new: W,
+    },
+    /// Test-and-set: set the bit, returning its previous value.
+    Tas(ObjId),
+    /// Reset a test-and-set bit to `false` (used by lock release).
+    TasReset(ObjId),
+    /// Fetch-and-add on a counter.
+    FetchAdd(ObjId, i64),
+    /// Update component `index` of a snapshot object.
+    SnapUpdate {
+        /// Target snapshot object.
+        obj: ObjId,
+        /// Component to update (usually the caller's process index).
+        index: usize,
+        /// New component value.
+        val: W,
+    },
+    /// Atomically scan a snapshot object.
+    SnapScan(ObjId),
+}
+
+/// Result of applying a [`Primitive`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PrimOutcome<W> {
+    /// A word read from a register or CAS object.
+    Value(W),
+    /// Success flag of CAS, or previous value of TAS.
+    Flag(bool),
+    /// Previous value of a fetch-and-add counter.
+    Int(i64),
+    /// Snapshot scan result.
+    Snapshot(Vec<W>),
+    /// Acknowledgement with no payload (writes, updates, resets).
+    Ack,
+}
+
+impl<W> PrimOutcome<W> {
+    /// Extracts a word, panicking with a clear message otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is not [`PrimOutcome::Value`]. Algorithms use
+    /// this after primitives whose outcome shape is statically known.
+    pub fn expect_value(self) -> W {
+        match self {
+            PrimOutcome::Value(w) => w,
+            other => panic!("expected Value outcome, got {other:?}", other = kind(&other)),
+        }
+    }
+
+    /// Extracts a flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is not [`PrimOutcome::Flag`].
+    pub fn expect_flag(self) -> bool {
+        match self {
+            PrimOutcome::Flag(b) => b,
+            other => panic!("expected Flag outcome, got {other:?}", other = kind(&other)),
+        }
+    }
+
+    /// Extracts a snapshot vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is not [`PrimOutcome::Snapshot`].
+    pub fn expect_snapshot(self) -> Vec<W> {
+        match self {
+            PrimOutcome::Snapshot(v) => v,
+            other => panic!(
+                "expected Snapshot outcome, got {other:?}",
+                other = kind(&other)
+            ),
+        }
+    }
+
+    /// Extracts a counter value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is not [`PrimOutcome::Int`].
+    pub fn expect_int(self) -> i64 {
+        match self {
+            PrimOutcome::Int(i) => i,
+            other => panic!("expected Int outcome, got {other:?}", other = kind(&other)),
+        }
+    }
+}
+
+fn kind<W>(o: &PrimOutcome<W>) -> &'static str {
+    match o {
+        PrimOutcome::Value(_) => "Value",
+        PrimOutcome::Flag(_) => "Flag",
+        PrimOutcome::Int(_) => "Int",
+        PrimOutcome::Snapshot(_) => "Snapshot",
+        PrimOutcome::Ack => "Ack",
+    }
+}
+
+/// Error applying a primitive to memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryError {
+    /// The object id does not exist.
+    NoSuchObject(ObjId),
+    /// The primitive does not apply to the object's kind (e.g. `Tas` on a
+    /// register).
+    KindMismatch {
+        /// Target object.
+        obj: ObjId,
+        /// Primitive attempted.
+        primitive: &'static str,
+    },
+    /// Snapshot component index out of range.
+    BadSnapshotIndex {
+        /// Target object.
+        obj: ObjId,
+        /// Requested component.
+        index: usize,
+        /// Number of components.
+        len: usize,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::NoSuchObject(o) => write!(f, "no such base object {o}"),
+            MemoryError::KindMismatch { obj, primitive } => {
+                write!(f, "primitive {primitive} does not apply to {obj}")
+            }
+            MemoryError::BadSnapshotIndex { obj, index, len } => {
+                write!(f, "snapshot index {index} out of range for {obj} (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// The shared memory: an indexed pool of base objects.
+///
+/// All primitive applications are atomic (they are single Rust function
+/// calls under a scheduler that interleaves only between them).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Memory<W> {
+    objects: Vec<BaseObject<W>>,
+    applied: u64,
+}
+
+impl<W: Word> Memory<W> {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Memory {
+            objects: Vec::new(),
+            applied: 0,
+        }
+    }
+
+    /// Allocates a register initialized to `init`.
+    pub fn alloc_register(&mut self, init: W) -> ObjId {
+        self.push(BaseObject::Register(init))
+    }
+
+    /// Allocates a CAS object initialized to `init`.
+    pub fn alloc_cas(&mut self, init: W) -> ObjId {
+        self.push(BaseObject::Cas(init))
+    }
+
+    /// Allocates a test-and-set bit (initially unset).
+    pub fn alloc_tas(&mut self) -> ObjId {
+        self.push(BaseObject::Tas(false))
+    }
+
+    /// Allocates a fetch-and-add counter.
+    pub fn alloc_counter(&mut self, init: i64) -> ObjId {
+        self.push(BaseObject::Counter(init))
+    }
+
+    /// Allocates a snapshot object with `n` components all equal to `init`.
+    pub fn alloc_snapshot(&mut self, n: usize, init: W) -> ObjId {
+        self.push(BaseObject::Snapshot(vec![init; n]))
+    }
+
+    fn push(&mut self, o: BaseObject<W>) -> ObjId {
+        self.objects.push(o);
+        ObjId(self.objects.len() - 1)
+    }
+
+    /// Number of base objects allocated.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether no objects are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total number of primitives applied since creation. The [`crate::System`]
+    /// uses the delta across a process step to enforce the one-primitive-per-
+    /// step atomicity granularity.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Read-only view of an object (for assertions in tests).
+    pub fn object(&self, obj: ObjId) -> Option<&BaseObject<W>> {
+        self.objects.get(obj.0)
+    }
+
+    /// Iterates over all allocated objects with their ids.
+    pub fn iter_objects(&self) -> impl Iterator<Item = (ObjId, &BaseObject<W>)> {
+        self.objects.iter().enumerate().map(|(i, o)| (ObjId(i), o))
+    }
+
+    /// A copy of the memory with every stored word transformed by `f`
+    /// (snapshot components included; TAS bits and counters unchanged).
+    ///
+    /// Used to build *normalized* configurations for cycle detection: when
+    /// an algorithm's behaviour is invariant under a uniform shift of
+    /// version numbers or timestamps, shifting them to a canonical base
+    /// makes genuinely-repeating configurations compare equal.
+    pub fn map_words(&self, mut f: impl FnMut(&W) -> W) -> Memory<W> {
+        Memory {
+            objects: self
+                .objects
+                .iter()
+                .map(|o| match o {
+                    BaseObject::Register(w) => BaseObject::Register(f(w)),
+                    BaseObject::Cas(w) => BaseObject::Cas(f(w)),
+                    BaseObject::Tas(b) => BaseObject::Tas(*b),
+                    BaseObject::Counter(c) => BaseObject::Counter(*c),
+                    BaseObject::Snapshot(v) => BaseObject::Snapshot(v.iter().map(&mut f).collect()),
+                })
+                .collect(),
+            applied: 0,
+        }
+    }
+
+    /// Applies an atomic primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] if the object does not exist, the primitive
+    /// does not match the object kind, or a snapshot index is out of range.
+    pub fn apply(&mut self, p: Primitive<W>) -> Result<PrimOutcome<W>, MemoryError> {
+        self.applied += 1;
+        match p {
+            Primitive::Read(obj) => match self.get(obj)? {
+                BaseObject::Register(w) | BaseObject::Cas(w) => {
+                    Ok(PrimOutcome::Value(w.clone()))
+                }
+                BaseObject::Counter(c) => Ok(PrimOutcome::Int(*c)),
+                BaseObject::Tas(b) => Ok(PrimOutcome::Flag(*b)),
+                BaseObject::Snapshot(_) => Err(MemoryError::KindMismatch {
+                    obj,
+                    primitive: "Read",
+                }),
+            },
+            Primitive::Write(obj, val) => match self.get_mut(obj)? {
+                BaseObject::Register(w) => {
+                    *w = val;
+                    Ok(PrimOutcome::Ack)
+                }
+                _ => Err(MemoryError::KindMismatch {
+                    obj,
+                    primitive: "Write",
+                }),
+            },
+            Primitive::Cas { obj, expected, new } => match self.get_mut(obj)? {
+                BaseObject::Cas(w) => {
+                    if *w == expected {
+                        *w = new;
+                        Ok(PrimOutcome::Flag(true))
+                    } else {
+                        Ok(PrimOutcome::Flag(false))
+                    }
+                }
+                _ => Err(MemoryError::KindMismatch {
+                    obj,
+                    primitive: "Cas",
+                }),
+            },
+            Primitive::Tas(obj) => match self.get_mut(obj)? {
+                BaseObject::Tas(b) => {
+                    let prev = *b;
+                    *b = true;
+                    Ok(PrimOutcome::Flag(prev))
+                }
+                _ => Err(MemoryError::KindMismatch {
+                    obj,
+                    primitive: "Tas",
+                }),
+            },
+            Primitive::TasReset(obj) => match self.get_mut(obj)? {
+                BaseObject::Tas(b) => {
+                    *b = false;
+                    Ok(PrimOutcome::Ack)
+                }
+                _ => Err(MemoryError::KindMismatch {
+                    obj,
+                    primitive: "TasReset",
+                }),
+            },
+            Primitive::FetchAdd(obj, delta) => match self.get_mut(obj)? {
+                BaseObject::Counter(c) => {
+                    let prev = *c;
+                    *c += delta;
+                    Ok(PrimOutcome::Int(prev))
+                }
+                _ => Err(MemoryError::KindMismatch {
+                    obj,
+                    primitive: "FetchAdd",
+                }),
+            },
+            Primitive::SnapUpdate { obj, index, val } => match self.get_mut(obj)? {
+                BaseObject::Snapshot(v) => {
+                    let len = v.len();
+                    match v.get_mut(index) {
+                        Some(slot) => {
+                            *slot = val;
+                            Ok(PrimOutcome::Ack)
+                        }
+                        None => Err(MemoryError::BadSnapshotIndex { obj, index, len }),
+                    }
+                }
+                _ => Err(MemoryError::KindMismatch {
+                    obj,
+                    primitive: "SnapUpdate",
+                }),
+            },
+            Primitive::SnapScan(obj) => match self.get(obj)? {
+                BaseObject::Snapshot(v) => Ok(PrimOutcome::Snapshot(v.clone())),
+                _ => Err(MemoryError::KindMismatch {
+                    obj,
+                    primitive: "SnapScan",
+                }),
+            },
+        }
+    }
+
+    fn get(&self, obj: ObjId) -> Result<&BaseObject<W>, MemoryError> {
+        self.objects.get(obj.0).ok_or(MemoryError::NoSuchObject(obj))
+    }
+
+    fn get_mut(&mut self, obj: ObjId) -> Result<&mut BaseObject<W>, MemoryError> {
+        self.objects
+            .get_mut(obj.0)
+            .ok_or(MemoryError::NoSuchObject(obj))
+    }
+}
+
+impl<W: Word> Default for Memory<W> {
+    fn default() -> Self {
+        Memory::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_read_write() {
+        let mut m: Memory<i64> = Memory::new();
+        let r = m.alloc_register(5);
+        assert_eq!(m.apply(Primitive::Read(r)).unwrap(), PrimOutcome::Value(5));
+        m.apply(Primitive::Write(r, 9)).unwrap();
+        assert_eq!(m.apply(Primitive::Read(r)).unwrap(), PrimOutcome::Value(9));
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let mut m: Memory<i64> = Memory::new();
+        let c = m.alloc_cas(0);
+        assert_eq!(
+            m.apply(Primitive::Cas {
+                obj: c,
+                expected: 0,
+                new: 1
+            })
+            .unwrap(),
+            PrimOutcome::Flag(true)
+        );
+        assert_eq!(
+            m.apply(Primitive::Cas {
+                obj: c,
+                expected: 0,
+                new: 2
+            })
+            .unwrap(),
+            PrimOutcome::Flag(false)
+        );
+        assert_eq!(m.apply(Primitive::Read(c)).unwrap(), PrimOutcome::Value(1));
+    }
+
+    #[test]
+    fn tas_sets_once() {
+        let mut m: Memory<i64> = Memory::new();
+        let t = m.alloc_tas();
+        assert_eq!(m.apply(Primitive::Tas(t)).unwrap(), PrimOutcome::Flag(false));
+        assert_eq!(m.apply(Primitive::Tas(t)).unwrap(), PrimOutcome::Flag(true));
+        m.apply(Primitive::TasReset(t)).unwrap();
+        assert_eq!(m.apply(Primitive::Tas(t)).unwrap(), PrimOutcome::Flag(false));
+    }
+
+    #[test]
+    fn counter_fetch_add() {
+        let mut m: Memory<i64> = Memory::new();
+        let c = m.alloc_counter(10);
+        assert_eq!(
+            m.apply(Primitive::FetchAdd(c, 3)).unwrap(),
+            PrimOutcome::Int(10)
+        );
+        assert_eq!(
+            m.apply(Primitive::FetchAdd(c, -1)).unwrap(),
+            PrimOutcome::Int(13)
+        );
+    }
+
+    #[test]
+    fn snapshot_update_scan() {
+        let mut m: Memory<i64> = Memory::new();
+        let s = m.alloc_snapshot(3, 0);
+        m.apply(Primitive::SnapUpdate {
+            obj: s,
+            index: 1,
+            val: 7,
+        })
+        .unwrap();
+        assert_eq!(
+            m.apply(Primitive::SnapScan(s)).unwrap(),
+            PrimOutcome::Snapshot(vec![0, 7, 0])
+        );
+    }
+
+    #[test]
+    fn snapshot_bad_index() {
+        let mut m: Memory<i64> = Memory::new();
+        let s = m.alloc_snapshot(2, 0);
+        let err = m
+            .apply(Primitive::SnapUpdate {
+                obj: s,
+                index: 5,
+                val: 1,
+            })
+            .unwrap_err();
+        assert!(matches!(err, MemoryError::BadSnapshotIndex { index: 5, .. }));
+    }
+
+    #[test]
+    fn kind_mismatch_errors() {
+        let mut m: Memory<i64> = Memory::new();
+        let r = m.alloc_register(0);
+        assert!(m.apply(Primitive::Tas(r)).is_err());
+        assert!(m
+            .apply(Primitive::Cas {
+                obj: r,
+                expected: 0,
+                new: 1
+            })
+            .is_err());
+        let bogus = ObjId(99);
+        assert_eq!(
+            m.apply(Primitive::Read(bogus)).unwrap_err(),
+            MemoryError::NoSuchObject(bogus)
+        );
+    }
+
+    #[test]
+    fn applied_counts_every_primitive() {
+        let mut m: Memory<i64> = Memory::new();
+        let r = m.alloc_register(0);
+        assert_eq!(m.applied(), 0);
+        let _ = m.apply(Primitive::Read(r));
+        let _ = m.apply(Primitive::Read(ObjId(99)));
+        assert_eq!(m.applied(), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MemoryError::NoSuchObject(ObjId(3));
+        assert_eq!(e.to_string(), "no such base object obj3");
+    }
+
+    #[test]
+    fn outcome_extractors() {
+        assert_eq!(PrimOutcome::<i64>::Value(4).expect_value(), 4);
+        assert!(PrimOutcome::<i64>::Flag(true).expect_flag());
+        assert_eq!(PrimOutcome::<i64>::Int(2).expect_int(), 2);
+        assert_eq!(
+            PrimOutcome::<i64>::Snapshot(vec![1]).expect_snapshot(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Value")]
+    fn outcome_extractor_panics_on_mismatch() {
+        let _ = PrimOutcome::<i64>::Ack.expect_value();
+    }
+}

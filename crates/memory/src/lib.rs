@@ -1,0 +1,57 @@
+//! Simulated asynchronous shared memory.
+//!
+//! This crate is the executable substrate for the system model of Section 2
+//! of the paper: `n` asynchronous processes that may crash, interacting only
+//! through atomic primitives on *base objects* (read/write registers,
+//! test-and-set, compare-and-swap, fetch-and-add, atomic snapshot), with the
+//! interleaving chosen by an external *scheduler* the processes do not
+//! control.
+//!
+//! Concurrency is simulated, not real: algorithms are step-based state
+//! machines (the [`Process`] trait), each step performing at most one atomic
+//! primitive, and a [`Scheduler`] decides which process steps next and which
+//! invocations arrive. This is what makes the paper's adversaries (which
+//! "decide on the schedule and inputs of processes") directly expressible,
+//! and what makes exhaustive exploration (in `slx-explorer`) possible.
+//!
+//! # Examples
+//!
+//! Run two register-client processes under a round-robin scheduler:
+//!
+//! ```
+//! use slx_history::{Operation, ProcessId, Value, VarId};
+//! use slx_memory::{Memory, ObjId, RegisterProcess, RoundRobin, System};
+//!
+//! let mut mem = Memory::new();
+//! let reg: ObjId = mem.alloc_register(0i64);
+//! let procs = vec![RegisterProcess::new(reg), RegisterProcess::new(reg)];
+//! let mut sys = System::new(mem, procs);
+//! sys.invoke(ProcessId::new(0), Operation::Write(VarId::new(0), Value::new(7))).unwrap();
+//! sys.invoke(ProcessId::new(1), Operation::Read(VarId::new(0))).unwrap();
+//! let mut sched = RoundRobin::new();
+//! sys.run(&mut sched, 100);
+//! assert!(sys.history().is_well_formed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atomic_proc;
+mod base;
+mod crash_injector;
+mod process;
+mod register_proc;
+mod sched;
+mod snapshot_algo;
+mod system;
+mod workload;
+
+pub use atomic_proc::{AtomicKind, AtomicObjectProcess};
+pub use base::{BaseObject, Memory, MemoryError, ObjId, PrimOutcome, Primitive, Word};
+pub use crash_injector::{CrashPlan, RandomCrashes};
+pub use process::{Process, StepEffect};
+pub use register_proc::RegisterProcess;
+pub use sched::{Decision, FairRandom, RoundRobin, Scheduler, SoloScheduler};
+pub use snapshot_algo::{DoubleCollect, DoubleCollectResult};
+pub use system::{Event, RunStats, System, SystemError};
+pub use workload::{OneShot, RepeatTxn, Workload, WorkloadScheduler};

@@ -1,0 +1,108 @@
+//! The process abstraction: algorithms as step machines.
+
+use slx_history::{Operation, Response};
+
+use crate::base::{Memory, Word};
+
+/// What a single process step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEffect {
+    /// The process performed internal computation and/or one atomic
+    /// primitive, and has more steps to take.
+    Ran,
+    /// The step produced the response for the current invocation; the
+    /// process is no longer pending.
+    Responded(Response),
+    /// The process had no enabled step (no pending invocation, or it is
+    /// blocked by its own algorithm).
+    Idle,
+}
+
+/// An algorithm `Ii` executed by process `pi` (Section 2).
+///
+/// A process is *sequential*: it receives an invocation via
+/// [`Process::on_invoke`], then takes steps under scheduler control until a
+/// step returns [`StepEffect::Responded`]. Each call to [`Process::step`]
+/// must apply **at most one** atomic primitive to the shared memory; the
+/// [`crate::System`] enforces this (that is the atomicity granularity of
+/// the asynchronous model — interleavings happen between primitives, never
+/// inside one).
+///
+/// Implementations must be deterministic given the invocation sequence and
+/// primitive outcomes; the explorer relies on this to treat a configuration
+/// repeat as a genuine cycle.
+pub trait Process<W: Word> {
+    /// Delivers an invocation. Called only when the process is not pending
+    /// (input-enabledness is handled by the system, which rejects
+    /// invocations to pending processes).
+    fn on_invoke(&mut self, op: Operation);
+
+    /// Whether the process has an enabled computation step.
+    ///
+    /// A process with no pending invocation normally has none; an
+    /// implementation may also disable steps of a pending process (the
+    /// paper's Theorem 4.9 constructions do exactly this), which makes
+    /// executions in which that process stops *fair*.
+    fn has_step(&self) -> bool;
+
+    /// Performs one step: at most one primitive on `mem`, plus local
+    /// computation. Returns what happened.
+    fn step(&mut self, mem: &mut Memory<W>) -> StepEffect;
+
+    /// Notifies the process that it crashed. After this, the system never
+    /// calls [`Process::step`] again; the default does nothing.
+    fn on_crash(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A process that responds `Ok` after a fixed number of no-op steps.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct Delay {
+        remaining: usize,
+        pending: bool,
+    }
+
+    impl Process<i64> for Delay {
+        fn on_invoke(&mut self, _op: Operation) {
+            self.pending = true;
+            self.remaining = 2;
+        }
+
+        fn has_step(&self) -> bool {
+            self.pending
+        }
+
+        fn step(&mut self, _mem: &mut Memory<i64>) -> StepEffect {
+            if !self.pending {
+                return StepEffect::Idle;
+            }
+            if self.remaining == 0 {
+                self.pending = false;
+                StepEffect::Responded(Response::Ok)
+            } else {
+                self.remaining -= 1;
+                StepEffect::Ran
+            }
+        }
+    }
+
+    #[test]
+    fn step_machine_contract() {
+        let mut p = Delay {
+            remaining: 0,
+            pending: false,
+        };
+        let mut mem: Memory<i64> = Memory::new();
+        assert!(!p.has_step());
+        assert_eq!(p.step(&mut mem), StepEffect::Idle);
+        p.on_invoke(Operation::TxStart);
+        assert!(p.has_step());
+        assert_eq!(p.step(&mut mem), StepEffect::Ran);
+        assert_eq!(p.step(&mut mem), StepEffect::Ran);
+        assert_eq!(p.step(&mut mem), StepEffect::Responded(Response::Ok));
+        assert!(!p.has_step());
+    }
+}

@@ -1,0 +1,514 @@
+//! The system: processes + memory + history, driven by a scheduler.
+
+use std::fmt;
+
+use slx_history::{Action, History, Operation, ProcessId, Response};
+
+use crate::base::{Memory, Word};
+use crate::process::{Process, StepEffect};
+use crate::sched::{Decision, Scheduler};
+
+/// One entry of the execution log.
+///
+/// Where the [`History`] records only external actions (invocations,
+/// responses, crashes), the execution log additionally records which process
+/// took each computation step. Liveness properties of Section 5 quantify
+/// over *steps* ("at most k processes take infinitely many steps"), so they
+/// are evaluated on this log, not on the history alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// An invocation was delivered to a process.
+    Invoked(ProcessId, Operation),
+    /// A process produced a response.
+    Responded(ProcessId, Response),
+    /// A process crashed.
+    Crashed(ProcessId),
+    /// A process took one computation step (possibly the one that produced
+    /// a response; in that case both events are logged, step first).
+    Stepped(ProcessId),
+}
+
+/// Errors from driving a [`System`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// Invocation delivered to a process that is already pending
+    /// (well-formedness would be violated).
+    AlreadyPending(ProcessId),
+    /// Action addressed to a crashed process.
+    Crashed(ProcessId),
+    /// Process index out of range.
+    NoSuchProcess(ProcessId),
+    /// A process step applied more than one atomic primitive, violating the
+    /// atomicity granularity of the model.
+    AtomicityViolation {
+        /// The offending process.
+        proc: ProcessId,
+        /// Number of primitives applied in the step.
+        applied: u64,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::AlreadyPending(p) => write!(f, "process {p} is already pending"),
+            SystemError::Crashed(p) => write!(f, "process {p} has crashed"),
+            SystemError::NoSuchProcess(p) => write!(f, "no such process {p}"),
+            SystemError::AtomicityViolation { proc, applied } => write!(
+                f,
+                "process {proc} applied {applied} primitives in one step (max 1)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// Statistics of a [`System::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Computation steps taken.
+    pub steps: u64,
+    /// Invocations delivered.
+    pub invocations: u64,
+    /// Responses produced.
+    pub responses: u64,
+    /// Crashes injected.
+    pub crashes: u64,
+    /// Whether the scheduler halted (vs. the event budget running out).
+    pub halted: bool,
+}
+
+/// A complete simulated system: shared memory, `n` processes, the history
+/// so far, and the execution log.
+///
+/// `System` is `Clone + Eq + Hash` when the process type is, which is what
+/// allows `slx-explorer` to enumerate configurations exactly.
+#[derive(Debug, Clone)]
+pub struct System<W: Word, P> {
+    memory: Memory<W>,
+    procs: Vec<P>,
+    pending: Vec<bool>,
+    crashed: Vec<bool>,
+    history: History,
+    events: Vec<Event>,
+}
+
+impl<W: Word, P: Process<W>> System<W, P> {
+    /// Creates a system over `memory` with the given processes; process `i`
+    /// gets identifier [`ProcessId::new`]`(i)`.
+    pub fn new(memory: Memory<W>, procs: Vec<P>) -> Self {
+        let n = procs.len();
+        System {
+            memory,
+            procs,
+            pending: vec![false; n],
+            crashed: vec![false; n],
+            history: History::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The history so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The execution log so far.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Read-only view of the shared memory.
+    pub fn memory(&self) -> &Memory<W> {
+        &self.memory
+    }
+
+    /// Read-only view of process `p`'s algorithm state.
+    pub fn process(&self, p: ProcessId) -> Option<&P> {
+        self.procs.get(p.index())
+    }
+
+    /// Whether process `p` is pending (invoked, awaiting response).
+    pub fn is_pending(&self, p: ProcessId) -> bool {
+        self.pending.get(p.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether process `p` has crashed.
+    pub fn is_crashed(&self, p: ProcessId) -> bool {
+        self.crashed.get(p.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether process `p` currently has an enabled computation step.
+    pub fn can_step(&self, p: ProcessId) -> bool {
+        !self.is_crashed(p)
+            && self
+                .procs
+                .get(p.index())
+                .is_some_and(|proc| proc.has_step())
+    }
+
+    /// Processes with an enabled step.
+    pub fn steppable(&self) -> Vec<ProcessId> {
+        ProcessId::all(self.n()).filter(|&p| self.can_step(p)).collect()
+    }
+
+    /// Whether the system is quiescent: no process has an enabled step.
+    ///
+    /// A finite execution ending in a quiescent configuration is *fair* in
+    /// the paper's sense (no non-crash action enabled at the final state,
+    /// modulo input actions which are always enabled but external).
+    pub fn quiescent(&self) -> bool {
+        self.steppable().is_empty()
+    }
+
+    /// Delivers invocation `op` to process `p`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `p` is pending (a well-formed history cannot contain two
+    /// consecutive invocations by one process), crashed, or out of range.
+    pub fn invoke(&mut self, p: ProcessId, op: Operation) -> Result<(), SystemError> {
+        let i = p.index();
+        if i >= self.procs.len() {
+            return Err(SystemError::NoSuchProcess(p));
+        }
+        if self.crashed[i] {
+            return Err(SystemError::Crashed(p));
+        }
+        if self.pending[i] {
+            return Err(SystemError::AlreadyPending(p));
+        }
+        self.pending[i] = true;
+        self.procs[i].on_invoke(op);
+        self.history.push(Action::invoke(p, op));
+        self.events.push(Event::Invoked(p, op));
+        Ok(())
+    }
+
+    /// Lets process `p` take one computation step.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `p` crashed, is out of range, or violated atomicity by
+    /// applying more than one primitive in the step.
+    pub fn step(&mut self, p: ProcessId) -> Result<StepEffect, SystemError> {
+        let i = p.index();
+        if i >= self.procs.len() {
+            return Err(SystemError::NoSuchProcess(p));
+        }
+        if self.crashed[i] {
+            return Err(SystemError::Crashed(p));
+        }
+        let before = self.memory.applied();
+        let effect = self.procs[i].step(&mut self.memory);
+        let applied = self.memory.applied() - before;
+        if applied > 1 {
+            return Err(SystemError::AtomicityViolation { proc: p, applied });
+        }
+        match effect {
+            StepEffect::Idle => {}
+            StepEffect::Ran => self.events.push(Event::Stepped(p)),
+            StepEffect::Responded(resp) => {
+                self.events.push(Event::Stepped(p));
+                self.pending[i] = false;
+                self.history.push(Action::respond(p, resp));
+                self.events.push(Event::Responded(p, resp));
+            }
+        }
+        Ok(effect)
+    }
+
+    /// Crashes process `p`. Idempotent.
+    pub fn crash(&mut self, p: ProcessId) -> Result<(), SystemError> {
+        let i = p.index();
+        if i >= self.procs.len() {
+            return Err(SystemError::NoSuchProcess(p));
+        }
+        if !self.crashed[i] {
+            self.crashed[i] = true;
+            self.procs[i].on_crash();
+            self.history.push(Action::crash(p));
+            self.events.push(Event::Crashed(p));
+        }
+        Ok(())
+    }
+
+    /// A copy of the system with the memory words and process states
+    /// transformed — the normalization hook for cycle detection modulo a
+    /// symmetry (see [`Memory::map_words`]). History and events are
+    /// dropped (configuration comparison ignores them anyway).
+    pub fn transformed(
+        &self,
+        f_word: impl FnMut(&W) -> W,
+        f_proc: impl FnMut(&P) -> P,
+    ) -> System<W, P> {
+        System {
+            memory: self.memory.map_words(f_word),
+            procs: self.procs.iter().map(f_proc).collect(),
+            pending: self.pending.clone(),
+            crashed: self.crashed.clone(),
+            history: History::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Drives the system with `scheduler` until it halts, the event budget
+    /// `max_events` is exhausted, or the scheduler makes an invalid decision
+    /// (which is treated as a halt — schedulers observe the system and
+    /// should not make invalid decisions, but adversaries may race a crash).
+    pub fn run<S: Scheduler<W, P>>(&mut self, scheduler: &mut S, max_events: u64) -> RunStats {
+        let mut stats = RunStats::default();
+        for _ in 0..max_events {
+            match scheduler.decide(self) {
+                Decision::Halt => {
+                    stats.halted = true;
+                    break;
+                }
+                Decision::Invoke(p, op) => {
+                    if self.invoke(p, op).is_err() {
+                        stats.halted = true;
+                        break;
+                    }
+                    stats.invocations += 1;
+                }
+                Decision::Step(p) => match self.step(p) {
+                    Ok(StepEffect::Responded(_)) => {
+                        stats.steps += 1;
+                        stats.responses += 1;
+                    }
+                    Ok(StepEffect::Ran) => stats.steps += 1,
+                    Ok(StepEffect::Idle) => {}
+                    Err(_) => {
+                        stats.halted = true;
+                        break;
+                    }
+                },
+                Decision::Crash(p) => {
+                    if self.crash(p).is_err() {
+                        stats.halted = true;
+                        break;
+                    }
+                    stats.crashes += 1;
+                }
+            }
+        }
+        stats
+    }
+}
+
+impl<W: Word, P: PartialEq> PartialEq for System<W, P> {
+    fn eq(&self, other: &Self) -> bool {
+        // Histories/events are deliberately excluded: two configurations
+        // with the same memory and process states behave identically in the
+        // future, which is the equivalence exploration needs.
+        self.memory == other.memory
+            && self.procs == other.procs
+            && self.pending == other.pending
+            && self.crashed == other.crashed
+    }
+}
+
+impl<W: Word, P: Eq> Eq for System<W, P> {}
+
+impl<W: Word, P: std::hash::Hash> std::hash::Hash for System<W, P> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.memory.hash(state);
+        self.procs.hash(state);
+        self.pending.hash(state);
+        self.crashed.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::Primitive;
+    use slx_history::{Value, VarId};
+
+    /// Test process: writes its value to a register then responds.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct Writer {
+        reg: crate::base::ObjId,
+        pc: u8,
+        val: i64,
+    }
+
+    impl Process<i64> for Writer {
+        fn on_invoke(&mut self, op: Operation) {
+            if let Operation::Write(_, v) = op {
+                self.val = v.raw();
+            }
+            self.pc = 1;
+        }
+
+        fn has_step(&self) -> bool {
+            self.pc > 0
+        }
+
+        fn step(&mut self, mem: &mut Memory<i64>) -> StepEffect {
+            match self.pc {
+                1 => {
+                    mem.apply(Primitive::Write(self.reg, self.val)).unwrap();
+                    self.pc = 0;
+                    StepEffect::Responded(Response::Ok)
+                }
+                _ => StepEffect::Idle,
+            }
+        }
+    }
+
+    fn writer_system() -> System<i64, Writer> {
+        let mut mem: Memory<i64> = Memory::new();
+        let reg = mem.alloc_register(0);
+        let procs = vec![
+            Writer { reg, pc: 0, val: 0 },
+            Writer { reg, pc: 0, val: 0 },
+        ];
+        System::new(mem, procs)
+    }
+
+    fn w(v: i64) -> Operation {
+        Operation::Write(VarId::new(0), Value::new(v))
+    }
+
+    #[test]
+    fn invoke_step_respond_cycle() {
+        let mut sys = writer_system();
+        let p0 = ProcessId::new(0);
+        assert!(!sys.is_pending(p0));
+        sys.invoke(p0, w(4)).unwrap();
+        assert!(sys.is_pending(p0));
+        assert!(sys.can_step(p0));
+        let eff = sys.step(p0).unwrap();
+        assert_eq!(eff, StepEffect::Responded(Response::Ok));
+        assert!(!sys.is_pending(p0));
+        assert_eq!(sys.history().len(), 2);
+        assert!(sys.history().is_well_formed());
+        assert_eq!(
+            sys.events(),
+            &[
+                Event::Invoked(p0, w(4)),
+                Event::Stepped(p0),
+                Event::Responded(p0, Response::Ok)
+            ]
+        );
+    }
+
+    #[test]
+    fn double_invoke_rejected() {
+        let mut sys = writer_system();
+        let p0 = ProcessId::new(0);
+        sys.invoke(p0, w(1)).unwrap();
+        assert_eq!(
+            sys.invoke(p0, w(2)),
+            Err(SystemError::AlreadyPending(p0))
+        );
+    }
+
+    #[test]
+    fn crash_blocks_everything() {
+        let mut sys = writer_system();
+        let p0 = ProcessId::new(0);
+        sys.invoke(p0, w(1)).unwrap();
+        sys.crash(p0).unwrap();
+        assert!(sys.is_crashed(p0));
+        assert!(!sys.can_step(p0));
+        assert_eq!(sys.step(p0), Err(SystemError::Crashed(p0)));
+        assert_eq!(sys.invoke(p0, w(2)), Err(SystemError::Crashed(p0)));
+        // Idempotent: a second crash leaves one crash action.
+        sys.crash(p0).unwrap();
+        assert_eq!(
+            sys.history()
+                .iter()
+                .filter(|a| matches!(a, Action::Crash { .. }))
+                .count(),
+            1
+        );
+        assert!(sys.history().is_well_formed());
+    }
+
+    #[test]
+    fn out_of_range_process() {
+        let mut sys = writer_system();
+        let p9 = ProcessId::new(9);
+        assert_eq!(sys.invoke(p9, w(1)), Err(SystemError::NoSuchProcess(p9)));
+        assert_eq!(sys.step(p9), Err(SystemError::NoSuchProcess(p9)));
+        assert_eq!(sys.crash(p9), Err(SystemError::NoSuchProcess(p9)));
+    }
+
+    #[test]
+    fn quiescence() {
+        let mut sys = writer_system();
+        assert!(sys.quiescent());
+        sys.invoke(ProcessId::new(1), w(3)).unwrap();
+        assert!(!sys.quiescent());
+        assert_eq!(sys.steppable(), vec![ProcessId::new(1)]);
+        sys.step(ProcessId::new(1)).unwrap();
+        assert!(sys.quiescent());
+    }
+
+    #[test]
+    fn config_equality_ignores_history() {
+        let mut a = writer_system();
+        let mut b = writer_system();
+        assert_eq!(a, b);
+        a.invoke(ProcessId::new(0), w(1)).unwrap();
+        assert_ne!(a, b);
+        b.invoke(ProcessId::new(0), w(1)).unwrap();
+        assert_eq!(a, b);
+        // Same config reached by different histories still compares equal.
+        a.step(ProcessId::new(0)).unwrap();
+        b.step(ProcessId::new(0)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.history().len(), b.history().len());
+    }
+
+    /// A process that illegally applies two primitives per step.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct Greedy {
+        reg: crate::base::ObjId,
+        pending: bool,
+    }
+
+    impl Process<i64> for Greedy {
+        fn on_invoke(&mut self, _op: Operation) {
+            self.pending = true;
+        }
+        fn has_step(&self) -> bool {
+            self.pending
+        }
+        fn step(&mut self, mem: &mut Memory<i64>) -> StepEffect {
+            mem.apply(Primitive::Write(self.reg, 1)).unwrap();
+            mem.apply(Primitive::Write(self.reg, 2)).unwrap();
+            self.pending = false;
+            StepEffect::Responded(Response::Ok)
+        }
+    }
+
+    #[test]
+    fn atomicity_violation_detected() {
+        let mut mem: Memory<i64> = Memory::new();
+        let reg = mem.alloc_register(0);
+        let mut sys = System::new(mem, vec![Greedy { reg, pending: false }]);
+        let p0 = ProcessId::new(0);
+        sys.invoke(p0, w(1)).unwrap();
+        assert!(matches!(
+            sys.step(p0),
+            Err(SystemError::AtomicityViolation { applied: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            SystemError::AlreadyPending(ProcessId::new(0)).to_string(),
+            "process p1 is already pending"
+        );
+    }
+}

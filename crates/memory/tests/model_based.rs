@@ -1,0 +1,124 @@
+//! Model-based testing of the shared memory: random primitive sequences
+//! replayed against a naive reference model must agree exactly.
+
+use proptest::prelude::*;
+use slx_memory::{BaseObject, Memory, ObjId, PrimOutcome, Primitive};
+
+/// A reference model mirroring the five object kinds with plain fields.
+#[derive(Debug, Clone, Default)]
+struct Model {
+    registers: Vec<i64>,
+    cas: Vec<i64>,
+    tas: Vec<bool>,
+    counters: Vec<i64>,
+    snapshots: Vec<Vec<i64>>,
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    ReadReg(usize),
+    WriteReg(usize, i64),
+    Cas(usize, i64, i64),
+    Tas(usize),
+    TasReset(usize),
+    FetchAdd(usize, i64),
+    SnapUpdate(usize, usize, i64),
+    SnapScan(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..2, -3i64..3).prop_map(|(i, _)| Op::ReadReg(i)),
+        (0usize..2, -3i64..3).prop_map(|(i, v)| Op::WriteReg(i, v)),
+        (0usize..2, -3i64..3, -3i64..3).prop_map(|(i, e, n)| Op::Cas(i, e, n)),
+        (0usize..2).prop_map(Op::Tas),
+        (0usize..2).prop_map(Op::TasReset),
+        (0usize..2, -3i64..3).prop_map(|(i, d)| Op::FetchAdd(i, d)),
+        (0usize..2, 0usize..3, -3i64..3).prop_map(|(s, i, v)| Op::SnapUpdate(s, i, v)),
+        (0usize..2).prop_map(Op::SnapScan),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn memory_agrees_with_model(ops in prop::collection::vec(arb_op(), 0..80)) {
+        let mut mem: Memory<i64> = Memory::new();
+        let regs: Vec<ObjId> = (0..2).map(|_| mem.alloc_register(0)).collect();
+        let cas: Vec<ObjId> = (0..2).map(|_| mem.alloc_cas(0)).collect();
+        let tas: Vec<ObjId> = (0..2).map(|_| mem.alloc_tas()).collect();
+        let ctr: Vec<ObjId> = (0..2).map(|_| mem.alloc_counter(0)).collect();
+        let snap: Vec<ObjId> = (0..2).map(|_| mem.alloc_snapshot(3, 0)).collect();
+        let mut model = Model {
+            registers: vec![0; 2],
+            cas: vec![0; 2],
+            tas: vec![false; 2],
+            counters: vec![0; 2],
+            snapshots: vec![vec![0; 3]; 2],
+        };
+
+        for op in &ops {
+            match *op {
+                Op::ReadReg(i) => {
+                    let got = mem.apply(Primitive::Read(regs[i])).unwrap();
+                    prop_assert_eq!(got, PrimOutcome::Value(model.registers[i]));
+                }
+                Op::WriteReg(i, v) => {
+                    mem.apply(Primitive::Write(regs[i], v)).unwrap();
+                    model.registers[i] = v;
+                }
+                Op::Cas(i, e, n) => {
+                    let got = mem
+                        .apply(Primitive::Cas { obj: cas[i], expected: e, new: n })
+                        .unwrap();
+                    let expect = model.cas[i] == e;
+                    if expect {
+                        model.cas[i] = n;
+                    }
+                    prop_assert_eq!(got, PrimOutcome::Flag(expect));
+                }
+                Op::Tas(i) => {
+                    let got = mem.apply(Primitive::Tas(tas[i])).unwrap();
+                    prop_assert_eq!(got, PrimOutcome::Flag(model.tas[i]));
+                    model.tas[i] = true;
+                }
+                Op::TasReset(i) => {
+                    mem.apply(Primitive::TasReset(tas[i])).unwrap();
+                    model.tas[i] = false;
+                }
+                Op::FetchAdd(i, d) => {
+                    let got = mem.apply(Primitive::FetchAdd(ctr[i], d)).unwrap();
+                    prop_assert_eq!(got, PrimOutcome::Int(model.counters[i]));
+                    model.counters[i] += d;
+                }
+                Op::SnapUpdate(s, i, v) => {
+                    mem.apply(Primitive::SnapUpdate { obj: snap[s], index: i, val: v })
+                        .unwrap();
+                    model.snapshots[s][i] = v;
+                }
+                Op::SnapScan(s) => {
+                    let got = mem.apply(Primitive::SnapScan(snap[s])).unwrap();
+                    prop_assert_eq!(got, PrimOutcome::Snapshot(model.snapshots[s].clone()));
+                }
+            }
+        }
+
+        // Final state agreement via direct object inspection.
+        for i in 0..2 {
+            prop_assert_eq!(
+                mem.object(regs[i]),
+                Some(&BaseObject::Register(model.registers[i]))
+            );
+            prop_assert_eq!(mem.object(cas[i]), Some(&BaseObject::Cas(model.cas[i])));
+            prop_assert_eq!(mem.object(tas[i]), Some(&BaseObject::Tas(model.tas[i])));
+            prop_assert_eq!(
+                mem.object(ctr[i]),
+                Some(&BaseObject::Counter(model.counters[i]))
+            );
+            prop_assert_eq!(
+                mem.object(snap[i]),
+                Some(&BaseObject::Snapshot(model.snapshots[i].clone()))
+            );
+        }
+        prop_assert_eq!(mem.applied(), ops.len() as u64);
+    }
+}

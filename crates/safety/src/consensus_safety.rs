@@ -1,0 +1,173 @@
+//! Agreement and validity: the safety property of consensus.
+
+use slx_history::{Action, History, Operation, Response, Value};
+
+use crate::property::SafetyProperty;
+
+/// The consensus safety property of the paper's Section 4.1 corollary:
+/// **agreement** (all processes decide the same value) and **validity**
+/// (the decided value was proposed by some process).
+///
+/// Also enforces the object-type discipline that a `Decided` response only
+/// answers a `Propose` invocation; histories mixing in other operations are
+/// rejected as outside the consensus object type.
+///
+/// # Examples
+///
+/// ```
+/// use slx_history::{Action, History, Operation, ProcessId, Response, Value};
+/// use slx_safety::{ConsensusSafety, SafetyProperty};
+///
+/// let p1 = ProcessId::new(0);
+/// let h = History::from_actions([
+///     Action::invoke(p1, Operation::Propose(Value::new(4))),
+///     Action::respond(p1, Response::Decided(Value::new(4))),
+/// ]);
+/// assert!(ConsensusSafety::new().allows(&h));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConsensusSafety {
+    _priv: (),
+}
+
+impl ConsensusSafety {
+    /// Creates the agreement-and-validity checker.
+    pub fn new() -> Self {
+        ConsensusSafety::default()
+    }
+}
+
+impl SafetyProperty for ConsensusSafety {
+    fn name(&self) -> &str {
+        "consensus agreement and validity"
+    }
+
+    fn allows(&self, h: &History) -> bool {
+        let mut proposed: Vec<Value> = Vec::new();
+        let mut decided: Option<Value> = None;
+        for a in h.iter() {
+            match a {
+                Action::Invoke { op, .. } => match op {
+                    Operation::Propose(v) => proposed.push(*v),
+                    _ => return false,
+                },
+                Action::Respond { resp, .. } => match resp {
+                    Response::Decided(v) => {
+                        // Validity: decided value must already be proposed.
+                        if !proposed.contains(v) {
+                            return false;
+                        }
+                        // Agreement: all decisions equal.
+                        match decided {
+                            None => decided = Some(*v),
+                            Some(d) if d == *v => {}
+                            Some(_) => return false,
+                        }
+                    }
+                    _ => return false,
+                },
+                Action::Crash { .. } => {}
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slx_history::ProcessId;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn v(x: i64) -> Value {
+        Value::new(x)
+    }
+
+    fn propose(i: usize, val: i64) -> Action {
+        Action::invoke(p(i), Operation::Propose(v(val)))
+    }
+    fn decide(i: usize, val: i64) -> Action {
+        Action::respond(p(i), Response::Decided(v(val)))
+    }
+
+    #[test]
+    fn agreement_holds() {
+        let s = ConsensusSafety::new();
+        let h = History::from_actions([
+            propose(0, 1),
+            propose(1, 2),
+            decide(0, 2),
+            decide(1, 2),
+        ]);
+        assert!(s.allows(&h));
+    }
+
+    #[test]
+    fn agreement_violated() {
+        let s = ConsensusSafety::new();
+        let h = History::from_actions([
+            propose(0, 1),
+            propose(1, 2),
+            decide(0, 1),
+            decide(1, 2),
+        ]);
+        assert!(!s.allows(&h));
+        let viol = s.check(&h).unwrap_err();
+        assert_eq!(viol.prefix_len, 4);
+    }
+
+    #[test]
+    fn validity_violated() {
+        let s = ConsensusSafety::new();
+        let h = History::from_actions([propose(0, 1), decide(0, 9)]);
+        assert!(!s.allows(&h));
+    }
+
+    #[test]
+    fn validity_requires_prior_proposal() {
+        // Even if another process proposes 2 *later*, a decision of 2 before
+        // any proposal of 2 is invalid (the checker is a prefix property).
+        let s = ConsensusSafety::new();
+        let h = History::from_actions([
+            propose(0, 1),
+            decide(0, 2),
+            propose(1, 2),
+        ]);
+        assert!(!s.allows(&h));
+    }
+
+    #[test]
+    fn crashes_are_neutral() {
+        let s = ConsensusSafety::new();
+        let h = History::from_actions([propose(0, 1), Action::crash(p(0))]);
+        assert!(s.allows(&h));
+    }
+
+    #[test]
+    fn rejects_non_consensus_operations() {
+        let s = ConsensusSafety::new();
+        let h = History::from_actions([Action::invoke(p(0), Operation::TxStart)]);
+        assert!(!s.allows(&h));
+        let h2 = History::from_actions([propose(0, 1), Action::respond(p(0), Response::Ok)]);
+        assert!(!s.allows(&h2));
+    }
+
+    #[test]
+    fn prefix_monotone() {
+        let s = ConsensusSafety::new();
+        let h = History::from_actions([
+            propose(0, 1),
+            propose(1, 2),
+            decide(0, 2),
+            decide(1, 2),
+        ]);
+        assert!(s.prefix_monotone_on(&h));
+    }
+
+    #[test]
+    fn empty_history_allowed() {
+        assert!(ConsensusSafety::new().allows(&History::new()));
+    }
+}

@@ -1,0 +1,146 @@
+//! k-set agreement safety.
+
+use slx_history::{Action, History, Operation, Response, Value};
+
+use crate::property::SafetyProperty;
+
+/// Safety of **k-set agreement** (Borowsky & Gafni; cited by the paper as a
+/// further context for its impossibilities): validity as in consensus, and
+/// *k-agreement* — at most `k` distinct values are decided. `k = 1` is
+/// exactly [`crate::ConsensusSafety`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KSetAgreementSafety {
+    k: usize,
+}
+
+impl KSetAgreementSafety {
+    /// Creates the checker for a given `k ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (no value could ever be decided, so the property
+    /// would not allow any response and violate the paper's standing
+    /// assumption on safety properties).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k-set agreement requires k >= 1");
+        KSetAgreementSafety { k }
+    }
+
+    /// The agreement bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl SafetyProperty for KSetAgreementSafety {
+    fn name(&self) -> &str {
+        "k-set agreement safety"
+    }
+
+    fn allows(&self, h: &History) -> bool {
+        let mut proposed: Vec<Value> = Vec::new();
+        let mut decided: Vec<Value> = Vec::new();
+        for a in h.iter() {
+            match a {
+                Action::Invoke { op, .. } => match op {
+                    Operation::Propose(v) => proposed.push(*v),
+                    _ => return false,
+                },
+                Action::Respond { resp, .. } => match resp {
+                    Response::Decided(v) => {
+                        if !proposed.contains(v) {
+                            return false;
+                        }
+                        if !decided.contains(v) {
+                            decided.push(*v);
+                            if decided.len() > self.k {
+                                return false;
+                            }
+                        }
+                    }
+                    _ => return false,
+                },
+                Action::Crash { .. } => {}
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConsensusSafety;
+    use slx_history::ProcessId;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn propose(i: usize, val: i64) -> Action {
+        Action::invoke(p(i), Operation::Propose(Value::new(val)))
+    }
+    fn decide(i: usize, val: i64) -> Action {
+        Action::respond(p(i), Response::Decided(Value::new(val)))
+    }
+
+    fn two_values() -> History {
+        History::from_actions([
+            propose(0, 1),
+            propose(1, 2),
+            propose(2, 3),
+            decide(0, 1),
+            decide(1, 2),
+            decide(2, 2),
+        ])
+    }
+
+    #[test]
+    fn two_set_allows_two_values() {
+        assert!(KSetAgreementSafety::new(2).allows(&two_values()));
+    }
+
+    #[test]
+    fn one_set_rejects_two_values() {
+        assert!(!KSetAgreementSafety::new(1).allows(&two_values()));
+    }
+
+    #[test]
+    fn one_set_matches_consensus_safety() {
+        let histories = [
+            two_values(),
+            History::from_actions([propose(0, 1), decide(0, 1)]),
+            History::from_actions([propose(0, 1), decide(0, 2)]),
+            History::new(),
+        ];
+        for h in &histories {
+            assert_eq!(
+                KSetAgreementSafety::new(1).allows(h),
+                ConsensusSafety::new().allows(h),
+                "disagreement on {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn validity_still_required() {
+        let h = History::from_actions([propose(0, 1), decide(0, 7)]);
+        assert!(!KSetAgreementSafety::new(3).allows(&h));
+    }
+
+    #[test]
+    fn repeat_of_same_value_not_counted_twice() {
+        let h = History::from_actions([
+            propose(0, 1),
+            propose(1, 1),
+            decide(0, 1),
+            decide(1, 1),
+        ]);
+        assert!(KSetAgreementSafety::new(1).allows(&h));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_panics() {
+        let _ = KSetAgreementSafety::new(0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Safety properties of shared objects (Definition 3.1).
+//!
+//! A safety property is a non-empty, prefix-closed, limit-closed set of
+//! well-formed histories. Finite membership is decidable, and prefix
+//! closure means a *checker over finite histories* determines the property
+//! completely: an implementation ensures `S` iff every finite history it
+//! produces is allowed. This crate provides the [`SafetyProperty`] trait
+//! plus every concrete property the paper's results are instantiated on:
+//!
+//! - consensus **agreement and validity** ([`ConsensusSafety`]);
+//! - **k-set agreement** safety, the generalization mentioned alongside
+//!   the consensus corollaries ([`KSetAgreementSafety`]);
+//! - **linearizability** w.r.t. a sequential specification
+//!   ([`Linearizability`], [`SeqSpec`]);
+//! - **opacity** of transactional memory ([`Opacity`],
+//!   [`FinalStateOpacity`]), with both the exhaustive witness search the
+//!   definition prescribes and a polynomial certifier for unique-write
+//!   workloads ([`certify_unique_writes`]);
+//! - **strict serializability** ([`StrictSerializability`]);
+//! - the §5.3 counterexample property **S** ([`PropertyS`]): opacity plus
+//!   the equal-timestamp forced-abort rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod consensus_safety;
+mod kset;
+mod linearizability;
+mod opacity;
+mod property;
+mod property_s;
+mod serializability;
+mod spec;
+
+pub use consensus_safety::ConsensusSafety;
+pub use kset::KSetAgreementSafety;
+pub use linearizability::Linearizability;
+pub use opacity::{certify_unique_writes, FinalStateOpacity, Opacity};
+pub use property::{SafetyProperty, Violation};
+pub use property_s::PropertyS;
+pub use serializability::StrictSerializability;
+pub use spec::{CasSpec, ConsensusSpec, CounterSpec, RegisterSpec, SeqSpec, TasSpec};

@@ -1,0 +1,322 @@
+//! A linearizability checker (Herlihy & Wing), in the Wing & Gong
+//! enumerate-and-search style.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use slx_history::{History, OpCall};
+
+use crate::property::SafetyProperty;
+use crate::spec::SeqSpec;
+
+/// Linearizability with respect to a sequential specification.
+///
+/// A finite history is allowed iff there is a *linearization*: a sequential
+/// ordering of all completed calls plus some subset of the pending calls
+/// that (a) respects real-time precedence, (b) is legal for the
+/// specification, and (c) gives every completed call its actual response.
+/// Pending calls may take effect with any specification-allowed response or
+/// not take effect at all.
+///
+/// Linearizability is prefix-closed and limit-closed, hence a safety
+/// property in the sense of Definition 3.1; the paper's consensus corollary
+/// uses the weaker agreement-and-validity instead, and this checker is what
+/// relates the two in tests (linearizability w.r.t. [`crate::ConsensusSpec`]
+/// implies [`crate::ConsensusSafety`]).
+///
+/// The search is exponential in the number of overlapping calls; it is
+/// intended for the small-scope histories produced by the explorer and the
+/// property tests (where exhaustiveness, not speed, is the point).
+#[derive(Debug, Clone)]
+pub struct Linearizability<S> {
+    spec: S,
+}
+
+impl<S: SeqSpec> Linearizability<S> {
+    /// Creates the checker for a specification.
+    pub fn new(spec: S) -> Self {
+        Linearizability { spec }
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &S {
+        &self.spec
+    }
+
+    /// Whether `h` is linearizable w.r.t. the specification.
+    pub fn is_linearizable(&self, h: &History) -> bool
+    where
+        S::State: Hash,
+    {
+        let calls = h.calls();
+        if calls.len() > 63 {
+            // The bitmask search handles up to 63 calls; histories at
+            // checker scope are far smaller.
+            panic!("linearizability checker supports at most 63 calls");
+        }
+        let pending: Vec<usize> = calls
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.resp.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        // Choose, for each pending call, whether it takes effect.
+        let subsets = 1u64 << pending.len();
+        for subset in 0..subsets {
+            let mut dropped = vec![false; calls.len()];
+            for (bit, &ci) in pending.iter().enumerate() {
+                if subset & (1 << bit) == 0 {
+                    dropped[ci] = true;
+                }
+            }
+            let mut memo = HashSet::new();
+            if self.search(&calls, &dropped, 0, &self.spec.init(), &mut memo) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// DFS over linearization orders. `done` is the bitmask of calls already
+    /// linearized (dropped calls are pre-marked done).
+    fn search(
+        &self,
+        calls: &[OpCall],
+        dropped: &[bool],
+        done_init: u64,
+        state: &S::State,
+        memo: &mut HashSet<(u64, S::State)>,
+    ) -> bool
+    where
+        S::State: Hash,
+    {
+        let mut done = done_init;
+        for (i, d) in dropped.iter().enumerate() {
+            if *d {
+                done |= 1 << i;
+            }
+        }
+        self.dfs(calls, done, state, memo)
+    }
+
+    fn dfs(
+        &self,
+        calls: &[OpCall],
+        done: u64,
+        state: &S::State,
+        memo: &mut HashSet<(u64, S::State)>,
+    ) -> bool
+    where
+        S::State: Hash,
+    {
+        if done == (1u64 << calls.len()) - 1 {
+            return true;
+        }
+        if !memo.insert((done, state.clone())) {
+            return false;
+        }
+        for (i, c) in calls.iter().enumerate() {
+            if done & (1 << i) != 0 {
+                continue;
+            }
+            // Real-time: c may be next only if no other remaining call
+            // completed before c was invoked.
+            let blocked = calls.iter().enumerate().any(|(j, d)| {
+                j != i
+                    && done & (1 << j) == 0
+                    && d.respond_index
+                        .is_some_and(|rj| rj < c.invoke_index)
+            });
+            if blocked {
+                continue;
+            }
+            for (next_state, resp) in self.spec.apply(state, c.op) {
+                let response_ok = match c.resp {
+                    Some(actual) => actual == resp,
+                    None => true, // pending call may take any legal response
+                };
+                if response_ok && self.dfs(calls, done | (1 << i), &next_state, memo) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl<S: SeqSpec> SafetyProperty for Linearizability<S>
+where
+    S::State: Hash,
+{
+    fn name(&self) -> &str {
+        "linearizability"
+    }
+
+    fn allows(&self, h: &History) -> bool {
+        self.is_linearizable(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ConsensusSpec, RegisterSpec};
+    use crate::ConsensusSafety;
+    use slx_history::{Action, Operation, ProcessId, Response, Value, VarId};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn v(x: i64) -> Value {
+        Value::new(x)
+    }
+    fn x0() -> VarId {
+        VarId::new(0)
+    }
+
+    fn reg_checker() -> Linearizability<RegisterSpec> {
+        Linearizability::new(RegisterSpec::new(1, v(0)))
+    }
+
+    #[test]
+    fn sequential_register_history_linearizable() {
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::Write(x0(), v(1))),
+            Action::respond(p(0), Response::Ok),
+            Action::invoke(p(1), Operation::Read(x0())),
+            Action::respond(p(1), Response::ValueReturned(v(1))),
+        ]);
+        assert!(reg_checker().is_linearizable(&h));
+    }
+
+    #[test]
+    fn stale_read_after_write_not_linearizable() {
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::Write(x0(), v(1))),
+            Action::respond(p(0), Response::Ok),
+            Action::invoke(p(1), Operation::Read(x0())),
+            Action::respond(p(1), Response::ValueReturned(v(0))),
+        ]);
+        assert!(!reg_checker().is_linearizable(&h));
+    }
+
+    #[test]
+    fn overlapping_read_may_return_either_value() {
+        // Write overlaps the read: both 0 and 1 are linearizable results.
+        for read_val in [0, 1] {
+            let h = History::from_actions([
+                Action::invoke(p(0), Operation::Write(x0(), v(1))),
+                Action::invoke(p(1), Operation::Read(x0())),
+                Action::respond(p(1), Response::ValueReturned(v(read_val))),
+                Action::respond(p(0), Response::Ok),
+            ]);
+            assert!(reg_checker().is_linearizable(&h), "read {read_val}");
+        }
+        // But 7 is not.
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::Write(x0(), v(1))),
+            Action::invoke(p(1), Operation::Read(x0())),
+            Action::respond(p(1), Response::ValueReturned(v(7))),
+            Action::respond(p(0), Response::Ok),
+        ]);
+        assert!(!reg_checker().is_linearizable(&h));
+    }
+
+    #[test]
+    fn pending_write_may_take_effect() {
+        // The write never responds, but the read sees it: linearizable by
+        // including the pending call.
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::Write(x0(), v(1))),
+            Action::invoke(p(1), Operation::Read(x0())),
+            Action::respond(p(1), Response::ValueReturned(v(1))),
+        ]);
+        assert!(reg_checker().is_linearizable(&h));
+    }
+
+    #[test]
+    fn pending_write_may_be_dropped() {
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::Write(x0(), v(1))),
+            Action::invoke(p(1), Operation::Read(x0())),
+            Action::respond(p(1), Response::ValueReturned(v(0))),
+        ]);
+        assert!(reg_checker().is_linearizable(&h));
+    }
+
+    #[test]
+    fn real_time_order_enforced_between_nonoverlapping_ops() {
+        // read completes strictly before the write begins, yet returns the
+        // written value: not linearizable.
+        let h = History::from_actions([
+            Action::invoke(p(1), Operation::Read(x0())),
+            Action::respond(p(1), Response::ValueReturned(v(1))),
+            Action::invoke(p(0), Operation::Write(x0(), v(1))),
+            Action::respond(p(0), Response::Ok),
+        ]);
+        assert!(!reg_checker().is_linearizable(&h));
+    }
+
+    #[test]
+    fn consensus_linearizability_implies_agreement_validity() {
+        let lin = Linearizability::new(ConsensusSpec::new());
+        let histories = [
+            History::from_actions([
+                Action::invoke(p(0), Operation::Propose(v(1))),
+                Action::invoke(p(1), Operation::Propose(v(2))),
+                Action::respond(p(0), Response::Decided(v(1))),
+                Action::respond(p(1), Response::Decided(v(1))),
+            ]),
+            History::from_actions([
+                Action::invoke(p(0), Operation::Propose(v(1))),
+                Action::respond(p(0), Response::Decided(v(1))),
+                Action::invoke(p(1), Operation::Propose(v(2))),
+                Action::respond(p(1), Response::Decided(v(2))),
+            ]),
+        ];
+        let safety = ConsensusSafety::new();
+        for h in &histories {
+            if lin.is_linearizable(h) {
+                assert!(safety.allows(h), "linearizable but unsafe: {h}");
+            }
+        }
+        // The second history is valid-but-disagreeing: not linearizable.
+        assert!(!lin.is_linearizable(&histories[1]));
+    }
+
+    #[test]
+    fn decided_before_any_overlap_must_be_first_proposal() {
+        let lin = Linearizability::new(ConsensusSpec::new());
+        // p1 proposes 1 and decides 2 while p2's propose(2) is concurrent:
+        // linearizable (p2's propose linearizes first).
+        let h = History::from_actions([
+            Action::invoke(p(1), Operation::Propose(v(2))),
+            Action::invoke(p(0), Operation::Propose(v(1))),
+            Action::respond(p(0), Response::Decided(v(2))),
+        ]);
+        assert!(lin.is_linearizable(&h));
+        // Without p2's proposal, deciding 2 is impossible.
+        let h2 = History::from_actions([
+            Action::invoke(p(0), Operation::Propose(v(1))),
+            Action::respond(p(0), Response::Decided(v(2))),
+        ]);
+        assert!(!lin.is_linearizable(&h2));
+    }
+
+    #[test]
+    fn empty_history_linearizable() {
+        assert!(reg_checker().is_linearizable(&History::new()));
+    }
+
+    #[test]
+    fn prefix_monotone_on_samples() {
+        let checker = reg_checker();
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::Write(x0(), v(1))),
+            Action::invoke(p(1), Operation::Read(x0())),
+            Action::respond(p(1), Response::ValueReturned(v(1))),
+            Action::respond(p(0), Response::Ok),
+        ]);
+        assert!(checker.prefix_monotone_on(&h));
+    }
+}

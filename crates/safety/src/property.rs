@@ -1,0 +1,143 @@
+//! The safety-property trait.
+
+use std::fmt;
+
+use slx_history::History;
+
+/// A reported safety violation: the shortest violating prefix and a
+/// human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Length of the shortest violating prefix of the submitted history.
+    pub prefix_len: usize,
+    /// Explanation of what went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "violation at prefix {}: {}", self.prefix_len, self.reason)
+    }
+}
+
+/// A safety property `S` (Definition 3.1): a prefix-closed, limit-closed set
+/// of well-formed histories, represented by its finite-membership predicate.
+///
+/// Implementors must make [`SafetyProperty::allows`] *prefix-monotone*: if a
+/// prefix of `h` is disallowed then `h` is disallowed. The framework's
+/// property tests check this on generated histories. Limit closure then
+/// holds automatically for the induced set (an infinite history is in `S`
+/// iff all its finite prefixes are), so any implementor denotes a genuine
+/// safety property.
+pub trait SafetyProperty {
+    /// A short name for diagnostics (e.g. `"opacity"`).
+    fn name(&self) -> &str;
+
+    /// Whether the finite history `h` is a member of the property.
+    fn allows(&self, h: &History) -> bool;
+
+    /// Like [`SafetyProperty::allows`], with an explanation on failure.
+    /// The default locates the shortest violating prefix by bisection-free
+    /// linear scan, so the reported `prefix_len` is the exact point at
+    /// which the "bad thing" happened.
+    fn check(&self, h: &History) -> Result<(), Violation> {
+        if self.allows(h) {
+            return Ok(());
+        }
+        for k in 0..=h.len() {
+            if !self.allows(&h.prefix(k)) {
+                return Err(Violation {
+                    prefix_len: k,
+                    reason: format!("history rejected by {}", self.name()),
+                });
+            }
+        }
+        // `allows` was false for the full history but true for all prefixes
+        // including the full history itself — impossible unless the
+        // implementor is non-deterministic.
+        Err(Violation {
+            prefix_len: h.len(),
+            reason: format!("history rejected by {} (non-monotone checker?)", self.name()),
+        })
+    }
+
+    /// Validates prefix-monotonicity of this checker on a specific history:
+    /// if `h` is allowed, every prefix must be allowed too. Test helper.
+    fn prefix_monotone_on(&self, h: &History) -> bool {
+        if !self.allows(h) {
+            return true;
+        }
+        h.prefixes().all(|p| self.allows(&p))
+    }
+}
+
+impl<T: SafetyProperty + ?Sized> SafetyProperty for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn allows(&self, h: &History) -> bool {
+        (**self).allows(h)
+    }
+}
+
+impl<T: SafetyProperty + ?Sized> SafetyProperty for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn allows(&self, h: &History) -> bool {
+        (**self).allows(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slx_history::{Action, Operation, ProcessId};
+
+    /// Toy property: histories with at most `max` actions.
+    struct AtMost {
+        max: usize,
+    }
+
+    impl SafetyProperty for AtMost {
+        fn name(&self) -> &str {
+            "at-most"
+        }
+        fn allows(&self, h: &History) -> bool {
+            h.len() <= self.max
+        }
+    }
+
+    fn hist(n: usize) -> History {
+        History::from_actions(
+            (0..n).map(|i| Action::crash(ProcessId::new(i))),
+        )
+    }
+
+    #[test]
+    fn check_locates_shortest_violating_prefix() {
+        let s = AtMost { max: 2 };
+        assert!(s.check(&hist(2)).is_ok());
+        let v = s.check(&hist(5)).unwrap_err();
+        assert_eq!(v.prefix_len, 3);
+        assert!(v.to_string().contains("prefix 3"));
+    }
+
+    #[test]
+    fn prefix_monotone_helper() {
+        let s = AtMost { max: 2 };
+        assert!(s.prefix_monotone_on(&hist(2)));
+        assert!(s.prefix_monotone_on(&hist(9)));
+    }
+
+    #[test]
+    fn blanket_impls() {
+        let s = AtMost { max: 1 };
+        let r: &dyn SafetyProperty = &s;
+        assert_eq!(r.name(), "at-most");
+        assert!(r.allows(&hist(1)));
+        let b: Box<dyn SafetyProperty> = Box::new(AtMost { max: 0 });
+        assert!(!b.allows(&hist(1)));
+        let _ = Operation::TxStart; // keep import used
+    }
+}

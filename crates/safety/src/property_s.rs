@@ -1,0 +1,380 @@
+//! The counterexample safety property `S` of Section 5.3.
+
+use slx_history::{
+    Action, History, Operation, ProcessId, Response, TransactionStatus, TxnId, Value,
+};
+
+use crate::opacity::Opacity;
+use crate::property::SafetyProperty;
+
+/// Property `S` (Section 5.3): opacity **plus** the forced-abort rule —
+/// for any three or more concurrent transactions `T1, T2, T3, ...` executed
+/// by distinct processes such that
+///
+/// 1. there is a `t` with each `Ti` being the `t`-th transaction of its
+///    process, and
+/// 2. each `Ti` invokes `tryC()` after at least two other transactions of
+///    the group received a response for their `start()`,
+///
+/// the transactions of the group must all abort (equivalently: none of
+/// them may commit — committing is the irrevocable "bad event").
+///
+/// This is the property for which the paper shows that *within*
+/// (l,k)-freedom, both (1,3)-freedom and (2,2)-freedom exclude `S` while
+/// (1,2)-freedom does not (Algorithm I(1,2) implements it), so no weakest
+/// excluding (l,k)-freedom exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropertyS {
+    opacity: Opacity,
+}
+
+/// Per-transaction metadata needed by the rule: positions of the `start()`
+/// response and the `tryC()` invocation within the history.
+#[derive(Debug, Clone)]
+struct TxnMeta {
+    id: TxnId,
+    start_index: usize,
+    start_resp_index: Option<usize>,
+    tryc_invoke_index: Option<usize>,
+    end_index: Option<usize>,
+    status: TransactionStatus,
+}
+
+impl PropertyS {
+    /// Checker with all transactional variables initially `init`.
+    pub fn new(init: Value) -> Self {
+        PropertyS {
+            opacity: Opacity::new(init),
+        }
+    }
+
+    /// Whether the forced-abort rule (requirement 2 of `S`) holds, in
+    /// isolation from opacity. Exposed for the adversary analyses, which
+    /// reason about the rule separately.
+    pub fn abort_rule_holds(&self, h: &History) -> bool {
+        let metas = Self::metas(h);
+        // Group transactions by per-process sequence number.
+        let max_seq = metas.iter().map(|m| m.id.seq).max().unwrap_or(0);
+        for t in 1..=max_seq {
+            let group: Vec<&TxnMeta> = metas.iter().filter(|m| m.id.seq == t).collect();
+            if group.len() < 3 {
+                continue;
+            }
+            // All subsets of size >= 3 (distinct processes are guaranteed:
+            // one transaction per process per sequence number).
+            let n = group.len();
+            for mask in 0u32..(1 << n) {
+                if (mask.count_ones() as usize) < 3 {
+                    continue;
+                }
+                let subset: Vec<&TxnMeta> = (0..n)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| group[i])
+                    .collect();
+                if Self::conditions_hold(&subset) {
+                    // The group must be (and remain) commit-free.
+                    if subset
+                        .iter()
+                        .any(|m| m.status == TransactionStatus::Committed)
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn conditions_hold(subset: &[&TxnMeta]) -> bool {
+        // Pairwise concurrent.
+        for (i, a) in subset.iter().enumerate() {
+            for b in subset.iter().skip(i + 1) {
+                let a_before_b = a.end_index.is_some_and(|e| e < b.start_index);
+                let b_before_a = b.end_index.is_some_and(|e| e < a.start_index);
+                if a_before_b || b_before_a {
+                    return false;
+                }
+            }
+        }
+        // Each member invoked tryC after >= 2 other members' start responses.
+        for m in subset {
+            let Some(tc) = m.tryc_invoke_index else {
+                return false;
+            };
+            let witnesses = subset
+                .iter()
+                .filter(|o| o.id != m.id)
+                .filter(|o| o.start_resp_index.is_some_and(|s| s < tc))
+                .count();
+            if witnesses < 2 {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn metas(h: &History) -> Vec<TxnMeta> {
+        let mut metas: Vec<TxnMeta> = Vec::new();
+        let mut open: std::collections::BTreeMap<ProcessId, usize> = Default::default();
+        let mut next_seq: std::collections::BTreeMap<ProcessId, usize> = Default::default();
+        // Whether the open transaction's most recent invocation awaits its
+        // start response / is the tryC.
+        let mut awaiting_start: std::collections::BTreeMap<ProcessId, bool> = Default::default();
+        for (i, a) in h.actions().iter().enumerate() {
+            let p = a.proc();
+            match a {
+                Action::Invoke { op, .. } => match op {
+                    Operation::TxStart => {
+                        let seq = next_seq.entry(p).or_insert(1);
+                        let id = TxnId::new(p, *seq);
+                        *seq += 1;
+                        open.insert(p, metas.len());
+                        awaiting_start.insert(p, true);
+                        metas.push(TxnMeta {
+                            id,
+                            start_index: i,
+                            start_resp_index: None,
+                            tryc_invoke_index: None,
+                            end_index: None,
+                            status: TransactionStatus::Live,
+                        });
+                    }
+                    Operation::TxCommit => {
+                        if let Some(&mi) = open.get(&p) {
+                            metas[mi].tryc_invoke_index = Some(i);
+                        }
+                    }
+                    _ => {}
+                },
+                Action::Respond { resp, .. } => {
+                    if let Some(&mi) = open.get(&p) {
+                        if awaiting_start.get(&p).copied().unwrap_or(false) {
+                            metas[mi].start_resp_index = Some(i);
+                            awaiting_start.insert(p, false);
+                        }
+                        match resp {
+                            Response::Committed => {
+                                metas[mi].status = TransactionStatus::Committed;
+                                metas[mi].end_index = Some(i);
+                                open.remove(&p);
+                            }
+                            Response::Aborted => {
+                                metas[mi].status = TransactionStatus::Aborted;
+                                metas[mi].end_index = Some(i);
+                                open.remove(&p);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                Action::Crash { .. } => {}
+            }
+        }
+        metas
+    }
+}
+
+impl SafetyProperty for PropertyS {
+    fn name(&self) -> &str {
+        "property S (opacity + equal-timestamp abort rule)"
+    }
+
+    fn allows(&self, h: &History) -> bool {
+        self.abort_rule_holds(h) && self.opacity.allows(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slx_history::VarId;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn v(x: i64) -> Value {
+        Value::new(x)
+    }
+
+    /// The §5.3 adversary pattern: three processes start their t-th
+    /// transactions concurrently, all receive start responses, then all
+    /// invoke tryC. `outcomes[i]` is the tryC response of process i.
+    fn triple_round(outcomes: [Response; 3]) -> History {
+        let mut acts = Vec::new();
+        for i in 0..3 {
+            acts.push(Action::invoke(p(i), Operation::TxStart));
+        }
+        for i in 0..3 {
+            acts.push(Action::respond(p(i), Response::Ok));
+        }
+        for i in 0..3 {
+            acts.push(Action::invoke(p(i), Operation::TxCommit));
+        }
+        for (i, r) in outcomes.iter().enumerate() {
+            acts.push(Action::respond(p(i), *r));
+        }
+        History::from_actions(acts)
+    }
+
+    #[test]
+    fn all_aborted_round_allowed() {
+        let h = triple_round([Response::Aborted, Response::Aborted, Response::Aborted]);
+        let s = PropertyS::new(v(0));
+        assert!(s.abort_rule_holds(&h));
+        assert!(s.allows(&h));
+    }
+
+    #[test]
+    fn commit_in_synchronized_round_rejected() {
+        let h = triple_round([Response::Committed, Response::Aborted, Response::Aborted]);
+        let s = PropertyS::new(v(0));
+        assert!(!s.abort_rule_holds(&h));
+        assert!(!s.allows(&h));
+    }
+
+    #[test]
+    fn two_concurrent_transactions_may_commit() {
+        // Only two processes: rule does not apply.
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::TxStart),
+            Action::invoke(p(1), Operation::TxStart),
+            Action::respond(p(0), Response::Ok),
+            Action::respond(p(1), Response::Ok),
+            Action::invoke(p(0), Operation::TxCommit),
+            Action::respond(p(0), Response::Committed),
+            Action::invoke(p(1), Operation::TxCommit),
+            Action::respond(p(1), Response::Aborted),
+        ]);
+        let s = PropertyS::new(v(0));
+        assert!(s.abort_rule_holds(&h));
+        assert!(s.allows(&h));
+    }
+
+    #[test]
+    fn early_commit_request_escapes_rule() {
+        // p1 invokes tryC before the other two receive start responses:
+        // condition (2) fails for p1, so the triple is not forced to abort.
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::TxStart),
+            Action::respond(p(0), Response::Ok),
+            Action::invoke(p(0), Operation::TxCommit),
+            Action::invoke(p(1), Operation::TxStart),
+            Action::invoke(p(2), Operation::TxStart),
+            Action::respond(p(1), Response::Ok),
+            Action::respond(p(2), Response::Ok),
+            Action::respond(p(0), Response::Committed),
+            Action::invoke(p(1), Operation::TxCommit),
+            Action::respond(p(1), Response::Aborted),
+            Action::invoke(p(2), Operation::TxCommit),
+            Action::respond(p(2), Response::Aborted),
+        ]);
+        assert!(PropertyS::new(v(0)).abort_rule_holds(&h));
+    }
+
+    #[test]
+    fn different_sequence_numbers_escape_rule() {
+        // p1 runs one committed transaction first, so its *second*
+        // transaction meets the others' first: no common t, rule silent.
+        let mut acts = vec![
+            Action::invoke(p(0), Operation::TxStart),
+            Action::respond(p(0), Response::Ok),
+            Action::invoke(p(0), Operation::TxCommit),
+            Action::respond(p(0), Response::Committed),
+        ];
+        // Now p1 seq 2, p2 seq 1, p3 seq 1 all concurrent and synchronized.
+        for i in 0..3 {
+            acts.push(Action::invoke(p(i), Operation::TxStart));
+        }
+        for i in 0..3 {
+            acts.push(Action::respond(p(i), Response::Ok));
+        }
+        for i in 0..3 {
+            acts.push(Action::invoke(p(i), Operation::TxCommit));
+        }
+        acts.push(Action::respond(p(0), Response::Committed));
+        acts.push(Action::respond(p(1), Response::Aborted));
+        acts.push(Action::respond(p(2), Response::Aborted));
+        let h = History::from_actions(acts);
+        assert!(PropertyS::new(v(0)).abort_rule_holds(&h));
+    }
+
+    #[test]
+    fn non_concurrent_triple_escapes_rule() {
+        // Three same-seq transactions but p1's completes before p3 starts.
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::TxStart),
+            Action::respond(p(0), Response::Ok),
+            Action::invoke(p(1), Operation::TxStart),
+            Action::respond(p(1), Response::Ok),
+            Action::invoke(p(0), Operation::TxCommit),
+            Action::respond(p(0), Response::Committed),
+            Action::invoke(p(2), Operation::TxStart),
+            Action::respond(p(2), Response::Ok),
+            Action::invoke(p(1), Operation::TxCommit),
+            Action::respond(p(1), Response::Aborted),
+            Action::invoke(p(2), Operation::TxCommit),
+            Action::respond(p(2), Response::Aborted),
+        ]);
+        assert!(PropertyS::new(v(0)).abort_rule_holds(&h));
+    }
+
+    #[test]
+    fn rule_applies_among_four_processes() {
+        let mut acts = Vec::new();
+        for i in 0..4 {
+            acts.push(Action::invoke(p(i), Operation::TxStart));
+        }
+        for i in 0..4 {
+            acts.push(Action::respond(p(i), Response::Ok));
+        }
+        for i in 0..4 {
+            acts.push(Action::invoke(p(i), Operation::TxCommit));
+        }
+        acts.push(Action::respond(p(3), Response::Committed));
+        let h = History::from_actions(acts);
+        assert!(!PropertyS::new(v(0)).abort_rule_holds(&h));
+    }
+
+    #[test]
+    fn live_synchronized_round_still_allowed() {
+        // All three invoked tryC but no responses yet: no commit, rule holds
+        // (prefix-closedness requires allowing this prefix).
+        let mut acts = Vec::new();
+        for i in 0..3 {
+            acts.push(Action::invoke(p(i), Operation::TxStart));
+        }
+        for i in 0..3 {
+            acts.push(Action::respond(p(i), Response::Ok));
+        }
+        for i in 0..3 {
+            acts.push(Action::invoke(p(i), Operation::TxCommit));
+        }
+        let h = History::from_actions(acts);
+        let s = PropertyS::new(v(0));
+        assert!(s.abort_rule_holds(&h));
+        assert!(s.allows(&h));
+    }
+
+    #[test]
+    fn property_s_includes_opacity() {
+        // Opacity violation alone breaks S.
+        let h = History::from_actions([
+            Action::invoke(p(0), Operation::TxStart),
+            Action::respond(p(0), Response::Ok),
+            Action::invoke(p(0), Operation::TxRead(VarId::new(0))),
+            Action::respond(p(0), Response::ValueReturned(v(42))),
+            Action::invoke(p(0), Operation::TxCommit),
+            Action::respond(p(0), Response::Committed),
+        ]);
+        let s = PropertyS::new(v(0));
+        assert!(s.abort_rule_holds(&h));
+        assert!(!s.allows(&h));
+    }
+
+    #[test]
+    fn prefix_monotone_on_samples() {
+        let s = PropertyS::new(v(0));
+        let h = triple_round([Response::Aborted, Response::Aborted, Response::Aborted]);
+        assert!(s.prefix_monotone_on(&h));
+    }
+}

@@ -1,0 +1,250 @@
+//! Sequential specifications `Seq ⊆ Inv × St × St × Res` of object types.
+
+use slx_history::{Operation, Response, Value, VarId};
+
+/// A sequential specification of an object type, in the relational form of
+/// the paper's `Seq ⊆ Inv × St × St × Res`: applying an invocation in a
+/// state yields a set of (next state, response) pairs (usually a singleton
+/// for deterministic objects).
+pub trait SeqSpec {
+    /// The object state `St`.
+    type State: Clone + Eq + std::fmt::Debug;
+
+    /// The initial state.
+    fn init(&self) -> Self::State;
+
+    /// All `(state', response)` pairs allowed by `Seq` for `op` in `state`.
+    /// An empty vector means `op` is not applicable in `state` (no response
+    /// is legal).
+    fn apply(&self, state: &Self::State, op: Operation) -> Vec<(Self::State, Response)>;
+}
+
+/// Sequential specification of an array of read/write registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterSpec {
+    vars: usize,
+    init: Value,
+}
+
+impl RegisterSpec {
+    /// `vars` registers, each initialized to `init`.
+    pub fn new(vars: usize, init: Value) -> Self {
+        RegisterSpec { vars, init }
+    }
+}
+
+impl SeqSpec for RegisterSpec {
+    type State = Vec<Value>;
+
+    fn init(&self) -> Self::State {
+        vec![self.init; self.vars]
+    }
+
+    fn apply(&self, state: &Self::State, op: Operation) -> Vec<(Self::State, Response)> {
+        match op {
+            Operation::Read(x) if x.index() < self.vars => {
+                vec![(state.clone(), Response::ValueReturned(state[x.index()]))]
+            }
+            Operation::Write(x, v) if x.index() < self.vars => {
+                let mut s = state.clone();
+                s[x.index()] = v;
+                vec![(s, Response::Ok)]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Sequential specification of a consensus object: the first `propose`
+/// fixes the decision; every propose returns the fixed decision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConsensusSpec {
+    _priv: (),
+}
+
+impl ConsensusSpec {
+    /// Creates the consensus specification.
+    pub fn new() -> Self {
+        ConsensusSpec::default()
+    }
+}
+
+impl SeqSpec for ConsensusSpec {
+    type State = Option<Value>;
+
+    fn init(&self) -> Self::State {
+        None
+    }
+
+    fn apply(&self, state: &Self::State, op: Operation) -> Vec<(Self::State, Response)> {
+        match op {
+            Operation::Propose(v) => match state {
+                None => vec![(Some(v), Response::Decided(v))],
+                Some(d) => vec![(Some(*d), Response::Decided(*d))],
+            },
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Sequential specification of a test-and-set bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TasSpec {
+    _priv: (),
+}
+
+impl TasSpec {
+    /// Creates the test-and-set specification.
+    pub fn new() -> Self {
+        TasSpec::default()
+    }
+}
+
+impl SeqSpec for TasSpec {
+    type State = bool;
+
+    fn init(&self) -> Self::State {
+        false
+    }
+
+    fn apply(&self, state: &Self::State, op: Operation) -> Vec<(Self::State, Response)> {
+        match op {
+            Operation::TestAndSet => vec![(true, Response::Flag(*state))],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Sequential specification of a compare-and-swap object over [`Value`]s
+/// (readable via [`Operation::Read`] of variable `x1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CasSpec {
+    init: Value,
+}
+
+impl CasSpec {
+    /// CAS object initialized to `init`.
+    pub fn new(init: Value) -> Self {
+        CasSpec { init }
+    }
+}
+
+impl SeqSpec for CasSpec {
+    type State = Value;
+
+    fn init(&self) -> Self::State {
+        self.init
+    }
+
+    fn apply(&self, state: &Self::State, op: Operation) -> Vec<(Self::State, Response)> {
+        match op {
+            Operation::CompareAndSwap { expected, new } => {
+                if *state == expected {
+                    vec![(new, Response::Flag(true))]
+                } else {
+                    vec![(*state, Response::Flag(false))]
+                }
+            }
+            Operation::Read(x) if x == VarId::new(0) => {
+                vec![(*state, Response::ValueReturned(*state))]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Sequential specification of a fetch-and-add counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSpec {
+    init: Value,
+}
+
+impl CounterSpec {
+    /// Counter initialized to `init`.
+    pub fn new(init: Value) -> Self {
+        CounterSpec { init }
+    }
+}
+
+impl SeqSpec for CounterSpec {
+    type State = Value;
+
+    fn init(&self) -> Self::State {
+        self.init
+    }
+
+    fn apply(&self, state: &Self::State, op: Operation) -> Vec<(Self::State, Response)> {
+        match op {
+            Operation::FetchAdd(delta) => vec![(
+                Value::new(state.raw() + delta.raw()),
+                Response::ValueReturned(*state),
+            )],
+            Operation::Read(x) if x == VarId::new(0) => {
+                vec![(*state, Response::ValueReturned(*state))]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: i64) -> Value {
+        Value::new(x)
+    }
+
+    #[test]
+    fn register_spec_read_write() {
+        let spec = RegisterSpec::new(2, v(0));
+        let s0 = spec.init();
+        let (s1, r) = spec.apply(&s0, Operation::Write(VarId::new(1), v(5)))[0].clone();
+        assert_eq!(r, Response::Ok);
+        let (_, r2) = spec.apply(&s1, Operation::Read(VarId::new(1)))[0].clone();
+        assert_eq!(r2, Response::ValueReturned(v(5)));
+        assert!(spec.apply(&s1, Operation::Read(VarId::new(7))).is_empty());
+        assert!(spec.apply(&s1, Operation::TxStart).is_empty());
+    }
+
+    #[test]
+    fn consensus_spec_first_proposal_wins() {
+        let spec = ConsensusSpec::new();
+        let s0 = spec.init();
+        let (s1, r1) = spec.apply(&s0, Operation::Propose(v(3)))[0];
+        assert_eq!(r1, Response::Decided(v(3)));
+        let (_, r2) = spec.apply(&s1, Operation::Propose(v(9)))[0];
+        assert_eq!(r2, Response::Decided(v(3)));
+    }
+
+    #[test]
+    fn tas_spec_sets_once() {
+        let spec = TasSpec::new();
+        let (s1, r1) = spec.apply(&spec.init(), Operation::TestAndSet)[0];
+        assert_eq!(r1, Response::Flag(false));
+        let (_, r2) = spec.apply(&s1, Operation::TestAndSet)[0];
+        assert_eq!(r2, Response::Flag(true));
+    }
+
+    #[test]
+    fn cas_spec_success_and_failure() {
+        let spec = CasSpec::new(v(0));
+        let op = Operation::CompareAndSwap {
+            expected: v(0),
+            new: v(1),
+        };
+        let (s1, r1) = spec.apply(&spec.init(), op)[0];
+        assert_eq!(r1, Response::Flag(true));
+        let (s2, r2) = spec.apply(&s1, op)[0];
+        assert_eq!(r2, Response::Flag(false));
+        assert_eq!(s2, v(1));
+    }
+
+    #[test]
+    fn counter_spec_fetch_add() {
+        let spec = CounterSpec::new(v(10));
+        let (s1, r1) = spec.apply(&spec.init(), Operation::FetchAdd(v(5)))[0];
+        assert_eq!(r1, Response::ValueReturned(v(10)));
+        assert_eq!(s1, v(15));
+    }
+}

@@ -1,0 +1,162 @@
+//! Configuration normalization for cycle detection.
+//!
+//! The TM adversaries of Sections 4.1 and 5.3 drive the TMs into infinite
+//! loops whose per-iteration state differs only by a uniform *shift*: the
+//! global version counter grows by one per victim round (Section 4.1
+//! strategy against [`GlobalVersionTm`]), and every process's timestamp
+//! grows by one per round of the Section 5.3 strategy against [`AgpTm`].
+//! Raw configurations therefore never repeat, even though the executions
+//! are plainly periodic.
+//!
+//! Both algorithms are **shift-invariant**: their control flow depends on
+//! numeric state only through (a) equality comparisons of whole words (the
+//! commit CAS) and (b) order comparisons between timestamps
+//! (`snapshot[j] ≥ timestamp`). Both are preserved when every version,
+//! every timestamp, and every written value is shifted by the same
+//! amounts. Consequently a repeat of the *normalized* configuration —
+//! versions rebased to 1, timestamps rebased to their minimum, values
+//! rebased to the committed value of variable `x1` — witnesses a genuine
+//! infinite execution, which is exactly what the keyed cycle detector in
+//! `slx-explorer` needs. (This module provides the normalizing maps; the
+//! explorer crate provides the detector.)
+
+use slx_history::Value;
+use slx_memory::{BaseObject, System};
+
+use crate::agp::AgpTm;
+use crate::global_version::GlobalVersionTm;
+use crate::word::TmWord;
+
+/// Shift applied by the normalizers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Shift {
+    /// Subtracted from every version number.
+    pub dver: u64,
+    /// Subtracted from every timestamp.
+    pub dts: u64,
+    /// Subtracted from every variable value.
+    pub dval: i64,
+}
+
+pub(crate) fn shift_word(w: &TmWord, s: Shift) -> TmWord {
+    match w {
+        TmWord::Versioned { version, values } => TmWord::Versioned {
+            version: version.saturating_sub(s.dver),
+            values: values
+                .iter()
+                .map(|v| Value::new(v.raw() - s.dval))
+                .collect(),
+        },
+        TmWord::Ts(t) => TmWord::Ts(t.saturating_sub(s.dts)),
+    }
+}
+
+/// Reads the current committed `(version, values)` from the first CAS
+/// object in memory, yielding the canonical shift that rebases the version
+/// to 1 and variable `x1`'s committed value to 0.
+fn committed_base<P: slx_memory::Process<TmWord>>(sys: &System<TmWord, P>) -> Shift {
+    for (_, obj) in sys.memory().iter_objects() {
+        if let BaseObject::Cas(TmWord::Versioned { version, values }) = obj {
+            return Shift {
+                dver: version - 1,
+                dts: 0,
+                dval: values.first().map(|v| v.raw()).unwrap_or(0),
+            };
+        }
+    }
+    Shift::default()
+}
+
+/// Normalized configuration of a [`GlobalVersionTm`] system: versions and
+/// values rebased to the committed state. Use as the cycle-detection key.
+pub fn normalized_global_version(
+    sys: &System<TmWord, GlobalVersionTm>,
+) -> System<TmWord, GlobalVersionTm> {
+    let s = committed_base(sys);
+    sys.transformed(|w| shift_word(w, s), |p| p.shifted(s))
+}
+
+/// Normalized configuration of an [`AgpTm`] system: versions/values rebased
+/// to the committed state and timestamps rebased to the minimum announced
+/// timestamp. Use as the cycle-detection key.
+pub fn normalized_agp(sys: &System<TmWord, AgpTm>) -> System<TmWord, AgpTm> {
+    let mut s = committed_base(sys);
+    // Minimum announced timestamp across the snapshot object.
+    let mut min_ts = u64::MAX;
+    for (_, obj) in sys.memory().iter_objects() {
+        if let BaseObject::Snapshot(v) = obj {
+            for w in v {
+                if let TmWord::Ts(t) = w {
+                    min_ts = min_ts.min(*t);
+                }
+            }
+        }
+    }
+    if min_ts != u64::MAX {
+        s.dts = min_ts;
+    }
+    sys.transformed(|w| shift_word(w, s), |p| p.shifted(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slx_history::{Operation, ProcessId, VarId};
+    use slx_memory::Memory;
+
+    #[test]
+    fn shift_word_rebases() {
+        let s = Shift {
+            dver: 3,
+            dts: 2,
+            dval: 10,
+        };
+        let w = TmWord::Versioned {
+            version: 4,
+            values: vec![Value::new(12)],
+        };
+        assert_eq!(
+            shift_word(&w, s),
+            TmWord::Versioned {
+                version: 1,
+                values: vec![Value::new(2)],
+            }
+        );
+        assert_eq!(shift_word(&TmWord::Ts(5), s), TmWord::Ts(3));
+    }
+
+    fn gv_after_commits(commits: usize) -> System<TmWord, GlobalVersionTm> {
+        let mut mem: Memory<TmWord> = Memory::new();
+        let c = GlobalVersionTm::alloc(&mut mem, 1);
+        let mut sys = System::new(mem, vec![GlobalVersionTm::new(c, 1)]);
+        let p0 = ProcessId::new(0);
+        for k in 0..commits {
+            for op in [
+                Operation::TxStart,
+                Operation::TxWrite(VarId::new(0), Value::new(k as i64 + 1)),
+                Operation::TxCommit,
+            ] {
+                sys.invoke(p0, op).unwrap();
+                while !matches!(sys.step(p0).unwrap(), slx_memory::StepEffect::Responded(_)) {}
+            }
+        }
+        sys
+    }
+
+    #[test]
+    fn normalization_identifies_shifted_global_version_memories() {
+        let a = normalized_global_version(&gv_after_commits(0));
+        let b = normalized_global_version(&gv_after_commits(1));
+        let c = normalized_global_version(&gv_after_commits(2));
+        // The committed memory words normalize identically regardless of
+        // how many +1 commits happened.
+        let word = |s: &System<TmWord, GlobalVersionTm>| {
+            s.memory()
+                .iter_objects()
+                .map(|(_, o)| o.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(word(&a), word(&b));
+        assert_eq!(word(&b), word(&c));
+    }
+}

@@ -1,0 +1,81 @@
+//! The base-object alphabet of the TM implementations.
+
+use slx_history::Value;
+
+/// Words stored in the TM base objects:
+///
+/// - the compare-and-swap object `C` holds a [`TmWord::Versioned`] pair
+///   `(version, values)` — atomically, exactly as Algorithm 1 writes it;
+/// - the snapshot object `R[1..n]` holds [`TmWord::Ts`] timestamps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TmWord {
+    /// `(version, values-of-all-transactional-variables)`.
+    Versioned {
+        /// The version number; only ever increases.
+        version: u64,
+        /// The committed value of every transactional variable.
+        values: Vec<Value>,
+    },
+    /// A per-process timestamp in the snapshot object `R`.
+    Ts(u64),
+}
+
+impl TmWord {
+    /// Convenience constructor for the initial `C` contents
+    /// `(1, (0, 0, ...))` of Algorithm 1.
+    pub fn initial(nvars: usize) -> TmWord {
+        TmWord::Versioned {
+            version: 1,
+            values: vec![Value::new(0); nvars],
+        }
+    }
+
+    /// Extracts the versioned pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is not [`TmWord::Versioned`] — a programming
+    /// error in the algorithm, not a runtime condition.
+    pub fn expect_versioned(&self) -> (u64, &Vec<Value>) {
+        match self {
+            TmWord::Versioned { version, values } => (*version, values),
+            TmWord::Ts(_) => panic!("expected a versioned word, found a timestamp"),
+        }
+    }
+
+    /// Extracts the timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is not [`TmWord::Ts`].
+    pub fn expect_ts(&self) -> u64 {
+        match self {
+            TmWord::Ts(t) => *t,
+            TmWord::Versioned { .. } => panic!("expected a timestamp, found a versioned word"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_word() {
+        let w = TmWord::initial(2);
+        let (v, vals) = w.expect_versioned();
+        assert_eq!(v, 1);
+        assert_eq!(vals, &vec![Value::new(0); 2]);
+    }
+
+    #[test]
+    fn ts_extraction() {
+        assert_eq!(TmWord::Ts(4).expect_ts(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a timestamp")]
+    fn wrong_extraction_panics() {
+        let _ = TmWord::initial(1).expect_ts();
+    }
+}

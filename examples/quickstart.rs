@@ -1,0 +1,87 @@
+//! Quickstart: the framework in five minutes.
+//!
+//! Builds a history by hand, checks safety; runs a real implementation
+//! under a controlled schedule, checks safety and liveness; shows the
+//! Theorem 4.9 trivial implementation.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use safety_liveness_exclusion::consensus::{ConsWord, ObstructionFreeConsensus, TrivialNoResponse};
+use safety_liveness_exclusion::history::{Action, History, Operation, ProcessId, Response, Value};
+use safety_liveness_exclusion::liveness::{
+    ExecutionView, KObstructionFreedom, LivenessProperty, ProgressKind,
+};
+use safety_liveness_exclusion::memory::{Memory, RoundRobin, SoloScheduler, System};
+use safety_liveness_exclusion::safety::{ConsensusSafety, SafetyProperty};
+
+fn main() {
+    let p1 = ProcessId::new(0);
+    let p2 = ProcessId::new(1);
+
+    // ------------------------------------------------------------------
+    // 1. Histories and safety properties are plain data.
+    // ------------------------------------------------------------------
+    let agree = History::from_actions([
+        Action::invoke(p1, Operation::Propose(Value::new(7))),
+        Action::invoke(p2, Operation::Propose(Value::new(9))),
+        Action::respond(p1, Response::Decided(Value::new(9))),
+        Action::respond(p2, Response::Decided(Value::new(9))),
+    ]);
+    let safety = ConsensusSafety::new();
+    println!("history       : {agree}");
+    println!("well-formed   : {}", agree.is_well_formed());
+    println!("safe (A&V)    : {}\n", safety.allows(&agree));
+
+    let disagree = History::from_actions([
+        Action::invoke(p1, Operation::Propose(Value::new(7))),
+        Action::invoke(p2, Operation::Propose(Value::new(9))),
+        Action::respond(p1, Response::Decided(Value::new(7))),
+        Action::respond(p2, Response::Decided(Value::new(9))),
+    ]);
+    println!("history       : {disagree}");
+    match safety.check(&disagree) {
+        Ok(()) => println!("safe (A&V)    : true\n"),
+        Err(v) => println!("safe (A&V)    : false ({v})\n"),
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Implementations are step machines under scheduler control.
+    // ------------------------------------------------------------------
+    let mut mem: Memory<ConsWord> = Memory::new();
+    let layout = ObstructionFreeConsensus::layout(&mut mem, 2, 64);
+    let procs = vec![
+        ObstructionFreeConsensus::new(layout.clone(), p1, 2),
+        ObstructionFreeConsensus::new(layout, p2, 2),
+    ];
+    let mut sys = System::new(mem, procs);
+    sys.invoke(p1, Operation::Propose(Value::new(7))).unwrap();
+    sys.invoke(p2, Operation::Propose(Value::new(9))).unwrap();
+
+    // Run p1 alone first (obstruction-freedom: it must decide) ...
+    sys.run(&mut SoloScheduler::new(p1), 10_000);
+    // ... then let p2 catch up.
+    sys.run(&mut RoundRobin::new(), 10_000);
+
+    println!("register-only obstruction-free consensus run:");
+    println!("history       : {}", sys.history());
+    println!("safe (A&V)    : {}", safety.allows(sys.history()));
+
+    // Liveness: evaluate 1-obstruction-freedom on the recorded execution.
+    let view = ExecutionView::new(sys.events(), 2, 0, ProgressKind::AnyResponse);
+    let of = KObstructionFreedom::new(1);
+    println!("{}: {}\n", of.name(), of.satisfied(&view));
+
+    // ------------------------------------------------------------------
+    // 3. Theorem 4.9's trivial implementation: never responds, ensures
+    //    every safety property, and its finite runs are fair.
+    // ------------------------------------------------------------------
+    let mem: Memory<ConsWord> = Memory::new();
+    let mut trivial = System::new(mem, vec![TrivialNoResponse::new(); 2]);
+    trivial.invoke(p1, Operation::Propose(Value::new(1))).unwrap();
+    trivial.invoke(p2, Operation::Propose(Value::new(2))).unwrap();
+    trivial.run(&mut RoundRobin::new(), 1000);
+    println!("trivial implementation It:");
+    println!("history       : {}", trivial.history());
+    println!("safe (A&V)    : {}", safety.allows(trivial.history()));
+    println!("quiescent     : {} (finite fair execution)", trivial.quiescent());
+}

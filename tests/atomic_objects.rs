@@ -1,0 +1,107 @@
+//! The hardware object types (Section 2's base-object menagerie) as shared
+//! objects: linearizability of the one-primitive implementations, checked
+//! per schedule and exhaustively at small scope.
+
+use safety_liveness_exclusion::explorer::explore_safety;
+use safety_liveness_exclusion::history::{Operation, ProcessId, Value};
+use safety_liveness_exclusion::memory::{
+    AtomicKind, AtomicObjectProcess, FairRandom, Memory, System,
+};
+use safety_liveness_exclusion::safety::{
+    CasSpec, CounterSpec, Linearizability, SafetyProperty, TasSpec,
+};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn system(kind: AtomicKind, n: usize) -> System<i64, AtomicObjectProcess> {
+    let mut mem: Memory<i64> = Memory::new();
+    let obj = match kind {
+        AtomicKind::Tas => mem.alloc_tas(),
+        AtomicKind::Cas => mem.alloc_cas(0),
+        AtomicKind::Counter => mem.alloc_counter(0),
+    };
+    let procs = (0..n).map(|_| AtomicObjectProcess::new(kind, obj)).collect();
+    System::new(mem, procs)
+}
+
+#[test]
+fn tas_histories_linearizable_across_seeds() {
+    let lin = Linearizability::new(TasSpec::new());
+    for seed in 0..20 {
+        let mut sys = system(AtomicKind::Tas, 3);
+        for i in 0..3 {
+            sys.invoke(p(i), Operation::TestAndSet).unwrap();
+        }
+        sys.run(&mut FairRandom::new(seed), 100);
+        assert!(lin.is_linearizable(sys.history()), "seed {seed}");
+    }
+}
+
+#[test]
+fn tas_exhaustive_all_schedules() {
+    let mut sys = system(AtomicKind::Tas, 3);
+    for i in 0..3 {
+        sys.invoke(p(i), Operation::TestAndSet).unwrap();
+    }
+    let lin = Linearizability::new(TasSpec::new());
+    let out = explore_safety(&sys, &[p(0), p(1), p(2)], 6, &lin, |h| {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut hasher = DefaultHasher::new();
+        for a in h.iter() {
+            a.hash(&mut hasher);
+        }
+        hasher.finish()
+    });
+    assert!(out.holds(), "violations: {:?}", out.violations);
+    assert!(!out.truncated, "3 one-step processes finish within depth 6");
+}
+
+#[test]
+fn cas_histories_linearizable_across_seeds() {
+    let lin = Linearizability::new(CasSpec::new(Value::new(0)));
+    for seed in 0..20 {
+        let mut sys = system(AtomicKind::Cas, 3);
+        for i in 0..3 {
+            sys.invoke(
+                p(i),
+                Operation::CompareAndSwap {
+                    expected: Value::new(0),
+                    new: Value::new(i as i64 + 1),
+                },
+            )
+            .unwrap();
+        }
+        sys.run(&mut FairRandom::new(seed), 100);
+        assert!(lin.is_linearizable(sys.history()), "seed {seed}");
+    }
+}
+
+#[test]
+fn counter_histories_linearizable_across_seeds() {
+    let lin = Linearizability::new(CounterSpec::new(Value::new(0)));
+    for seed in 0..20 {
+        let mut sys = system(AtomicKind::Counter, 3);
+        for i in 0..3 {
+            sys.invoke(p(i), Operation::FetchAdd(Value::new(1))).unwrap();
+        }
+        sys.run(&mut FairRandom::new(seed), 100);
+        assert!(lin.is_linearizable(sys.history()), "seed {seed}");
+    }
+}
+
+#[test]
+fn corrupted_tas_history_rejected() {
+    // Sanity that the checker has teeth: two winners is impossible.
+    use safety_liveness_exclusion::history::{Action, History, Response};
+    let h = History::from_actions([
+        Action::invoke(p(0), Operation::TestAndSet),
+        Action::invoke(p(1), Operation::TestAndSet),
+        Action::respond(p(0), Response::Flag(false)),
+        Action::respond(p(1), Response::Flag(false)),
+    ]);
+    let lin = Linearizability::new(TasSpec::new());
+    assert!(!lin.is_linearizable(&h));
+}

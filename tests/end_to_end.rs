@@ -1,0 +1,94 @@
+//! End-to-end integration: the paper's headline results, regenerated
+//! through the public API of the root crate.
+
+use safety_liveness_exclusion::counterexample::run_counterexample_s;
+use safety_liveness_exclusion::grid::{consensus_grid, tm_grid};
+use safety_liveness_exclusion::liveness::LkFreedom;
+use safety_liveness_exclusion::sect6::{nx_report, s_freedom_report};
+use safety_liveness_exclusion::theorems::{consensus_gmax_demo, tm_gmax_demo};
+
+#[test]
+fn theorem_5_2_figure_1a() {
+    for n in [2, 3, 5] {
+        let g = consensus_grid(n);
+        for p in &g.points {
+            assert_eq!(
+                p.implementable(),
+                p.lk == LkFreedom::new(1, 1),
+                "n={n}: wrong verdict at {}",
+                p.lk
+            );
+        }
+        assert_eq!(
+            g.strongest_implementable()
+                .iter()
+                .map(|p| p.lk)
+                .collect::<Vec<_>>(),
+            vec![LkFreedom::new(1, 1)]
+        );
+        if n >= 2 {
+            assert_eq!(
+                g.weakest_excluded().iter().map(|p| p.lk).collect::<Vec<_>>(),
+                vec![LkFreedom::new(1, 2)]
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_5_3_figure_1b() {
+    for n in [2, 3, 5] {
+        let g = tm_grid(n);
+        for p in &g.points {
+            assert_eq!(p.implementable(), p.lk.l() == 1, "n={n}: {}", p.lk);
+        }
+        assert_eq!(
+            g.strongest_implementable()
+                .iter()
+                .map(|p| p.lk)
+                .collect::<Vec<_>>(),
+            vec![LkFreedom::new(1, n)]
+        );
+        if n >= 2 {
+            assert_eq!(
+                g.weakest_excluded().iter().map(|p| p.lk).collect::<Vec<_>>(),
+                vec![LkFreedom::new(2, 2)]
+            );
+        }
+    }
+}
+
+#[test]
+fn corollaries_4_5_and_4_6() {
+    assert!(consensus_gmax_demo().establishes_corollary());
+    assert!(tm_gmax_demo(600).establishes_corollary());
+}
+
+#[test]
+fn section_5_3_counterexample() {
+    assert!(run_counterexample_s(3000).establishes_section_5_3());
+}
+
+#[test]
+fn section_6_structures() {
+    let s = s_freedom_report(5);
+    assert!(s.pairwise_incomparable);
+    assert_eq!(s.singletons.len(), 5);
+    let nx = nx_report(5);
+    assert!(nx.totally_ordered);
+    assert_eq!(nx.strongest_implementable.x(), 0);
+    assert_eq!(nx.weakest_non_implementable.x(), 1);
+}
+
+#[test]
+fn tm_frontier_points_are_incomparable() {
+    // Theorem 5.3's remark: strongest implementable (1,n) and weakest
+    // excluded (2,2) are incomparable for n > 2.
+    for n in [3, 4, 6] {
+        let a = LkFreedom::new(1, n);
+        let b = LkFreedom::new(2, 2);
+        assert!(a.partial_cmp_strength(&b).is_none(), "n={n}");
+    }
+    // At n = 2 they are comparable ((1,2) < (2,2)).
+    assert!(LkFreedom::new(2, 2).is_stronger_or_equal(&LkFreedom::new(1, 2)));
+}
