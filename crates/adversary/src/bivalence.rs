@@ -1,10 +1,16 @@
 //! The valence-computing adversary against register-based consensus.
+//!
+//! The adversary's inner loop is thousands of valence model-checking
+//! queries; since the `slx-engine` refactor they run on the shared
+//! fingerprint-based exploration kernel (one [`slx_engine::Checker`] is
+//! reused across the whole run).
 
 use std::hash::Hash;
 
+use slx_engine::Checker;
+use slx_explorer::decidable_values_with;
 use slx_history::{History, ProcessId};
 use slx_memory::{Process, StepEffect, System, Word};
-use slx_explorer::decidable_values;
 
 /// Report of a [`run_bivalence_adversary`] run.
 #[derive(Debug, Clone)]
@@ -21,6 +27,9 @@ pub struct BivalenceReport {
     pub bivalent_throughout: bool,
     /// The driven history.
     pub history: History,
+    /// Total configurations model-checked across all valence queries — the
+    /// work the exploration kernel discharged for this run.
+    pub valence_configs: u64,
 }
 
 impl BivalenceReport {
@@ -56,8 +65,8 @@ pub fn run_bivalence_adversary<W, P>(
     valence_budget: usize,
 ) -> BivalenceReport
 where
-    W: Word,
-    P: Process<W> + Clone + Eq + Hash,
+    W: Word + Send + Sync,
+    P: Process<W> + Clone + Eq + Hash + Send + Sync,
 {
     let mut report = BivalenceReport {
         steps: 0,
@@ -65,7 +74,9 @@ where
         decided: false,
         bivalent_throughout: true,
         history: History::new(),
+        valence_configs: 0,
     };
+    let checker = Checker::auto();
 
     for _ in 0..budget {
         // Candidates ordered fairest-first.
@@ -84,7 +95,8 @@ where
                 // adversary never takes that edge.
                 continue;
             }
-            let d = decidable_values(&next, active, valence_budget);
+            let d = decidable_values_with(&checker, &next, active, valence_budget);
+            report.valence_configs += d.configs as u64;
             if d.bivalent() {
                 *sys = next;
                 report.steps += 1;

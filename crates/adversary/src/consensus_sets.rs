@@ -105,15 +105,17 @@ mod tests {
         // Condition (2): F ⊆ complement of Lmax — in every member, some
         // correct process has proposed but not decided.
         for h in consensus_f1(v(1), v(2)).iter() {
-            let some_starved = ProcessId::all(2)
-                .any(|p| h.correct(p) && h.pending(p));
+            let some_starved = ProcessId::all(2).any(|p| h.correct(p) && h.pending(p));
             assert!(some_starved, "F1 member satisfies Lmax: {h}");
         }
     }
 
     #[test]
     fn members_are_well_formed() {
-        for h in consensus_f1(v(3), v(4)).union(&consensus_f2(v(3), v(4))).iter() {
+        for h in consensus_f1(v(3), v(4))
+            .union(&consensus_f2(v(3), v(4)))
+            .iter()
+        {
             assert!(h.is_well_formed(), "malformed member {h}");
         }
     }
@@ -136,6 +138,6 @@ mod tests {
     #[test]
     fn gmax_of_single_set_is_itself() {
         let f1 = consensus_f1(v(1), v(2));
-        assert_eq!(gmax_of(&[f1.clone()]), f1);
+        assert_eq!(gmax_of(std::slice::from_ref(&f1)), f1);
     }
 }

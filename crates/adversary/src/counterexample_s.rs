@@ -108,11 +108,7 @@ impl<P: Process<TmWord>> Scheduler<TmWord, P> for TripleRoundAdversary {
                 return Decision::Invoke(q, Operation::TxStart);
             }
         }
-        if let Some(i) = self
-            .stages
-            .iter()
-            .position(|s| *s == Stage::StartPending)
-        {
+        if let Some(i) = self.stages.iter().position(|s| *s == Stage::StartPending) {
             return Decision::Step(self.procs[i]);
         }
         // All start responses in. Phase B: non-aborted processes tryC,

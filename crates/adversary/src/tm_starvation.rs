@@ -304,15 +304,15 @@ mod tests {
         .expect("starvation loop must cycle");
         // The cycle has both processes stepping and no victim commit.
         assert_eq!(witness.cycle_steppers(), vec![p(0), p(1)]);
-        let victim_commits_in_cycle = witness.cycle.iter().any(|e| {
-            matches!(e, slx_memory::Event::Responded(q, Response::Committed) if *q == p(0))
-        });
+        let victim_commits_in_cycle = witness.cycle.iter().any(
+            |e| matches!(e, slx_memory::Event::Responded(q, Response::Committed) if *q == p(0)),
+        );
         assert!(!victim_commits_in_cycle);
         // The committer does commit within the cycle (lock-freedom in
         // action): the run violates (2,2) but not (1,2).
-        let committer_commits_in_cycle = witness.cycle.iter().any(|e| {
-            matches!(e, slx_memory::Event::Responded(q, Response::Committed) if *q == p(1))
-        });
+        let committer_commits_in_cycle = witness.cycle.iter().any(
+            |e| matches!(e, slx_memory::Event::Responded(q, Response::Committed) if *q == p(1)),
+        );
         assert!(committer_commits_in_cycle);
         // Exact liveness verdicts on the infinite execution stem·cycle^ω
         // (no finite-run approximation): Theorem 5.3's classification.

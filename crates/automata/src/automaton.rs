@@ -149,7 +149,10 @@ impl<L: Clone + Ord + fmt::Debug> Automaton<L> {
     /// Panics if states are out of range or the action is not in the
     /// signature.
     pub fn add_transition(&mut self, from: StateId, action: L, to: StateId) {
-        assert!(from.0 < self.n_states && to.0 < self.n_states, "state out of range");
+        assert!(
+            from.0 < self.n_states && to.0 < self.n_states,
+            "state out of range"
+        );
         assert!(
             self.inputs.contains(&action)
                 || self.outputs.contains(&action)
@@ -342,11 +345,7 @@ impl<L: Clone + Ord + fmt::Debug> Automaton<L> {
                     }
                     for &ta in &sa {
                         for &tb in &sb {
-                            composed.add_transition(
-                                pair(a, b),
-                                act.clone(),
-                                pair(ta.0, tb.0),
-                            );
+                            composed.add_transition(pair(a, b), act.clone(), pair(ta.0, tb.0));
                         }
                     }
                 }
@@ -538,13 +537,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "disjoint")]
     fn overlapping_signature_panics() {
-        let _ = Automaton::new(
-            "bad",
-            1,
-            [StateId(0)],
-            ["a"],
-            ["a"],
-            Vec::<&str>::new(),
-        );
+        let _ = Automaton::new("bad", 1, [StateId(0)], ["a"], ["a"], Vec::<&str>::new());
     }
 }

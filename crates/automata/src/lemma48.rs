@@ -95,10 +95,7 @@ pub fn lemma_4_8_holds<L: Clone + Ord + std::fmt::Debug>(
     // Direction 2: every liveness property ensured by I is weaker than the
     // candidate. Enumerate all liveness properties over the universe: all
     // subsets containing lmax.
-    let extras: Vec<&Vec<L>> = universe
-        .iter()
-        .filter(|h| !lmax.contains(h))
-        .collect();
+    let extras: Vec<&Vec<L>> = universe.iter().filter(|h| !lmax.contains(h)).collect();
     if extras.len() > 16 {
         panic!(
             "universe too large for exhaustive Lemma 4.8 check ({} extras)",
@@ -142,10 +139,15 @@ mod tests {
         let universe: Vec<Vec<Action>> = it.histories(depth).into_iter().collect();
         // Bounded Lmax: histories where the process is not left pending
         // (here: those without a dangling invocation).
-        let lmax = BoundedLiveness::new(universe.iter().filter(|&h| {
-            let hist = slx_history::History::from_actions(h.iter().copied());
-            !hist.pending(p(0)) && !hist.crashed(p(0))
-        }).cloned());
+        let lmax = BoundedLiveness::new(
+            universe
+                .iter()
+                .filter(|&h| {
+                    let hist = slx_history::History::from_actions(h.iter().copied());
+                    !hist.pending(p(0)) && !hist.crashed(p(0))
+                })
+                .cloned(),
+        );
         let (holds, strongest) = lemma_4_8_holds(&it, &lmax, &universe, depth);
         assert!(holds, "Lemma 4.8 fails on It");
         // The strongest ensured property strictly extends Lmax: It's fair

@@ -8,12 +8,12 @@
 //!    multiplies scan cost by ~2n register reads (more under
 //!    interference) without changing any verdicts.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slx_bench::{agp_system, commits, contended_scheduler, gv_system};
 use slx_core::history::ProcessId;
 use slx_core::memory::{Memory, System};
 use slx_core::tm::{AgpTmDc, TmWord};
+use std::time::Duration;
 
 const EVENTS: u64 = 4_000;
 

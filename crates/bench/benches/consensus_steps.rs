@@ -6,11 +6,11 @@
 //! register-only one in O(n) per commit-adopt round with round counts
 //! depending on the schedule.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slx_core::consensus::{CasConsensus, ConsWord, ObstructionFreeConsensus};
 use slx_core::history::{Operation, ProcessId, Value};
 use slx_core::memory::{Memory, RoundRobin, SoloScheduler, System};
+use std::time::Duration;
 
 fn of_system(n: usize) -> System<ConsWord, ObstructionFreeConsensus> {
     let mut mem: Memory<ConsWord> = Memory::new();
@@ -36,20 +36,16 @@ fn consensus_steps(c: &mut Criterion) {
                 sys.run(&mut SoloScheduler::new(p0), 100_000)
             })
         });
-        group.bench_with_input(
-            BenchmarkId::new("of_registers_lockstep", n),
-            &n,
-            |b, &n| {
-                b.iter(|| {
-                    let mut sys = of_system(n);
-                    for i in 0..n {
-                        sys.invoke(ProcessId::new(i), Operation::Propose(Value::new(i as i64)))
-                            .unwrap();
-                    }
-                    sys.run(&mut RoundRobin::new(), 1_000_000)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("of_registers_lockstep", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sys = of_system(n);
+                for i in 0..n {
+                    sys.invoke(ProcessId::new(i), Operation::Propose(Value::new(i as i64)))
+                        .unwrap();
+                }
+                sys.run(&mut RoundRobin::new(), 1_000_000)
+            })
+        });
         group.bench_with_input(BenchmarkId::new("cas_lockstep", n), &n, |b, &n| {
             b.iter(|| {
                 let mut mem: Memory<ConsWord> = Memory::new();

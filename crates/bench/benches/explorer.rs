@@ -3,16 +3,22 @@
 //! step.
 //!
 //! These are the engines behind Figure 1's verdicts; the bench documents
-//! how far the small-scope checks can be pushed.
+//! how far the small-scope checks can be pushed. The `explore_safety_*`
+//! groups pit the `slx-engine` kernel (fingerprint-only visited set,
+//! parallel BFS) against the seed's retained-clone baseline — the ≥2x
+//! states/sec acceptance gate of the engine refactor (see also the
+//! dependency-free `engine_bench` binary, which reports the same
+//! comparison without Criterion).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slx_core::adversary::run_bivalence_adversary;
 use slx_core::consensus::{ConsWord, ObstructionFreeConsensus};
-use slx_core::explorer::{decidable_values, explore_safety};
+use slx_core::explorer::baseline::explore_safety_retained;
+use slx_core::explorer::{decidable_values, explore_safety, history_digest};
 use slx_core::history::{Operation, ProcessId, Value};
 use slx_core::memory::{Memory, System};
 use slx_core::safety::ConsensusSafety;
+use std::time::Duration;
 
 fn of_system() -> System<ConsWord, ObstructionFreeConsensus> {
     let mut mem: Memory<ConsWord> = Memory::new();
@@ -29,16 +35,6 @@ fn of_system() -> System<ConsWord, ObstructionFreeConsensus> {
     sys
 }
 
-fn digest(h: &slx_core::history::History) -> u64 {
-    use std::collections::hash_map::DefaultHasher;
-    use std::hash::{Hash, Hasher};
-    let mut hasher = DefaultHasher::new();
-    for a in h.iter() {
-        a.hash(&mut hasher);
-    }
-    hasher.finish()
-}
-
 fn explorer_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("explorer");
     group.sample_size(10);
@@ -53,7 +49,16 @@ fn explorer_benches(c: &mut Criterion) {
             |b, &depth| {
                 let sys = of_system();
                 let safety = ConsensusSafety::new();
-                b.iter(|| explore_safety(&sys, &active, depth, &safety, digest))
+                b.iter(|| explore_safety(&sys, &active, depth, &safety, history_digest))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("explore_safety_retained_baseline_depth", depth),
+            &depth,
+            |b, &depth| {
+                let sys = of_system();
+                let safety = ConsensusSafety::new();
+                b.iter(|| explore_safety_retained(&sys, &active, depth, &safety, history_digest))
             },
         );
     }

@@ -5,11 +5,11 @@
 //! DESIGN.md: the exhaustive checker is the semantic ground truth at small
 //! scope; the certifier is what makes history-scale validation feasible.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slx_bench::{contended_scheduler, gv_system};
 use slx_core::history::{History, Value};
 use slx_core::safety::{certify_unique_writes, Opacity, SafetyProperty};
+use std::time::Duration;
 
 fn history_of_len(events: u64) -> History {
     let mut sys = gv_system(2);
@@ -25,22 +25,16 @@ fn opacity_check(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     for &events in &[40u64, 80, 120, 160] {
         let h = history_of_len(events);
-        group.bench_with_input(
-            BenchmarkId::new("exhaustive", h.len()),
-            &h,
-            |b, h| {
-                let checker = Opacity::new(Value::new(0));
-                b.iter(|| checker.allows(h))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("exhaustive", h.len()), &h, |b, h| {
+            let checker = Opacity::new(Value::new(0));
+            b.iter(|| checker.allows(h))
+        });
     }
     for &events in &[40u64, 200, 1_000, 5_000] {
         let h = history_of_len(events);
-        group.bench_with_input(
-            BenchmarkId::new("certifier", h.len()),
-            &h,
-            |b, h| b.iter(|| certify_unique_writes(h, Value::new(0))),
-        );
+        group.bench_with_input(BenchmarkId::new("certifier", h.len()), &h, |b, h| {
+            b.iter(|| certify_unique_writes(h, Value::new(0)))
+        });
     }
     group.finish();
 }

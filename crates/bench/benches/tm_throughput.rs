@@ -7,9 +7,9 @@
 //! at ≥ 3 concurrent same-numbered transactions, and the lock TM
 //! serializes everything.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slx_bench::{agp_system, commits, contended_scheduler, gv_system, lock_system};
+use std::time::Duration;
 
 const EVENTS: u64 = 5_000;
 

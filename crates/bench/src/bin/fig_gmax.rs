@@ -21,7 +21,10 @@ fn main() {
     for h in t.f1.iter() {
         println!("  first action: {}   length: {}", h.actions()[0], h.len());
     }
-    println!("F2 sample: {} histories from the role-swapped twin", t.f2.len());
+    println!(
+        "F2 sample: {} histories from the role-swapped twin",
+        t.f2.len()
+    );
     for h in t.f2.iter() {
         println!("  first action: {}   length: {}", h.actions()[0], h.len());
     }

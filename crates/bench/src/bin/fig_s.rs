@@ -7,9 +7,18 @@ use slx_core::counterexample::run_counterexample_s;
 fn main() {
     let r = run_counterexample_s(4000);
     println!("=== Section 5.3: property S has no weakest excluding (l,k)-freedom ===");
-    println!("(1,3) excluded : {} all-abort rounds, commit escaped: {}", r.triple_rounds, r.triple_lost);
-    println!("(2,2) excluded : {} starvation rounds, victim committed: {}", r.starvation_rounds, r.starvation_lost);
-    println!("(1,2) holds    : commits by the two steppers = {:?}", r.duo_commits);
+    println!(
+        "(1,3) excluded : {} all-abort rounds, commit escaped: {}",
+        r.triple_rounds, r.triple_lost
+    );
+    println!(
+        "(2,2) excluded : {} starvation rounds, victim committed: {}",
+        r.starvation_rounds, r.starvation_lost
+    );
+    println!(
+        "(1,2) holds    : commits by the two steppers = {:?}",
+        r.duo_commits
+    );
     println!("S maintained   : {}", r.s_holds);
     println!("conclusion established: {}", r.establishes_section_5_3());
 }

@@ -146,11 +146,13 @@ impl AdoptCommit {
                 // symmetric (e.g. lockstep) schedules converge to a common
                 // estimate instead of livelocking. Validity is preserved —
                 // every seen value is some participant's input.
-                Some(match (self.all_b_commit && self.any_b, self.committed_seen) {
-                    (true, Some(v)) => AcOutcome::Commit(v),
-                    (_, Some(v)) => AcOutcome::Adopt(v),
-                    (_, None) => AcOutcome::Adopt(self.min_b_seen.unwrap_or(self.input)),
-                })
+                Some(
+                    match (self.all_b_commit && self.any_b, self.committed_seen) {
+                        (true, Some(v)) => AcOutcome::Commit(v),
+                        (_, Some(v)) => AcOutcome::Adopt(v),
+                        (_, None) => AcOutcome::Adopt(self.min_b_seen.unwrap_or(self.input)),
+                    },
+                )
             }
         }
     }
@@ -175,10 +177,7 @@ mod tests {
     /// Runs participants under an arbitrary interleaving given by a
     /// schedule of participant indices; returns outcomes in participant
     /// order.
-    fn run_schedule(
-        inputs: &[i64],
-        schedule: impl IntoIterator<Item = usize>,
-    ) -> Vec<AcOutcome> {
+    fn run_schedule(inputs: &[i64], schedule: impl IntoIterator<Item = usize>) -> Vec<AcOutcome> {
         let n = inputs.len();
         let mut mem: Memory<ConsWord> = Memory::new();
         let (a, b) = AdoptCommit::alloc(&mut mem, n);

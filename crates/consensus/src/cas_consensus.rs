@@ -125,7 +125,8 @@ mod tests {
         for seed in 0..100 {
             let mut sys = system(3);
             for i in 0..3 {
-                sys.invoke(p(i), Operation::Propose(v(i as i64 + 1))).unwrap();
+                sys.invoke(p(i), Operation::Propose(v(i as i64 + 1)))
+                    .unwrap();
             }
             sys.run(&mut FairRandom::new(seed), 1000);
             let d0 = decided(sys.history(), p(0)).expect("wait-free");

@@ -149,10 +149,7 @@ mod tests {
         let mem: Memory<ConsWord> = Memory::new();
         let designated = propose(1);
         let resp = Response::Decided(Value::new(1));
-        let mut sys = System::new(
-            mem,
-            vec![SingleResponse::new(p(0), p(0), designated, resp)],
-        );
+        let mut sys = System::new(mem, vec![SingleResponse::new(p(0), p(0), designated, resp)]);
         sys.invoke(p(0), propose(9)).unwrap();
         let stats = sys.run(&mut RoundRobin::new(), 100);
         assert_eq!(stats.responses, 0);
@@ -163,12 +160,7 @@ mod tests {
         let mem: Memory<ConsWord> = Memory::new();
         let designated = propose(1);
         let resp = Response::Decided(Value::new(1));
-        let mut sys = System::new(
-            mem,
-            vec![
-                SingleResponse::new(p(0), p(1), designated, resp),
-            ],
-        );
+        let mut sys = System::new(mem, vec![SingleResponse::new(p(0), p(1), designated, resp)]);
         sys.invoke(p(0), designated).unwrap();
         let stats = sys.run(&mut RoundRobin::new(), 100);
         assert_eq!(stats.responses, 0);

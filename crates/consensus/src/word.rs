@@ -53,6 +53,9 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(ConsWord::Bot.to_string(), "⊥");
-        assert_eq!(ConsWord::Flagged(false, Value::new(1)).to_string(), "(adopt,1)");
+        assert_eq!(
+            ConsWord::Flagged(false, Value::new(1)).to_string(),
+            "(adopt,1)"
+        );
     }
 }

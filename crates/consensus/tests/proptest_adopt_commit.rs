@@ -1,5 +1,10 @@
 //! Property-based validation of commit-adopt and the consensus built on it
 //! under randomly generated schedules.
+//!
+//! Requires the external `proptest` crate: enable the `proptest-tests`
+//! feature (and add the dev-dependency) in an environment with registry
+//! access. Compiled out by default so offline builds succeed.
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 use slx_consensus::{AcOutcome, AdoptCommit, ConsWord, ObstructionFreeConsensus};

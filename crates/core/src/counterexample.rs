@@ -120,10 +120,7 @@ mod tests {
     #[test]
     fn section_5_3_reproduced() {
         let report = run_counterexample_s(3000);
-        assert!(
-            report.establishes_section_5_3(),
-            "report: {report:?}"
-        );
+        assert!(report.establishes_section_5_3(), "report: {report:?}");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::fmt;
 
 use slx_adversary::{run_bivalence_adversary, TmStarvation};
 use slx_consensus::{ConsWord, ObstructionFreeConsensus};
-use slx_explorer::{explore_safety, verify_solo_progress};
+use slx_explorer::{explore_safety, history_digest, verify_solo_progress};
 use slx_history::{Operation, ProcessId, Value, VarId};
 use slx_liveness::LkFreedom;
 use slx_memory::{Memory, System};
@@ -57,9 +57,7 @@ pub struct Grid {
 impl Grid {
     /// The point for a given (l,k), if on the grid.
     pub fn point(&self, l: usize, k: usize) -> Option<&GridPoint> {
-        self.points
-            .iter()
-            .find(|p| p.lk.l() == l && p.lk.k() == k)
+        self.points.iter().find(|p| p.lk.l() == l && p.lk.k() == k)
     }
 
     /// The *maximal* white points (no white point strictly stronger):
@@ -69,11 +67,10 @@ impl Grid {
             .iter()
             .filter(|p| p.implementable())
             .filter(|p| {
-                !self.points.iter().any(|q| {
-                    q.implementable()
-                        && q.lk != p.lk
-                        && q.lk.is_stronger_or_equal(&p.lk)
-                })
+                !self
+                    .points
+                    .iter()
+                    .any(|q| q.implementable() && q.lk != p.lk && q.lk.is_stronger_or_equal(&p.lk))
             })
             .collect()
     }
@@ -103,9 +100,10 @@ impl Grid {
             .iter()
             .filter(|p| !p.implementable())
             .filter(|p| {
-                !self.points.iter().any(|q| {
-                    !q.implementable() && q.lk != p.lk && p.lk.is_stronger_or_equal(&q.lk)
-                })
+                !self
+                    .points
+                    .iter()
+                    .any(|q| !q.implementable() && q.lk != p.lk && p.lk.is_stronger_or_equal(&q.lk))
             })
             .collect()
     }
@@ -228,12 +226,8 @@ pub fn consensus_grid_with(n: usize, cfg: GridConfig) -> Grid {
 
     // Black anchor (1,2): the bivalence adversary starves two steppers.
     let mut sys = build();
-    let report = run_bivalence_adversary(
-        &mut sys,
-        &[p0, p1],
-        cfg.adversary_steps,
-        cfg.valence_budget,
-    );
+    let report =
+        run_bivalence_adversary(&mut sys, &[p0, p1], cfg.adversary_steps, cfg.valence_budget);
     let black_ok = report.adversary_won();
     let black_basis = format!(
         "bivalence adversary kept 2 steppers undecided for {} steps \
@@ -256,9 +250,7 @@ pub fn consensus_grid_with(n: usize, cfg: GridConfig) -> Grid {
                 }
             } else if black_ok {
                 Verdict::Excluded {
-                    basis: format!(
-                        "{lk} is stronger than (1,2)-freedom; {black_basis}"
-                    ),
+                    basis: format!("{lk} is stronger than (1,2)-freedom; {black_basis}"),
                 }
             } else {
                 Verdict::Implementable {
@@ -297,7 +289,8 @@ pub fn tm_grid_with(n: usize, cfg: GridConfig) -> Grid {
     let c = GlobalVersionTm::alloc(&mut mem, 1);
     let procs: Vec<GlobalVersionTm> = (0..n.max(2)).map(|_| GlobalVersionTm::new(c, 1)).collect();
     let mut sys = System::new(mem, procs);
-    let workload = slx_memory::RepeatTxn::new(n.max(2), vec![VarId::new(0)], vec![VarId::new(0)], None);
+    let workload =
+        slx_memory::RepeatTxn::new(n.max(2), vec![VarId::new(0)], vec![VarId::new(0)], None);
     let mut sched =
         slx_memory::WorkloadScheduler::new(n.max(2), workload, slx_memory::FairRandom::new(7));
     sys.run(&mut sched, cfg.tm_adversary_events);
@@ -361,18 +354,6 @@ pub fn tm_grid_with(n: usize, cfg: GridConfig) -> Grid {
     }
 }
 
-/// History digest for consensus exploration: hashes the full external
-/// history (sound for any safety property).
-fn history_digest(h: &slx_history::History) -> u64 {
-    use std::collections::hash_map::DefaultHasher;
-    use std::hash::{Hash, Hasher};
-    let mut hasher = DefaultHasher::new();
-    for a in h.iter() {
-        a.hash(&mut hasher);
-    }
-    hasher.finish()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,16 +362,11 @@ mod tests {
     fn figure_1a_shape() {
         let g = consensus_grid(3);
         // Exactly one white point: (1,1).
-        let white: Vec<&GridPoint> =
-            g.points.iter().filter(|p| p.implementable()).collect();
+        let white: Vec<&GridPoint> = g.points.iter().filter(|p| p.implementable()).collect();
         assert_eq!(white.len(), 1);
         assert_eq!(white[0].lk, LkFreedom::new(1, 1));
         // Frontiers match Theorem 5.2.
-        let strongest: Vec<LkFreedom> = g
-            .strongest_implementable()
-            .iter()
-            .map(|p| p.lk)
-            .collect();
+        let strongest: Vec<LkFreedom> = g.strongest_implementable().iter().map(|p| p.lk).collect();
         assert_eq!(strongest, vec![LkFreedom::new(1, 1)]);
         let weakest: Vec<LkFreedom> = g.weakest_excluded().iter().map(|p| p.lk).collect();
         assert_eq!(weakest, vec![LkFreedom::new(1, 2)]);
@@ -410,11 +386,7 @@ mod tests {
         }
         // Frontiers match Theorem 5.3: strongest implementable (1,n),
         // weakest excluded (2,2) — and they are incomparable.
-        let strongest: Vec<LkFreedom> = g
-            .strongest_implementable()
-            .iter()
-            .map(|p| p.lk)
-            .collect();
+        let strongest: Vec<LkFreedom> = g.strongest_implementable().iter().map(|p| p.lk).collect();
         assert_eq!(strongest, vec![LkFreedom::new(1, n)]);
         let weakest: Vec<LkFreedom> = g.weakest_excluded().iter().map(|p| p.lk).collect();
         assert_eq!(weakest, vec![LkFreedom::new(2, 2)]);

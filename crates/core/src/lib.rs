@@ -52,6 +52,7 @@ pub use grid::{Grid, GridPoint, Verdict};
 pub use slx_adversary as adversary;
 pub use slx_automata as automata;
 pub use slx_consensus as consensus;
+pub use slx_engine as engine;
 pub use slx_explorer as explorer;
 pub use slx_history as history;
 pub use slx_liveness as liveness;

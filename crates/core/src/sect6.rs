@@ -4,9 +4,7 @@ use slx_adversary::run_bivalence_adversary;
 use slx_consensus::{ConsWord, ObstructionFreeConsensus};
 use slx_explorer::verify_solo_progress;
 use slx_history::{Operation, ProcessId, Value};
-use slx_liveness::{
-    ExecutionView, LivenessProperty, NxLiveness, ProgressKind, SFreedom,
-};
+use slx_liveness::{ExecutionView, LivenessProperty, NxLiveness, ProgressKind, SFreedom};
 use slx_memory::{Memory, System};
 
 /// The S-freedom structure recalled in Section 6: the implementable
@@ -59,9 +57,9 @@ pub struct NxReport {
 /// Builds the Section 6 (n,x)-liveness report for system size `n`.
 pub fn nx_report(n: usize) -> NxReport {
     let chain: Vec<NxLiveness> = (0..=n).map(|x| NxLiveness::new(n, x)).collect();
-    let totally_ordered = chain.windows(2).all(|w| {
-        w[1].cmp_strength(&w[0]) == std::cmp::Ordering::Greater
-    });
+    let totally_ordered = chain
+        .windows(2)
+        .all(|w| w[1].cmp_strength(&w[0]) == std::cmp::Ordering::Greater);
     NxReport {
         totally_ordered,
         strongest_implementable: NxLiveness::new(n, 0),

@@ -1,0 +1,545 @@
+//! The exploration driver: parallel frontier BFS and sequential DFS.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::space::{Expansion, StateSpace};
+use crate::stats::ExploreStats;
+use crate::Digest;
+
+/// Exploration backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Frontier-based breadth-first search. Each BFS level is expanded by
+    /// up to `threads` workers pulling chunks from a shared queue; results
+    /// are merged sequentially in frontier order, so statistics, findings,
+    /// and verdicts are deterministic regardless of thread scheduling.
+    ParallelBfs {
+        /// Worker threads (clamped to at least 1; with 1 the level loop
+        /// runs inline with no thread spawns).
+        threads: usize,
+    },
+    /// Sequential depth-first search. Uses the same fingerprint-only
+    /// visited set; states reached again at a strictly smaller depth are
+    /// re-expanded (replacing their earlier findings), so the set of
+    /// explored states, `configs`, and the finding multiset all equal the
+    /// BFS backend's on any depth-bounded space. DFS may conservatively
+    /// report `truncated` where BFS does not (a state first met at the
+    /// horizon via a long path is later re-expanded shallower), and its
+    /// `transitions`/`dedup_hits` counters include re-expansions.
+    SequentialDfs,
+}
+
+/// Result of a [`Checker`] run: everything the spaces reported, plus
+/// exploration statistics.
+#[derive(Debug, Clone)]
+pub struct KernelOutcome<F> {
+    /// Findings in deterministic exploration order.
+    pub findings: Vec<F>,
+    /// Exploration statistics.
+    pub stats: ExploreStats,
+}
+
+/// The exploration driver.
+///
+/// Dedupes states on their 128-bit fingerprints only — the visited set
+/// holds 16-byte digests (plus a minimal depth in the DFS backend), never
+/// full states — and drives one of the [`Backend`]s over a [`StateSpace`].
+#[derive(Debug, Clone)]
+pub struct Checker {
+    backend: Backend,
+    config_budget: Option<usize>,
+}
+
+/// Minimum frontier size before a BFS level is worth spawning workers for:
+/// below this, thread startup dominates the expansion work.
+const PAR_MIN_FRONTIER: usize = 128;
+
+impl Checker {
+    /// A checker on the parallel BFS backend, sized to the machine
+    /// (`std::thread::available_parallelism`, overridable via the
+    /// `SLX_ENGINE_THREADS` environment variable).
+    #[must_use]
+    pub fn auto() -> Self {
+        let threads = std::env::var("SLX_ENGINE_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        Checker::parallel_bfs(threads)
+    }
+
+    /// A checker on the parallel BFS backend with an explicit thread count.
+    #[must_use]
+    pub fn parallel_bfs(threads: usize) -> Self {
+        Checker {
+            backend: Backend::ParallelBfs {
+                threads: threads.max(1),
+            },
+            config_budget: None,
+        }
+    }
+
+    /// A checker on the sequential DFS backend.
+    #[must_use]
+    pub fn sequential_dfs() -> Self {
+        Checker {
+            backend: Backend::SequentialDfs,
+            config_budget: None,
+        }
+    }
+
+    /// Caps the number of states expanded; hitting the cap marks the run
+    /// truncated (used by budgeted valence queries).
+    #[must_use]
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.config_budget = Some(budget);
+        self
+    }
+
+    /// The configured backend.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Explores the space exhaustively from `initial`.
+    pub fn run<Sp>(&self, space: &Sp, initial: Vec<Sp::State>) -> KernelOutcome<Sp::Finding>
+    where
+        Sp: StateSpace + Sync,
+    {
+        self.run_until(space, initial, |_| false)
+    }
+
+    /// Explores the space from `initial`, stopping early once `stop`
+    /// returns `true` on the findings accumulated so far. `stop` is
+    /// invoked (in deterministic exploration order) after each expansion
+    /// that contributed at least one new finding.
+    pub fn run_until<Sp>(
+        &self,
+        space: &Sp,
+        initial: Vec<Sp::State>,
+        stop: impl FnMut(&[Sp::Finding]) -> bool,
+    ) -> KernelOutcome<Sp::Finding>
+    where
+        Sp: StateSpace + Sync,
+    {
+        match self.backend {
+            Backend::ParallelBfs { threads } => self.run_bfs(space, initial, threads, stop),
+            Backend::SequentialDfs => self.run_dfs(space, initial, stop),
+        }
+    }
+
+    fn run_bfs<Sp>(
+        &self,
+        space: &Sp,
+        initial: Vec<Sp::State>,
+        threads: usize,
+        mut stop: impl FnMut(&[Sp::Finding]) -> bool,
+    ) -> KernelOutcome<Sp::Finding>
+    where
+        Sp: StateSpace + Sync,
+    {
+        let start = Instant::now();
+        let mut stats = ExploreStats {
+            threads,
+            ..ExploreStats::default()
+        };
+        let mut findings: Vec<Sp::Finding> = Vec::new();
+        // Fingerprint-only visited set. BFS enqueues every state at its
+        // minimal depth by construction, so no depth needs to be stored.
+        let mut visited: HashSet<u128> = HashSet::new();
+
+        let mut frontier: Vec<(Sp::State, Digest)> = Vec::new();
+        for state in initial {
+            let digest = space.digest(&state);
+            if visited.insert(digest.0) {
+                frontier.push((state, digest));
+            }
+        }
+
+        let mut depth: usize = 0;
+        'levels: while !frontier.is_empty() {
+            // Budget: expand at most `allowed` more states, ever.
+            if let Some(budget) = self.config_budget {
+                let allowed = budget.saturating_sub(stats.configs);
+                if frontier.len() > allowed {
+                    frontier.truncate(allowed);
+                    stats.truncated = true;
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+            }
+            stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+
+            let expansions = expand_level(space, &frontier, depth, threads);
+
+            // Deterministic sequential merge, in frontier order.
+            let mut next: Vec<(Sp::State, Digest)> = Vec::new();
+            for parts in expansions {
+                stats.configs += 1;
+                stats.truncated |= parts.truncated;
+                let had_findings = !parts.findings.is_empty();
+                findings.extend(parts.findings);
+                for (succ, digest) in parts.succs {
+                    stats.transitions += 1;
+                    if visited.insert(digest.0) {
+                        next.push((succ, digest));
+                    } else {
+                        stats.dedup_hits += 1;
+                    }
+                }
+                if had_findings && stop(&findings) {
+                    stats.stopped_early = true;
+                    break 'levels;
+                }
+            }
+            frontier = next;
+            depth += 1;
+        }
+
+        stats.elapsed = start.elapsed();
+        KernelOutcome { findings, stats }
+    }
+
+    fn run_dfs<Sp>(
+        &self,
+        space: &Sp,
+        initial: Vec<Sp::State>,
+        mut stop: impl FnMut(&[Sp::Finding]) -> bool,
+    ) -> KernelOutcome<Sp::Finding>
+    where
+        Sp: StateSpace + Sync,
+    {
+        let start = Instant::now();
+        let mut stats = ExploreStats {
+            threads: 1,
+            ..ExploreStats::default()
+        };
+        let mut findings: Vec<Sp::Finding> = Vec::new();
+        // Which expanded state (by fingerprint) contributed each finding,
+        // so a re-expansion can replace its earlier contribution.
+        let mut finding_owners: Vec<u128> = Vec::new();
+        let mut visited: HashMap<u128, u32> = HashMap::new();
+        let mut stack: Vec<(Sp::State, Digest, usize)> = initial
+            .into_iter()
+            .map(|state| {
+                let digest = space.digest(&state);
+                (state, digest, 0usize)
+            })
+            .collect();
+        let mut exp = Expansion::new(space);
+
+        while let Some((state, digest, depth)) = stack.pop() {
+            let reexpansion = match visited.entry(digest.0) {
+                // Already expanded at this depth or shallower: skip.
+                Entry::Occupied(seen) if *seen.get() <= depth as u32 => continue,
+                // Reached strictly shallower than before: re-expand so the
+                // explored set matches BFS (no configs increment — the
+                // state was already counted).
+                Entry::Occupied(mut seen) => {
+                    *seen.get_mut() = depth as u32;
+                    true
+                }
+                Entry::Vacant(slot) => {
+                    if self
+                        .config_budget
+                        .is_some_and(|budget| stats.configs >= budget)
+                    {
+                        stats.truncated = true;
+                        break;
+                    }
+                    slot.insert(depth as u32);
+                    stats.configs += 1;
+                    false
+                }
+            };
+
+            exp.reset();
+            space.expand(&state, depth, &mut exp);
+            stats.truncated |= exp.truncated;
+            if reexpansion && finding_owners.contains(&digest.0) {
+                // This shallower expansion supersedes the state's earlier
+                // one: drop the findings it contributed then, exactly as
+                // BFS (which expands each state once, at minimal depth)
+                // would never have recorded them.
+                let mut keep = 0;
+                for read in 0..finding_owners.len() {
+                    if finding_owners[read] != digest.0 {
+                        finding_owners.swap(keep, read);
+                        findings.swap(keep, read);
+                        keep += 1;
+                    }
+                }
+                finding_owners.truncate(keep);
+                findings.truncate(keep);
+            }
+            let had_findings = !exp.findings.is_empty();
+            finding_owners.extend(std::iter::repeat_n(digest.0, exp.findings.len()));
+            findings.append(&mut exp.findings);
+            for (succ, succ_digest) in exp.succs.drain(..) {
+                stats.transitions += 1;
+                if visited
+                    .get(&succ_digest.0)
+                    .is_some_and(|&seen| seen <= depth as u32 + 1)
+                {
+                    stats.dedup_hits += 1;
+                } else {
+                    stack.push((succ, succ_digest, depth + 1));
+                }
+            }
+            stats.peak_frontier = stats.peak_frontier.max(stack.len());
+            if had_findings && stop(&findings) {
+                stats.stopped_early = true;
+                break;
+            }
+        }
+
+        stats.elapsed = start.elapsed();
+        KernelOutcome { findings, stats }
+    }
+}
+
+/// One state's expansion results, detached from the borrow of the space.
+struct Parts<Sp: StateSpace + ?Sized> {
+    succs: Vec<(Sp::State, Digest)>,
+    findings: Vec<Sp::Finding>,
+    truncated: bool,
+}
+
+fn expand_one<Sp: StateSpace + ?Sized>(space: &Sp, state: &Sp::State, depth: usize) -> Parts<Sp> {
+    let mut exp = Expansion::new(space);
+    space.expand(state, depth, &mut exp);
+    Parts {
+        succs: exp.succs,
+        findings: exp.findings,
+        truncated: exp.truncated,
+    }
+}
+
+/// Expands every state of a BFS level, in parallel when the level is large
+/// enough to amortize thread startup. Workers pull chunk indices from a
+/// shared cursor (simple work stealing: fast chunks free a worker to steal
+/// the next), and results are reassembled in chunk order so the caller's
+/// merge is deterministic.
+fn expand_level<Sp>(
+    space: &Sp,
+    frontier: &[(Sp::State, Digest)],
+    depth: usize,
+    threads: usize,
+) -> Vec<Parts<Sp>>
+where
+    Sp: StateSpace + Sync,
+{
+    if threads <= 1 || frontier.len() < PAR_MIN_FRONTIER {
+        return frontier
+            .iter()
+            .map(|(state, _)| expand_one(space, state, depth))
+            .collect();
+    }
+
+    // Several chunks per worker so an uneven chunk doesn't serialize the
+    // level; at least 16 states per chunk so cursor traffic stays cheap.
+    let chunk_size = (frontier.len() / (threads * 4)).max(16);
+    let chunks: Vec<&[(Sp::State, Digest)]> = frontier.chunks(chunk_size).collect();
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<Parts<Sp>>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(chunks.len()) {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(chunk) = chunks.get(index) else {
+                    break;
+                };
+                let parts: Vec<Parts<Sp>> = chunk
+                    .iter()
+                    .map(|(state, _)| expand_one(space, state, depth))
+                    .collect();
+                done.lock()
+                    .expect("no poisoned workers")
+                    .push((index, parts));
+            });
+        }
+    });
+
+    let mut by_chunk = done.into_inner().expect("workers joined");
+    by_chunk.sort_by_key(|(index, _)| *index);
+    by_chunk.into_iter().flat_map(|(_, parts)| parts).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::digest128_of;
+
+    /// Grid walk: states are (x, y) with moves +x / +y up to a bound; a
+    /// finding is emitted at every corner state. Many diamonds, so dedup
+    /// matters; fully deterministic.
+    struct GridWalk {
+        bound: u32,
+        digest_bits: u32,
+    }
+
+    impl StateSpace for GridWalk {
+        type State = (u32, u32);
+        type Finding = (u32, u32);
+
+        fn digest(&self, state: &Self::State) -> Digest {
+            digest128_of(state).truncated(self.digest_bits)
+        }
+
+        fn expand(&self, &(x, y): &Self::State, _depth: usize, ctx: &mut Expansion<Self>) {
+            if x == self.bound && y == self.bound {
+                ctx.finding((x, y));
+                return;
+            }
+            if x < self.bound {
+                ctx.push((x + 1, y));
+            }
+            if y < self.bound {
+                ctx.push((x, y + 1));
+            }
+        }
+    }
+
+    fn grid(bound: u32) -> GridWalk {
+        GridWalk {
+            bound,
+            digest_bits: 128,
+        }
+    }
+
+    #[test]
+    fn bfs_counts_grid_exactly() {
+        let out = Checker::parallel_bfs(1).run(&grid(10), vec![(0, 0)]);
+        assert_eq!(out.stats.configs, 11 * 11);
+        assert_eq!(out.findings, vec![(10, 10)]);
+        assert!(!out.stats.truncated);
+        assert!(out.stats.dedup_hits > 0, "diamonds must dedup");
+    }
+
+    #[test]
+    fn bfs_and_dfs_agree_on_configs_and_findings() {
+        for bound in [1, 3, 8, 20] {
+            let bfs = Checker::parallel_bfs(2).run(&grid(bound), vec![(0, 0)]);
+            let dfs = Checker::sequential_dfs().run(&grid(bound), vec![(0, 0)]);
+            assert_eq!(bfs.stats.configs, dfs.stats.configs, "bound {bound}");
+            assert_eq!(bfs.findings, dfs.findings, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn parallel_threads_match_single_thread() {
+        // Big enough to cross PAR_MIN_FRONTIER on middle levels.
+        let space = grid(300);
+        let one = Checker::parallel_bfs(1).run(&space, vec![(0, 0)]);
+        let four = Checker::parallel_bfs(4).run(&space, vec![(0, 0)]);
+        assert_eq!(one.stats.configs, four.stats.configs);
+        assert_eq!(one.stats.transitions, four.stats.transitions);
+        assert_eq!(one.stats.dedup_hits, four.stats.dedup_hits);
+        assert_eq!(one.findings, four.findings);
+    }
+
+    #[test]
+    fn budget_truncates_and_reports_it() {
+        let out = Checker::parallel_bfs(1)
+            .with_budget(5)
+            .run(&grid(10), vec![(0, 0)]);
+        assert_eq!(out.stats.configs, 5);
+        assert!(out.stats.truncated);
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn stop_predicate_halts_early() {
+        // Every state emits a finding; stop after three.
+        struct Chain;
+        impl StateSpace for Chain {
+            type State = u32;
+            type Finding = u32;
+            fn digest(&self, s: &u32) -> Digest {
+                digest128_of(s)
+            }
+            fn expand(&self, &s: &u32, _d: usize, ctx: &mut Expansion<Self>) {
+                ctx.finding(s);
+                if s < 100 {
+                    ctx.push(s + 1);
+                }
+            }
+        }
+        let out = Checker::parallel_bfs(1).run_until(&Chain, vec![0], |fs| fs.len() >= 3);
+        assert!(out.stats.stopped_early);
+        assert_eq!(out.findings, vec![0, 1, 2]);
+        let dfs = Checker::sequential_dfs().run_until(&Chain, vec![0], |fs| fs.len() >= 3);
+        assert_eq!(dfs.findings, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn truncation_via_space_horizon() {
+        // A space that bounds its own depth, like the safety explorer.
+        struct Bounded;
+        impl StateSpace for Bounded {
+            type State = u32;
+            type Finding = ();
+            fn digest(&self, s: &u32) -> Digest {
+                digest128_of(s)
+            }
+            fn expand(&self, &s: &u32, depth: usize, ctx: &mut Expansion<Self>) {
+                if depth >= 4 {
+                    ctx.mark_truncated();
+                    return;
+                }
+                ctx.push(s * 2 + 1);
+                ctx.push(s * 2 + 2);
+            }
+        }
+        let out = Checker::parallel_bfs(1).run(&Bounded, vec![0]);
+        assert!(out.stats.truncated);
+        assert_eq!(out.stats.configs, 2usize.pow(5) - 1);
+    }
+
+    #[test]
+    fn dfs_reexpansion_does_not_duplicate_findings() {
+        // Diamond with unequal path lengths: A->B->D and A->C->E->D. DFS
+        // pushes B then C; popping C first reaches D at depth 3, then the
+        // B path re-reaches it at depth 2 and re-expands. D's finding must
+        // appear once, as in BFS.
+        struct Diamond;
+        impl StateSpace for Diamond {
+            type State = u8;
+            type Finding = u8;
+            fn digest(&self, s: &u8) -> Digest {
+                digest128_of(s)
+            }
+            fn expand(&self, &s: &u8, _d: usize, ctx: &mut Expansion<Self>) {
+                match s {
+                    0 => {
+                        ctx.push(1); // B (popped after C)
+                        ctx.push(2); // C
+                    }
+                    1 => ctx.push(4),
+                    2 => ctx.push(3),
+                    3 => ctx.push(4),
+                    4 => ctx.finding(4),
+                    _ => {}
+                }
+            }
+        }
+        let bfs = Checker::parallel_bfs(1).run(&Diamond, vec![0]);
+        let dfs = Checker::sequential_dfs().run(&Diamond, vec![0]);
+        assert_eq!(bfs.findings, vec![4]);
+        assert_eq!(dfs.findings, vec![4], "re-expansion must not duplicate");
+        assert_eq!(bfs.stats.configs, dfs.stats.configs);
+    }
+
+    #[test]
+    fn duplicate_initial_states_collapse() {
+        let out = Checker::parallel_bfs(1).run(&grid(2), vec![(0, 0), (0, 0), (1, 1)]);
+        assert_eq!(out.stats.configs, 9);
+    }
+}

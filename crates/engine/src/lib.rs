@@ -1,0 +1,49 @@
+//! `slx-engine` — the shared high-throughput exploration kernel.
+//!
+//! Every verdict this workspace produces — the Figure 1 (l,k)-freedom
+//! grids, the bivalence/starvation adversaries, the opacity and consensus
+//! safety checks — is discharged by exhaustively enumerating schedules.
+//! This crate is the single kernel those enumerations run on:
+//!
+//! - [`StateSpace`] — the abstraction a checker implements: a state type,
+//!   successor enumeration ([`StateSpace::expand`]), and a 128-bit state
+//!   [`Digest`];
+//! - [`Checker`] — the driver, with a **fingerprint-only visited set**
+//!   (the search retains 16-byte digests, never full states), a
+//!   **frontier-based parallel BFS** backend with deterministic result
+//!   merging, and a sequential DFS fallback;
+//! - [`Fingerprinter`] — a fast two-lane non-cryptographic hasher that
+//!   produces the 128-bit digests in one pass (replacing the SipHash
+//!   `DefaultHasher` helpers that used to be copy-pasted across the
+//!   workspace — use [`digest64_of`] / [`digest64_of_iter`] instead);
+//! - [`ExploreStats`] — built-in exploration statistics: states visited,
+//!   transitions generated, dedup hit rate, peak frontier size,
+//!   states/sec, and truncation accounting.
+//!
+//! The kernel is dependency-free and fully generic; `slx-explorer`,
+//! `slx-adversary`, and the `slx-core` grid drivers all layer on it.
+//!
+//! # Exactness and fingerprints
+//!
+//! Deduplicating on 128-bit fingerprints instead of retained states means
+//! two distinct states colliding under the digest would be conflated. A
+//! collision can only *hide* states (every reported finding still comes
+//! from a genuinely reached state — findings are sound unconditionally);
+//! at the small scopes this workspace explores (≪ 2^40 states) the
+//! collision probability is astronomically below any practical concern.
+//! The crate's test suite checks both claims with a built-in property
+//! harness: full-width digests reproduce exact-set exploration verbatim,
+//! and deliberately truncated digests stay sound.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod digest;
+mod space;
+mod stats;
+
+pub use checker::{Backend, Checker, KernelOutcome};
+pub use digest::{digest128_of, digest64_of, digest64_of_iter, Digest, Fingerprinter};
+pub use space::{Expansion, StateSpace};
+pub use stats::ExploreStats;

@@ -1,0 +1,80 @@
+//! The [`StateSpace`] abstraction checkers implement.
+
+use crate::digest::Digest;
+
+/// A transition system the [`crate::Checker`] can explore.
+///
+/// Implementors supply three things: a state type, a fingerprint
+/// ([`StateSpace::digest`] — the kernel deduplicates on digests only and
+/// never retains states), and successor enumeration
+/// ([`StateSpace::expand`]).
+///
+/// `expand` receives the state's depth (shortest known distance from an
+/// initial state, in expansion steps) and is responsible for enforcing its
+/// own horizon: a space with a depth bound simply pushes no successors at
+/// the bound, marking the expansion truncated if the state was not
+/// terminal. Keeping the bound inside the space lets the same kernel drive
+/// bounded safety exploration, budgeted valence queries, and unbounded
+/// reachability alike.
+pub trait StateSpace {
+    /// A state of the transition system. `Send + Sync` because the
+    /// parallel BFS backend hands frontier slices to worker threads.
+    type State: Clone + Send + Sync;
+    /// What an expansion can report to the caller: a safety violation, a
+    /// decidable value, a starvation witness…
+    type Finding: Send;
+
+    /// The state's 128-bit fingerprint. Must capture everything future
+    /// behaviour (and findings) can depend on: states with equal digests
+    /// are explored once.
+    fn digest(&self, state: &Self::State) -> Digest;
+
+    /// Enumerates `state`'s successors and findings into `ctx`.
+    fn expand(&self, state: &Self::State, depth: usize, ctx: &mut Expansion<Self>);
+}
+
+/// Sink for one state's expansion: successors, findings, and truncation.
+///
+/// Successor digests are computed eagerly at push time so the expensive
+/// hashing happens inside the (possibly parallel) expansion phase rather
+/// than the sequential merge phase.
+pub struct Expansion<'sp, Sp: StateSpace + ?Sized> {
+    space: &'sp Sp,
+    pub(crate) succs: Vec<(Sp::State, Digest)>,
+    pub(crate) findings: Vec<Sp::Finding>,
+    pub(crate) truncated: bool,
+}
+
+impl<'sp, Sp: StateSpace + ?Sized> Expansion<'sp, Sp> {
+    pub(crate) fn new(space: &'sp Sp) -> Self {
+        Expansion {
+            space,
+            succs: Vec::new(),
+            findings: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.succs.clear();
+        self.findings.clear();
+        self.truncated = false;
+    }
+
+    /// Emits a successor state.
+    pub fn push(&mut self, succ: Sp::State) {
+        let digest = self.space.digest(&succ);
+        self.succs.push((succ, digest));
+    }
+
+    /// Reports a finding (violation, witness, value, …).
+    pub fn finding(&mut self, finding: Sp::Finding) {
+        self.findings.push(finding);
+    }
+
+    /// Records that this expansion was cut short (horizon reached with the
+    /// state not terminal): the exploration is no longer exhaustive.
+    pub fn mark_truncated(&mut self) {
+        self.truncated = true;
+    }
+}

@@ -1,0 +1,103 @@
+//! Exploration statistics.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Statistics of one [`crate::Checker`] run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExploreStats {
+    /// Distinct states expanded (by fingerprint).
+    pub configs: usize,
+    /// Successor states generated (before deduplication).
+    pub transitions: usize,
+    /// Generated successors dropped because their fingerprint was already
+    /// visited at an equal or smaller depth.
+    pub dedup_hits: usize,
+    /// Largest BFS frontier (or DFS stack) observed.
+    pub peak_frontier: usize,
+    /// Whether any expansion reported truncation (horizon or budget hit):
+    /// if `false`, the exploration was exhaustive.
+    pub truncated: bool,
+    /// Whether the run stopped early because the caller's stop predicate
+    /// fired (early verdicts, e.g. a bivalence witness).
+    pub stopped_early: bool,
+    /// Worker threads used by the backend.
+    pub threads: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl ExploreStats {
+    /// Distinct states expanded per wall-clock second.
+    #[must_use]
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.configs as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of generated successors that deduplicated against the
+    /// visited set (`0.0` when no successors were generated).
+    #[must_use]
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.transitions > 0 {
+            self.dedup_hits as f64 / self.transitions as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for ExploreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} transitions ({:.1}% dedup), peak frontier {}, \
+             {:.0} states/s on {} thread(s){}{}",
+            self.configs,
+            self.transitions,
+            self.dedup_hit_rate() * 100.0,
+            self.peak_frontier,
+            self.states_per_sec(),
+            self.threads,
+            if self.truncated { ", truncated" } else { "" },
+            if self.stopped_early {
+                ", stopped early"
+            } else {
+                ""
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let stats = ExploreStats::default();
+        assert_eq!(stats.states_per_sec(), 0.0);
+        assert_eq!(stats.dedup_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let stats = ExploreStats {
+            configs: 10,
+            transitions: 20,
+            dedup_hits: 5,
+            peak_frontier: 4,
+            truncated: true,
+            stopped_early: false,
+            threads: 2,
+            elapsed: Duration::from_millis(100),
+        };
+        let s = stats.to_string();
+        assert!(s.contains("10 states"));
+        assert!(s.contains("truncated"));
+    }
+}

@@ -1,11 +1,29 @@
 //! Exhaustive schedule enumeration with safety checking.
+//!
+//! Since the `slx-engine` refactor these searches run on the shared
+//! exploration kernel: configurations are deduplicated by 128-bit
+//! fingerprint (no retained clones), levels are expanded by the parallel
+//! BFS backend when the machine has cores to spare, and every outcome
+//! carries the kernel's [`ExploreStats`].
 
-use std::collections::HashSet;
 use std::hash::Hash;
 
+use slx_engine::{Checker, Digest, Expansion, ExploreStats, Fingerprinter, StateSpace};
 use slx_history::{History, ProcessId};
 use slx_memory::{Process, StepEffect, System, Word};
 use slx_safety::SafetyProperty;
+
+/// Fast digest of a full external history, order-sensitive.
+///
+/// This is the workspace-wide history digest (re-exported by
+/// `slx_core::explorer`); it is sound for *any* safety property because it
+/// captures the entire history. Callers with cheaper faithful digests
+/// (e.g. just the decided values for consensus agreement) can still pass
+/// their own.
+#[must_use]
+pub fn history_digest(h: &History) -> u64 {
+    slx_engine::digest64_of_iter(h.iter())
+}
 
 /// Result of an [`explore_safety`] run.
 #[derive(Debug, Clone)]
@@ -17,12 +35,67 @@ pub struct ExploreOutcome {
     /// Whether the depth bound cut any branch (if `false`, the search was
     /// exhaustive: every schedule of the active processes, to quiescence).
     pub truncated: bool,
+    /// Kernel statistics for this run (states/sec, dedup hit rate, peak
+    /// frontier, threads).
+    pub stats: ExploreStats,
 }
 
 impl ExploreOutcome {
     /// Whether the property held everywhere explored.
     pub fn holds(&self) -> bool {
         self.violations.is_empty()
+    }
+}
+
+/// The safety-exploration state space: all schedules of the active
+/// processes to a depth bound, pruning below violations.
+struct SafetySpace<'a, W, P, S, D> {
+    active: &'a [ProcessId],
+    depth: usize,
+    safety: &'a S,
+    digest: D,
+    _marker: std::marker::PhantomData<(W, P)>,
+}
+
+impl<W, P, S, D> StateSpace for SafetySpace<'_, W, P, S, D>
+where
+    W: Word + Send + Sync,
+    P: Process<W> + Clone + Eq + Hash + Send + Sync,
+    S: SafetyProperty + Sync,
+    D: Fn(&History) -> u64 + Sync,
+{
+    type State = System<W, P>;
+    type Finding = History;
+
+    fn digest(&self, sys: &Self::State) -> Digest {
+        // Configuration fingerprint mixed with the caller's history
+        // digest: exactly the `(configuration, digest(history))` key the
+        // retained-set implementation deduplicated on.
+        let mut fp = Fingerprinter::new();
+        sys.hash(&mut fp);
+        std::hash::Hasher::write_u64(&mut fp, (self.digest)(sys.history()));
+        fp.digest()
+    }
+
+    fn expand(&self, sys: &Self::State, depth: usize, ctx: &mut Expansion<Self>) {
+        if depth >= self.depth {
+            if !sys.quiescent() {
+                ctx.mark_truncated();
+            }
+            return;
+        }
+        for &p in self.active {
+            if !sys.can_step(p) {
+                continue;
+            }
+            let mut next = sys.clone();
+            let effect = next.step(p).expect("steppable process steps");
+            if matches!(effect, StepEffect::Responded(_)) && !self.safety.allows(next.history()) {
+                ctx.finding(next.history().clone());
+                continue; // prune below the violation
+            }
+            ctx.push(next);
+        }
     }
 }
 
@@ -33,55 +106,55 @@ impl ExploreOutcome {
 /// `digest` must capture everything about the *past* history that the
 /// safety property's future verdicts depend on (e.g. for consensus
 /// agreement: the set of decided values). Configurations are deduplicated
-/// on `(configuration, digest(history))`; with a faithful digest the
-/// search is exact, not heuristic.
+/// on a fingerprint of `(configuration, digest(history))`; with a faithful
+/// digest the search is exact, not heuristic.
+///
+/// Runs on [`Checker::auto`] (parallel BFS sized to the machine); use
+/// [`explore_safety_with`] to pin a backend.
 pub fn explore_safety<W, P, S>(
     initial: &System<W, P>,
     active: &[ProcessId],
     depth: usize,
     safety: &S,
-    digest: impl Fn(&History) -> u64 + Copy,
+    digest: impl Fn(&History) -> u64 + Copy + Send + Sync,
 ) -> ExploreOutcome
 where
-    W: Word,
-    P: Process<W> + Clone + Eq + Hash,
-    S: SafetyProperty,
+    W: Word + Send + Sync,
+    P: Process<W> + Clone + Eq + Hash + Send + Sync,
+    S: SafetyProperty + Sync,
 {
-    let mut outcome = ExploreOutcome {
-        configs: 0,
-        violations: Vec::new(),
-        truncated: false,
+    explore_safety_with(&Checker::auto(), initial, active, depth, safety, digest)
+}
+
+/// [`explore_safety`] on an explicit kernel backend (differential tests
+/// pit the parallel BFS and sequential DFS backends against each other).
+pub fn explore_safety_with<W, P, S>(
+    checker: &Checker,
+    initial: &System<W, P>,
+    active: &[ProcessId],
+    depth: usize,
+    safety: &S,
+    digest: impl Fn(&History) -> u64 + Copy + Send + Sync,
+) -> ExploreOutcome
+where
+    W: Word + Send + Sync,
+    P: Process<W> + Clone + Eq + Hash + Send + Sync,
+    S: SafetyProperty + Sync,
+{
+    let space = SafetySpace {
+        active,
+        depth,
+        safety,
+        digest,
+        _marker: std::marker::PhantomData,
     };
-    let mut seen: HashSet<(System<W, P>, u64)> = HashSet::new();
-    let mut stack: Vec<(System<W, P>, usize)> = vec![(initial.clone(), 0)];
-    while let Some((sys, d)) = stack.pop() {
-        let key = (sys.clone(), digest(sys.history()));
-        if !seen.insert(key) {
-            continue;
-        }
-        outcome.configs += 1;
-        if d >= depth {
-            if !sys.quiescent() {
-                outcome.truncated = true;
-            }
-            continue;
-        }
-        for &p in active {
-            if !sys.can_step(p) {
-                continue;
-            }
-            let mut next = sys.clone();
-            let effect = next.step(p).expect("steppable process steps");
-            if matches!(effect, StepEffect::Responded(_))
-                && !safety.allows(next.history())
-            {
-                outcome.violations.push(next.history().clone());
-                continue; // prune below the violation
-            }
-            stack.push((next, d + 1));
-        }
+    let out = checker.run(&space, vec![initial.clone()]);
+    ExploreOutcome {
+        configs: out.stats.configs,
+        violations: out.findings,
+        truncated: out.stats.truncated,
+        stats: out.stats,
     }
-    outcome
 }
 
 /// A counterexample to solo progress: a reachable configuration from which
@@ -93,6 +166,65 @@ pub struct SoloCounterexample {
     pub proc: ProcessId,
     /// The history of the configuration from which the solo run starved.
     pub reached_by: History,
+}
+
+/// State space for the obstruction-freedom check: reachable configurations
+/// to a depth bound, each solo-checked as it is expanded.
+struct SoloSpace<'a, W, P> {
+    active: &'a [ProcessId],
+    depth: usize,
+    solo_budget: usize,
+    _marker: std::marker::PhantomData<(W, P)>,
+}
+
+impl<W, P> StateSpace for SoloSpace<'_, W, P>
+where
+    W: Word + Send + Sync,
+    P: Process<W> + Clone + Eq + Hash + Send + Sync,
+{
+    type State = System<W, P>;
+    type Finding = SoloCounterexample;
+
+    fn digest(&self, sys: &Self::State) -> Digest {
+        sys.digest128()
+    }
+
+    fn expand(&self, sys: &Self::State, depth: usize, ctx: &mut Expansion<Self>) {
+        // Solo check at this configuration.
+        for &p in self.active {
+            if !sys.is_pending(p) || sys.is_crashed(p) {
+                continue;
+            }
+            let mut solo = sys.clone();
+            let mut responded = false;
+            for _ in 0..self.solo_budget {
+                if !solo.can_step(p) {
+                    break;
+                }
+                if let StepEffect::Responded(_) = solo.step(p).expect("steppable") {
+                    responded = true;
+                    break;
+                }
+            }
+            if !responded {
+                ctx.finding(SoloCounterexample {
+                    proc: p,
+                    reached_by: sys.history().clone(),
+                });
+                return;
+            }
+        }
+        if depth >= self.depth {
+            return;
+        }
+        for &p in self.active {
+            if sys.can_step(p) {
+                let mut next = sys.clone();
+                next.step(p).expect("steppable");
+                ctx.push(next);
+            }
+        }
+    }
 }
 
 /// Verifies obstruction-freedom ((1,1)-freedom) exhaustively at small
@@ -108,50 +240,17 @@ pub fn verify_solo_progress<W, P>(
     solo_budget: usize,
 ) -> Option<SoloCounterexample>
 where
-    W: Word,
-    P: Process<W> + Clone + Eq + Hash,
+    W: Word + Send + Sync,
+    P: Process<W> + Clone + Eq + Hash + Send + Sync,
 {
-    let mut seen: HashSet<System<W, P>> = HashSet::new();
-    let mut stack: Vec<(System<W, P>, usize)> = vec![(initial.clone(), 0)];
-    while let Some((sys, d)) = stack.pop() {
-        if !seen.insert(sys.clone()) {
-            continue;
-        }
-        // Solo check at this configuration.
-        for &p in active {
-            if !sys.is_pending(p) || sys.is_crashed(p) {
-                continue;
-            }
-            let mut solo = sys.clone();
-            let mut responded = false;
-            for _ in 0..solo_budget {
-                if !solo.can_step(p) {
-                    break;
-                }
-                if let StepEffect::Responded(_) = solo.step(p).expect("steppable") {
-                    responded = true;
-                    break;
-                }
-            }
-            if !responded {
-                return Some(SoloCounterexample {
-                    proc: p,
-                    reached_by: sys.history().clone(),
-                });
-            }
-        }
-        if d >= depth {
-            continue;
-        }
-        for &p in active {
-            if sys.can_step(p) {
-                let mut next = sys.clone();
-                next.step(p).expect("steppable");
-                stack.push((next, d + 1));
-            }
-        }
-    }
-    None
+    let space = SoloSpace {
+        active,
+        depth,
+        solo_budget,
+        _marker: std::marker::PhantomData,
+    };
+    let out = Checker::auto().run_until(&space, vec![initial.clone()], |found| !found.is_empty());
+    out.findings.into_iter().next()
 }
 
 #[cfg(test)]
@@ -171,17 +270,11 @@ mod tests {
 
     /// Digest for consensus safety: proposals seen and decisions made.
     fn consensus_digest(h: &History) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::Hasher;
-        let mut hasher = DefaultHasher::new();
-        for a in h.iter() {
-            match a {
-                Action::Invoke { op, .. } => (1u8, op).hash(&mut hasher),
-                Action::Respond { resp, .. } => (2u8, resp).hash(&mut hasher),
-                Action::Crash { proc } => (3u8, proc).hash(&mut hasher),
-            }
-        }
-        hasher.finish()
+        slx_engine::digest64_of_iter(h.iter().map(|a| match a {
+            Action::Invoke { op, .. } => (1u8, Some(*op), None, None),
+            Action::Respond { resp, .. } => (2u8, None, Some(*resp), None),
+            Action::Crash { proc } => (3u8, None, None, Some(*proc)),
+        }))
     }
 
     #[test]
@@ -192,16 +285,11 @@ mod tests {
         sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
         sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
         let active = [p(0), p(1)];
-        let out = explore_safety(
-            &sys,
-            &active,
-            16,
-            &ConsensusSafety::new(),
-            consensus_digest,
-        );
+        let out = explore_safety(&sys, &active, 16, &ConsensusSafety::new(), consensus_digest);
         assert!(out.holds(), "violations: {:?}", out.violations);
         assert!(!out.truncated, "depth 16 must finish 2×2-step processes");
         assert!(out.configs > 1);
+        assert_eq!(out.stats.configs, out.configs);
     }
 
     #[test]
@@ -216,13 +304,7 @@ mod tests {
         sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
         sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
         let active = [p(0), p(1)];
-        let out = explore_safety(
-            &sys,
-            &active,
-            26,
-            &ConsensusSafety::new(),
-            consensus_digest,
-        );
+        let out = explore_safety(&sys, &active, 26, &ConsensusSafety::new(), consensus_digest);
         assert!(out.holds(), "violations: {:?}", out.violations);
         // Depth 26 truncates (the algorithm can run long under contention);
         // what matters is that no explored schedule violates safety.
@@ -279,7 +361,11 @@ mod tests {
         sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
         sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
         let cex = verify_solo_progress(&sys, &[p(0), p(1)], 14, 200);
-        assert!(cex.is_none(), "starvation from {:?}", cex.map(|c| c.reached_by));
+        assert!(
+            cex.is_none(),
+            "starvation from {:?}",
+            cex.map(|c| c.reached_by)
+        );
     }
 
     #[test]
@@ -314,5 +400,17 @@ mod tests {
         sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
         let cex = verify_solo_progress(&sys, &[p(0)], 2, 50);
         assert_eq!(cex.map(|c| c.proc), Some(p(0)));
+    }
+
+    #[test]
+    fn history_digest_is_order_sensitive() {
+        let mut a = History::new();
+        a.push(Action::invoke(p(0), Operation::Propose(v(1))));
+        a.push(Action::invoke(p(1), Operation::Propose(v(2))));
+        let mut b = History::new();
+        b.push(Action::invoke(p(1), Operation::Propose(v(2))));
+        b.push(Action::invoke(p(0), Operation::Propose(v(1))));
+        assert_ne!(history_digest(&a), history_digest(&b));
+        assert_eq!(history_digest(&a), history_digest(&a.clone()));
     }
 }

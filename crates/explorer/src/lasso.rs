@@ -23,11 +23,14 @@ pub struct CycleWitness {
 
 impl CycleWitness {
     /// Events of `stem · cycle^k` — a finite unrolling, useful for feeding
-    /// the window-based liveness evaluators.
+    /// the window-based liveness evaluators. The output is sized up front
+    /// (`stem + k·cycle` events), so unrolling long cycles never
+    /// reallocates mid-copy.
     pub fn unroll(&self, k: usize) -> Vec<Event> {
-        let mut out = self.stem.clone();
+        let mut out = Vec::with_capacity(self.stem.len() + k * self.cycle.len());
+        out.extend_from_slice(&self.stem);
         for _ in 0..k {
-            out.extend(self.cycle.iter().copied());
+            out.extend_from_slice(&self.cycle);
         }
         out
     }
@@ -47,10 +50,7 @@ impl CycleWitness {
     }
 
     /// Whether any response on the cycle satisfies `good`.
-    pub fn cycle_has_good_response(
-        &self,
-        good: impl Fn(slx_history::Response) -> bool,
-    ) -> bool {
+    pub fn cycle_has_good_response(&self, good: impl Fn(slx_history::Response) -> bool) -> bool {
         self.cycle.iter().any(|e| match e {
             Event::Responded(_, r) => good(*r),
             _ => false,

@@ -20,13 +20,26 @@
 //!   every reachable configuration, every pending process running alone
 //!   responds within a step budget.
 
+//!
+//! Since the `slx-engine` refactor, the enumerating checkers
+//! ([`explore_safety`], [`decidable_values`], [`verify_solo_progress`])
+//! all run on the shared exploration kernel: a fingerprint-only visited
+//! set (no retained configuration clones), a parallel frontier-BFS backend
+//! with deterministic merging, and a sequential DFS fallback. The seed's
+//! retained-clone loops survive in [`baseline`] for benchmarking and
+//! differential testing.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 mod explore;
 mod lasso;
 mod valence;
 
-pub use explore::{explore_safety, verify_solo_progress, ExploreOutcome, SoloCounterexample};
+pub use explore::{
+    explore_safety, explore_safety_with, history_digest, verify_solo_progress, ExploreOutcome,
+    SoloCounterexample,
+};
 pub use lasso::{run_until_cycle, run_until_cycle_keyed, CycleWitness};
-pub use valence::{decidable_values, DecidableSet};
+pub use valence::{decidable_values, decidable_values_with, DecidableSet};

@@ -1,8 +1,9 @@
 //! Valence analysis for consensus configurations.
 
-use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::collections::BTreeSet;
 use std::hash::Hash;
 
+use slx_engine::{Checker, Digest, Expansion, StateSpace};
 use slx_history::{ProcessId, Response, Value};
 use slx_memory::{Process, StepEffect, System, Word};
 
@@ -27,9 +28,49 @@ impl DecidableSet {
     }
 }
 
+/// The valence state space: schedules of the active processes, recording
+/// each first decision as a finding and not exploring past it.
+struct ValenceSpace<'a, W, P> {
+    active: &'a [ProcessId],
+    _marker: std::marker::PhantomData<(W, P)>,
+}
+
+impl<W, P> StateSpace for ValenceSpace<'_, W, P>
+where
+    W: Word + Send + Sync,
+    P: Process<W> + Clone + Eq + Hash + Send + Sync,
+{
+    type State = System<W, P>;
+    type Finding = Value;
+
+    fn digest(&self, sys: &Self::State) -> Digest {
+        sys.digest128()
+    }
+
+    fn expand(&self, sys: &Self::State, _depth: usize, ctx: &mut Expansion<Self>) {
+        for &p in self.active {
+            if !sys.can_step(p) {
+                continue;
+            }
+            let mut next = sys.clone();
+            match next.step(p).expect("steppable") {
+                StepEffect::Responded(Response::Decided(v)) => {
+                    // A decision seals the configuration's fate; record and
+                    // do not explore past it (agreement makes the rest
+                    // univalent, and we only need first decisions).
+                    ctx.finding(v);
+                }
+                _ => ctx.push(next),
+            }
+        }
+    }
+}
+
 /// Computes the set of values decidable from `sys` by scheduling only the
 /// `active` processes (no crashes, no further invocations), exploring at
-/// most `budget` configurations (BFS, memoized).
+/// most `budget` configurations (frontier BFS on the `slx-engine` kernel,
+/// fingerprint-memoized, stopping as soon as bivalence is witnessed —
+/// callers only need two values).
 ///
 /// This is the engine of the Chor–Israeli–Li-style adversary: from a
 /// bivalent configuration the adversary steps whichever process keeps the
@@ -42,47 +83,55 @@ pub fn decidable_values<W, P>(
     budget: usize,
 ) -> DecidableSet
 where
-    W: Word,
-    P: Process<W> + Clone + Eq + Hash,
+    W: Word + Send + Sync,
+    P: Process<W> + Clone + Eq + Hash + Send + Sync,
 {
-    let mut out = DecidableSet {
-        values: BTreeSet::new(),
-        truncated: false,
-        configs: 0,
+    decidable_values_with(&Checker::auto(), sys, active, budget)
+}
+
+/// [`decidable_values`] on an explicit kernel backend/checker. The
+/// bivalence adversary reuses one checker across its thousands of valence
+/// queries.
+pub fn decidable_values_with<W, P>(
+    checker: &Checker,
+    sys: &System<W, P>,
+    active: &[ProcessId],
+    budget: usize,
+) -> DecidableSet
+where
+    W: Word + Send + Sync,
+    P: Process<W> + Clone + Eq + Hash + Send + Sync,
+{
+    let space = ValenceSpace {
+        active,
+        _marker: std::marker::PhantomData,
     };
-    let mut seen: HashSet<System<W, P>> = HashSet::new();
-    let mut queue: VecDeque<System<W, P>> = VecDeque::new();
-    queue.push_back(sys.clone());
-    while let Some(s) = queue.pop_front() {
-        if !seen.insert(s.clone()) {
-            continue;
-        }
-        out.configs += 1;
-        if out.configs >= budget {
-            out.truncated = true;
-            break;
-        }
-        for &p in active {
-            if !s.can_step(p) {
-                continue;
+    // The retained seed implementation counted the budget-th state but
+    // stopped *before* expanding it, so it expanded at most `budget - 1`
+    // states and reported truncation iff at least `budget` distinct
+    // configurations were reachable. The kernel expands exactly its budget
+    // and truncates iff more remained, so `budget - 1` reproduces the seed
+    // verdicts (values, bivalence, truncated) exactly.
+    let mut distinct: BTreeSet<Value> = BTreeSet::new();
+    let mut cursor = 0usize;
+    let out = checker
+        .clone()
+        .with_budget(budget.saturating_sub(1))
+        .run_until(&space, vec![sys.clone()], |found| {
+            for v in &found[cursor..] {
+                distinct.insert(*v);
             }
-            let mut next = s.clone();
-            match next.step(p).expect("steppable") {
-                StepEffect::Responded(Response::Decided(v)) => {
-                    // A decision seals the configuration's fate; record and
-                    // do not explore past it (agreement makes the rest
-                    // univalent, and we only need first decisions).
-                    out.values.insert(v);
-                }
-                _ => queue.push_back(next),
-            }
-        }
-        // Early exit once bivalence is witnessed: callers only need two.
-        if out.values.len() >= 2 {
-            return out;
-        }
+            cursor = found.len();
+            distinct.len() >= 2
+        });
+    for v in &out.findings[cursor..] {
+        distinct.insert(*v);
     }
-    out
+    DecidableSet {
+        values: distinct,
+        truncated: out.stats.truncated,
+        configs: out.stats.configs,
+    }
 }
 
 #[cfg(test)]
@@ -148,5 +197,19 @@ mod tests {
         sys.invoke(p(1), Operation::Propose(v(5))).unwrap();
         let d = decidable_values(&sys, &[p(0), p(1)], 10_000);
         assert_eq!(d.values, BTreeSet::from([v(5)]));
+    }
+
+    #[test]
+    fn backends_agree_on_valence() {
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let obj = CasConsensus::alloc(&mut mem);
+        let mut sys = System::new(mem, vec![CasConsensus::new(obj), CasConsensus::new(obj)]);
+        sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
+        sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
+        sys.step(p(0)).unwrap();
+        let bfs = decidable_values_with(&Checker::parallel_bfs(2), &sys, &[p(0), p(1)], 10_000);
+        let dfs = decidable_values_with(&Checker::sequential_dfs(), &sys, &[p(0), p(1)], 10_000);
+        assert_eq!(bfs.values, dfs.values);
+        assert_eq!(bfs.configs, dfs.configs);
     }
 }

@@ -1,0 +1,266 @@
+//! Differential tests of the `slx-engine` kernel backends.
+//!
+//! The parallel BFS and sequential DFS backends must report identical
+//! `holds()` verdicts and visited-configuration counts on the workspace's
+//! seed scenarios (register consensus and transactional memory), and both
+//! must reproduce the retained-clone baseline implementation exactly.
+
+use slx_consensus::{CasConsensus, ConsWord, ObstructionFreeConsensus};
+use slx_engine::Checker;
+use slx_explorer::baseline::{decidable_values_retained, explore_safety_retained};
+use slx_explorer::{decidable_values, explore_safety, explore_safety_with, history_digest};
+use slx_history::{Operation, ProcessId, Value, VarId};
+use slx_memory::{Memory, System};
+use slx_safety::{ConsensusSafety, Opacity};
+use slx_tm::{GlobalVersionTm, TmWord};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+fn v(x: i64) -> Value {
+    Value::new(x)
+}
+
+fn cas_consensus_scenario() -> System<ConsWord, CasConsensus> {
+    let mut mem: Memory<ConsWord> = Memory::new();
+    let obj = CasConsensus::alloc(&mut mem);
+    let mut sys = System::new(mem, vec![CasConsensus::new(obj), CasConsensus::new(obj)]);
+    sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
+    sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
+    sys
+}
+
+fn of_consensus_scenario() -> System<ConsWord, ObstructionFreeConsensus> {
+    let mut mem: Memory<ConsWord> = Memory::new();
+    let layout = ObstructionFreeConsensus::layout(&mut mem, 2, 16);
+    let procs = vec![
+        ObstructionFreeConsensus::new(layout.clone(), p(0), 2),
+        ObstructionFreeConsensus::new(layout, p(1), 2),
+    ];
+    let mut sys = System::new(mem, procs);
+    sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
+    sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
+    sys
+}
+
+/// Runs one operation on `proc` to completion (solo), so TM scenarios can
+/// be driven to an interesting mid-transaction configuration.
+fn complete_op(sys: &mut System<TmWord, GlobalVersionTm>, proc: ProcessId, op: Operation) {
+    sys.invoke(proc, op).unwrap();
+    for _ in 0..100 {
+        if !sys.is_pending(proc) {
+            return;
+        }
+        sys.step(proc).unwrap();
+    }
+    panic!("operation did not complete within 100 solo steps");
+}
+
+/// Two global-version TM transactions, both having read and written `x`
+/// and both with a pending `tryC`: exploring the commit interleavings is
+/// the TM seed scenario.
+fn tm_scenario() -> System<TmWord, GlobalVersionTm> {
+    let mut mem: Memory<TmWord> = Memory::new();
+    let c = GlobalVersionTm::alloc(&mut mem, 1);
+    let procs = vec![GlobalVersionTm::new(c, 1), GlobalVersionTm::new(c, 1)];
+    let mut sys = System::new(mem, procs);
+    let x = VarId::new(0);
+    for i in 0..2 {
+        complete_op(&mut sys, p(i), Operation::TxStart);
+        complete_op(&mut sys, p(i), Operation::TxRead(x));
+        complete_op(&mut sys, p(i), Operation::TxWrite(x, v(i as i64 + 1)));
+    }
+    sys.invoke(p(0), Operation::TxCommit).unwrap();
+    sys.invoke(p(1), Operation::TxCommit).unwrap();
+    sys
+}
+
+#[test]
+fn backends_agree_on_cas_consensus() {
+    let sys = cas_consensus_scenario();
+    let active = [p(0), p(1)];
+    let safety = ConsensusSafety::new();
+    let bfs = explore_safety_with(
+        &Checker::parallel_bfs(2),
+        &sys,
+        &active,
+        16,
+        &safety,
+        history_digest,
+    );
+    let dfs = explore_safety_with(
+        &Checker::sequential_dfs(),
+        &sys,
+        &active,
+        16,
+        &safety,
+        history_digest,
+    );
+    assert_eq!(bfs.holds(), dfs.holds());
+    assert_eq!(bfs.configs, dfs.configs);
+    assert!(bfs.holds());
+}
+
+#[test]
+fn backends_agree_on_of_consensus() {
+    let sys = of_consensus_scenario();
+    let active = [p(0), p(1)];
+    let safety = ConsensusSafety::new();
+    for depth in [8usize, 14, 20] {
+        let bfs = explore_safety_with(
+            &Checker::parallel_bfs(2),
+            &sys,
+            &active,
+            depth,
+            &safety,
+            history_digest,
+        );
+        let dfs = explore_safety_with(
+            &Checker::sequential_dfs(),
+            &sys,
+            &active,
+            depth,
+            &safety,
+            history_digest,
+        );
+        assert_eq!(bfs.holds(), dfs.holds(), "depth {depth}");
+        assert_eq!(bfs.configs, dfs.configs, "depth {depth}");
+        assert!(bfs.holds(), "depth {depth}");
+    }
+}
+
+#[test]
+fn backends_agree_on_tm_commit_race() {
+    let sys = tm_scenario();
+    let active = [p(0), p(1)];
+    let safety = Opacity::new(v(0));
+    let bfs = explore_safety_with(
+        &Checker::parallel_bfs(2),
+        &sys,
+        &active,
+        20,
+        &safety,
+        history_digest,
+    );
+    let dfs = explore_safety_with(
+        &Checker::sequential_dfs(),
+        &sys,
+        &active,
+        20,
+        &safety,
+        history_digest,
+    );
+    assert_eq!(bfs.holds(), dfs.holds());
+    assert_eq!(bfs.configs, dfs.configs);
+    assert!(bfs.holds(), "global-version TM commits must stay opaque");
+    assert!(bfs.configs > 1, "the commit race must branch");
+}
+
+#[test]
+fn kernel_matches_retained_baseline_on_consensus() {
+    let sys = of_consensus_scenario();
+    let active = [p(0), p(1)];
+    let safety = ConsensusSafety::new();
+    for depth in [8usize, 14, 18] {
+        let engine = explore_safety(&sys, &active, depth, &safety, history_digest);
+        let baseline = explore_safety_retained(&sys, &active, depth, &safety, history_digest);
+        assert_eq!(engine.holds(), baseline.holds(), "depth {depth}");
+        assert_eq!(engine.configs, baseline.configs, "depth {depth}");
+        assert_eq!(engine.truncated, baseline.truncated, "depth {depth}");
+    }
+}
+
+#[test]
+fn kernel_matches_retained_baseline_on_tm() {
+    let sys = tm_scenario();
+    let active = [p(0), p(1)];
+    let safety = Opacity::new(v(0));
+    let engine = explore_safety(&sys, &active, 20, &safety, history_digest);
+    let baseline = explore_safety_retained(&sys, &active, 20, &safety, history_digest);
+    assert_eq!(engine.holds(), baseline.holds());
+    assert_eq!(engine.configs, baseline.configs);
+}
+
+#[test]
+fn valence_matches_retained_baseline_across_budgets() {
+    // Sweep the budget through starved, boundary, and ample regimes on
+    // both seed scenarios; the engine must reproduce the retained
+    // implementation's verdict (values, bivalence, truncation) at every
+    // point. `configs` is only comparable when neither run truncates: at
+    // the budget the seed counted one state it never expanded.
+    let active = [p(0), p(1)];
+    let cas = cas_consensus_scenario();
+    let of = of_consensus_scenario();
+    for budget in [1usize, 2, 3, 5, 10, 50, 200, 1000, 10_000] {
+        let engine_cas = decidable_values(&cas, &active, budget);
+        let seed_cas = decidable_values_retained(&cas, &active, budget);
+        let engine_of = decidable_values(&of, &active, budget);
+        let seed_of = decidable_values_retained(&of, &active, budget);
+        for (engine, seed, name) in [
+            (&engine_cas, &seed_cas, "cas"),
+            (&engine_of, &seed_of, "of"),
+        ] {
+            assert_eq!(engine.values, seed.values, "{name} budget {budget}");
+            assert_eq!(engine.bivalent(), seed.bivalent(), "{name} budget {budget}");
+            if !engine.bivalent() {
+                // Early bivalence exits can race the budget boundary;
+                // everywhere else truncation must agree exactly.
+                assert_eq!(engine.truncated, seed.truncated, "{name} budget {budget}");
+            }
+            if !engine.truncated && !seed.truncated {
+                assert_eq!(engine.configs, seed.configs, "{name} budget {budget}");
+            }
+        }
+    }
+}
+
+#[test]
+fn backends_agree_on_injected_violation() {
+    // A scenario whose verdict is *false*: both backends must find it.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct Selfish {
+        pending: Option<Value>,
+    }
+    impl slx_memory::Process<ConsWord> for Selfish {
+        fn on_invoke(&mut self, op: Operation) {
+            if let Operation::Propose(v) = op {
+                self.pending = Some(v);
+            }
+        }
+        fn has_step(&self) -> bool {
+            self.pending.is_some()
+        }
+        fn step(&mut self, _mem: &mut Memory<ConsWord>) -> slx_memory::StepEffect {
+            let v = self.pending.take().expect("pending");
+            slx_memory::StepEffect::Responded(slx_history::Response::Decided(v))
+        }
+    }
+    let mem: Memory<ConsWord> = Memory::new();
+    let mut sys = System::new(
+        mem,
+        vec![Selfish { pending: None }, Selfish { pending: None }],
+    );
+    sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
+    sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
+    let active = [p(0), p(1)];
+    let safety = ConsensusSafety::new();
+    let bfs = explore_safety_with(
+        &Checker::parallel_bfs(2),
+        &sys,
+        &active,
+        4,
+        &safety,
+        history_digest,
+    );
+    let dfs = explore_safety_with(
+        &Checker::sequential_dfs(),
+        &sys,
+        &active,
+        4,
+        &safety,
+        history_digest,
+    );
+    assert!(!bfs.holds());
+    assert!(!dfs.holds());
+    assert_eq!(bfs.configs, dfs.configs);
+}

@@ -175,9 +175,9 @@ impl Action {
     /// The process the action belongs to.
     pub const fn proc(&self) -> ProcessId {
         match self {
-            Action::Invoke { proc, .. }
-            | Action::Respond { proc, .. }
-            | Action::Crash { proc } => *proc,
+            Action::Invoke { proc, .. } | Action::Respond { proc, .. } | Action::Crash { proc } => {
+                *proc
+            }
         }
     }
 
@@ -268,10 +268,7 @@ mod tests {
             Action::invoke(p(0), Operation::Propose(Value::new(5))).to_string(),
             "propose(5)@p1"
         );
-        assert_eq!(
-            Action::respond(p(1), Response::Aborted).to_string(),
-            "A@p2"
-        );
+        assert_eq!(Action::respond(p(1), Response::Aborted).to_string(), "A@p2");
         assert_eq!(Operation::TxCommit.to_string(), "tryC()");
     }
 }

@@ -141,12 +141,11 @@ impl Transaction {
         let mut written: Vec<VarId> = Vec::new();
         for e in &self.events {
             match e {
-                TxnEvent::Read { var, resp } => {
-                    if let Some(Response::ValueReturned(v)) = resp {
-                        if !written.contains(var) {
-                            reads.entry(*var).or_insert(*v);
-                        }
-                    }
+                TxnEvent::Read {
+                    var,
+                    resp: Some(Response::ValueReturned(v)),
+                } if !written.contains(var) => {
+                    reads.entry(*var).or_insert(*v);
                 }
                 TxnEvent::Write { var, resp, .. } => {
                     if matches!(resp, Some(Response::Ok)) {

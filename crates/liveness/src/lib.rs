@@ -34,5 +34,5 @@ mod sfreedom;
 pub use lk::{KObstructionFreedom, LLockFreedom, LkFreedom};
 pub use nx::NxLiveness;
 pub use progress::{ExecutionView, ProgressKind};
-pub use property::{Lmax, LivenessProperty};
+pub use property::{LivenessProperty, Lmax};
 pub use sfreedom::SFreedom;

@@ -127,7 +127,9 @@ mod tests {
             AtomicKind::Cas => mem.alloc_cas(0),
             AtomicKind::Counter => mem.alloc_counter(0),
         };
-        let procs = (0..n).map(|_| AtomicObjectProcess::new(kind, obj)).collect();
+        let procs = (0..n)
+            .map(|_| AtomicObjectProcess::new(kind, obj))
+            .collect();
         let mut sys = System::new(mem, procs);
         let mut queue: Vec<(usize, Operation)> = ops.to_vec();
         let mut sched = FairRandom::new(seed);
@@ -143,8 +145,7 @@ mod tests {
     #[test]
     fn exactly_one_tas_winner() {
         for seed in 0..10 {
-            let ops: Vec<(usize, Operation)> =
-                (0..3).map(|i| (i, Operation::TestAndSet)).collect();
+            let ops: Vec<(usize, Operation)> = (0..3).map(|i| (i, Operation::TestAndSet)).collect();
             let h = run_ops(AtomicKind::Tas, 3, &ops, seed);
             let winners = h
                 .iter()

@@ -107,7 +107,10 @@ impl<W> PrimOutcome<W> {
     pub fn expect_value(self) -> W {
         match self {
             PrimOutcome::Value(w) => w,
-            other => panic!("expected Value outcome, got {other:?}", other = kind(&other)),
+            other => panic!(
+                "expected Value outcome, got {other:?}",
+                other = kind(&other)
+            ),
         }
     }
 
@@ -193,7 +196,10 @@ impl fmt::Display for MemoryError {
                 write!(f, "primitive {primitive} does not apply to {obj}")
             }
             MemoryError::BadSnapshotIndex { obj, index, len } => {
-                write!(f, "snapshot index {index} out of range for {obj} (len {len})")
+                write!(
+                    f,
+                    "snapshot index {index} out of range for {obj} (len {len})"
+                )
             }
         }
     }
@@ -311,9 +317,7 @@ impl<W: Word> Memory<W> {
         self.applied += 1;
         match p {
             Primitive::Read(obj) => match self.get(obj)? {
-                BaseObject::Register(w) | BaseObject::Cas(w) => {
-                    Ok(PrimOutcome::Value(w.clone()))
-                }
+                BaseObject::Register(w) | BaseObject::Cas(w) => Ok(PrimOutcome::Value(w.clone())),
                 BaseObject::Counter(c) => Ok(PrimOutcome::Int(*c)),
                 BaseObject::Tas(b) => Ok(PrimOutcome::Flag(*b)),
                 BaseObject::Snapshot(_) => Err(MemoryError::KindMismatch {
@@ -404,7 +408,9 @@ impl<W: Word> Memory<W> {
     }
 
     fn get(&self, obj: ObjId) -> Result<&BaseObject<W>, MemoryError> {
-        self.objects.get(obj.0).ok_or(MemoryError::NoSuchObject(obj))
+        self.objects
+            .get(obj.0)
+            .ok_or(MemoryError::NoSuchObject(obj))
     }
 
     fn get_mut(&mut self, obj: ObjId) -> Result<&mut BaseObject<W>, MemoryError> {
@@ -462,10 +468,16 @@ mod tests {
     fn tas_sets_once() {
         let mut m: Memory<i64> = Memory::new();
         let t = m.alloc_tas();
-        assert_eq!(m.apply(Primitive::Tas(t)).unwrap(), PrimOutcome::Flag(false));
+        assert_eq!(
+            m.apply(Primitive::Tas(t)).unwrap(),
+            PrimOutcome::Flag(false)
+        );
         assert_eq!(m.apply(Primitive::Tas(t)).unwrap(), PrimOutcome::Flag(true));
         m.apply(Primitive::TasReset(t)).unwrap();
-        assert_eq!(m.apply(Primitive::Tas(t)).unwrap(), PrimOutcome::Flag(false));
+        assert_eq!(
+            m.apply(Primitive::Tas(t)).unwrap(),
+            PrimOutcome::Flag(false)
+        );
     }
 
     #[test]
@@ -509,7 +521,10 @@ mod tests {
                 val: 1,
             })
             .unwrap_err();
-        assert!(matches!(err, MemoryError::BadSnapshotIndex { index: 5, .. }));
+        assert!(matches!(
+            err,
+            MemoryError::BadSnapshotIndex { index: 5, .. }
+        ));
     }
 
     #[test]

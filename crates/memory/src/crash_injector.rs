@@ -1,8 +1,8 @@
 //! Crash injection: wrapping schedulers with failure plans.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use slx_history::ProcessId;
+
+use crate::rng::SmallRng;
 
 use crate::base::Word;
 use crate::process::Process;
@@ -57,7 +57,7 @@ where
 #[derive(Debug, Clone)]
 pub struct RandomCrashes<S> {
     inner: S,
-    rng: StdRng,
+    rng: SmallRng,
     /// Probability (×10⁻³) of injecting a crash at each decision.
     per_mille: u32,
     min_alive: usize,
@@ -69,7 +69,7 @@ impl<S> RandomCrashes<S> {
     pub fn new(inner: S, seed: u64, per_mille: u32, min_alive: usize) -> Self {
         RandomCrashes {
             inner,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
             per_mille,
             min_alive,
         }
@@ -86,8 +86,8 @@ where
         let alive: Vec<ProcessId> = ProcessId::all(sys.n())
             .filter(|&p| !sys.is_crashed(p))
             .collect();
-        if alive.len() > self.min_alive && self.rng.gen_range(0..1000) < self.per_mille {
-            let victim = alive[self.rng.gen_range(0..alive.len())];
+        if alive.len() > self.min_alive && self.rng.gen_index(1000) < self.per_mille as usize {
+            let victim = alive[self.rng.gen_index(alive.len())];
             return Decision::Crash(victim);
         }
         self.inner.decide(sys)

@@ -41,6 +41,7 @@ mod base;
 mod crash_injector;
 mod process;
 mod register_proc;
+mod rng;
 mod sched;
 mod snapshot_algo;
 mod system;
@@ -51,6 +52,7 @@ pub use base::{BaseObject, Memory, MemoryError, ObjId, PrimOutcome, Primitive, W
 pub use crash_injector::{CrashPlan, RandomCrashes};
 pub use process::{Process, StepEffect};
 pub use register_proc::RegisterProcess;
+pub use rng::SmallRng;
 pub use sched::{Decision, FairRandom, RoundRobin, Scheduler, SoloScheduler};
 pub use snapshot_algo::{DoubleCollect, DoubleCollectResult};
 pub use system::{Event, RunStats, System, SystemError};

@@ -56,9 +56,9 @@ impl Process<i64> for RegisterProcess {
                     .apply(Primitive::Read(self.regs[x.index()]))
                     .expect("register allocated");
                 match out {
-                    PrimOutcome::Value(v) => StepEffect::Responded(Response::ValueReturned(
-                        slx_history::Value::new(v),
-                    )),
+                    PrimOutcome::Value(v) => {
+                        StepEffect::Responded(Response::ValueReturned(slx_history::Value::new(v)))
+                    }
                     _ => unreachable!("read returns a value"),
                 }
             }

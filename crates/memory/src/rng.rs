@@ -1,0 +1,62 @@
+//! A small deterministic PRNG.
+//!
+//! The schedulers only need a seeded, reproducible stream of indices —
+//! not cryptographic quality — so a SplitMix64 generator replaces the
+//! external `rand` dependency (unavailable in offline builds). Streams are
+//! stable across platforms and releases: seeds appearing in tests and
+//! figures stay meaningful.
+
+/// SplitMix64: 64 bits of well-mixed state per step, full period 2^64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e_37_79_b9_7f_4a_7c_15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf_58_47_6d_1c_e4_e5_b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94_d0_49_bb_13_31_11_eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..bound` (Lemire's multiply-shift; `bound` must
+    /// be non-zero).
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0, "gen_index bound must be non-zero");
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn indices_stay_in_bounds_and_cover() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let i = rng.gen_index(7);
+            assert!(i < 7);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit in 1000 draws");
+    }
+}

@@ -1,8 +1,8 @@
 //! Schedulers: the external entity that orders process steps.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use slx_history::{Operation, ProcessId};
+
+use crate::rng::SmallRng;
 
 use crate::base::Word;
 use crate::process::Process;
@@ -94,7 +94,7 @@ impl<W: Word, P: Process<W>> Scheduler<W, P> for SoloScheduler {
 /// it approximate fair infinite executions.
 #[derive(Debug, Clone)]
 pub struct FairRandom {
-    rng: StdRng,
+    rng: SmallRng,
     /// If non-empty, only these processes are ever scheduled — this is how
     /// "at most k processes take infinitely many steps" schedules are
     /// produced for (l,k)-freedom evaluation.
@@ -105,7 +105,7 @@ impl FairRandom {
     /// Creates a fair random scheduler over all processes.
     pub fn new(seed: u64) -> Self {
         FairRandom {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
             active: Vec::new(),
         }
     }
@@ -113,7 +113,7 @@ impl FairRandom {
     /// Creates a fair random scheduler restricted to `active` processes.
     pub fn restricted(seed: u64, active: Vec<ProcessId>) -> Self {
         FairRandom {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
             active,
         }
     }
@@ -133,7 +133,7 @@ impl<W: Word, P: Process<W>> Scheduler<W, P> for FairRandom {
         if candidates.is_empty() {
             return Decision::Halt;
         }
-        let idx = self.rng.gen_range(0..candidates.len());
+        let idx = self.rng.gen_index(candidates.len());
         Decision::Step(candidates[idx])
     }
 }

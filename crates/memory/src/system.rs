@@ -155,7 +155,9 @@ impl<W: Word, P: Process<W>> System<W, P> {
 
     /// Processes with an enabled step.
     pub fn steppable(&self) -> Vec<ProcessId> {
-        ProcessId::all(self.n()).filter(|&p| self.can_step(p)).collect()
+        ProcessId::all(self.n())
+            .filter(|&p| self.can_step(p))
+            .collect()
     }
 
     /// Whether the system is quiescent: no process has an enabled step.
@@ -302,6 +304,19 @@ impl<W: Word, P: Process<W>> System<W, P> {
     }
 }
 
+impl<W: Word, P: std::hash::Hash> System<W, P> {
+    /// A cheap 128-bit fingerprint of the *configuration* (memory, process
+    /// states, pending/crashed flags — history and events excluded, like
+    /// [`Eq`]). This is what lets `slx-engine` deduplicate explored
+    /// configurations without retaining a clone of every system.
+    pub fn digest128(&self) -> slx_engine::Digest {
+        use std::hash::Hash;
+        let mut fp = slx_engine::Fingerprinter::new();
+        self.hash(&mut fp);
+        fp.digest()
+    }
+}
+
 impl<W: Word, P: PartialEq> PartialEq for System<W, P> {
     fn eq(&self, other: &Self) -> bool {
         // Histories/events are deliberately excluded: two configurations
@@ -366,10 +381,7 @@ mod tests {
     fn writer_system() -> System<i64, Writer> {
         let mut mem: Memory<i64> = Memory::new();
         let reg = mem.alloc_register(0);
-        let procs = vec![
-            Writer { reg, pc: 0, val: 0 },
-            Writer { reg, pc: 0, val: 0 },
-        ];
+        let procs = vec![Writer { reg, pc: 0, val: 0 }, Writer { reg, pc: 0, val: 0 }];
         System::new(mem, procs)
     }
 
@@ -405,10 +417,7 @@ mod tests {
         let mut sys = writer_system();
         let p0 = ProcessId::new(0);
         sys.invoke(p0, w(1)).unwrap();
-        assert_eq!(
-            sys.invoke(p0, w(2)),
-            Err(SystemError::AlreadyPending(p0))
-        );
+        assert_eq!(sys.invoke(p0, w(2)), Err(SystemError::AlreadyPending(p0)));
     }
 
     #[test]
@@ -495,7 +504,13 @@ mod tests {
     fn atomicity_violation_detected() {
         let mut mem: Memory<i64> = Memory::new();
         let reg = mem.alloc_register(0);
-        let mut sys = System::new(mem, vec![Greedy { reg, pending: false }]);
+        let mut sys = System::new(
+            mem,
+            vec![Greedy {
+                reg,
+                pending: false,
+            }],
+        );
         let p0 = ProcessId::new(0);
         sys.invoke(p0, w(1)).unwrap();
         assert!(matches!(

@@ -213,7 +213,10 @@ mod tests {
         let mut w = RepeatTxn::new(1, vec![x0], vec![x1], Some(1));
         let p = ProcessId::new(0);
         assert_eq!(w.next_op(p, None), Some(Operation::TxStart));
-        assert_eq!(w.next_op(p, Some(Response::Ok)), Some(Operation::TxRead(x0)));
+        assert_eq!(
+            w.next_op(p, Some(Response::Ok)),
+            Some(Operation::TxRead(x0))
+        );
         let write = w.next_op(p, Some(Response::ValueReturned(Value::new(0))));
         assert!(matches!(write, Some(Operation::TxWrite(v, _)) if v == x1));
         assert_eq!(w.next_op(p, Some(Response::Ok)), Some(Operation::TxCommit));
@@ -225,10 +228,16 @@ mod tests {
         let p = ProcessId::new(0);
         assert_eq!(w.next_op(p, None), Some(Operation::TxStart));
         // Abort during start: retry with a fresh start.
-        assert_eq!(w.next_op(p, Some(Response::Aborted)), Some(Operation::TxStart));
+        assert_eq!(
+            w.next_op(p, Some(Response::Aborted)),
+            Some(Operation::TxStart)
+        );
         assert_eq!(w.next_op(p, Some(Response::Ok)), Some(Operation::TxCommit));
         // Abort at commit: retry again.
-        assert_eq!(w.next_op(p, Some(Response::Aborted)), Some(Operation::TxStart));
+        assert_eq!(
+            w.next_op(p, Some(Response::Aborted)),
+            Some(Operation::TxStart)
+        );
     }
 
     #[test]

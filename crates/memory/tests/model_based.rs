@@ -1,5 +1,11 @@
 //! Model-based testing of the shared memory: random primitive sequences
 //! replayed against a naive reference model must agree exactly.
+//!
+//! Requires the external `proptest` and `rand` crates: enable the
+//! `proptest-tests` feature (and add the dev-dependencies) in an
+//! environment with registry access. Compiled out by default so offline
+//! builds succeed.
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 use slx_memory::{BaseObject, Memory, ObjId, PrimOutcome, Primitive};

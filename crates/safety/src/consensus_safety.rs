@@ -95,24 +95,14 @@ mod tests {
     #[test]
     fn agreement_holds() {
         let s = ConsensusSafety::new();
-        let h = History::from_actions([
-            propose(0, 1),
-            propose(1, 2),
-            decide(0, 2),
-            decide(1, 2),
-        ]);
+        let h = History::from_actions([propose(0, 1), propose(1, 2), decide(0, 2), decide(1, 2)]);
         assert!(s.allows(&h));
     }
 
     #[test]
     fn agreement_violated() {
         let s = ConsensusSafety::new();
-        let h = History::from_actions([
-            propose(0, 1),
-            propose(1, 2),
-            decide(0, 1),
-            decide(1, 2),
-        ]);
+        let h = History::from_actions([propose(0, 1), propose(1, 2), decide(0, 1), decide(1, 2)]);
         assert!(!s.allows(&h));
         let viol = s.check(&h).unwrap_err();
         assert_eq!(viol.prefix_len, 4);
@@ -130,11 +120,7 @@ mod tests {
         // Even if another process proposes 2 *later*, a decision of 2 before
         // any proposal of 2 is invalid (the checker is a prefix property).
         let s = ConsensusSafety::new();
-        let h = History::from_actions([
-            propose(0, 1),
-            decide(0, 2),
-            propose(1, 2),
-        ]);
+        let h = History::from_actions([propose(0, 1), decide(0, 2), propose(1, 2)]);
         assert!(!s.allows(&h));
     }
 
@@ -157,12 +143,7 @@ mod tests {
     #[test]
     fn prefix_monotone() {
         let s = ConsensusSafety::new();
-        let h = History::from_actions([
-            propose(0, 1),
-            propose(1, 2),
-            decide(0, 2),
-            decide(1, 2),
-        ]);
+        let h = History::from_actions([propose(0, 1), propose(1, 2), decide(0, 2), decide(1, 2)]);
         assert!(s.prefix_monotone_on(&h));
     }
 

@@ -129,12 +129,7 @@ mod tests {
 
     #[test]
     fn repeat_of_same_value_not_counted_twice() {
-        let h = History::from_actions([
-            propose(0, 1),
-            propose(1, 1),
-            decide(0, 1),
-            decide(1, 1),
-        ]);
+        let h = History::from_actions([propose(0, 1), propose(1, 1), decide(0, 1), decide(1, 1)]);
         assert!(KSetAgreementSafety::new(1).allows(&h));
     }
 

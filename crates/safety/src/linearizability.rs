@@ -124,8 +124,7 @@ impl<S: SeqSpec> Linearizability<S> {
             let blocked = calls.iter().enumerate().any(|(j, d)| {
                 j != i
                     && done & (1 << j) == 0
-                    && d.respond_index
-                        .is_some_and(|rj| rj < c.invoke_index)
+                    && d.respond_index.is_some_and(|rj| rj < c.invoke_index)
             });
             if blocked {
                 continue;

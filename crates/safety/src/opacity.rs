@@ -95,9 +95,10 @@ impl FinalStateOpacity {
                 continue;
             }
             // Real-time: every unplaced predecessor blocks `t`.
-            let blocked = txns.iter().enumerate().any(|(j, u)| {
-                j != i && placed & (1 << j) == 0 && view.precedes(u, t)
-            });
+            let blocked = txns
+                .iter()
+                .enumerate()
+                .any(|(j, u)| j != i && placed & (1 << j) == 0 && view.precedes(u, t));
             if blocked {
                 continue;
             }
@@ -277,16 +278,17 @@ fn reads_consistent(t: &Transaction, state: &BTreeMap<VarId, Value>, init: Value
     let mut local: BTreeMap<VarId, Value> = BTreeMap::new();
     for e in &t.events {
         match e {
-            TxnEvent::Read { var, resp } => {
-                if let Some(Response::ValueReturned(v)) = resp {
-                    let visible = local
-                        .get(var)
-                        .or_else(|| state.get(var))
-                        .copied()
-                        .unwrap_or(init);
-                    if visible != *v {
-                        return false;
-                    }
+            TxnEvent::Read {
+                var,
+                resp: Some(Response::ValueReturned(v)),
+            } => {
+                let visible = local
+                    .get(var)
+                    .or_else(|| state.get(var))
+                    .copied()
+                    .unwrap_or(init);
+                if visible != *v {
+                    return false;
                 }
             }
             TxnEvent::Write { var, val, resp } => {
@@ -518,14 +520,11 @@ mod tests {
 
     #[test]
     fn certifier_agrees_with_exhaustive_on_samples() {
-        let samples: Vec<History> = vec![
-            History::from_actions(seq_commit(0, 0, 10, 0)),
-            {
-                let mut a = seq_commit(0, 0, 10, 0);
-                a.extend(seq_commit(1, 0, 20, 10));
-                History::from_actions(a)
-            },
-        ];
+        let samples: Vec<History> = vec![History::from_actions(seq_commit(0, 0, 10, 0)), {
+            let mut a = seq_commit(0, 0, 10, 0);
+            a.extend(seq_commit(1, 0, 20, 10));
+            History::from_actions(a)
+        }];
         for h in &samples {
             if certify_unique_writes(h, v(0)) {
                 assert!(Opacity::new(v(0)).allows(h), "certifier unsound on {h}");

@@ -16,7 +16,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "violation at prefix {}: {}", self.prefix_len, self.reason)
+        write!(
+            f,
+            "violation at prefix {}: {}",
+            self.prefix_len, self.reason
+        )
     }
 }
 
@@ -57,7 +61,10 @@ pub trait SafetyProperty {
         // implementor is non-deterministic.
         Err(Violation {
             prefix_len: h.len(),
-            reason: format!("history rejected by {} (non-monotone checker?)", self.name()),
+            reason: format!(
+                "history rejected by {} (non-monotone checker?)",
+                self.name()
+            ),
         })
     }
 
@@ -109,9 +116,7 @@ mod tests {
     }
 
     fn hist(n: usize) -> History {
-        History::from_actions(
-            (0..n).map(|i| Action::crash(ProcessId::new(i))),
-        )
+        History::from_actions((0..n).map(|i| Action::crash(ProcessId::new(i))))
     }
 
     #[test]

@@ -82,9 +82,10 @@ impl StrictSerializability {
             if placed & (1 << i) != 0 {
                 continue;
             }
-            let blocked = txns.iter().enumerate().any(|(j, u)| {
-                j != i && placed & (1 << j) == 0 && view.precedes(u, t)
-            });
+            let blocked = txns
+                .iter()
+                .enumerate()
+                .any(|(j, u)| j != i && placed & (1 << j) == 0 && view.precedes(u, t));
             if blocked {
                 continue;
             }
@@ -107,16 +108,17 @@ impl StrictSerializability {
         let mut local: BTreeMap<VarId, Value> = BTreeMap::new();
         for e in &t.events {
             match e {
-                TxnEvent::Read { var, resp } => {
-                    if let Some(Response::ValueReturned(v)) = resp {
-                        let visible = local
-                            .get(var)
-                            .or_else(|| state.get(var))
-                            .copied()
-                            .unwrap_or(self.init);
-                        if visible != *v {
-                            return None;
-                        }
+                TxnEvent::Read {
+                    var,
+                    resp: Some(Response::ValueReturned(v)),
+                } => {
+                    let visible = local
+                        .get(var)
+                        .or_else(|| state.get(var))
+                        .copied()
+                        .unwrap_or(self.init);
+                    if visible != *v {
+                        return None;
                     }
                 }
                 TxnEvent::Write { var, val, resp } => {

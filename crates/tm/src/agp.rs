@@ -78,7 +78,7 @@ impl AgpTm {
             old_values: vec![Value::new(0); nvars],
             values: vec![Value::new(0); nvars],
             pc: Pc::Idle,
-        ts_aborts: 0,
+            ts_aborts: 0,
             cas_aborts: 0,
         }
     }
@@ -220,9 +220,7 @@ impl Process<TmWord> for AgpTm {
 mod tests {
     use super::*;
     use slx_history::{History, TransactionStatus, TxnView, VarId};
-    use slx_memory::{
-        FairRandom, RepeatTxn, RoundRobin, System, WorkloadScheduler,
-    };
+    use slx_memory::{FairRandom, RepeatTxn, RoundRobin, System, WorkloadScheduler};
     use slx_safety::{certify_unique_writes, Opacity, PropertyS, SafetyProperty};
 
     fn p(i: usize) -> ProcessId {
@@ -243,11 +241,7 @@ mod tests {
     }
 
     /// Drives one whole transaction of `q` to completion, alone.
-    fn run_txn(
-        sys: &mut System<TmWord, AgpTm>,
-        q: ProcessId,
-        ops: &[Operation],
-    ) -> Vec<Response> {
+    fn run_txn(sys: &mut System<TmWord, AgpTm>, q: ProcessId, ops: &[Operation]) -> Vec<Response> {
         let mut out = Vec::new();
         for &op in ops {
             sys.invoke(q, op).unwrap();
@@ -291,7 +285,11 @@ mod tests {
         let rs2 = run_txn(
             &mut sys,
             p(1),
-            &[Operation::TxStart, Operation::TxRead(x0()), Operation::TxCommit],
+            &[
+                Operation::TxStart,
+                Operation::TxRead(x0()),
+                Operation::TxCommit,
+            ],
         );
         assert_eq!(rs2[1], Response::ValueReturned(v(5)));
         assert_eq!(rs2[2], Response::Committed);
@@ -340,10 +338,7 @@ mod tests {
             sys.step(p(i)).unwrap(); // announce timestamp
         }
         for i in 0..3 {
-            assert_eq!(
-                sys.step(p(i)).unwrap(),
-                StepEffect::Responded(Response::Ok)
-            );
+            assert_eq!(sys.step(p(i)).unwrap(), StepEffect::Responded(Response::Ok));
         }
         for i in 0..3 {
             sys.invoke(p(i), Operation::TxCommit).unwrap();
@@ -426,7 +421,10 @@ mod tests {
             .iter()
             .filter(|t| t.status() == TransactionStatus::Committed)
             .count();
-        assert!(commits >= 3, "expected progress under lockstep, got {commits}");
+        assert!(
+            commits >= 3,
+            "expected progress under lockstep, got {commits}"
+        );
     }
 
     #[test]

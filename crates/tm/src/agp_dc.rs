@@ -16,8 +16,7 @@
 
 use slx_history::{Operation, ProcessId, Response, Value};
 use slx_memory::{
-    DoubleCollect, DoubleCollectResult, Memory, ObjId, PrimOutcome, Primitive, Process,
-    StepEffect,
+    DoubleCollect, DoubleCollectResult, Memory, ObjId, PrimOutcome, Primitive, Process, StepEffect,
 };
 
 use crate::word::TmWord;
@@ -198,11 +197,17 @@ mod tests {
     fn system(n: usize) -> System<TmWord, AgpTmDc> {
         let mut mem: Memory<TmWord> = Memory::new();
         let (c, r) = AgpTmDc::alloc(&mut mem, n, 1);
-        let procs = (0..n).map(|i| AgpTmDc::new(c, r.clone(), p(i), 1)).collect();
+        let procs = (0..n)
+            .map(|i| AgpTmDc::new(c, r.clone(), p(i), 1))
+            .collect();
         System::new(mem, procs)
     }
 
-    fn run_txn(sys: &mut System<TmWord, AgpTmDc>, q: ProcessId, ops: &[Operation]) -> Vec<Response> {
+    fn run_txn(
+        sys: &mut System<TmWord, AgpTmDc>,
+        q: ProcessId,
+        ops: &[Operation],
+    ) -> Vec<Response> {
         let mut out = Vec::new();
         for &op in ops {
             sys.invoke(q, op).unwrap();
@@ -321,8 +326,8 @@ mod tests {
         sys.invoke(p(0), Operation::TxCommit).unwrap();
         sys.step(p(0)).unwrap(); // first collect, read 1 of 2
         sys.step(p(0)).unwrap(); // first collect, read 2 of 2
-        // p2 announces a new timestamp *between* p1's collects, changing
-        // R[2] relative to the first collect.
+                                 // p2 announces a new timestamp *between* p1's collects, changing
+                                 // R[2] relative to the first collect.
         sys.invoke(p(1), Operation::TxStart).unwrap();
         sys.step(p(1)).unwrap();
         // p1 must now take extra reads (re-collect) but still terminates.

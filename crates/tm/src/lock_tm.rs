@@ -206,7 +206,7 @@ mod tests {
         sys.invoke(p(0), Operation::TxStart).unwrap();
         sys.step(p(0)).unwrap(); // TAS succeeds
         sys.crash(p(0)).unwrap(); // ...and dies holding it.
-        // p2 spins forever.
+                                  // p2 spins forever.
         sys.invoke(p(1), Operation::TxStart).unwrap();
         for _ in 0..100 {
             assert_eq!(sys.step(p(1)).unwrap(), StepEffect::Ran);

@@ -6,9 +6,7 @@
 use safety_liveness_exclusion::automata::{
     lemma_4_8_holds, single_response_ib, trivial_it, Automaton, BoundedLiveness, StateId,
 };
-use safety_liveness_exclusion::history::{
-    Action, History, Operation, ProcessId, Response, Value,
-};
+use safety_liveness_exclusion::history::{Action, History, Operation, ProcessId, Response, Value};
 use safety_liveness_exclusion::safety::{ConsensusSafety, SafetyProperty};
 
 fn main() {
@@ -61,12 +59,15 @@ fn main() {
     let safety = ConsensusSafety::new();
     let histories = it.histories(4);
     println!("histories to depth 4 : {}", histories.len());
-    let all_safe = histories.iter().all(|h| {
-        safety.allows(&History::from_actions(h.iter().copied()))
-    });
+    let all_safe = histories
+        .iter()
+        .all(|h| safety.allows(&History::from_actions(h.iter().copied())));
     println!("all ensure safety    : {all_safe}");
     let fair = it.fair_histories(4);
-    println!("fair histories       : {} (every process pending or crashed in each)", fair.len());
+    println!(
+        "fair histories       : {} (every process pending or crashed in each)",
+        fair.len()
+    );
     let both_invoke = vec![
         Action::invoke(p1, propose(1)),
         Action::invoke(p2, propose(2)),
@@ -81,8 +82,13 @@ fn main() {
     // ------------------------------------------------------------------
     println!("=== Theorem 4.9: Ib (single response) ===");
     let res = Response::Decided(Value::new(1));
-    let ib = single_response_ib(p1, p1, propose(1), res, &ops)
-        .compose(&single_response_ib(p2, p1, propose(1), res, &ops));
+    let ib = single_response_ib(p1, p1, propose(1), res, &ops).compose(&single_response_ib(
+        p2,
+        p1,
+        propose(1),
+        res,
+        &ops,
+    ));
     let with_response = ib
         .histories(5)
         .into_iter()
@@ -101,13 +107,20 @@ fn main() {
     println!("=== Lemma 4.8 on It (1 process, depth 2) ===");
     let small_it = trivial_it(1, &[propose(1)], &[res]);
     let universe: Vec<Vec<Action>> = small_it.histories(2).into_iter().collect();
-    let lmax = BoundedLiveness::new(universe.iter().filter(|h| {
-        let hist = History::from_actions(h.iter().copied());
-        !hist.pending(p1) && !hist.crashed(p1)
-    }).cloned());
+    let lmax = BoundedLiveness::new(
+        universe
+            .iter()
+            .filter(|h| {
+                let hist = History::from_actions(h.iter().copied());
+                !hist.pending(p1) && !hist.crashed(p1)
+            })
+            .cloned(),
+    );
     let (holds, strongest) = lemma_4_8_holds(&small_it, &lmax, &universe, 2);
     println!("universe size        : {}", universe.len());
     println!("|Lmax| truncation    : {}", lmax.len());
     println!("|Lmax ∪ fair(A_It)|  : {}", strongest.len());
-    println!("Lemma 4.8 verified   : {holds} (checked against all 2^k candidate liveness properties)");
+    println!(
+        "Lemma 4.8 verified   : {holds} (checked against all 2^k candidate liveness properties)"
+    );
 }

@@ -31,14 +31,17 @@ fn main() {
     println!("  any commit escaped?           : {}", report.triple_lost);
 
     println!("(2,2)-freedom excluded:");
-    println!("  starvation rounds             : {}", report.starvation_rounds);
-    println!("  victim ever committed?        : {}", report.starvation_lost);
+    println!(
+        "  starvation rounds             : {}",
+        report.starvation_rounds
+    );
+    println!(
+        "  victim ever committed?        : {}",
+        report.starvation_lost
+    );
 
     println!("(1,2)-freedom implementable (Algorithm I(1,2), Lemma 5.4):");
-    println!(
-        "  commits by the two steppers   : {:?}",
-        report.duo_commits
-    );
+    println!("  commits by the two steppers   : {:?}", report.duo_commits);
     println!("  property S held throughout    : {}", report.s_holds);
 
     let a = LkFreedom::new(1, 3);
@@ -66,11 +69,8 @@ fn main() {
         .map(|i| AgpTm::new(c, r, ProcessId::new(i), 3, 1))
         .collect();
     let mut sys: System<TmWord, AgpTm> = System::new(mem, procs);
-    let mut adv = TripleRoundAdversary::new([
-        ProcessId::new(0),
-        ProcessId::new(1),
-        ProcessId::new(2),
-    ]);
+    let mut adv =
+        TripleRoundAdversary::new([ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
     let witness = run_until_cycle_keyed(&mut sys, &mut adv, 5000, |sys, adv| {
         (normalized_agp(sys), adv.normalized_state())
     })

@@ -77,11 +77,18 @@ fn main() {
     // ------------------------------------------------------------------
     let mem: Memory<ConsWord> = Memory::new();
     let mut trivial = System::new(mem, vec![TrivialNoResponse::new(); 2]);
-    trivial.invoke(p1, Operation::Propose(Value::new(1))).unwrap();
-    trivial.invoke(p2, Operation::Propose(Value::new(2))).unwrap();
+    trivial
+        .invoke(p1, Operation::Propose(Value::new(1)))
+        .unwrap();
+    trivial
+        .invoke(p2, Operation::Propose(Value::new(2)))
+        .unwrap();
     trivial.run(&mut RoundRobin::new(), 1000);
     println!("trivial implementation It:");
     println!("history       : {}", trivial.history());
     println!("safe (A&V)    : {}", safety.allows(trivial.history()));
-    println!("quiescent     : {} (finite fair execution)", trivial.quiescent());
+    println!(
+        "quiescent     : {} (finite fair execution)",
+        trivial.quiescent()
+    );
 }

@@ -50,10 +50,7 @@ fn main() {
     for prop in [LkFreedom::new(1, 2), LkFreedom::new(2, 2)] {
         println!("{:<18}: {}", prop.name(), prop.satisfied(&view));
     }
-    println!(
-        "local progress    : {}\n",
-        Lmax::new().satisfied(&view)
-    );
+    println!("local progress    : {}\n", Lmax::new().satisfied(&view));
 
     // ------------------------------------------------------------------
     // 2. The lasso: proof the starvation is eternal.

@@ -7,9 +7,7 @@ use safety_liveness_exclusion::history::{Operation, ProcessId, Value};
 use safety_liveness_exclusion::memory::{
     AtomicKind, AtomicObjectProcess, FairRandom, Memory, System,
 };
-use safety_liveness_exclusion::safety::{
-    CasSpec, CounterSpec, Linearizability, SafetyProperty, TasSpec,
-};
+use safety_liveness_exclusion::safety::{CasSpec, CounterSpec, Linearizability, TasSpec};
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -22,7 +20,9 @@ fn system(kind: AtomicKind, n: usize) -> System<i64, AtomicObjectProcess> {
         AtomicKind::Cas => mem.alloc_cas(0),
         AtomicKind::Counter => mem.alloc_counter(0),
     };
-    let procs = (0..n).map(|_| AtomicObjectProcess::new(kind, obj)).collect();
+    let procs = (0..n)
+        .map(|_| AtomicObjectProcess::new(kind, obj))
+        .collect();
     System::new(mem, procs)
 }
 
@@ -85,7 +85,8 @@ fn counter_histories_linearizable_across_seeds() {
     for seed in 0..20 {
         let mut sys = system(AtomicKind::Counter, 3);
         for i in 0..3 {
-            sys.invoke(p(i), Operation::FetchAdd(Value::new(1))).unwrap();
+            sys.invoke(p(i), Operation::FetchAdd(Value::new(1)))
+                .unwrap();
         }
         sys.run(&mut FairRandom::new(seed), 100);
         assert!(lin.is_linearizable(sys.history()), "seed {seed}");

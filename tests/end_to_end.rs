@@ -28,7 +28,10 @@ fn theorem_5_2_figure_1a() {
         );
         if n >= 2 {
             assert_eq!(
-                g.weakest_excluded().iter().map(|p| p.lk).collect::<Vec<_>>(),
+                g.weakest_excluded()
+                    .iter()
+                    .map(|p| p.lk)
+                    .collect::<Vec<_>>(),
                 vec![LkFreedom::new(1, 2)]
             );
         }
@@ -51,7 +54,10 @@ fn theorem_5_3_figure_1b() {
         );
         if n >= 2 {
             assert_eq!(
-                g.weakest_excluded().iter().map(|p| p.lk).collect::<Vec<_>>(),
+                g.weakest_excluded()
+                    .iter()
+                    .map(|p| p.lk)
+                    .collect::<Vec<_>>(),
                 vec![LkFreedom::new(2, 2)]
             );
         }

@@ -42,8 +42,11 @@ fn global_version_tm_opaque_under_all_commit_races() {
     for i in 0..2 {
         sys.invoke(p(i), Operation::TxStart).unwrap();
         sys.step(p(i)).unwrap();
-        sys.invoke(p(i), Operation::TxWrite(VarId::new(0), Value::new(10 + i as i64)))
-            .unwrap();
+        sys.invoke(
+            p(i),
+            Operation::TxWrite(VarId::new(0), Value::new(10 + i as i64)),
+        )
+        .unwrap();
         sys.step(p(i)).unwrap();
     }
     // Now both commit; explore every interleaving of the commit phase.
@@ -93,8 +96,11 @@ fn agp_tm_commit_race_after_symmetric_start() {
         sys.step(p(i)).unwrap();
     }
     for i in 0..2 {
-        sys.invoke(p(i), Operation::TxWrite(VarId::new(0), Value::new(20 + i as i64)))
-            .unwrap();
+        sys.invoke(
+            p(i),
+            Operation::TxWrite(VarId::new(0), Value::new(20 + i as i64)),
+        )
+        .unwrap();
         sys.step(p(i)).unwrap();
         sys.invoke(p(i), Operation::TxCommit).unwrap();
     }

@@ -5,8 +5,7 @@
 use safety_liveness_exclusion::consensus::{grouped_kset, ConsWord, ObstructionFreeConsensus};
 use safety_liveness_exclusion::history::{Operation, ProcessId, Value, VarId};
 use safety_liveness_exclusion::memory::{
-    CrashPlan, FairRandom, Memory, RandomCrashes, RepeatTxn, RoundRobin, System,
-    WorkloadScheduler,
+    CrashPlan, FairRandom, Memory, RandomCrashes, RepeatTxn, RoundRobin, System, WorkloadScheduler,
 };
 use safety_liveness_exclusion::safety::{
     certify_unique_writes, ConsensusSafety, KSetAgreementSafety, SafetyProperty,
@@ -40,7 +39,10 @@ fn of_consensus_safe_under_random_crashes() {
         // Survivors decide under a fair schedule of this length.
         for i in 0..3 {
             if !sys.is_crashed(p(i)) {
-                assert!(!sys.history().pending(p(i)), "seed {seed}: survivor {i} stuck");
+                assert!(
+                    !sys.history().pending(p(i)),
+                    "seed {seed}: survivor {i} stuck"
+                );
             }
         }
     }

@@ -7,12 +7,8 @@
 //! real implementation histories through all of them.
 
 use safety_liveness_exclusion::consensus::{CasConsensus, ConsWord, ObstructionFreeConsensus};
-use safety_liveness_exclusion::history::{
-    History, Operation, ProcessId, Value, VarId,
-};
-use safety_liveness_exclusion::memory::{
-    FairRandom, Memory, RepeatTxn, System, WorkloadScheduler,
-};
+use safety_liveness_exclusion::history::{History, Operation, ProcessId, Value, VarId};
+use safety_liveness_exclusion::memory::{FairRandom, Memory, RepeatTxn, System, WorkloadScheduler};
 use safety_liveness_exclusion::safety::{
     certify_unique_writes, ConsensusSafety, ConsensusSpec, KSetAgreementSafety, Linearizability,
     Opacity, PropertyS, SafetyProperty, StrictSerializability,
@@ -27,8 +23,11 @@ fn consensus_history(seed: u64, n: usize) -> History {
         .collect();
     let mut sys = System::new(mem, procs);
     for i in 0..n {
-        sys.invoke(ProcessId::new(i), Operation::Propose(Value::new(i as i64 * 10)))
-            .unwrap();
+        sys.invoke(
+            ProcessId::new(i),
+            Operation::Propose(Value::new(i as i64 * 10)),
+        )
+        .unwrap();
     }
     sys.run(&mut FairRandom::new(seed), 30_000);
     sys.history().clone()
@@ -41,7 +40,10 @@ fn of_consensus_linearizable_and_safe_across_seeds() {
     let kset = KSetAgreementSafety::new(1);
     for seed in 0..15 {
         let h = consensus_history(seed, 2);
-        assert!(lin.is_linearizable(&h), "seed {seed}: not linearizable\n{h}");
+        assert!(
+            lin.is_linearizable(&h),
+            "seed {seed}: not linearizable\n{h}"
+        );
         assert!(safety.allows(&h), "seed {seed}");
         assert_eq!(safety.allows(&h), kset.allows(&h), "seed {seed}");
     }
@@ -82,7 +84,10 @@ fn opacity_implies_strict_serializability_on_tm_runs() {
         sys.run(&mut sched, 100);
         let h = sys.history();
         assert!(opacity.allows(h), "seed {seed}: not opaque");
-        assert!(ssr.allows(h), "seed {seed}: opaque but not strictly serializable?!");
+        assert!(
+            ssr.allows(h),
+            "seed {seed}: opaque but not strictly serializable?!"
+        );
     }
 }
 
