@@ -7,10 +7,11 @@
 
 use std::hash::Hash;
 
+use slx_consensus::{ConsWord, ObstructionFreeConsensus, OfNormalizedState};
 use slx_engine::Checker;
 use slx_explorer::decidable_values_with;
-use slx_history::{History, ProcessId};
-use slx_memory::{Process, StepEffect, System, Word};
+use slx_history::{History, ProcessId, Value};
+use slx_memory::{BaseObject, Decision, ObjId, Process, Scheduler, StepEffect, System, Word};
 
 /// Report of a [`run_bivalence_adversary`] run.
 #[derive(Debug, Clone)]
@@ -119,10 +120,220 @@ where
     report
 }
 
+/// The Chor–Israeli–Li adversary as a deterministic [`Scheduler`]: it
+/// first issues each configured proposal, then at every decision clones
+/// the system, model-checks each candidate step with
+/// [`decidable_values_with`], and steps the least-stepped process whose
+/// step keeps the configuration bivalent (halting if none exists — which,
+/// against register-based consensus, the CIL theorem rules out — or if
+/// any process ever decides, which means the adversary lost).
+/// Issuing the invocations from inside the scheduler puts them *in the
+/// detected lasso's stem*, so liveness evaluation on the cycle sees the
+/// processes as pending-and-denied rather than inactive.
+///
+/// [`run_bivalence_adversary`] drives the same strategy imperatively and
+/// reports a *finite prefix*; this scheduler form plugs into the keyed
+/// cycle detector (`slx_explorer::run_until_cycle_keyed`) instead, which
+/// upgrades the finite prefix to a **lasso**: an infinite execution in
+/// which both processes step forever and nobody ever decides — the
+/// (1,2)-freedom violation of Theorem 5.2 with no finite-run
+/// approximation left, matching the TM starvation lasso of Section 4.1.
+///
+/// Its decisions depend on its step counters only through their relative
+/// order, so [`BivalenceScheduler::normalized_counts`] (counters rebased
+/// to their minimum) is the right cycle-detection key component.
+#[derive(Debug, Clone)]
+pub struct BivalenceScheduler {
+    proposals: Vec<(ProcessId, Value)>,
+    active: Vec<ProcessId>,
+    step_counts: Vec<u64>,
+    checker: Checker,
+    valence_budget: usize,
+}
+
+impl BivalenceScheduler {
+    /// Creates the scheduler: it will invoke `Propose(v)` for each
+    /// `(process, v)` pair (the values should differ, or there is nothing
+    /// to keep bivalent), then schedule bivalence-preserving steps, with
+    /// a per-query valence budget.
+    #[must_use]
+    pub fn new(proposals: Vec<(ProcessId, Value)>, valence_budget: usize) -> Self {
+        let active: Vec<ProcessId> = proposals.iter().map(|&(p, _)| p).collect();
+        let slots = active.iter().map(|p| p.index() + 1).max().unwrap_or(0);
+        BivalenceScheduler {
+            proposals,
+            step_counts: vec![0; slots],
+            active,
+            checker: Checker::auto(),
+            valence_budget,
+        }
+    }
+
+    /// Steps scheduled per process so far.
+    #[must_use]
+    pub fn step_counts(&self) -> &[u64] {
+        &self.step_counts
+    }
+
+    /// The **active** processes' step counters (in proposal order),
+    /// rebased to their minimum. The scheduler's behaviour depends on the
+    /// counters only through their order, which the rebase preserves — so
+    /// this is the shift-free key component for cycle detection, exactly
+    /// like `slx_tm::normalize`'s timestamp rebase. Only active slots
+    /// participate: the backing vector is indexed by raw process id, and
+    /// an inactive id below the highest active one would otherwise pin
+    /// the minimum at a phantom zero, leaving the rebased counters
+    /// growing forever and the cycle key never repeating.
+    #[must_use]
+    pub fn normalized_counts(&self) -> Vec<u64> {
+        let min = self
+            .active
+            .iter()
+            .map(|p| self.step_counts[p.index()])
+            .min()
+            .unwrap_or(0);
+        self.active
+            .iter()
+            .map(|p| self.step_counts[p.index()] - min)
+            .collect()
+    }
+}
+
+impl<W, P> Scheduler<W, P> for BivalenceScheduler
+where
+    W: Word + Send + Sync,
+    P: Process<W> + Clone + Eq + Hash + Send + Sync,
+{
+    fn decide(&mut self, sys: &System<W, P>) -> Decision {
+        // The adversary lost the moment anyone decided.
+        if self
+            .active
+            .iter()
+            .any(|&p| !sys.history().responses_of(p).is_empty())
+        {
+            return Decision::Halt;
+        }
+        // Issue outstanding proposals first (processes here never respond,
+        // so "not pending" means "not yet proposed").
+        for &(p, v) in &self.proposals {
+            if !sys.is_pending(p) {
+                return Decision::Invoke(p, slx_history::Operation::Propose(v));
+            }
+        }
+        let mut candidates: Vec<ProcessId> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|&p| sys.can_step(p))
+            .collect();
+        candidates.sort_by_key(|p| self.step_counts[p.index()]);
+        for p in candidates {
+            let mut next = sys.clone();
+            let effect = next.step(p).expect("steppable");
+            if matches!(effect, StepEffect::Responded(_)) {
+                // Stepping p would decide now; a bivalence-preserving
+                // adversary never takes that edge.
+                continue;
+            }
+            let d = decidable_values_with(&self.checker, &next, &self.active, self.valence_budget);
+            if d.bivalent() {
+                self.step_counts[p.index()] += 1;
+                return Decision::Step(p);
+            }
+        }
+        // No bivalence-preserving step within budget: the adversary is
+        // beaten (or the valence budget too small) — halt loudly.
+        Decision::Halt
+    }
+}
+
+/// The round-shift-normalized cycle-detection key for an
+/// [`ObstructionFreeConsensus`] system driven by a
+/// [`BivalenceScheduler`] — the consensus-side analogue of
+/// `slx_tm::normalize::normalized_global_version`.
+///
+/// Raw configurations never repeat under the adversary: processes adopt
+/// forever and climb through fresh commit-adopt rounds, so the round
+/// index and the touched register set grow without bound. But the
+/// algorithm treats every round identically and never revisits rounds
+/// below every climbing process's current one, so behaviour is invariant
+/// under a uniform round shift. The key therefore contains, with `base`
+/// = the minimum current round over the **pending** processes (a process
+/// that never proposed idles at round 0 forever and must not pin the
+/// base, and under the scheduler every proposal is issued up front, so
+/// no later invocation can re-enter a round below `base`):
+///
+/// - each pending process's
+///   [`ObstructionFreeConsensus::normalized_state`] rebased by `base`
+///   (register identities erased); idle processes are frozen and enter
+///   rebased to their own round,
+/// - the contents of the commit-adopt registers of rounds `base..=top`
+///   (`top` = the maximum current round of a pending process; rounds
+///   above are untouched, rounds below are dead),
+/// - the decision register, and
+/// - the scheduler's [`BivalenceScheduler::normalized_counts`].
+///
+/// A repeat of this key witnesses a genuine infinite execution, provided
+/// the layout has round headroom left (the detector's run would panic on
+/// exhaustion rather than mis-report).
+#[must_use]
+pub fn normalized_of_consensus_key(
+    sys: &System<ConsWord, ObstructionFreeConsensus>,
+    sched: &BivalenceScheduler,
+) -> (Vec<OfNormalizedState>, Vec<ConsWord>, ConsWord, Vec<u64>) {
+    let procs: Vec<(bool, &ObstructionFreeConsensus)> = (0..sys.n())
+        .map(|i| {
+            let p = ProcessId::new(i);
+            (sys.is_pending(p), sys.process(p).expect("process exists"))
+        })
+        .collect();
+    let climbing = || procs.iter().filter(|(pending, _)| *pending);
+    let base = climbing().map(|(_, q)| q.round()).min().unwrap_or(0);
+    let top = climbing().map(|(_, q)| q.round()).max().unwrap_or(0);
+
+    let contents: std::collections::HashMap<usize, ConsWord> = sys
+        .memory()
+        .iter_objects()
+        .filter_map(|(id, obj)| match obj {
+            BaseObject::Register(w) => Some((id.index(), *w)),
+            _ => None,
+        })
+        .collect();
+    let read = |id: ObjId| contents.get(&id.index()).copied().unwrap_or(ConsWord::Bot);
+
+    let layout = procs
+        .first()
+        .expect("at least one process")
+        .1
+        .shared_layout();
+    let mut window: Vec<ConsWord> = Vec::new();
+    for r in base..=top {
+        if let Some((a, b)) = layout.round_registers(r) {
+            window.extend(a.iter().chain(b).map(|&id| read(id)));
+        }
+    }
+
+    (
+        procs
+            .iter()
+            .map(|(pending, q)| {
+                // Idle processes are frozen at their own round: rebase to
+                // it (their round may sit below `base`, which would
+                // underflow — and they must not perturb the shifted key).
+                let rebase = if *pending { base } else { q.round() };
+                q.normalized_state(rebase)
+            })
+            .collect(),
+        window,
+        read(layout.decision()),
+        sched.normalized_counts(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slx_consensus::{CasConsensus, ConsWord, ObstructionFreeConsensus};
+    use slx_consensus::CasConsensus;
     use slx_history::{Operation, Value};
     use slx_memory::Memory;
 
@@ -159,6 +370,107 @@ mod tests {
         // Both processes are still pending: nobody decided.
         assert!(report.history.pending(p(0)));
         assert!(report.history.pending(p(1)));
+    }
+
+    /// A fresh OF-consensus system with *no* proposals issued yet: the
+    /// [`BivalenceScheduler`] invokes them itself, so they land inside
+    /// the detected lasso's stem.
+    fn of_system(max_rounds: usize) -> System<ConsWord, ObstructionFreeConsensus> {
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let layout = ObstructionFreeConsensus::layout(&mut mem, 2, max_rounds);
+        let procs = vec![
+            ObstructionFreeConsensus::new(layout.clone(), p(0), 2),
+            ObstructionFreeConsensus::new(layout, p(1), 2),
+        ];
+        System::new(mem, procs)
+    }
+
+    fn cil_scheduler() -> BivalenceScheduler {
+        BivalenceScheduler::new(vec![(p(0), v(1)), (p(1), v(2))], 60_000)
+    }
+
+    #[test]
+    fn bivalence_lasso_proves_eternal_starvation() {
+        // Corollary 4.10 upgraded from a finite prefix to a lasso: the
+        // scheduler form of the CIL adversary, keyed modulo a round
+        // shift, repeats — so the starvation is an infinite execution
+        // `stem · cycle^ω` with both processes stepping forever and no
+        // response ever issued, violating (1,2)-freedom exactly.
+        let mut sys = of_system(64);
+        let mut sched = cil_scheduler();
+        let witness = slx_explorer::run_until_cycle_keyed(
+            &mut sys,
+            &mut sched,
+            300,
+            normalized_of_consensus_key,
+        )
+        .expect("the CIL adversary must drive a round-shift cycle");
+        assert_eq!(witness.cycle_steppers(), vec![p(0), p(1)]);
+        assert!(!witness.cycle_has_good_response(|_| true), "no decisions");
+        use slx_liveness::{LkFreedom, ProgressKind};
+        assert!(!witness.evaluate_liveness(&LkFreedom::new(1, 2), 2, ProgressKind::AnyResponse));
+        assert!(!witness.evaluate_liveness(&LkFreedom::new(2, 2), 2, ProgressKind::AnyResponse));
+        // (1,1)-freedom holds vacuously on the cycle: two steppers > k=1.
+        assert!(witness.evaluate_liveness(&LkFreedom::new(1, 1), 2, ProgressKind::AnyResponse));
+    }
+
+    #[test]
+    fn bivalence_lasso_fingerprint_matches_retained_map() {
+        // Differential pin of the digest-keyed cycle detector against the
+        // retained-key baseline on the bivalence adversary schedule: same
+        // stem, same cycle, same unrolling.
+        let run_keyed = || {
+            let mut sys = of_system(64);
+            let mut sched = cil_scheduler();
+            slx_explorer::run_until_cycle_keyed(
+                &mut sys,
+                &mut sched,
+                300,
+                normalized_of_consensus_key,
+            )
+            .expect("cycle")
+        };
+        let run_retained = || {
+            let mut sys = of_system(64);
+            let mut sched = cil_scheduler();
+            slx_explorer::run_until_cycle_keyed_retained(
+                &mut sys,
+                &mut sched,
+                300,
+                normalized_of_consensus_key,
+            )
+            .expect("cycle")
+        };
+        let digest = run_keyed();
+        let retained = run_retained();
+        assert_eq!(digest.stem, retained.stem);
+        assert_eq!(digest.cycle, retained.cycle);
+        assert_eq!(digest.unroll(3), retained.unroll(3));
+    }
+
+    #[test]
+    fn bivalence_lasso_closes_for_nonzero_based_processes() {
+        // Regression: with active processes {p1, p2} the raw counter
+        // vector has a phantom slot for the never-active p0. The
+        // normalized counts must rebase over the *active* slots only —
+        // a phantom zero would pin the minimum, the rebased counters
+        // would grow forever, and the cycle key would never repeat.
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let layout = ObstructionFreeConsensus::layout(&mut mem, 3, 64);
+        let procs = (0..3)
+            .map(|i| ObstructionFreeConsensus::new(layout.clone(), p(i), 3))
+            .collect();
+        let mut sys = System::new(mem, procs);
+        let mut sched = BivalenceScheduler::new(vec![(p(1), v(1)), (p(2), v(2))], 60_000);
+        let witness = slx_explorer::run_until_cycle_keyed(
+            &mut sys,
+            &mut sched,
+            300,
+            normalized_of_consensus_key,
+        )
+        .expect("cycle must close despite the phantom p0 counter slot");
+        assert_eq!(witness.cycle_steppers(), vec![p(1), p(2)]);
+        assert!(!witness.cycle_has_good_response(|_| true));
     }
 
     #[test]

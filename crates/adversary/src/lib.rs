@@ -29,7 +29,9 @@ mod consensus_sets;
 mod counterexample_s;
 mod tm_starvation;
 
-pub use bivalence::{run_bivalence_adversary, BivalenceReport};
+pub use bivalence::{
+    normalized_of_consensus_key, run_bivalence_adversary, BivalenceReport, BivalenceScheduler,
+};
 pub use consensus_sets::{consensus_f1, consensus_f2, gmax_of};
 pub use counterexample_s::TripleRoundAdversary;
 pub use tm_starvation::TmStarvation;

@@ -275,33 +275,35 @@ mod tests {
         let _ = StrictSerializability::new(Value::new(0));
     }
 
+    /// The §4.1 shift-normalized cycle-detection key: the rebased system
+    /// plus the strategy state with its stored read value rebased.
+    fn starvation_key(
+        sys: &System<TmWord, GlobalVersionTm>,
+        adv: &TmStarvation,
+    ) -> (System<TmWord, GlobalVersionTm>, (Phase, bool, i64)) {
+        let normalized = normalized_global_version(sys);
+        // dval = committed value of x1, the normalizer's base.
+        let dval = sys
+            .memory()
+            .iter_objects()
+            .find_map(|(_, o)| match o {
+                slx_memory::BaseObject::Cas(TmWord::Versioned { values, .. }) => {
+                    Some(values[0].raw())
+                }
+                _ => None,
+            })
+            .unwrap_or(0);
+        (normalized, adv.normalized_state(dval))
+    }
+
     #[test]
     fn lasso_proves_the_starvation_is_eternal() {
         // Detect a repeat of the shift-normalized (system, strategy) state:
         // the infinite execution stem·cycle^ω starves the victim forever.
         let mut sys = gv_system();
         let mut adv = TmStarvation::new(p(0), p(1), x0());
-        let witness = slx_explorer::run_until_cycle_keyed(
-            &mut sys,
-            &mut adv,
-            5000,
-            |sys, adv: &TmStarvation| {
-                let normalized = normalized_global_version(sys);
-                // dval = committed value of x1, the normalizer's base.
-                let dval = sys
-                    .memory()
-                    .iter_objects()
-                    .find_map(|(_, o)| match o {
-                        slx_memory::BaseObject::Cas(TmWord::Versioned { values, .. }) => {
-                            Some(values[0].raw())
-                        }
-                        _ => None,
-                    })
-                    .unwrap_or(0);
-                (normalized, adv.normalized_state(dval))
-            },
-        )
-        .expect("starvation loop must cycle");
+        let witness = slx_explorer::run_until_cycle_keyed(&mut sys, &mut adv, 5000, starvation_key)
+            .expect("starvation loop must cycle");
         // The cycle has both processes stepping and no victim commit.
         assert_eq!(witness.cycle_steppers(), vec![p(0), p(1)]);
         let victim_commits_in_cycle = witness.cycle.iter().any(
@@ -319,6 +321,32 @@ mod tests {
         assert!(!witness.evaluate_liveness(&LkFreedom::new(2, 2), 2, ProgressKind::CommitOnly));
         assert!(witness.evaluate_liveness(&LkFreedom::new(1, 2), 2, ProgressKind::CommitOnly));
         assert!(!witness.evaluate_liveness(&Lmax::new(), 2, ProgressKind::CommitOnly));
+    }
+
+    #[test]
+    fn starvation_lasso_fingerprint_matches_retained_map() {
+        // Differential pin of the digest-keyed cycle detector (which
+        // retains 16-byte fingerprints of the normalized keys) against
+        // the retained-key baseline on the §4.1 starvation lasso: same
+        // stem, same cycle, same unrolling.
+        let mut sys_a = gv_system();
+        let mut adv_a = TmStarvation::new(p(0), p(1), x0());
+        let digest =
+            slx_explorer::run_until_cycle_keyed(&mut sys_a, &mut adv_a, 5000, starvation_key)
+                .expect("cycle");
+        let mut sys_b = gv_system();
+        let mut adv_b = TmStarvation::new(p(0), p(1), x0());
+        let retained = slx_explorer::run_until_cycle_keyed_retained(
+            &mut sys_b,
+            &mut adv_b,
+            5000,
+            starvation_key,
+        )
+        .expect("cycle");
+        assert_eq!(digest.stem, retained.stem);
+        assert_eq!(digest.cycle, retained.cycle);
+        assert_eq!(digest.unroll(3), retained.unroll(3));
+        assert_eq!(digest.cycle_steppers(), retained.cycle_steppers());
     }
 
     #[test]

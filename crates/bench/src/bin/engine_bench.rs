@@ -2,10 +2,21 @@
 //! retained-clone baseline, with no external benchmarking dependency.
 //!
 //! Runs the obstruction-free-consensus safety exploration (the hot loop
-//! behind Figure 1a's white anchor) at several depths on both the kernel
-//! (fingerprint-only visited set, parallel BFS sized to the machine) and
-//! the baseline (sequential DFS over a `HashSet` of retained `(System,
-//! digest)` clones), and prints a comparison table. Usage:
+//! behind Figure 1a's white anchor) at several depths on three
+//! configurations and prints a comparison table:
+//!
+//! - **sharded** — the kernel with its sharded visited set (thread count
+//!   from `SLX_ENGINE_THREADS` or autodetected; shard count from
+//!   `SLX_ENGINE_SHARDS` or four per thread), the default since the
+//!   sharded-merge refactor;
+//! - **1 shard** — the same kernel pinned to a single shard: the PR 1
+//!   behaviour, whose dedup/merge phase is a single sequential map (the
+//!   sharded column must not regress below this one);
+//! - **baseline** — the seed's sequential DFS over retained `(System,
+//!   digest)` clones.
+//!
+//! Verdicts and visited counts are asserted equal across all three on
+//! every row. Usage:
 //!
 //! ```text
 //! cargo run --release -p slx-bench --bin engine_bench [max_depth]
@@ -14,8 +25,9 @@
 use std::time::Instant;
 
 use slx_core::consensus::{ConsWord, ObstructionFreeConsensus};
+use slx_core::engine::Checker;
 use slx_core::explorer::baseline::explore_safety_retained;
-use slx_core::explorer::{explore_safety, history_digest};
+use slx_core::explorer::{explore_safety_with, history_digest};
 use slx_core::history::{Operation, ProcessId, Value};
 use slx_core::memory::{Memory, System};
 use slx_core::safety::ConsensusSafety;
@@ -42,47 +54,93 @@ fn main() {
         .unwrap_or(22);
     let active = [ProcessId::new(0), ProcessId::new(1)];
     let safety = ConsensusSafety::new();
+    let sharded_checker = Checker::auto();
+    let single_shard_checker = Checker::auto().with_shards(1);
     let mut threads_used = 1;
+    let mut shards_used = 1;
+    let mut balance = 1.0f64;
 
     println!(
-        "{:>6} {:>10} {:>14} {:>14} {:>9}",
-        "depth", "configs", "engine st/s", "baseline st/s", "speedup"
+        "{:>6} {:>10} {:>14} {:>14} {:>14} {:>9} {:>9}",
+        "depth", "configs", "sharded st/s", "1-shard st/s", "baseline st/s", "vs 1sh", "vs base"
     );
     for depth in (10..=max_depth).step_by(4) {
         let sys = of_system();
 
-        let t0 = Instant::now();
-        let engine = explore_safety(&sys, &active, depth, &safety, history_digest);
-        let engine_secs = t0.elapsed().as_secs_f64();
+        // Best-of-3 per configuration: these explorations are
+        // milliseconds long, so a single sample is allocator/scheduler
+        // noise.
+        let measure = |run: &dyn Fn() -> _| {
+            let mut best_secs = f64::INFINITY;
+            let mut out = None;
+            for _ in 0..3 {
+                let t = Instant::now();
+                let result = run();
+                best_secs = best_secs.min(t.elapsed().as_secs_f64());
+                out = Some(result);
+            }
+            (out.expect("ran at least once"), best_secs)
+        };
 
-        let t1 = Instant::now();
-        let baseline = explore_safety_retained(&sys, &active, depth, &safety, history_digest);
-        let baseline_secs = t1.elapsed().as_secs_f64();
+        let (sharded, sharded_secs) = measure(&|| {
+            explore_safety_with(
+                &sharded_checker,
+                &sys,
+                &active,
+                depth,
+                &safety,
+                history_digest,
+            )
+        });
+        let (single, single_secs) = measure(&|| {
+            explore_safety_with(
+                &single_shard_checker,
+                &sys,
+                &active,
+                depth,
+                &safety,
+                history_digest,
+            )
+        });
+        let (baseline, baseline_secs) =
+            measure(&|| explore_safety_retained(&sys, &active, depth, &safety, history_digest));
 
         assert_eq!(
-            engine.holds(),
+            sharded.holds(),
             baseline.holds(),
             "verdicts must agree at depth {depth}"
         );
         assert_eq!(
-            engine.configs, baseline.configs,
+            sharded.configs, baseline.configs,
             "visited counts must agree at depth {depth}"
         );
+        assert_eq!(
+            sharded.configs, single.configs,
+            "shard count must not change visited counts at depth {depth}"
+        );
+        assert_eq!(sharded.holds(), single.holds());
 
-        threads_used = engine.stats.threads;
-        let engine_rate = engine.configs as f64 / engine_secs;
+        threads_used = sharded.stats.threads;
+        shards_used = sharded.stats.shards;
+        balance = sharded.stats.shard_balance();
+        let sharded_rate = sharded.configs as f64 / sharded_secs;
+        let single_rate = single.configs as f64 / single_secs;
         let baseline_rate = baseline.configs as f64 / baseline_secs;
         println!(
-            "{:>6} {:>10} {:>14.0} {:>14.0} {:>8.2}x",
+            "{:>6} {:>10} {:>14.0} {:>14.0} {:>14.0} {:>8.2}x {:>8.2}x",
             depth,
-            engine.configs,
-            engine_rate,
+            sharded.configs,
+            sharded_rate,
+            single_rate,
             baseline_rate,
-            engine_rate / baseline_rate
+            sharded_rate / single_rate,
+            sharded_rate / baseline_rate
         );
     }
     println!(
-        "\nengine backend: {threads_used} thread(s); dedup on 128-bit fingerprints \
-         (baseline retains full configuration clones)"
+        "\nengine backend: {threads_used} thread(s), {shards_used} visited-set shard(s) \
+         (occupancy balance {balance:.2}); dedup on 128-bit fingerprints \
+         (baseline retains full configuration clones). \
+         Knobs: SLX_ENGINE_THREADS, SLX_ENGINE_SHARDS."
     );
 }

@@ -5,6 +5,20 @@ use slx_memory::{Memory, ObjId, PrimOutcome, Primitive};
 
 use crate::word::ConsWord;
 
+/// [`AdoptCommit::normalized_state`]'s projection: program counter
+/// (discriminant, collect index), participant index, input, and the
+/// collected flags — everything except the `ObjId`s.
+pub type AcNormalizedState = (
+    (u8, usize),
+    usize,
+    Value,
+    bool,
+    Option<Value>,
+    bool,
+    bool,
+    Option<Value>,
+);
+
 /// Outcome of a commit-adopt round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AcOutcome {
@@ -83,6 +97,34 @@ impl AdoptCommit {
             any_b: false,
             min_b_seen: None,
         }
+    }
+
+    /// The participant's state with the shared-register identities
+    /// erased: program counter, input, and every collected flag — all
+    /// that determines future behaviour *given the registers' contents*.
+    ///
+    /// Round-shift normalization needs this projection because a process
+    /// re-running commit-adopt at a later round holds different `ObjId`s
+    /// even when its behaviour is identical; see
+    /// `slx_adversary::normalized_of_consensus_key`.
+    #[must_use]
+    pub fn normalized_state(&self) -> AcNormalizedState {
+        let pc = match self.pc {
+            Pc::WriteA => (0, 0),
+            Pc::CollectA(j) => (1, j),
+            Pc::WriteB => (2, 0),
+            Pc::CollectB(j) => (3, j),
+        };
+        (
+            pc,
+            self.me,
+            self.input,
+            self.all_a_equal,
+            self.committed_seen,
+            self.all_b_commit,
+            self.any_b,
+            self.min_b_seen,
+        )
     }
 
     fn read(&self, mem: &mut Memory<ConsWord>, obj: ObjId) -> ConsWord {

@@ -27,9 +27,9 @@ mod of_consensus;
 mod trivial;
 mod word;
 
-pub use adopt_commit::{AcOutcome, AdoptCommit};
+pub use adopt_commit::{AcNormalizedState, AcOutcome, AdoptCommit};
 pub use cas_consensus::CasConsensus;
 pub use kset::grouped_kset;
-pub use of_consensus::ObstructionFreeConsensus;
+pub use of_consensus::{Layout as OfLayout, ObstructionFreeConsensus, OfNormalizedState};
 pub use trivial::{SingleResponse, TrivialNoResponse};
 pub use word::ConsWord;

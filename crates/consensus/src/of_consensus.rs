@@ -4,7 +4,7 @@
 use slx_history::{Operation, ProcessId, Response, Value};
 use slx_memory::{Memory, ObjId, PrimOutcome, Primitive, Process, StepEffect};
 
-use crate::adopt_commit::{AcOutcome, AdoptCommit};
+use crate::adopt_commit::{AcNormalizedState, AcOutcome, AdoptCommit};
 use crate::word::ConsWord;
 
 /// Shared register layout for one [`ObstructionFreeConsensus`] instance:
@@ -14,6 +14,34 @@ pub struct Layout {
     decision: ObjId,
     rounds: Vec<(Vec<ObjId>, Vec<ObjId>)>,
 }
+
+impl Layout {
+    /// The decision register.
+    #[must_use]
+    pub fn decision(&self) -> ObjId {
+        self.decision
+    }
+
+    /// The `(a, b)` register arrays of round `r`'s commit-adopt object,
+    /// or `None` past the pre-allocated rounds.
+    #[must_use]
+    pub fn round_registers(&self, r: usize) -> Option<(&[ObjId], &[ObjId])> {
+        self.rounds
+            .get(r)
+            .map(|(a, b)| (a.as_slice(), b.as_slice()))
+    }
+
+    /// Pre-allocated rounds.
+    #[must_use]
+    pub fn max_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+}
+
+/// [`ObstructionFreeConsensus::normalized_state`]'s projection: estimate,
+/// round rebased to the caller's base, and the control state with
+/// register identities erased.
+pub type OfNormalizedState = (Value, usize, (u8, Option<AcNormalizedState>, Option<Value>));
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum Pc {
@@ -79,6 +107,44 @@ impl ObstructionFreeConsensus {
     /// Commit-adopt rounds completed so far by this process.
     pub fn rounds_used(&self) -> u64 {
         self.rounds_used
+    }
+
+    /// The round this process is currently working in.
+    #[must_use]
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The shared register layout this process runs over.
+    #[must_use]
+    pub fn shared_layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The process state normalized **modulo a round shift**: estimate,
+    /// `round - base_round`, and the control state with register
+    /// identities erased ([`AdoptCommit::normalized_state`]).
+    ///
+    /// The algorithm only ever touches the decision register and the
+    /// commit-adopt objects at its current round and above, and treats
+    /// every round identically, so behaviour from a configuration is
+    /// invariant under shifting all processes' rounds by a common base
+    /// (given equal relative register contents and enough pre-allocated
+    /// headroom). A repeat of the shifted state therefore witnesses a
+    /// genuine infinite execution — the consensus-side analogue of
+    /// `slx_tm::normalize`, used by the bivalence-adversary lasso.
+    ///
+    /// # Panics
+    /// If `base_round` exceeds the current round.
+    #[must_use]
+    pub fn normalized_state(&self, base_round: usize) -> OfNormalizedState {
+        let pc = match &self.pc {
+            Pc::Idle => (0, None, None),
+            Pc::CheckDecision => (1, None, None),
+            Pc::Round(ac) => (2, Some(ac.normalized_state()), None),
+            Pc::WriteDecision(v) => (3, None, Some(*v)),
+        };
+        (self.est, self.round - base_round, pc)
     }
 }
 

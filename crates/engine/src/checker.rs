@@ -1,22 +1,27 @@
 //! The exploration driver: parallel frontier BFS and sequential DFS.
 
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::space::{Expansion, StateSpace};
 use crate::stats::ExploreStats;
+use crate::visited::ShardedVisited;
 use crate::Digest;
 
 /// Exploration backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
     /// Frontier-based breadth-first search. Each BFS level is expanded by
-    /// up to `threads` workers pulling chunks from a shared queue; results
-    /// are merged sequentially in frontier order, so statistics, findings,
-    /// and verdicts are deterministic regardless of thread scheduling.
+    /// up to `threads` workers pulling chunks from a shared queue, and
+    /// deduplicated against a [`ShardedVisited`] set whose shards are
+    /// owned by digest range (large levels dedup in parallel, lock-free).
+    /// Results are merged in frontier order and every digest's shard and
+    /// insert position depend only on the frontier contents, so
+    /// statistics, findings, and verdicts are deterministic regardless of
+    /// thread scheduling, thread count, and shard count.
     ParallelBfs {
         /// Worker threads (clamped to at least 1; with 1 the level loop
         /// runs inline with no thread spawns).
@@ -52,16 +57,26 @@ pub struct KernelOutcome<F> {
 pub struct Checker {
     backend: Backend,
     config_budget: Option<usize>,
+    /// Explicit shard count for the BFS visited set; `None` defers to the
+    /// `SLX_ENGINE_SHARDS` environment variable, then to an autodetected
+    /// default sized to the thread count.
+    shards: Option<usize>,
 }
 
 /// Minimum frontier size before a BFS level is worth spawning workers for:
 /// below this, thread startup dominates the expansion work.
 const PAR_MIN_FRONTIER: usize = 128;
 
+/// Minimum successors in a level before the dedup/merge phase is worth
+/// sharding across workers: below this, inserting into the shards inline
+/// (still deterministic, still sharded) beats spawning threads.
+const PAR_MIN_DEDUP: usize = 4096;
+
 impl Checker {
     /// A checker on the parallel BFS backend, sized to the machine
     /// (`std::thread::available_parallelism`, overridable via the
-    /// `SLX_ENGINE_THREADS` environment variable).
+    /// `SLX_ENGINE_THREADS` environment variable; visited-set shard count
+    /// via `SLX_ENGINE_SHARDS`).
     #[must_use]
     pub fn auto() -> Self {
         let threads = std::env::var("SLX_ENGINE_THREADS")
@@ -80,6 +95,7 @@ impl Checker {
                 threads: threads.max(1),
             },
             config_budget: None,
+            shards: None,
         }
     }
 
@@ -89,6 +105,7 @@ impl Checker {
         Checker {
             backend: Backend::SequentialDfs,
             config_budget: None,
+            shards: None,
         }
     }
 
@@ -98,6 +115,36 @@ impl Checker {
     pub fn with_budget(mut self, budget: usize) -> Self {
         self.config_budget = Some(budget);
         self
+    }
+
+    /// Pins the BFS visited set to `shards` shards (rounded up to a power
+    /// of two). Verdicts, findings, and counts are shard-count
+    /// independent; this knob only trades merge-phase parallelism against
+    /// per-shard footprint. Without it the count comes from the
+    /// `SLX_ENGINE_SHARDS` environment variable, falling back to an
+    /// autodetected default sized to the thread count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// The BFS visited-set shard count this checker will use with
+    /// `threads` workers: explicit [`Checker::with_shards`] value, else
+    /// `SLX_ENGINE_SHARDS`, else four shards per thread (so the merge
+    /// phase keeps every worker busy even with uneven shard occupancy),
+    /// capped at 256 on the autodetected path — past that the per-shard
+    /// sets are too sparse to help; the explicit knobs go up to 4096.
+    #[must_use]
+    pub fn resolve_shards(&self, threads: usize) -> usize {
+        self.shards
+            .or_else(|| {
+                std::env::var("SLX_ENGINE_SHARDS")
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+            })
+            .unwrap_or_else(|| threads.max(1).saturating_mul(4).min(256))
     }
 
     /// The configured backend.
@@ -144,19 +191,30 @@ impl Checker {
         Sp: StateSpace + Sync,
     {
         let start = Instant::now();
+        // Fingerprint-only visited set, sharded by digest range. BFS
+        // enqueues every state at its minimal depth by construction, so no
+        // depth needs to be stored.
+        let mut visited = ShardedVisited::new(self.resolve_shards(threads));
+        let shard_count = visited.shard_count();
         let mut stats = ExploreStats {
             threads,
+            shards: shard_count,
             ..ExploreStats::default()
         };
         let mut findings: Vec<Sp::Finding> = Vec::new();
-        // Fingerprint-only visited set. BFS enqueues every state at its
-        // minimal depth by construction, so no depth needs to be stored.
-        let mut visited: HashSet<u128> = HashSet::new();
+        // Per-shard counts of digests *accepted by the deterministic
+        // merge* (not raw set sizes): the batched path pre-inserts a whole
+        // level before merging, so on an early stop the set itself may
+        // hold successors the merge never reached — counting acceptances
+        // keeps the reported occupancy identical across thread counts and
+        // dedup paths.
+        let mut occupancy = vec![0usize; shard_count];
 
         let mut frontier: Vec<(Sp::State, Digest)> = Vec::new();
         for state in initial {
             let digest = space.digest(&state);
             if visited.insert(digest.0) {
+                occupancy[visited.shard_of(digest.0)] += 1;
                 frontier.push((state, digest));
             }
         }
@@ -178,7 +236,29 @@ impl Checker {
 
             let expansions = expand_level(space, &frontier, depth, threads);
 
-            // Deterministic sequential merge, in frontier order.
+            // Large levels dedup in parallel before the merge: successors
+            // are routed to their shards in frontier order, then each
+            // worker inserts its own contiguous shard range lock-free.
+            // Routing depends only on digests and inserts follow frontier
+            // order within each shard, so the fresh/duplicate bits — and
+            // everything downstream of them — match the inline path
+            // exactly, for every thread and shard count.
+            let total_succs: usize = expansions.iter().map(|parts| parts.succs.len()).sum();
+            let fresh: Option<Vec<Vec<bool>>> =
+                if threads > 1 && shard_count > 1 && total_succs >= PAR_MIN_DEDUP {
+                    let mut batches: Vec<Vec<u128>> = vec![Vec::new(); shard_count];
+                    for parts in &expansions {
+                        for (_, digest) in &parts.succs {
+                            batches[visited.shard_of(digest.0)].push(digest.0);
+                        }
+                    }
+                    Some(visited.insert_batches(&batches, threads))
+                } else {
+                    None
+                };
+
+            // Deterministic merge, in frontier order.
+            let mut cursors = vec![0usize; shard_count];
             let mut next: Vec<(Sp::State, Digest)> = Vec::new();
             for parts in expansions {
                 stats.configs += 1;
@@ -187,7 +267,17 @@ impl Checker {
                 findings.extend(parts.findings);
                 for (succ, digest) in parts.succs {
                     stats.transitions += 1;
-                    if visited.insert(digest.0) {
+                    let shard = visited.shard_of(digest.0);
+                    let is_new = match &fresh {
+                        Some(bits) => {
+                            let bit = bits[shard][cursors[shard]];
+                            cursors[shard] += 1;
+                            bit
+                        }
+                        None => visited.insert(digest.0),
+                    };
+                    if is_new {
+                        occupancy[shard] += 1;
                         next.push((succ, digest));
                     } else {
                         stats.dedup_hits += 1;
@@ -202,6 +292,7 @@ impl Checker {
             depth += 1;
         }
 
+        stats.shard_occupancy = occupancy;
         stats.elapsed = start.elapsed();
         KernelOutcome { findings, stats }
     }
@@ -218,6 +309,7 @@ impl Checker {
         let start = Instant::now();
         let mut stats = ExploreStats {
             threads: 1,
+            shards: 1,
             ..ExploreStats::default()
         };
         let mut findings: Vec<Sp::Finding> = Vec::new();
@@ -299,6 +391,7 @@ impl Checker {
             }
         }
 
+        stats.shard_occupancy = vec![visited.len()];
         stats.elapsed = start.elapsed();
         KernelOutcome { findings, stats }
     }

@@ -12,6 +12,11 @@
 //!   (the search retains 16-byte digests, never full states), a
 //!   **frontier-based parallel BFS** backend with deterministic result
 //!   merging, and a sequential DFS fallback;
+//! - [`ShardedVisited`] — the BFS visited set, sharded by digest range so
+//!   the dedup/merge phase parallelizes too (each worker owns a
+//!   contiguous shard range, lock-free); shard count via
+//!   [`Checker::with_shards`] or `SLX_ENGINE_SHARDS`, and verdicts are
+//!   shard-count and thread-count independent by construction;
 //! - [`Fingerprinter`] — a fast two-lane non-cryptographic hasher that
 //!   produces the 128-bit digests in one pass (replacing the SipHash
 //!   `DefaultHasher` helpers that used to be copy-pasted across the
@@ -42,8 +47,10 @@ mod checker;
 mod digest;
 mod space;
 mod stats;
+mod visited;
 
 pub use checker::{Backend, Checker, KernelOutcome};
 pub use digest::{digest128_of, digest64_of, digest64_of_iter, Digest, Fingerprinter};
 pub use space::{Expansion, StateSpace};
 pub use stats::ExploreStats;
+pub use visited::ShardedVisited;

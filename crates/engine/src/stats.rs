@@ -23,6 +23,14 @@ pub struct ExploreStats {
     pub stopped_early: bool,
     /// Worker threads used by the backend.
     pub threads: usize,
+    /// Visited-set shards used by the backend (1 for DFS).
+    pub shards: usize,
+    /// Distinct digests accepted into each visited-set shard by the
+    /// deterministic merge, in shard order. Deterministic for a given
+    /// exploration: routing depends only on digests and acceptance only
+    /// on frontier order, never on scheduling, thread count, or shard
+    /// routing of the dedup work.
+    pub shard_occupancy: Vec<usize>,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
 }
@@ -49,6 +57,21 @@ impl ExploreStats {
             0.0
         }
     }
+
+    /// Shard balance: the fullest shard's occupancy over the mean
+    /// occupancy. `1.0` is perfect balance (also returned for empty or
+    /// unsharded runs); values near the shard count mean one shard
+    /// received almost everything and the merge phase serialized.
+    #[must_use]
+    pub fn shard_balance(&self) -> f64 {
+        let max = self.shard_occupancy.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 1.0;
+        }
+        let total: usize = self.shard_occupancy.iter().sum();
+        let mean = total as f64 / self.shard_occupancy.len() as f64;
+        max as f64 / mean
+    }
 }
 
 impl fmt::Display for ExploreStats {
@@ -56,13 +79,25 @@ impl fmt::Display for ExploreStats {
         write!(
             f,
             "{} states, {} transitions ({:.1}% dedup), peak frontier {}, \
-             {:.0} states/s on {} thread(s){}{}",
+             {:.0} states/s on {} thread(s)",
             self.configs,
             self.transitions,
             self.dedup_hit_rate() * 100.0,
             self.peak_frontier,
             self.states_per_sec(),
             self.threads,
+        )?;
+        if self.shards > 1 {
+            write!(
+                f,
+                ", {} shards (balance {:.2})",
+                self.shards,
+                self.shard_balance()
+            )?;
+        }
+        write!(
+            f,
+            "{}{}",
             if self.truncated { ", truncated" } else { "" },
             if self.stopped_early {
                 ", stopped early"
@@ -94,10 +129,24 @@ mod tests {
             truncated: true,
             stopped_early: false,
             threads: 2,
+            shards: 4,
+            shard_occupancy: vec![4, 2, 2, 2],
             elapsed: Duration::from_millis(100),
         };
         let s = stats.to_string();
         assert!(s.contains("10 states"));
         assert!(s.contains("truncated"));
+        assert!(s.contains("4 shards"));
+    }
+
+    #[test]
+    fn shard_balance_is_max_over_mean() {
+        let stats = ExploreStats {
+            shard_occupancy: vec![6, 2, 2, 2],
+            shards: 4,
+            ..ExploreStats::default()
+        };
+        assert!((stats.shard_balance() - 2.0).abs() < 1e-12);
+        assert_eq!(ExploreStats::default().shard_balance(), 1.0);
     }
 }

@@ -22,23 +22,8 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use slx_engine::{digest128_of, Checker, Digest, Expansion, StateSpace};
 
-/// SplitMix64, reimplemented locally (the engine crate is dependency-free
-/// and deliberately does not export a PRNG).
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, bound: u64) -> u64 {
-        self.next() % bound
-    }
-}
+mod common;
+use common::Rng;
 
 /// A pseudo-random transition system over `0..universe`: each state has a
 /// structure-derived branching factor and successor set (so diamonds and

@@ -1,0 +1,42 @@
+//! Shared helpers for the engine's integration-test harnesses.
+//!
+//! Each integration test is its own crate, so anything both harnesses
+//! need lives here; not every harness uses every helper.
+#![allow(dead_code)]
+
+/// SplitMix64, reimplemented locally (the engine crate is dependency-free
+/// and deliberately does not export a PRNG).
+pub struct Rng(pub u64);
+
+impl Rng {
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    /// A random 128-bit digest. Half the time the top bits are squeezed
+    /// into a few values so shard routing sees skewed streams too.
+    pub fn digest(&mut self) -> u128 {
+        let lo = self.next() as u128;
+        let hi = if self.next().is_multiple_of(2) {
+            self.next() as u128
+        } else {
+            (self.next() % 3) as u128
+        };
+        hi << 64 | lo
+    }
+
+    /// Fisher–Yates shuffle driven by this generator.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            items.swap(i, self.below(i as u64 + 1) as usize);
+        }
+    }
+}

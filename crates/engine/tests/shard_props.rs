@@ -1,0 +1,335 @@
+//! Property-based validation of the sharded visited set.
+//!
+//! Like `collision_props`, this is a self-contained property harness (the
+//! external `proptest` crate is unavailable offline): a seeded SplitMix64
+//! generator produces hundreds of random digest streams and state spaces,
+//! and [`ShardedVisited`] is compared against a single-map reference.
+//!
+//! Properties checked (
+//! well over 500 generated cases across the suite):
+//!
+//! 1. **Shard transparency**: on any digest stream, at any shard count and
+//!    worker count, the sharded set reports exactly the fresh/duplicate
+//!    bits, membership, and final size of a single `HashSet<u128>`.
+//! 2. **Insert-order independence**: permuting a stream changes neither
+//!    the final size nor the per-shard occupancy.
+//! 3. **Single-shard routing**: every digest routes to exactly one shard
+//!    — routing is a pure function of the digest, and occupancies sum to
+//!    the distinct-digest count (a digest living in two shards would make
+//!    the sum exceed the reference size).
+//! 4. **Budget truncation under sharding**: a `Checker::with_budget` hit
+//!    mid-exploration reports identical `ExploreStats` truncation
+//!    accounting (configs, truncated, transitions, dedup hits) for every
+//!    shard and thread count.
+
+use std::collections::HashSet;
+
+use slx_engine::{digest128_of, Checker, Digest, Expansion, ShardedVisited, StateSpace};
+
+mod common;
+use common::Rng;
+
+/// A random digest stream with deliberate duplicates: digests are drawn
+/// from a pool smaller than the stream, so re-inserts are common.
+fn random_stream(rng: &mut Rng) -> Vec<u128> {
+    let pool_size = 1 + rng.below(200) as usize;
+    let pool: Vec<u128> = (0..pool_size).map(|_| rng.digest()).collect();
+    let len = rng.below(400) as usize;
+    (0..len)
+        .map(|_| pool[rng.below(pool_size as u64) as usize])
+        .collect()
+}
+
+#[test]
+fn sharded_set_is_transparent_over_random_streams() {
+    let mut rng = Rng(0x5AAD);
+    for case in 0..250 {
+        let stream = random_stream(&mut rng);
+        let shards = 1usize << rng.below(7); // 1..=64
+        let mut reference: HashSet<u128> = HashSet::new();
+        let expected_bits: Vec<bool> = stream.iter().map(|&d| reference.insert(d)).collect();
+
+        let mut sharded = ShardedVisited::new(shards);
+        let got_bits: Vec<bool> = stream.iter().map(|&d| sharded.insert(d)).collect();
+        assert_eq!(got_bits, expected_bits, "case {case} ({shards} shards)");
+        assert_eq!(sharded.len(), reference.len(), "case {case}");
+        for &d in &stream {
+            assert!(sharded.contains(d), "case {case}: member lost");
+        }
+        for _ in 0..20 {
+            let probe = rng.digest();
+            assert_eq!(
+                sharded.contains(probe),
+                reference.contains(&probe),
+                "case {case}: membership diverged on probe"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_parallel_inserts_are_transparent_too() {
+    let mut rng = Rng(0xBA7C);
+    for case in 0..150 {
+        let stream = random_stream(&mut rng);
+        let shards = 1usize << rng.below(6); // 1..=32
+        let workers = 1 + rng.below(8) as usize;
+        let mut reference: HashSet<u128> = HashSet::new();
+        let expected_bits: Vec<bool> = stream.iter().map(|&d| reference.insert(d)).collect();
+
+        let mut sharded = ShardedVisited::new(shards);
+        let mut batches: Vec<Vec<u128>> = vec![Vec::new(); sharded.shard_count()];
+        let mut route: Vec<(usize, usize)> = Vec::with_capacity(stream.len());
+        for &d in &stream {
+            let s = sharded.shard_of(d);
+            route.push((s, batches[s].len()));
+            batches[s].push(d);
+        }
+        let fresh = sharded.insert_batches(&batches, workers);
+        let got_bits: Vec<bool> = route.iter().map(|&(s, k)| fresh[s][k]).collect();
+        assert_eq!(
+            got_bits, expected_bits,
+            "case {case} ({shards} shards, {workers} workers)"
+        );
+        assert_eq!(sharded.len(), reference.len(), "case {case}");
+    }
+}
+
+#[test]
+fn counts_are_insert_order_independent() {
+    let mut rng = Rng(0x0DDE);
+    for case in 0..150 {
+        let stream = random_stream(&mut rng);
+        let shards = 1usize << rng.below(7);
+        let mut in_order = ShardedVisited::new(shards);
+        for &d in &stream {
+            in_order.insert(d);
+        }
+        let mut permuted = stream.clone();
+        rng.shuffle(&mut permuted);
+        let mut shuffled = ShardedVisited::new(shards);
+        for &d in &permuted {
+            shuffled.insert(d);
+        }
+        assert_eq!(shuffled.len(), in_order.len(), "case {case}");
+        assert_eq!(shuffled.occupancy(), in_order.occupancy(), "case {case}");
+    }
+}
+
+#[test]
+fn every_digest_routes_to_exactly_one_shard() {
+    let mut rng = Rng(0x10CA);
+    for case in 0..100 {
+        let stream = random_stream(&mut rng);
+        let shards = 1usize << rng.below(7);
+        let mut sharded = ShardedVisited::new(shards);
+        let mut reference: HashSet<u128> = HashSet::new();
+        for &d in &stream {
+            let route = sharded.shard_of(d);
+            assert!(route < sharded.shard_count(), "case {case}: shard range");
+            assert_eq!(route, sharded.shard_of(d), "case {case}: routing unstable");
+            sharded.insert(d);
+            reference.insert(d);
+        }
+        // Occupancies summing to the distinct count means no digest was
+        // stored in two shards (and membership above means none in zero).
+        assert_eq!(
+            sharded.occupancy().iter().sum::<usize>(),
+            reference.len(),
+            "case {case}: a digest occupies two shards"
+        );
+    }
+}
+
+/// Grid walk with digests wide enough to spread over every shard; many
+/// diamonds, so dedup accounting is exercised.
+struct GridWalk {
+    bound: u32,
+}
+
+impl StateSpace for GridWalk {
+    type State = (u32, u32);
+    type Finding = (u32, u32);
+
+    fn digest(&self, state: &Self::State) -> Digest {
+        digest128_of(state)
+    }
+
+    fn expand(&self, &(x, y): &Self::State, _depth: usize, ctx: &mut Expansion<Self>) {
+        if x == self.bound && y == self.bound {
+            ctx.finding((x, y));
+            return;
+        }
+        if x < self.bound {
+            ctx.push((x + 1, y));
+        }
+        if y < self.bound {
+            ctx.push((x, y + 1));
+        }
+    }
+}
+
+#[test]
+fn budget_truncation_is_identical_across_shard_and_thread_counts() {
+    // Budgets chosen to land mid-level on the diagonal frontier (level d
+    // of the grid has d+1 states), so truncation cuts a level in half —
+    // the accounting must not depend on how the visited set is sharded.
+    let space = GridWalk { bound: 40 };
+    for budget in [1usize, 7, 55, 300, 1000] {
+        let baseline = Checker::parallel_bfs(1)
+            .with_shards(1)
+            .with_budget(budget)
+            .run(&space, vec![(0, 0)]);
+        assert!(baseline.stats.truncated, "budget {budget} must truncate");
+        assert_eq!(baseline.stats.configs, budget, "budget {budget}");
+        for threads in [1usize, 2, 4, 8] {
+            for shards in [1usize, 4, 16] {
+                let out = Checker::parallel_bfs(threads)
+                    .with_shards(shards)
+                    .with_budget(budget)
+                    .run(&space, vec![(0, 0)]);
+                let label = format!("budget {budget}, {threads} threads, {shards} shards");
+                assert_eq!(out.stats.configs, baseline.stats.configs, "{label}");
+                assert_eq!(out.stats.truncated, baseline.stats.truncated, "{label}");
+                assert_eq!(out.stats.transitions, baseline.stats.transitions, "{label}");
+                assert_eq!(out.stats.dedup_hits, baseline.stats.dedup_hits, "{label}");
+                assert_eq!(
+                    out.stats.peak_frontier, baseline.stats.peak_frontier,
+                    "{label}"
+                );
+                assert_eq!(out.findings, baseline.findings, "{label}");
+                assert_eq!(out.stats.shards, shards, "{label}");
+                assert_eq!(
+                    out.stats.shard_occupancy.iter().sum::<usize>(),
+                    baseline.stats.shard_occupancy.iter().sum::<usize>(),
+                    "{label}: sharding must not change the visited count"
+                );
+            }
+        }
+    }
+}
+
+/// A wide binary tree: level `d` holds `2^d` states, so deep bounds push
+/// thousands of successors per level — enough to cross the kernel's
+/// parallel-dedup threshold and exercise the sharded merge path for real.
+struct WideTree {
+    bound: usize,
+}
+
+impl StateSpace for WideTree {
+    type State = u64;
+    type Finding = u64;
+
+    fn digest(&self, s: &u64) -> Digest {
+        digest128_of(s)
+    }
+
+    fn expand(&self, &s: &u64, depth: usize, ctx: &mut Expansion<Self>) {
+        if s % 4097 == 0 {
+            ctx.finding(s);
+        }
+        if depth >= self.bound {
+            return;
+        }
+        ctx.push(s * 2 + 1);
+        ctx.push(s * 2 + 2);
+        // A cross edge per state, creating dedup hits across the level.
+        ctx.push(s | 1);
+    }
+}
+
+/// A wide binary tree whose every depth-12 state reports a finding: the
+/// stop predicate fires mid-merge of a level wide enough to cross the
+/// parallel-dedup threshold, which is exactly where the batched path has
+/// pre-inserted successors the merge never reaches.
+struct StopTree;
+
+impl StateSpace for StopTree {
+    type State = u64;
+    type Finding = u64;
+
+    fn digest(&self, s: &u64) -> Digest {
+        digest128_of(s)
+    }
+
+    fn expand(&self, &s: &u64, depth: usize, ctx: &mut Expansion<Self>) {
+        if depth == 12 {
+            ctx.finding(s);
+        }
+        if depth >= 13 {
+            return;
+        }
+        ctx.push(s * 2 + 1);
+        ctx.push(s * 2 + 2);
+        ctx.push(s | 1);
+    }
+}
+
+#[test]
+fn early_stop_stats_are_thread_and_shard_independent() {
+    // Regression: the batched dedup path pre-inserts a whole level before
+    // the merge loop; an early stop mid-level must still report the same
+    // occupancy (and everything else) as the lazy inline path.
+    let base = Checker::parallel_bfs(1)
+        .with_shards(1)
+        .run_until(&StopTree, vec![0], |f| f.len() >= 5);
+    assert!(base.stats.stopped_early, "stop must fire");
+    // The stop fires while merging the 4096-wide depth-12 level, whose
+    // ~3x successors are what cross the kernel's 4096-successor
+    // parallel-dedup threshold for the multi-threaded runs below.
+    assert!(
+        base.stats.peak_frontier >= 2048,
+        "stop must fire on a level wide enough for the batched path, \
+         got peak frontier {}",
+        base.stats.peak_frontier
+    );
+    for threads in [2usize, 4, 8] {
+        for shards in [4usize, 16] {
+            let out = Checker::parallel_bfs(threads)
+                .with_shards(shards)
+                .run_until(&StopTree, vec![0], |f| f.len() >= 5);
+            let label = format!("{threads} threads, {shards} shards");
+            assert!(out.stats.stopped_early, "{label}");
+            assert_eq!(out.findings, base.findings, "{label}");
+            assert_eq!(out.stats.configs, base.stats.configs, "{label}");
+            assert_eq!(out.stats.transitions, base.stats.transitions, "{label}");
+            assert_eq!(out.stats.dedup_hits, base.stats.dedup_hits, "{label}");
+            assert_eq!(
+                out.stats.shard_occupancy.iter().sum::<usize>(),
+                base.stats.shard_occupancy.iter().sum::<usize>(),
+                "{label}: early-stop occupancy must not depend on the dedup path"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_sharded_dedup_matches_inline_path_on_wide_levels() {
+    // Depth 13 → final levels are thousands wide, so with >1 thread the
+    // run crosses PAR_MIN_DEDUP and dedups via parallel shard batches,
+    // while the 1-thread run takes the inline path. Everything observable
+    // must agree.
+    let space = WideTree { bound: 13 };
+    let inline = Checker::parallel_bfs(1).with_shards(1).run(&space, vec![0]);
+    assert!(
+        inline.stats.peak_frontier > 4096,
+        "space too small to cross the parallel-dedup threshold"
+    );
+    for threads in [2usize, 4, 8] {
+        for shards in [4usize, 16, 64] {
+            let out = Checker::parallel_bfs(threads)
+                .with_shards(shards)
+                .run(&space, vec![0]);
+            let label = format!("{threads} threads, {shards} shards");
+            assert_eq!(out.stats.configs, inline.stats.configs, "{label}");
+            assert_eq!(out.stats.transitions, inline.stats.transitions, "{label}");
+            assert_eq!(out.stats.dedup_hits, inline.stats.dedup_hits, "{label}");
+            assert_eq!(out.findings, inline.findings, "{label}");
+            assert_eq!(
+                out.stats.shard_occupancy.iter().sum::<usize>(),
+                inline.stats.configs,
+                "{label}: occupancy must sum to the visited count"
+            );
+        }
+    }
+}

@@ -83,7 +83,12 @@ impl CycleWitness {
 ///
 /// The scheduler must be deterministic for the witness to be meaningful;
 /// the `Clone + Eq + Hash` bounds let the detector key on its state
-/// exactly.
+/// exactly. This variant **retains full configuration clones** in its seen
+/// map — it is the exact-comparison baseline the differential tests pin
+/// the fingerprint-based [`run_until_cycle_keyed`] against, the same way
+/// the exploration kernel is pinned against the retained-clone explorer.
+/// Prefer [`run_until_cycle_keyed`] for long runs: it retains 16-byte
+/// digests instead of configurations.
 pub fn run_until_cycle<W, P, S>(
     sys: &mut System<W, P>,
     scheduler: &mut S,
@@ -94,21 +99,62 @@ where
     P: Process<W> + Clone + Eq + Hash,
     S: Scheduler<W, P> + Clone + Eq + Hash,
 {
-    run_until_cycle_keyed(sys, scheduler, max_events, |sys, sched| {
+    run_until_cycle_keyed_retained(sys, scheduler, max_events, |sys, sched| {
         (sys.clone(), sched.clone())
     })
 }
 
 /// Like [`run_until_cycle`], but detects repeats of a caller-supplied
-/// **key** instead of the raw configuration.
+/// **key** instead of the raw configuration, and retains only the
+/// 128-bit fingerprint of each key (via [`slx_engine::digest128_of`]) —
+/// the same fingerprint-only discipline as the exploration kernel's
+/// visited set, so arbitrarily long stems cost 16 bytes per distinct key
+/// instead of a retained clone.
 ///
-/// This is how cycles *modulo a symmetry* are found: algorithms whose
+/// Keying is how cycles *modulo a symmetry* are found: algorithms whose
 /// per-iteration state grows by a uniform shift (the TM version counter,
 /// Algorithm 1's timestamps) never repeat a raw configuration, but their
 /// behaviour is invariant under the shift, so a repeat of the normalized
 /// key still witnesses an infinite execution (`slx-tm` provides the
 /// normalizing maps and documents the invariance argument).
+///
+/// As with the kernel, fingerprinting trades exact key comparison for a
+/// 2⁻¹²⁸-scale collision risk: a collision here would fabricate a cycle
+/// between two distinct keys. At the run lengths this workspace drives
+/// (≪ 2⁴⁰ events) the probability is astronomically below practical
+/// concern, and the differential tests pin this detector against the
+/// retained-key [`run_until_cycle_keyed_retained`] on every adversary
+/// scenario.
 pub fn run_until_cycle_keyed<W, P, S, K>(
+    sys: &mut System<W, P>,
+    scheduler: &mut S,
+    max_events: u64,
+    key: impl Fn(&System<W, P>, &S) -> K,
+) -> Option<CycleWitness>
+where
+    W: Word,
+    P: Process<W>,
+    S: Scheduler<W, P>,
+    K: Hash,
+{
+    let mut seen: HashMap<u128, usize> = HashMap::new();
+    run_cycle_loop(sys, scheduler, max_events, |sys, sched, now| {
+        let digest = slx_engine::digest128_of(&key(sys, sched)).0;
+        match seen.entry(digest) {
+            std::collections::hash_map::Entry::Occupied(first) => Some(*first.get()),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(now);
+                None
+            }
+        }
+    })
+}
+
+/// [`run_until_cycle_keyed`] with the key **retained** (exact `Eq`
+/// comparison, no fingerprinting): the collision-free baseline. The
+/// differential tests pin the fingerprint path against this one; callers
+/// wanting certainty over memory can use it directly.
+pub fn run_until_cycle_keyed_retained<W, P, S, K>(
     sys: &mut System<W, P>,
     scheduler: &mut S,
     max_events: u64,
@@ -120,11 +166,38 @@ where
     S: Scheduler<W, P>,
     K: Hash + Eq,
 {
+    let mut seen: HashMap<K, usize> = HashMap::new();
+    run_cycle_loop(sys, scheduler, max_events, |sys, sched, now| {
+        match seen.entry(key(sys, sched)) {
+            std::collections::hash_map::Entry::Occupied(first) => Some(*first.get()),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(now);
+                None
+            }
+        }
+    })
+}
+
+/// The shared drive loop: runs the scheduler one decision at a time,
+/// handing `(system, scheduler, events-so-far)` to `record` after every
+/// event batch. `record` returns `Some(first)` when the current key was
+/// first seen at event index `first`, which closes the lasso.
+fn run_cycle_loop<W, P, S>(
+    sys: &mut System<W, P>,
+    scheduler: &mut S,
+    max_events: u64,
+    mut record: impl FnMut(&System<W, P>, &S, usize) -> Option<usize>,
+) -> Option<CycleWitness>
+where
+    W: Word,
+    P: Process<W>,
+    S: Scheduler<W, P>,
+{
     use slx_memory::Decision;
 
-    let mut seen: HashMap<K, usize> = HashMap::new();
-    seen.insert(key(sys, scheduler), 0);
     let start_events = sys.events().len();
+    // Seed the map with the starting key (trivially not a repeat).
+    let _ = record(sys, scheduler, 0);
 
     for _ in 0..max_events {
         match scheduler.decide(sys) {
@@ -145,16 +218,14 @@ where
                 }
             }
         }
-        let k = key(sys, scheduler);
         let now = sys.events().len() - start_events;
-        if let Some(&first) = seen.get(&k) {
+        if let Some(first) = record(sys, scheduler, now) {
             let events = &sys.events()[start_events..];
             return Some(CycleWitness {
                 stem: events[..first].to_vec(),
                 cycle: events[first..now].to_vec(),
             });
         }
-        seen.insert(k, now);
     }
     None
 }

@@ -11,11 +11,14 @@
 //! - [`decidable_values`] computes which consensus values are reachable
 //!   decisions from a configuration — the valence analysis that powers the
 //!   bivalence adversary (Corollary 4.5 / Figure 1a's black points);
-//! - [`run_until_cycle`] runs a *deterministic* scheduler and detects a
-//!   repeated (system, scheduler) configuration: a genuine lasso, i.e. a
-//!   witness of an infinite execution (used to prove liveness violations:
-//!   if no good response occurs on the cycle, the infinite execution
-//!   starves everyone on it);
+//! - [`run_until_cycle_keyed`] runs a *deterministic* scheduler and
+//!   detects a repeated (system, scheduler) key — retaining only 128-bit
+//!   fingerprints of the keys, like the kernel's visited set: a genuine
+//!   lasso, i.e. a witness of an infinite execution (used to prove
+//!   liveness violations: if no good response occurs on the cycle, the
+//!   infinite execution starves everyone on it). [`run_until_cycle`] and
+//!   [`run_until_cycle_keyed_retained`] are the retained-map baselines
+//!   the differential tests pin it against;
 //! - [`verify_solo_progress`] checks obstruction-freedom exhaustively: from
 //!   every reachable configuration, every pending process running alone
 //!   responds within a step budget.
@@ -41,5 +44,7 @@ pub use explore::{
     explore_safety, explore_safety_with, history_digest, verify_solo_progress, ExploreOutcome,
     SoloCounterexample,
 };
-pub use lasso::{run_until_cycle, run_until_cycle_keyed, CycleWitness};
+pub use lasso::{
+    run_until_cycle, run_until_cycle_keyed, run_until_cycle_keyed_retained, CycleWitness,
+};
 pub use valence::{decidable_values, decidable_values_with, DecidableSet};

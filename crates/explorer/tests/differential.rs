@@ -4,11 +4,16 @@
 //! `holds()` verdicts and visited-configuration counts on the workspace's
 //! seed scenarios (register consensus and transactional memory), and both
 //! must reproduce the retained-clone baseline implementation exactly.
+//! Since the sharded-visited-set refactor the BFS pins extend to a full
+//! determinism matrix: every {thread count} × {shard count} combination
+//! must report the same verdicts and counts.
 
 use slx_consensus::{CasConsensus, ConsWord, ObstructionFreeConsensus};
 use slx_engine::Checker;
 use slx_explorer::baseline::{decidable_values_retained, explore_safety_retained};
-use slx_explorer::{decidable_values, explore_safety, explore_safety_with, history_digest};
+use slx_explorer::{
+    decidable_values, decidable_values_with, explore_safety, explore_safety_with, history_digest,
+};
 use slx_history::{Operation, ProcessId, Value, VarId};
 use slx_memory::{Memory, System};
 use slx_safety::{ConsensusSafety, Opacity};
@@ -73,6 +78,131 @@ fn tm_scenario() -> System<TmWord, GlobalVersionTm> {
     sys.invoke(p(0), Operation::TxCommit).unwrap();
     sys.invoke(p(1), Operation::TxCommit).unwrap();
     sys
+}
+
+/// The tentpole determinism pin of the sharded-visited-set refactor: on
+/// both seed scenarios (register consensus and the TM commit race), every
+/// combination of {1, 2, 4, 8} worker threads × {1, 4, 16} visited-set
+/// shards must produce the *same verdict and the same visited-config
+/// count* as the single-thread single-shard run — and so must the
+/// sequential DFS backend. Exploration results depend on the model, never
+/// on the machine.
+#[test]
+fn verdicts_and_counts_are_thread_and_shard_count_independent() {
+    let consensus = of_consensus_scenario();
+    let tm = tm_scenario();
+    let active = [p(0), p(1)];
+    let consensus_safety = ConsensusSafety::new();
+    let tm_safety = Opacity::new(v(0));
+
+    let consensus_base = explore_safety_with(
+        &Checker::parallel_bfs(1).with_shards(1),
+        &consensus,
+        &active,
+        14,
+        &consensus_safety,
+        history_digest,
+    );
+    let tm_base = explore_safety_with(
+        &Checker::parallel_bfs(1).with_shards(1),
+        &tm,
+        &active,
+        20,
+        &tm_safety,
+        history_digest,
+    );
+    assert!(consensus_base.holds());
+    assert!(tm_base.holds());
+    assert!(consensus_base.configs > 100, "scenario must branch");
+
+    for threads in [1usize, 2, 4, 8] {
+        for shards in [1usize, 4, 16] {
+            let checker = Checker::parallel_bfs(threads).with_shards(shards);
+            let label = format!("{threads} threads, {shards} shards");
+
+            let c = explore_safety_with(
+                &checker,
+                &consensus,
+                &active,
+                14,
+                &consensus_safety,
+                history_digest,
+            );
+            assert_eq!(c.holds(), consensus_base.holds(), "consensus, {label}");
+            assert_eq!(c.configs, consensus_base.configs, "consensus, {label}");
+            assert_eq!(c.truncated, consensus_base.truncated, "consensus, {label}");
+            assert_eq!(
+                c.stats.dedup_hits, consensus_base.stats.dedup_hits,
+                "consensus, {label}"
+            );
+            assert_eq!(c.stats.shards, shards, "consensus, {label}");
+            assert_eq!(
+                c.stats.shard_occupancy.iter().sum::<usize>(),
+                consensus_base.stats.shard_occupancy.iter().sum::<usize>(),
+                "consensus, {label}"
+            );
+
+            let t = explore_safety_with(&checker, &tm, &active, 20, &tm_safety, history_digest);
+            assert_eq!(t.holds(), tm_base.holds(), "tm, {label}");
+            assert_eq!(t.configs, tm_base.configs, "tm, {label}");
+            assert_eq!(t.truncated, tm_base.truncated, "tm, {label}");
+        }
+    }
+
+    // The DFS backend closes the matrix: same verdicts and counts again.
+    let c_dfs = explore_safety_with(
+        &Checker::sequential_dfs(),
+        &consensus,
+        &active,
+        14,
+        &consensus_safety,
+        history_digest,
+    );
+    assert_eq!(c_dfs.holds(), consensus_base.holds());
+    assert_eq!(c_dfs.configs, consensus_base.configs);
+    let t_dfs = explore_safety_with(
+        &Checker::sequential_dfs(),
+        &tm,
+        &active,
+        20,
+        &tm_safety,
+        history_digest,
+    );
+    assert_eq!(t_dfs.holds(), tm_base.holds());
+    assert_eq!(t_dfs.configs, tm_base.configs);
+}
+
+/// The same matrix on the budgeted valence query (the bivalence
+/// adversary's inner loop): values, bivalence, truncation, and configs
+/// must not depend on threads or shards, including at budgets that cut
+/// the exploration mid-level.
+#[test]
+fn valence_verdicts_are_thread_and_shard_count_independent() {
+    let cas = cas_consensus_scenario();
+    let active = [p(0), p(1)];
+    for budget in [3usize, 50, 10_000] {
+        let base = decidable_values_with(
+            &Checker::parallel_bfs(1).with_shards(1),
+            &cas,
+            &active,
+            budget,
+        );
+        for threads in [2usize, 4, 8] {
+            for shards in [4usize, 16] {
+                let got = decidable_values_with(
+                    &Checker::parallel_bfs(threads).with_shards(shards),
+                    &cas,
+                    &active,
+                    budget,
+                );
+                let label = format!("budget {budget}, {threads} threads, {shards} shards");
+                assert_eq!(got.values, base.values, "{label}");
+                assert_eq!(got.bivalent(), base.bivalent(), "{label}");
+                assert_eq!(got.truncated, base.truncated, "{label}");
+                assert_eq!(got.configs, base.configs, "{label}");
+            }
+        }
+    }
 }
 
 #[test]
