@@ -3,6 +3,8 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
+use slx_engine::StateCodec;
+
 /// Index of a state within an [`Automaton`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StateId(pub usize);
@@ -27,6 +29,30 @@ impl<L> Execution<L> {
     /// The final state of the execution.
     pub fn last_state(&self) -> StateId {
         *self.states.last().expect("executions are non-empty")
+    }
+}
+
+impl StateCodec for StateId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(StateId(usize::decode(input)?))
+    }
+}
+
+impl<L: StateCodec> StateCodec for Execution<L> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.states.encode(out);
+        self.actions.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(Execution {
+            states: Vec::decode(input)?,
+            actions: Vec::decode(input)?,
+        })
     }
 }
 

@@ -2,20 +2,24 @@
 //! retained-clone baseline, with no external benchmarking dependency.
 //!
 //! Runs the obstruction-free-consensus safety exploration (the hot loop
-//! behind Figure 1a's white anchor) at several depths on three
+//! behind Figure 1a's white anchor) at several depths on four
 //! configurations and prints a comparison table:
 //!
 //! - **sharded** — the kernel with its sharded visited set (thread count
 //!   from `SLX_ENGINE_THREADS` or autodetected; shard count from
 //!   `SLX_ENGINE_SHARDS` or four per thread), the default since the
 //!   sharded-merge refactor;
-//! - **1 shard** — the same kernel pinned to a single shard: the PR 1
+//! - **spill** — the same kernel under a 16 KiB frontier memory budget
+//!   (`SPILL_BUDGET`): every level beyond the budget round-trips through
+//!   `StateCodec` records in temp files (the beyond-RAM configuration;
+//!   resident footprint stays bounded while verdicts stay identical);
+//! - **1 shard** — the kernel pinned to a single shard: the PR 1
 //!   behaviour, whose dedup/merge phase is a single sequential map (the
 //!   sharded column must not regress below this one);
 //! - **baseline** — the seed's sequential DFS over retained `(System,
 //!   digest)` clones.
 //!
-//! Verdicts and visited counts are asserted equal across all three on
+//! Verdicts and visited counts are asserted equal across all four on
 //! every row. Usage:
 //!
 //! ```text
@@ -32,11 +36,23 @@ use slx_core::history::{Operation, ProcessId, Value};
 use slx_core::memory::{Memory, System};
 use slx_core::safety::ConsensusSafety;
 
+/// Frontier memory budget of the spill arm: an encoded consensus record
+/// is ~400 bytes, so the 8 KiB chunk window holds ~20 states and the
+/// deeper rows' levels (up to ~80 states wide) each spill several chunks
+/// — the beyond-RAM regime, scaled down to bench runtimes.
+const SPILL_BUDGET: usize = 16 * 1024;
+
 fn of_system() -> System<ConsWord, ObstructionFreeConsensus> {
     let p0 = ProcessId::new(0);
     let p1 = ProcessId::new(1);
     let mut mem: Memory<ConsWord> = Memory::new();
-    let layout = ObstructionFreeConsensus::layout(&mut mem, 2, 64);
+    // 16 pre-allocated commit-adopt rounds: ample headroom for the
+    // depths benched here (a round costs each process 2n + 2 = 6 steps,
+    // so depth 22 reaches round ~4). The seed's 64 rounds left ~80% of
+    // every configuration as never-touched `⊥` registers, which skews
+    // the spill arm: dead registers are a memcpy for the resident clone
+    // but per-object work for the codec.
+    let layout = ObstructionFreeConsensus::layout(&mut mem, 2, 16);
     let procs = vec![
         ObstructionFreeConsensus::new(layout.clone(), p0, 2),
         ObstructionFreeConsensus::new(layout, p1, 2),
@@ -54,15 +70,28 @@ fn main() {
         .unwrap_or(22);
     let active = [ProcessId::new(0), ProcessId::new(1)];
     let safety = ConsensusSafety::new();
-    let sharded_checker = Checker::auto();
-    let single_shard_checker = Checker::auto().with_shards(1);
+    let sharded_checker = Checker::auto().with_mem_budget(0);
+    let spill_checker = Checker::auto().with_mem_budget(SPILL_BUDGET);
+    let single_shard_checker = Checker::auto().with_shards(1).with_mem_budget(0);
     let mut threads_used = 1;
     let mut shards_used = 1;
     let mut balance = 1.0f64;
+    let mut spill_chunks = 0usize;
+    let mut spill_bytes = 0u64;
+    let mut spill_resident = 0usize;
+    let mut spill_peak_frontier = 0usize;
+    let mut worst_spill_overhead = 0.0f64;
 
     println!(
-        "{:>6} {:>10} {:>14} {:>14} {:>14} {:>9} {:>9}",
-        "depth", "configs", "sharded st/s", "1-shard st/s", "baseline st/s", "vs 1sh", "vs base"
+        "{:>6} {:>10} {:>13} {:>13} {:>13} {:>13} {:>9} {:>9}",
+        "depth",
+        "configs",
+        "sharded st/s",
+        "spill st/s",
+        "1-shard st/s",
+        "baseline st/s",
+        "spill x",
+        "vs base"
     );
     for depth in (10..=max_depth).step_by(4) {
         let sys = of_system();
@@ -85,6 +114,16 @@ fn main() {
         let (sharded, sharded_secs) = measure(&|| {
             explore_safety_with(
                 &sharded_checker,
+                &sys,
+                &active,
+                depth,
+                &safety,
+                history_digest,
+            )
+        });
+        let (spill, spill_secs) = measure(&|| {
+            explore_safety_with(
+                &spill_checker,
                 &sys,
                 &active,
                 depth,
@@ -119,21 +158,38 @@ fn main() {
             "shard count must not change visited counts at depth {depth}"
         );
         assert_eq!(sharded.holds(), single.holds());
+        assert_eq!(
+            spill.configs, sharded.configs,
+            "spilling must not change visited counts at depth {depth}"
+        );
+        assert_eq!(spill.holds(), sharded.holds());
+        assert_eq!(
+            spill.stats.dedup_hits, sharded.stats.dedup_hits,
+            "spilling must not change dedup accounting at depth {depth}"
+        );
 
         threads_used = sharded.stats.threads;
         shards_used = sharded.stats.shards;
         balance = sharded.stats.shard_balance();
+        spill_chunks = spill.stats.spilled_chunks;
+        spill_bytes = spill.stats.spilled_bytes;
+        spill_resident = spill.stats.peak_resident_states;
+        spill_peak_frontier = spill.stats.peak_frontier;
         let sharded_rate = sharded.configs as f64 / sharded_secs;
+        let spill_rate = spill.configs as f64 / spill_secs;
         let single_rate = single.configs as f64 / single_secs;
         let baseline_rate = baseline.configs as f64 / baseline_secs;
+        let spill_overhead = sharded_rate / spill_rate;
+        worst_spill_overhead = worst_spill_overhead.max(spill_overhead);
         println!(
-            "{:>6} {:>10} {:>14.0} {:>14.0} {:>14.0} {:>8.2}x {:>8.2}x",
+            "{:>6} {:>10} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>8.2}x {:>8.2}x",
             depth,
             sharded.configs,
             sharded_rate,
+            spill_rate,
             single_rate,
             baseline_rate,
-            sharded_rate / single_rate,
+            spill_overhead,
             sharded_rate / baseline_rate
         );
     }
@@ -141,6 +197,13 @@ fn main() {
         "\nengine backend: {threads_used} thread(s), {shards_used} visited-set shard(s) \
          (occupancy balance {balance:.2}); dedup on 128-bit fingerprints \
          (baseline retains full configuration clones). \
-         Knobs: SLX_ENGINE_THREADS, SLX_ENGINE_SHARDS."
+         Knobs: SLX_ENGINE_THREADS, SLX_ENGINE_SHARDS, SLX_ENGINE_MEM_BUDGET, \
+         SLX_ENGINE_SPILL_DIR."
+    );
+    println!(
+        "spill arm (last row): {SPILL_BUDGET}-byte budget, {spill_chunks} chunks / \
+         {spill_bytes} bytes spilled, peak {spill_resident} resident of \
+         {spill_peak_frontier} frontier states; worst in-memory/spill ratio \
+         {worst_spill_overhead:.2}x (beyond-RAM target: <= 1.30x)."
     );
 }

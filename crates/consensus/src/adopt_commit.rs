@@ -1,5 +1,6 @@
 //! Gafni's commit-adopt object from registers, as a resumable sub-machine.
 
+use slx_engine::StateCodec;
 use slx_history::Value;
 use slx_memory::{Memory, ObjId, PrimOutcome, Primitive};
 
@@ -197,6 +198,60 @@ impl AdoptCommit {
                 )
             }
         }
+    }
+}
+
+impl StateCodec for AdoptCommit {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Register arrays are allocated as consecutive runs; collapse
+        // them (see `slx_memory::encode_objid_run`).
+        slx_memory::encode_objid_run(&self.a, out);
+        slx_memory::encode_objid_run(&self.b, out);
+        self.me.encode(out);
+        self.input.encode(out);
+        match self.pc {
+            Pc::WriteA => out.push(0),
+            Pc::CollectA(j) => {
+                out.push(1);
+                j.encode(out);
+            }
+            Pc::WriteB => out.push(2),
+            Pc::CollectB(j) => {
+                out.push(3);
+                j.encode(out);
+            }
+        }
+        self.all_a_equal.encode(out);
+        self.committed_seen.encode(out);
+        self.all_b_commit.encode(out);
+        self.any_b.encode(out);
+        self.min_b_seen.encode(out);
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        let a = slx_memory::decode_objid_run(bytes)?;
+        let b = slx_memory::decode_objid_run(bytes)?;
+        let me = usize::decode(bytes)?;
+        let input = Value::decode(bytes)?;
+        let pc = match u8::decode(bytes)? {
+            0 => Pc::WriteA,
+            1 => Pc::CollectA(usize::decode(bytes)?),
+            2 => Pc::WriteB,
+            3 => Pc::CollectB(usize::decode(bytes)?),
+            _ => return None,
+        };
+        Some(AdoptCommit {
+            a,
+            b,
+            me,
+            input,
+            pc,
+            all_a_equal: bool::decode(bytes)?,
+            committed_seen: Option::decode(bytes)?,
+            all_b_commit: bool::decode(bytes)?,
+            any_b: bool::decode(bytes)?,
+            min_b_seen: Option::decode(bytes)?,
+        })
     }
 }
 

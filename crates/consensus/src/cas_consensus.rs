@@ -1,5 +1,6 @@
 //! Wait-free consensus from a single compare-and-swap object.
 
+use slx_engine::StateCodec;
 use slx_history::{Operation, Response, Value};
 use slx_memory::{Memory, ObjId, PrimOutcome, Primitive, Process, StepEffect};
 
@@ -35,6 +36,31 @@ impl CasConsensus {
     /// Creates the algorithm instance for one process.
     pub fn new(obj: ObjId) -> Self {
         CasConsensus { obj, pc: Pc::Idle }
+    }
+}
+
+impl StateCodec for CasConsensus {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.obj.encode(out);
+        match &self.pc {
+            Pc::Idle => out.push(0),
+            Pc::TryCas(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+            Pc::ReadBack => out.push(2),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let obj = ObjId::decode(input)?;
+        let pc = match u8::decode(input)? {
+            0 => Pc::Idle,
+            1 => Pc::TryCas(Value::decode(input)?),
+            2 => Pc::ReadBack,
+            _ => return None,
+        };
+        Some(CasConsensus { obj, pc })
     }
 }
 

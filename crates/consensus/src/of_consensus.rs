@@ -1,6 +1,7 @@
 //! Obstruction-free consensus from registers: rounds of commit-adopt plus
 //! a decision register.
 
+use slx_engine::StateCodec;
 use slx_history::{Operation, ProcessId, Response, Value};
 use slx_memory::{Memory, ObjId, PrimOutcome, Primitive, Process, StepEffect};
 
@@ -8,11 +9,23 @@ use crate::adopt_commit::{AcNormalizedState, AcOutcome, AdoptCommit};
 use crate::word::ConsWord;
 
 /// Shared register layout for one [`ObstructionFreeConsensus`] instance:
-/// a decision register and `max_rounds` pre-allocated commit-adopt objects.
+/// a decision register and `max_rounds` pre-allocated commit-adopt
+/// objects.
+///
+/// The per-round register ids live in one shared flat `Arc` slice (`2n`
+/// ids per round: the `a` array then the `b` array) instead of the
+/// earlier `Vec<(Vec, Vec)>` of vectors: the exploration kernel clones
+/// every process — hence its layout — once per generated successor, and
+/// the disk-backed frontier decodes one per restored state, so the
+/// nested shape cost ~130 heap allocations per clone where this one
+/// costs a reference-count bump (and a single allocation per decode).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Layout {
     decision: ObjId,
-    rounds: Vec<(Vec<ObjId>, Vec<ObjId>)>,
+    /// Participants per commit-adopt object.
+    n: usize,
+    /// `a`-then-`b` register ids, `2n` per round.
+    regs: std::sync::Arc<[ObjId]>,
 }
 
 impl Layout {
@@ -26,15 +39,19 @@ impl Layout {
     /// or `None` past the pre-allocated rounds.
     #[must_use]
     pub fn round_registers(&self, r: usize) -> Option<(&[ObjId], &[ObjId])> {
-        self.rounds
-            .get(r)
-            .map(|(a, b)| (a.as_slice(), b.as_slice()))
+        let start = r.checked_mul(2 * self.n)?;
+        let round = self.regs.get(start..start + 2 * self.n)?;
+        Some((&round[..self.n], &round[self.n..]))
     }
 
     /// Pre-allocated rounds.
     #[must_use]
     pub fn max_rounds(&self) -> usize {
-        self.rounds.len()
+        if self.n == 0 {
+            0
+        } else {
+            self.regs.len() / (2 * self.n)
+        }
     }
 }
 
@@ -85,10 +102,17 @@ impl ObstructionFreeConsensus {
     /// `max_rounds` commit-adopt objects of `2n` registers each.
     pub fn layout(mem: &mut Memory<ConsWord>, n: usize, max_rounds: usize) -> Layout {
         let decision = mem.alloc_register(ConsWord::Bot);
-        let rounds = (0..max_rounds)
-            .map(|_| AdoptCommit::alloc(mem, n))
-            .collect();
-        Layout { decision, rounds }
+        let mut regs = Vec::with_capacity(max_rounds * 2 * n);
+        for _ in 0..max_rounds {
+            let (a, b) = AdoptCommit::alloc(mem, n);
+            regs.extend(a);
+            regs.extend(b);
+        }
+        Layout {
+            decision,
+            n,
+            regs: regs.into(),
+        }
     }
 
     /// Creates the algorithm instance of process `me` (of `n`).
@@ -148,6 +172,78 @@ impl ObstructionFreeConsensus {
     }
 }
 
+impl StateCodec for Layout {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.decision.encode(out);
+        self.n.encode(out);
+        // Layouts allocate their registers in one consecutive run, which
+        // this collapses to three varints — the layout rides along with
+        // every spilled configuration, twice per two-process system.
+        slx_memory::encode_objid_run(&self.regs, out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let decision = ObjId::decode(input)?;
+        let n = usize::decode(input)?;
+        let regs = slx_memory::decode_objid_run(input)?;
+        if n > 0 && !regs.len().is_multiple_of(2 * n) {
+            return None;
+        }
+        Some(Layout {
+            decision,
+            n,
+            regs: regs.into(),
+        })
+    }
+}
+
+impl StateCodec for ObstructionFreeConsensus {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.layout.encode(out);
+        self.me.encode(out);
+        self.n.encode(out);
+        self.est.encode(out);
+        self.round.encode(out);
+        match &self.pc {
+            Pc::Idle => out.push(0),
+            Pc::CheckDecision => out.push(1),
+            Pc::Round(ac) => {
+                out.push(2);
+                ac.encode(out);
+            }
+            Pc::WriteDecision(v) => {
+                out.push(3);
+                v.encode(out);
+            }
+        }
+        self.rounds_used.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let layout = Layout::decode(input)?;
+        let me = ProcessId::decode(input)?;
+        let n = usize::decode(input)?;
+        let est = Value::decode(input)?;
+        let round = usize::decode(input)?;
+        let pc = match u8::decode(input)? {
+            0 => Pc::Idle,
+            1 => Pc::CheckDecision,
+            2 => Pc::Round(AdoptCommit::decode(input)?),
+            3 => Pc::WriteDecision(Value::decode(input)?),
+            _ => return None,
+        };
+        Some(ObstructionFreeConsensus {
+            layout,
+            me,
+            n,
+            est,
+            round,
+            pc,
+            rounds_used: u64::decode(input)?,
+        })
+    }
+}
+
 impl Process<ConsWord> for ObstructionFreeConsensus {
     fn on_invoke(&mut self, op: Operation) {
         let Operation::Propose(v) = op else {
@@ -176,17 +272,13 @@ impl Process<ConsWord> for ObstructionFreeConsensus {
                 if let ConsWord::Val(v) = d {
                     return StepEffect::Responded(Response::Decided(v));
                 }
-                let (a, b) = self
-                    .layout
-                    .rounds
-                    .get(self.round)
-                    .unwrap_or_else(|| {
-                        panic!(
-                            "consensus exhausted its {} pre-allocated rounds",
-                            self.layout.rounds.len()
-                        )
-                    })
-                    .clone();
+                let (a, b) = self.layout.round_registers(self.round).unwrap_or_else(|| {
+                    panic!(
+                        "consensus exhausted its {} pre-allocated rounds",
+                        self.layout.max_rounds()
+                    )
+                });
+                let (a, b) = (a.to_vec(), b.to_vec());
                 self.pc = Pc::Round(AdoptCommit::new(a, b, self.me.index(), self.est));
                 StepEffect::Ran
             }

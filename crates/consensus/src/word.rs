@@ -1,5 +1,6 @@
 //! The register alphabet of the consensus implementations.
 
+use slx_engine::StateCodec;
 use slx_history::Value;
 
 /// Contents of the registers used by the consensus algorithms: the
@@ -22,6 +23,34 @@ impl ConsWord {
             ConsWord::Bot => None,
             ConsWord::Val(v) | ConsWord::Flagged(_, v) => Some(v),
         }
+    }
+}
+
+impl StateCodec for ConsWord {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ConsWord::Bot => out.push(0),
+            ConsWord::Val(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+            ConsWord::Flagged(flag, v) => {
+                out.push(2);
+                flag.encode(out);
+                v.encode(out);
+            }
+        }
+    }
+
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(match u8::decode(input)? {
+            0 => ConsWord::Bot,
+            1 => ConsWord::Val(Value::decode(input)?),
+            2 => ConsWord::Flagged(bool::decode(input)?, Value::decode(input)?),
+            _ => return None,
+        })
     }
 }
 

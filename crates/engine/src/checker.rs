@@ -2,11 +2,14 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::codec::StateCodec;
 use crate::space::{Expansion, StateSpace};
+use crate::spill::{SpillConfig, SpillFrontier};
 use crate::stats::ExploreStats;
 use crate::visited::ShardedVisited;
 use crate::Digest;
@@ -61,6 +64,12 @@ pub struct Checker {
     /// `SLX_ENGINE_SHARDS` environment variable, then to an autodetected
     /// default sized to the thread count.
     shards: Option<usize>,
+    /// Explicit frontier memory budget in bytes: `Some(0)` pins spilling
+    /// off, `Some(n)` on; `None` defers to `SLX_ENGINE_MEM_BUDGET`.
+    mem_budget: Option<usize>,
+    /// Explicit spill directory; `None` defers to `SLX_ENGINE_SPILL_DIR`,
+    /// then to the system temp directory.
+    spill_dir: Option<PathBuf>,
 }
 
 /// Minimum frontier size before a BFS level is worth spawning workers for:
@@ -96,6 +105,8 @@ impl Checker {
             },
             config_budget: None,
             shards: None,
+            mem_budget: None,
+            spill_dir: None,
         }
     }
 
@@ -106,6 +117,8 @@ impl Checker {
             backend: Backend::SequentialDfs,
             config_budget: None,
             shards: None,
+            mem_budget: None,
+            spill_dir: None,
         }
     }
 
@@ -147,6 +160,71 @@ impl Checker {
             .unwrap_or_else(|| threads.max(1).saturating_mul(4).min(256))
     }
 
+    /// Bounds the BFS frontier's resident footprint to roughly `bytes`
+    /// bytes of encoded states: cold frontier chunks beyond the budget
+    /// are serialized ([`StateCodec`]) to self-cleaning temp files and
+    /// streamed back during level expansion, so arbitrarily wide levels
+    /// explore in bounded memory. Chunk boundaries depend only on encoded
+    /// sizes and chunks replay in frontier order, so verdicts, findings,
+    /// and every [`ExploreStats`] count are identical with spilling on or
+    /// off (pinned by the differential spill matrix).
+    ///
+    /// `bytes = 0` pins spilling **off**, overriding the
+    /// `SLX_ENGINE_MEM_BUDGET` environment variable; without this knob
+    /// that variable supplies the budget. Spill files go to
+    /// [`Checker::with_spill_dir`], else `SLX_ENGINE_SPILL_DIR`, else the
+    /// system temp directory. The DFS backend never spills (its stack is
+    /// depth-bounded, not level-width-bounded).
+    #[must_use]
+    pub fn with_mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Pins the directory spill files are created in (created if absent).
+    /// Without it the `SLX_ENGINE_SPILL_DIR` environment variable is
+    /// honored, falling back to the system temp directory.
+    #[must_use]
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// The frontier memory budget this checker will spill under, if any:
+    /// the explicit [`Checker::with_mem_budget`] value (`0` meaning
+    /// "never spill"), else a positive `SLX_ENGINE_MEM_BUDGET`.
+    #[must_use]
+    pub fn resolve_mem_budget(&self) -> Option<usize> {
+        match self.mem_budget {
+            Some(0) => None,
+            Some(bytes) => Some(bytes),
+            None => std::env::var("SLX_ENGINE_MEM_BUDGET")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0),
+        }
+    }
+
+    /// Resolves the spill configuration for one BFS run, creating the
+    /// spill directory if needed. Each of the two frontiers alive at a
+    /// time (level being consumed, level being built) keeps its encode
+    /// buffer below half the budget.
+    fn resolve_spill(&self) -> Option<SpillConfig> {
+        let budget = self.resolve_mem_budget()?;
+        let dir = self
+            .spill_dir
+            .clone()
+            .or_else(|| {
+                std::env::var_os("SLX_ENGINE_SPILL_DIR")
+                    .filter(|v| !v.is_empty())
+                    .map(PathBuf::from)
+            })
+            .unwrap_or_else(std::env::temp_dir);
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|err| panic!("cannot create spill dir {}: {err}", dir.display()));
+        Some(SpillConfig::new((budget / 2).max(64), dir))
+    }
+
     /// The configured backend.
     #[must_use]
     pub fn backend(&self) -> Backend {
@@ -157,6 +235,7 @@ impl Checker {
     pub fn run<Sp>(&self, space: &Sp, initial: Vec<Sp::State>) -> KernelOutcome<Sp::Finding>
     where
         Sp: StateSpace + Sync,
+        Sp::State: StateCodec,
     {
         self.run_until(space, initial, |_| false)
     }
@@ -173,6 +252,7 @@ impl Checker {
     ) -> KernelOutcome<Sp::Finding>
     where
         Sp: StateSpace + Sync,
+        Sp::State: StateCodec,
     {
         match self.backend {
             Backend::ParallelBfs { threads } => self.run_bfs(space, initial, threads, stop),
@@ -189,8 +269,10 @@ impl Checker {
     ) -> KernelOutcome<Sp::Finding>
     where
         Sp: StateSpace + Sync,
+        Sp::State: StateCodec,
     {
         let start = Instant::now();
+        let spill = self.resolve_spill();
         // Fingerprint-only visited set, sharded by digest range. BFS
         // enqueues every state at its minimal depth by construction, so no
         // depth needs to be stored.
@@ -210,18 +292,20 @@ impl Checker {
         // dedup paths.
         let mut occupancy = vec![0usize; shard_count];
 
-        let mut frontier: Vec<(Sp::State, Digest)> = Vec::new();
+        let mut frontier: SpillFrontier<Sp::State> = SpillFrontier::new(spill.clone());
         for state in initial {
             let digest = space.digest(&state);
             if visited.insert(digest.0) {
                 occupancy[visited.shard_of(digest.0)] += 1;
-                frontier.push((state, digest));
+                frontier.push(state, digest);
             }
         }
 
         let mut depth: usize = 0;
         'levels: while !frontier.is_empty() {
-            // Budget: expand at most `allowed` more states, ever.
+            // Budget: expand at most `allowed` more states, ever. The
+            // truncation point is a state count, so it cuts the same
+            // frontier prefix whether the tail is resident or spilled.
             if let Some(budget) = self.config_budget {
                 let allowed = budget.saturating_sub(stats.configs);
                 if frontier.len() > allowed {
@@ -233,59 +317,72 @@ impl Checker {
                 }
             }
             stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+            stats.spilled_chunks += frontier.spilled_chunks();
+            stats.spilled_bytes += frontier.spilled_bytes();
 
-            let expansions = expand_level(space, &frontier, depth, threads);
+            // Stream the level back chunk by chunk (one chunk, the whole
+            // level, without a memory budget): the peak resident decoded
+            // state count stays bounded by the chunk size while the next
+            // frontier spills its own cold chunks as it grows. Chunks
+            // replay in frontier order, so the merge below sees exactly
+            // the sequence the unspilled kernel would.
+            let mut next: SpillFrontier<Sp::State> = SpillFrontier::new(spill.clone());
+            let mut chunks = frontier.into_chunks();
+            while let Some(chunk) = chunks.next_chunk() {
+                stats.peak_resident_states = stats.peak_resident_states.max(chunk.len());
+                let expansions = expand_level(space, &chunk, depth, threads);
 
-            // Large levels dedup in parallel before the merge: successors
-            // are routed to their shards in frontier order, then each
-            // worker inserts its own contiguous shard range lock-free.
-            // Routing depends only on digests and inserts follow frontier
-            // order within each shard, so the fresh/duplicate bits — and
-            // everything downstream of them — match the inline path
-            // exactly, for every thread and shard count.
-            let total_succs: usize = expansions.iter().map(|parts| parts.succs.len()).sum();
-            let fresh: Option<Vec<Vec<bool>>> =
-                if threads > 1 && shard_count > 1 && total_succs >= PAR_MIN_DEDUP {
-                    let mut batches: Vec<Vec<u128>> = vec![Vec::new(); shard_count];
-                    for parts in &expansions {
-                        for (_, digest) in &parts.succs {
-                            batches[visited.shard_of(digest.0)].push(digest.0);
+                // Large chunks dedup in parallel before the merge:
+                // successors are routed to their shards in frontier order,
+                // then each worker inserts its own contiguous shard range
+                // lock-free. Routing depends only on digests and inserts
+                // follow frontier order within each shard, so the
+                // fresh/duplicate bits — and everything downstream of
+                // them — match the inline path exactly, for every thread,
+                // shard, and chunk partition.
+                let total_succs: usize = expansions.iter().map(|parts| parts.succs.len()).sum();
+                let fresh: Option<Vec<Vec<bool>>> =
+                    if threads > 1 && shard_count > 1 && total_succs >= PAR_MIN_DEDUP {
+                        let mut batches: Vec<Vec<u128>> = vec![Vec::new(); shard_count];
+                        for parts in &expansions {
+                            for (_, digest) in &parts.succs {
+                                batches[visited.shard_of(digest.0)].push(digest.0);
+                            }
                         }
-                    }
-                    Some(visited.insert_batches(&batches, threads))
-                } else {
-                    None
-                };
-
-            // Deterministic merge, in frontier order.
-            let mut cursors = vec![0usize; shard_count];
-            let mut next: Vec<(Sp::State, Digest)> = Vec::new();
-            for parts in expansions {
-                stats.configs += 1;
-                stats.truncated |= parts.truncated;
-                let had_findings = !parts.findings.is_empty();
-                findings.extend(parts.findings);
-                for (succ, digest) in parts.succs {
-                    stats.transitions += 1;
-                    let shard = visited.shard_of(digest.0);
-                    let is_new = match &fresh {
-                        Some(bits) => {
-                            let bit = bits[shard][cursors[shard]];
-                            cursors[shard] += 1;
-                            bit
-                        }
-                        None => visited.insert(digest.0),
-                    };
-                    if is_new {
-                        occupancy[shard] += 1;
-                        next.push((succ, digest));
+                        Some(visited.insert_batches(&batches, threads))
                     } else {
-                        stats.dedup_hits += 1;
+                        None
+                    };
+
+                // Deterministic merge, in frontier order.
+                let mut cursors = vec![0usize; shard_count];
+                for parts in expansions {
+                    stats.configs += 1;
+                    stats.truncated |= parts.truncated;
+                    let had_findings = !parts.findings.is_empty();
+                    findings.extend(parts.findings);
+                    for (succ, digest) in parts.succs {
+                        stats.transitions += 1;
+                        let shard = visited.shard_of(digest.0);
+                        let is_new = match &fresh {
+                            Some(bits) => {
+                                let bit = bits[shard][cursors[shard]];
+                                cursors[shard] += 1;
+                                bit
+                            }
+                            None => visited.insert(digest.0),
+                        };
+                        if is_new {
+                            occupancy[shard] += 1;
+                            next.push(succ, digest);
+                        } else {
+                            stats.dedup_hits += 1;
+                        }
                     }
-                }
-                if had_findings && stop(&findings) {
-                    stats.stopped_early = true;
-                    break 'levels;
+                    if had_findings && stop(&findings) {
+                        stats.stopped_early = true;
+                        break 'levels;
+                    }
                 }
             }
             frontier = next;
@@ -391,6 +488,8 @@ impl Checker {
             }
         }
 
+        // DFS never spills: the whole stack stays decoded and resident.
+        stats.peak_resident_states = stats.peak_frontier;
         stats.shard_occupancy = vec![visited.len()];
         stats.elapsed = start.elapsed();
         KernelOutcome { findings, stats }
@@ -634,5 +733,56 @@ mod tests {
     fn duplicate_initial_states_collapse() {
         let out = Checker::parallel_bfs(1).run(&grid(2), vec![(0, 0), (0, 0), (1, 1)]);
         assert_eq!(out.stats.configs, 9);
+    }
+
+    #[test]
+    fn spilling_matches_resident_exploration_exactly() {
+        // Records are 16 (digest) + 8 (two u32s) = 24 bytes; a 256-byte
+        // budget gives 128-byte chunks, so every level wider than ~5
+        // states spills — most of the 61-wide grid diagonals.
+        let space = grid(60);
+        let resident = Checker::parallel_bfs(1)
+            .with_mem_budget(0)
+            .run(&space, vec![(0, 0)]);
+        let spilled = Checker::parallel_bfs(1)
+            .with_mem_budget(256)
+            .run(&space, vec![(0, 0)]);
+        assert_eq!(spilled.stats.configs, resident.stats.configs);
+        assert_eq!(spilled.stats.transitions, resident.stats.transitions);
+        assert_eq!(spilled.stats.dedup_hits, resident.stats.dedup_hits);
+        assert_eq!(spilled.stats.peak_frontier, resident.stats.peak_frontier);
+        assert_eq!(
+            spilled.stats.shard_occupancy,
+            resident.stats.shard_occupancy
+        );
+        assert_eq!(spilled.findings, resident.findings);
+        assert!(
+            spilled.stats.spilled_chunks >= 2,
+            "budget must force spilling"
+        );
+        assert!(spilled.stats.spilled_bytes > 0);
+        assert!(
+            spilled.stats.peak_resident_states < spilled.stats.peak_frontier,
+            "resident window ({}) must stay below the widest level ({})",
+            spilled.stats.peak_resident_states,
+            spilled.stats.peak_frontier
+        );
+        assert_eq!(resident.stats.spilled_chunks, 0);
+        assert_eq!(
+            resident.stats.peak_resident_states,
+            resident.stats.peak_frontier
+        );
+    }
+
+    #[test]
+    fn mem_budget_zero_pins_spilling_off() {
+        let checker = Checker::parallel_bfs(1).with_mem_budget(0);
+        assert_eq!(checker.resolve_mem_budget(), None);
+        assert_eq!(
+            Checker::parallel_bfs(1)
+                .with_mem_budget(4096)
+                .resolve_mem_budget(),
+            Some(4096)
+        );
     }
 }

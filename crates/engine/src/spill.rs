@@ -1,0 +1,509 @@
+//! The disk-backed BFS frontier.
+//!
+//! Since the visited set became fingerprint-only (PR 1) and sharded
+//! (PR 2), the frontier `Vec` is the only kernel structure that retains
+//! full configurations between levels — the structure that caps how far
+//! past RAM an exploration can go. [`SpillFrontier`] removes that cap:
+//! under a memory budget it keeps only a bounded encode buffer resident,
+//! serializing cold chunks ([`crate::StateCodec`] records) to a temp file
+//! and streaming them back chunk by chunk during level expansion, so the
+//! peak number of decoded states resident at once is bounded regardless
+//! of level size.
+//!
+//! Determinism is preserved by construction: chunk boundaries depend only
+//! on the (deterministic) encoded byte sizes of the pushed states, chunks
+//! are replayed in push order, and the no-spill mode stores the plain
+//! `Vec` with zero overhead — so merge order, verdicts, and every
+//! `ExploreStats` count are identical with spilling on or off. The
+//! differential suites pin exactly that equivalence.
+//!
+//! Spill files are self-cleaning: each frontier owns at most one temp
+//! file, deleted when the frontier (or its chunk iterator) is dropped —
+//! including on early stop and on panic unwind.
+
+use std::cell::RefCell;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::codec::StateCodec;
+use crate::Digest;
+
+/// Resolved spill settings for one exploration run.
+#[derive(Debug, Clone)]
+pub(crate) struct SpillConfig {
+    /// Byte size a chunk aims for (the decoded window is measured against
+    /// it). Each of the two frontiers alive at a time (the level being
+    /// consumed and the level being built) keeps its window below this.
+    pub(crate) chunk_bytes: usize,
+    /// The run's shared file pool.
+    pub(crate) pool: Rc<RefCell<SpillPool>>,
+}
+
+impl SpillConfig {
+    pub(crate) fn new(chunk_bytes: usize, dir: PathBuf) -> SpillConfig {
+        SpillConfig {
+            chunk_bytes,
+            pool: Rc::new(RefCell::new(SpillPool {
+                dir,
+                free: Vec::new(),
+            })),
+        }
+    }
+}
+
+/// The spill files of one exploration run.
+///
+/// At most two frontiers are alive at a time, so the pool holds at most
+/// two files, leased to spilling frontiers and recycled (truncated to
+/// zero) when a frontier's replay is dropped. Reuse matters: creating and
+/// unlinking a temp file per BFS level costs directory operations that
+/// measurably drag the spill arm on a real filesystem. The files are
+/// unlinked when the pool itself drops — end of run or panic unwind.
+#[derive(Debug)]
+pub(crate) struct SpillPool {
+    dir: PathBuf,
+    free: Vec<SpillFile>,
+}
+
+impl SpillPool {
+    fn lease(&mut self) -> SpillFile {
+        self.free
+            .pop()
+            .unwrap_or_else(|| SpillFile::create(&self.dir))
+    }
+
+    fn recycle(&mut self, file: SpillFile) {
+        // Drop the bytes but keep the inode for the next frontier.
+        if file.file.set_len(0).is_ok() {
+            self.free.push(file);
+        }
+    }
+}
+
+/// Descriptor of one chunk written to the spill file.
+#[derive(Debug, Clone, Copy)]
+struct ChunkMeta {
+    offset: u64,
+    len: usize,
+    count: usize,
+}
+
+/// An open spill file that removes itself from disk on drop (normal
+/// completion, early stop, and panic unwind alike).
+#[derive(Debug)]
+struct SpillFile {
+    file: File,
+    path: PathBuf,
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Process-wide sequence number making spill file names unique.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl SpillFile {
+    fn create(dir: &std::path::Path) -> SpillFile {
+        loop {
+            let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+            let path = dir.join(format!("slx-spill-{}-{seq}.bin", std::process::id()));
+            match OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(file) => return SpillFile { file, path },
+                Err(err) if err.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(err) => panic!("cannot create spill file {}: {err}", path.display()),
+            }
+        }
+    }
+}
+
+/// One BFS level's frontier of `(state, digest)` pairs, optionally backed
+/// by disk.
+///
+/// Without a [`SpillConfig`] this is a plain `Vec` (the kernel's historic
+/// behaviour, zero overhead). With one, pushed pairs accumulate in a
+/// *decoded* tail window; whenever the window reaches the chunk size
+/// (state count derived from the first pair's encoded size against
+/// `chunk_bytes`), the whole window is encoded and appended to a
+/// self-cleaning temp file. Only the overflow beyond the window ever
+/// round-trips through the codec — a frontier that fits its budget pays
+/// nothing — and [`SpillFrontier::into_chunks`] replays the pairs in push
+/// order, one chunk resident at a time.
+#[derive(Debug)]
+pub(crate) struct SpillFrontier<S> {
+    /// The decoded pairs: everything (no-spill mode) or the tail window
+    /// not yet spilled (spill mode).
+    resident: Vec<(S, Digest)>,
+    spill: Option<SpillState>,
+    /// Pairs pushed.
+    total: usize,
+    /// Truncation point from [`SpillFrontier::truncate`].
+    limit: Option<usize>,
+}
+
+#[derive(Debug)]
+struct SpillState {
+    config: SpillConfig,
+    /// Pairs per chunk, measured against the first pushed pair's encoded
+    /// record size (deterministic: the first pair of a frontier depends
+    /// only on merge order). `None` until the first push.
+    chunk_states: Option<usize>,
+    /// Scratch encode buffer, reused across flushes.
+    buf: Vec<u8>,
+    /// Chunks already written to `file`, in push order.
+    chunks: Vec<ChunkMeta>,
+    /// Leased from the pool on the first spill, so small levels never
+    /// touch disk even in spill mode; recycled on drop.
+    file: Option<SpillFile>,
+    /// Byte length of this frontier's file contents so far (the next
+    /// write offset).
+    spilled_bytes: u64,
+}
+
+impl Drop for SpillState {
+    fn drop(&mut self) {
+        if let Some(file) = self.file.take() {
+            self.config.pool.borrow_mut().recycle(file);
+        }
+    }
+}
+
+impl<S: StateCodec> SpillFrontier<S> {
+    /// A frontier; `config: None` keeps every pair decoded and resident.
+    pub(crate) fn new(config: Option<SpillConfig>) -> Self {
+        SpillFrontier {
+            resident: Vec::new(),
+            spill: config.map(|config| SpillState {
+                config,
+                chunk_states: None,
+                buf: Vec::new(),
+                chunks: Vec::new(),
+                file: None,
+                spilled_bytes: 0,
+            }),
+            total: 0,
+            limit: None,
+        }
+    }
+
+    /// Appends one pair. Push order is replay order.
+    pub(crate) fn push(&mut self, state: S, digest: Digest) {
+        debug_assert!(self.limit.is_none(), "push after truncate is undefined");
+        self.total += 1;
+        self.resident.push((state, digest));
+        let Some(spill) = &mut self.spill else {
+            return;
+        };
+        let chunk_states = *spill.chunk_states.get_or_insert_with(|| {
+            // Record size of the first pair: 16 digest bytes + the state.
+            let mut probe = Vec::new();
+            self.resident[0].0.encode(&mut probe);
+            (spill.config.chunk_bytes / (16 + probe.len())).max(1)
+        });
+        if self.resident.len() >= chunk_states {
+            spill.flush_chunk(&self.resident);
+            self.resident.clear();
+        }
+    }
+
+    /// Pairs the frontier will replay (pushes, capped by any truncation).
+    pub(crate) fn len(&self) -> usize {
+        self.limit.map_or(self.total, |limit| limit.min(self.total))
+    }
+
+    /// Whether no pair will be replayed.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Caps replay at the first `len` pairs — the same prefix whether the
+    /// tail is resident or already spilled (the budget-truncation
+    /// regression suite pins this).
+    pub(crate) fn truncate(&mut self, len: usize) {
+        self.limit = Some(self.limit.map_or(len, |limit| limit.min(len)));
+    }
+
+    /// Chunks written to disk by this frontier.
+    pub(crate) fn spilled_chunks(&self) -> usize {
+        self.spill.as_ref().map_or(0, |spill| spill.chunks.len())
+    }
+
+    /// Bytes written to disk by this frontier.
+    pub(crate) fn spilled_bytes(&self) -> u64 {
+        self.spill.as_ref().map_or(0, |spill| spill.spilled_bytes)
+    }
+
+    /// Consumes the frontier into its chunk replay. Chunks come back in
+    /// push order; the spill file (if any) is deleted when the replay is
+    /// dropped.
+    pub(crate) fn into_chunks(self) -> FrontierChunks<S> {
+        let remaining = self.len();
+        FrontierChunks {
+            resident: Some(self.resident),
+            spill: self.spill,
+            next_chunk: 0,
+            remaining,
+        }
+    }
+}
+
+impl SpillState {
+    fn flush_chunk<S: StateCodec>(&mut self, pairs: &[(S, Digest)]) {
+        if pairs.is_empty() {
+            return;
+        }
+        self.buf.clear();
+        for (state, digest) in pairs {
+            digest.0.encode(&mut self.buf);
+            state.encode(&mut self.buf);
+        }
+        let file = self
+            .file
+            .get_or_insert_with(|| self.config.pool.borrow_mut().lease());
+        // Seek explicitly: a recycled file's cursor is wherever the
+        // previous frontier's replay left it.
+        file.file
+            .seek(SeekFrom::Start(self.spilled_bytes))
+            .and_then(|_| file.file.write_all(&self.buf))
+            .unwrap_or_else(|err| panic!("spill write to {} failed: {err}", file.path.display()));
+        self.chunks.push(ChunkMeta {
+            offset: self.spilled_bytes,
+            len: self.buf.len(),
+            count: pairs.len(),
+        });
+        self.spilled_bytes += self.buf.len() as u64;
+    }
+}
+
+/// Consuming chunk replay of a [`SpillFrontier`]; owns (and on drop
+/// deletes) the spill file.
+#[derive(Debug)]
+pub(crate) struct FrontierChunks<S> {
+    /// The final decoded window (spill mode) or the whole frontier
+    /// (no-spill mode), yielded after the file chunks.
+    resident: Option<Vec<(S, Digest)>>,
+    spill: Option<SpillState>,
+    next_chunk: usize,
+    /// Pairs still to yield (pre-capped by any truncation).
+    remaining: usize,
+}
+
+impl<S: StateCodec> FrontierChunks<S> {
+    /// The next chunk of pairs, in push order, or `None` when the replay
+    /// (or its truncation point) is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spill file cannot be read back or a record fails to
+    /// decode — a damaged spill file cannot be explored soundly, so the
+    /// run fails loudly rather than silently dropping states.
+    pub(crate) fn next_chunk(&mut self) -> Option<Vec<(S, Digest)>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if let Some(spill) = &mut self.spill {
+            if let Some(meta) = spill.chunks.get(self.next_chunk).copied() {
+                self.next_chunk += 1;
+                let file = spill.file.as_mut().expect("spilled chunks imply a file");
+                let mut bytes = vec![0u8; meta.len];
+                file.file
+                    .seek(SeekFrom::Start(meta.offset))
+                    .and_then(|_| file.file.read_exact(&mut bytes))
+                    .unwrap_or_else(|err| {
+                        panic!("spill read from {} failed: {err}", file.path.display())
+                    });
+                let yield_count = meta.count.min(self.remaining);
+                self.remaining -= yield_count;
+                let mut input = bytes.as_slice();
+                let mut pairs = Vec::with_capacity(yield_count);
+                for _ in 0..yield_count {
+                    let digest = u128::decode(&mut input).expect("corrupt spill record: digest");
+                    let state = S::decode(&mut input).expect("corrupt spill record: state");
+                    pairs.push((state, Digest(digest)));
+                }
+                return Some(pairs);
+            }
+        }
+        // The decoded tail: never touched the codec.
+        let mut window = self.resident.take()?;
+        window.truncate(self.remaining);
+        self.remaining = 0;
+        if window.is_empty() {
+            None
+        } else {
+            Some(window)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "slx-spill-unit-{}-{}",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("test spill dir");
+        dir
+    }
+
+    fn test_config(chunk_bytes: usize) -> SpillConfig {
+        SpillConfig::new(chunk_bytes, test_dir())
+    }
+
+    fn drain<S: StateCodec>(mut chunks: FrontierChunks<S>) -> (Vec<(S, Digest)>, Vec<usize>) {
+        let mut all = Vec::new();
+        let mut sizes = Vec::new();
+        while let Some(chunk) = chunks.next_chunk() {
+            sizes.push(chunk.len());
+            all.extend(chunk);
+        }
+        (all, sizes)
+    }
+
+    fn pairs(n: u64) -> Vec<(u64, Digest)> {
+        (0..n)
+            .map(|i| (i, Digest(u128::from(i) << 64 | 7)))
+            .collect()
+    }
+
+    #[test]
+    fn resident_mode_replays_in_one_chunk() {
+        let mut frontier: SpillFrontier<u64> = SpillFrontier::new(None);
+        for (s, d) in pairs(10) {
+            frontier.push(s, d);
+        }
+        assert_eq!(frontier.len(), 10);
+        assert_eq!(frontier.spilled_chunks(), 0);
+        let (all, sizes) = drain(frontier.into_chunks());
+        assert_eq!(all, pairs(10));
+        assert_eq!(sizes, vec![10]);
+    }
+
+    #[test]
+    fn spill_mode_round_trips_in_push_order() {
+        // Each record is 16 (digest) + 1 (small u64 varint) = 17 bytes;
+        // a 50-byte chunk threshold spills every third push.
+        let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(test_config(50)));
+        for (s, d) in pairs(100) {
+            frontier.push(s, d);
+        }
+        assert!(frontier.spilled_chunks() >= 30, "must have spilled");
+        assert!(frontier.spilled_bytes() >= 17 * 90);
+        let (all, sizes) = drain(frontier.into_chunks());
+        assert_eq!(all, pairs(100));
+        assert!(
+            sizes.iter().all(|&s| s <= 3),
+            "chunks stay bounded: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn truncation_cuts_the_same_prefix_resident_or_spilled() {
+        for cut in [0usize, 1, 5, 17, 99, 100, 1000] {
+            let mut resident: SpillFrontier<u64> = SpillFrontier::new(None);
+            let mut spilled: SpillFrontier<u64> = SpillFrontier::new(Some(test_config(64)));
+            for (s, d) in pairs(100) {
+                resident.push(s, d);
+                spilled.push(s, d);
+            }
+            resident.truncate(cut);
+            spilled.truncate(cut);
+            assert_eq!(resident.len(), cut.min(100), "cut {cut}");
+            assert_eq!(spilled.len(), cut.min(100), "cut {cut}");
+            let (from_resident, _) = drain(resident.into_chunks());
+            let (from_spilled, _) = drain(spilled.into_chunks());
+            assert_eq!(from_resident, from_spilled, "cut {cut}");
+            assert_eq!(from_spilled.len(), cut.min(100), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn small_levels_never_touch_disk() {
+        let dir = test_dir();
+        let mut frontier: SpillFrontier<u64> =
+            SpillFrontier::new(Some(SpillConfig::new(1 << 20, dir.clone())));
+        for (s, d) in pairs(50) {
+            frontier.push(s, d);
+        }
+        assert_eq!(frontier.spilled_chunks(), 0);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        let (all, _) = drain(frontier.into_chunks());
+        assert_eq!(all, pairs(50));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spill_file_dies_with_the_last_pool_holder() {
+        let dir = test_dir();
+        let config = SpillConfig::new(32, dir.clone());
+        let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(config.clone()));
+        for (s, d) in pairs(64) {
+            frontier.push(s, d);
+        }
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(files.len(), 1, "one spill file per frontier");
+        // The run (`config`) still holds the pool: the frontier's file is
+        // recycled, not deleted, so the next level reuses the inode.
+        drop(frontier);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        assert_eq!(config.pool.borrow().free.len(), 1, "file went to the pool");
+        drop(config);
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "dropping the last pool holder must delete the spill files"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn consecutive_frontiers_reuse_the_pooled_file() {
+        let dir = test_dir();
+        let config = SpillConfig::new(32, dir.clone());
+        for round in 0..3 {
+            let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(config.clone()));
+            for (s, d) in pairs(64) {
+                frontier.push(s, d);
+            }
+            let (all, _) = drain(frontier.into_chunks());
+            assert_eq!(all, pairs(64), "round {round}");
+            assert_eq!(
+                std::fs::read_dir(&dir).unwrap().count(),
+                1,
+                "round {round}: one recycled file serves every level"
+            );
+        }
+        drop(config);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partially_consumed_replay_cleans_up_too() {
+        let dir = test_dir();
+        let mut frontier: SpillFrontier<u64> =
+            SpillFrontier::new(Some(SpillConfig::new(32, dir.clone())));
+        for (s, d) in pairs(64) {
+            frontier.push(s, d);
+        }
+        let mut chunks = frontier.into_chunks();
+        let _ = chunks.next_chunk();
+        drop(chunks);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

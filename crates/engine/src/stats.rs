@@ -15,6 +15,18 @@ pub struct ExploreStats {
     pub dedup_hits: usize,
     /// Largest BFS frontier (or DFS stack) observed.
     pub peak_frontier: usize,
+    /// Largest number of decoded frontier states resident in memory at
+    /// once while expanding a level. Without a memory budget this equals
+    /// [`ExploreStats::peak_frontier`] (whole levels are resident); with
+    /// one it stays bounded by the budget's chunk size regardless of
+    /// level width — the disk-backed frontier's whole point.
+    pub peak_resident_states: usize,
+    /// Frontier chunks serialized to spill files (0 without a memory
+    /// budget, and whenever every level fit in the budget). Counts the
+    /// frontiers that were (or began being) expanded.
+    pub spilled_chunks: usize,
+    /// Bytes written to spill files by the counted chunks.
+    pub spilled_bytes: u64,
     /// Whether any expansion reported truncation (horizon or budget hit):
     /// if `false`, the exploration was exhaustive.
     pub truncated: bool,
@@ -95,6 +107,13 @@ impl fmt::Display for ExploreStats {
                 self.shard_balance()
             )?;
         }
+        if self.spilled_chunks > 0 {
+            write!(
+                f,
+                ", spilled {} chunks ({} bytes, peak {} resident states)",
+                self.spilled_chunks, self.spilled_bytes, self.peak_resident_states
+            )?;
+        }
         write!(
             f,
             "{}{}",
@@ -126,6 +145,9 @@ mod tests {
             transitions: 20,
             dedup_hits: 5,
             peak_frontier: 4,
+            peak_resident_states: 2,
+            spilled_chunks: 3,
+            spilled_bytes: 96,
             truncated: true,
             stopped_early: false,
             threads: 2,
@@ -137,6 +159,7 @@ mod tests {
         assert!(s.contains("10 states"));
         assert!(s.contains("truncated"));
         assert!(s.contains("4 shards"));
+        assert!(s.contains("spilled 3 chunks"));
     }
 
     #[test]

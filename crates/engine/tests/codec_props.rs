@@ -1,0 +1,241 @@
+//! Property-based validation of the scenario [`StateCodec`]s.
+//!
+//! Like `shard_props`, this is a self-contained SplitMix64 harness (the
+//! external `proptest` crate is unavailable offline). For each scenario
+//! the disk-backed frontier spills — consensus (`System<ConsWord, _>`
+//! over CAS and obstruction-free implementations), transactional memory
+//! (`System<TmWord, _>` over the global-version and AGP algorithms), and
+//! the automata executions — it drives ~500+ randomly generated states
+//! through `decode(encode(s))` and checks:
+//!
+//! 1. **Round trip**: the decoded state equals the original, *including*
+//!    the history and event log (which `System`'s `Eq` deliberately
+//!    ignores but findings and liveness views observe);
+//! 2. **Digest stability**: the decoded state fingerprints identically,
+//!    so a spilled-and-restored frontier dedups exactly like a resident
+//!    one;
+//! 3. **Encode determinism**: re-encoding produces identical bytes (chunk
+//!    boundaries — hence spill determinism — depend on this).
+
+use slx_consensus::{CasConsensus, ConsWord, ObstructionFreeConsensus};
+use slx_engine::StateCodec;
+use slx_history::{Operation, ProcessId, Value, VarId};
+use slx_memory::{Memory, System, Word};
+use slx_tm::{AgpTm, GlobalVersionTm, TmWord};
+
+mod common;
+use common::Rng;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Round-trips one system state and checks all three codec laws.
+fn check_system<W, P>(sys: &System<W, P>, label: &str)
+where
+    W: Word + StateCodec + Send + Sync,
+    P: slx_memory::Process<W> + StateCodec + Clone + Eq + std::hash::Hash + std::fmt::Debug,
+{
+    let mut buf = Vec::new();
+    sys.encode(&mut buf);
+
+    let mut again = Vec::new();
+    sys.encode(&mut again);
+    assert_eq!(buf, again, "{label}: encode must be deterministic");
+
+    let mut input = buf.as_slice();
+    let decoded = System::<W, P>::decode(&mut input).unwrap_or_else(|| {
+        panic!("{label}: decode failed on a freshly encoded state");
+    });
+    assert!(
+        input.is_empty(),
+        "{label}: decode must consume the encoding"
+    );
+    assert_eq!(&decoded, sys, "{label}: configuration must round-trip");
+    assert_eq!(
+        decoded.history(),
+        sys.history(),
+        "{label}: history must round-trip (Eq ignores it; findings do not)"
+    );
+    assert_eq!(
+        decoded.events(),
+        sys.events(),
+        "{label}: event log must round-trip"
+    );
+    assert_eq!(
+        decoded.digest128(),
+        sys.digest128(),
+        "{label}: fingerprint must be stable across the round trip"
+    );
+}
+
+/// Takes up to `steps` random steps, round-tripping after every one.
+fn walk_and_check<W, P>(sys: &mut System<W, P>, rng: &mut Rng, steps: usize, label: &str) -> usize
+where
+    W: Word + StateCodec + Send + Sync,
+    P: slx_memory::Process<W> + StateCodec + Clone + Eq + std::hash::Hash + std::fmt::Debug,
+{
+    let mut checked = 0;
+    check_system(sys, label);
+    checked += 1;
+    for _ in 0..steps {
+        let steppable = sys.steppable();
+        if steppable.is_empty() {
+            break;
+        }
+        let q = steppable[rng.below(steppable.len() as u64) as usize];
+        sys.step(q).expect("steppable process steps");
+        check_system(sys, label);
+        checked += 1;
+    }
+    checked
+}
+
+#[test]
+fn consensus_states_round_trip() {
+    let mut rng = Rng(0x00C0_DEC0);
+    let mut checked = 0;
+    for case in 0..18 {
+        // Obstruction-free consensus: long adoptive runs under contention
+        // exercise deep AdoptCommit sub-machine states.
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let layout = ObstructionFreeConsensus::layout(&mut mem, 2, 16);
+        let procs = vec![
+            ObstructionFreeConsensus::new(layout.clone(), p(0), 2),
+            ObstructionFreeConsensus::new(layout, p(1), 2),
+        ];
+        let mut sys = System::new(mem, procs);
+        sys.invoke(p(0), Operation::Propose(Value::new(rng.below(100) as i64)))
+            .unwrap();
+        sys.invoke(p(1), Operation::Propose(Value::new(rng.below(100) as i64)))
+            .unwrap();
+        checked += walk_and_check(&mut sys, &mut rng, 40, &format!("of-consensus case {case}"));
+
+        // CAS consensus: short wait-free runs, including decided states.
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let obj = CasConsensus::alloc(&mut mem);
+        let mut sys = System::new(mem, vec![CasConsensus::new(obj), CasConsensus::new(obj)]);
+        sys.invoke(p(0), Operation::Propose(Value::new(rng.below(100) as i64)))
+            .unwrap();
+        sys.invoke(p(1), Operation::Propose(Value::new(rng.below(100) as i64)))
+            .unwrap();
+        checked += walk_and_check(
+            &mut sys,
+            &mut rng,
+            10,
+            &format!("cas-consensus case {case}"),
+        );
+    }
+    assert!(checked >= 500, "only {checked} consensus states checked");
+}
+
+/// Invokes a random TM operation on `q` if it is idle (ignoring the
+/// occasional invalid invocation).
+fn random_tm_invoke<P: slx_memory::Process<TmWord> + Clone + Eq + std::hash::Hash>(
+    sys: &mut System<TmWord, P>,
+    q: ProcessId,
+    rng: &mut Rng,
+) {
+    if sys.is_pending(q) {
+        return;
+    }
+    let x = VarId::new(0);
+    let op = match rng.below(4) {
+        0 => Operation::TxStart,
+        1 => Operation::TxRead(x),
+        2 => Operation::TxWrite(x, Value::new(rng.below(50) as i64)),
+        _ => Operation::TxCommit,
+    };
+    let _ = sys.invoke(q, op);
+}
+
+#[test]
+fn tm_states_round_trip() {
+    let mut rng = Rng(0x7A11);
+    let mut checked = 0;
+    for case in 0..12 {
+        // Global-version TM.
+        let mut mem: Memory<TmWord> = Memory::new();
+        let c = GlobalVersionTm::alloc(&mut mem, 1);
+        let procs = vec![GlobalVersionTm::new(c, 1), GlobalVersionTm::new(c, 1)];
+        let mut sys = System::new(mem, procs);
+        for _ in 0..12 {
+            for i in 0..2 {
+                random_tm_invoke(&mut sys, p(i), &mut rng);
+            }
+            checked += walk_and_check(&mut sys, &mut rng, 2, &format!("gv-tm case {case}"));
+        }
+
+        // AGP (Algorithm 1): adds the snapshot object and timestamps.
+        let mut mem: Memory<TmWord> = Memory::new();
+        let (c, r) = AgpTm::alloc(&mut mem, 2, 1);
+        let procs = vec![AgpTm::new(c, r, p(0), 2, 1), AgpTm::new(c, r, p(1), 2, 1)];
+        let mut sys = System::new(mem, procs);
+        for _ in 0..8 {
+            for i in 0..2 {
+                random_tm_invoke(&mut sys, p(i), &mut rng);
+            }
+            checked += walk_and_check(&mut sys, &mut rng, 2, &format!("agp-tm case {case}"));
+        }
+    }
+    assert!(checked >= 500, "only {checked} TM states checked");
+}
+
+#[test]
+fn automata_states_round_trip() {
+    use slx_automata::{Execution, StateId};
+
+    let mut rng = Rng(0xA07A);
+    let mut checked = 0;
+    for case in 0..500 {
+        let state = StateId(rng.below(1000) as usize);
+        let mut buf = Vec::new();
+        state.encode(&mut buf);
+        let mut input = buf.as_slice();
+        assert_eq!(StateId::decode(&mut input), Some(state), "case {case}");
+        assert!(input.is_empty());
+        assert_eq!(
+            slx_engine::digest128_of(&state),
+            slx_engine::digest128_of(&StateId(state.0)),
+            "case {case}: digest stability"
+        );
+
+        // A well-formed execution: n+1 states, n action labels.
+        let n = rng.below(20) as usize;
+        let exec = Execution {
+            states: (0..=n).map(|_| StateId(rng.below(64) as usize)).collect(),
+            actions: (0..n).map(|_| rng.next()).collect::<Vec<u64>>(),
+        };
+        let mut buf = Vec::new();
+        exec.encode(&mut buf);
+        let mut again = Vec::new();
+        exec.encode(&mut again);
+        assert_eq!(buf, again, "case {case}: encode determinism");
+        let mut input = buf.as_slice();
+        let decoded = Execution::<u64>::decode(&mut input).expect("fresh encoding decodes");
+        assert!(input.is_empty());
+        assert_eq!(decoded, exec, "case {case}");
+        checked += 2;
+    }
+    assert!(checked >= 500);
+}
+
+#[test]
+fn truncated_system_encodings_fail_cleanly() {
+    // Every strict prefix of a real encoding must decode to None — a
+    // truncated spill file cannot silently yield a different state.
+    let mut mem: Memory<ConsWord> = Memory::new();
+    let obj = CasConsensus::alloc(&mut mem);
+    let mut sys = System::new(mem, vec![CasConsensus::new(obj), CasConsensus::new(obj)]);
+    sys.invoke(p(0), Operation::Propose(Value::new(1))).unwrap();
+    sys.step(p(0)).unwrap();
+    let mut buf = Vec::new();
+    sys.encode(&mut buf);
+    for cut in 0..buf.len() {
+        let mut input = &buf[..cut];
+        assert!(
+            System::<ConsWord, CasConsensus>::decode(&mut input).is_none(),
+            "prefix of length {cut} must not decode"
+        );
+    }
+}

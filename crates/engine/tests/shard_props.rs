@@ -173,37 +173,55 @@ impl StateSpace for GridWalk {
 fn budget_truncation_is_identical_across_shard_and_thread_counts() {
     // Budgets chosen to land mid-level on the diagonal frontier (level d
     // of the grid has d+1 states), so truncation cuts a level in half —
-    // the accounting must not depend on how the visited set is sharded.
+    // the accounting must not depend on how the visited set is sharded,
+    // nor (since the disk-backed frontier) on whether the cut tail was
+    // resident or already spilled: a `(u32, u32)` record is 24 encoded
+    // bytes, so the 128-byte memory budget keeps only ~2 states resident
+    // and truncation almost always cuts into spilled chunks.
     let space = GridWalk { bound: 40 };
     for budget in [1usize, 7, 55, 300, 1000] {
         let baseline = Checker::parallel_bfs(1)
             .with_shards(1)
             .with_budget(budget)
+            .with_mem_budget(0)
             .run(&space, vec![(0, 0)]);
         assert!(baseline.stats.truncated, "budget {budget} must truncate");
         assert_eq!(baseline.stats.configs, budget, "budget {budget}");
         for threads in [1usize, 2, 4, 8] {
             for shards in [1usize, 4, 16] {
-                let out = Checker::parallel_bfs(threads)
-                    .with_shards(shards)
-                    .with_budget(budget)
-                    .run(&space, vec![(0, 0)]);
-                let label = format!("budget {budget}, {threads} threads, {shards} shards");
-                assert_eq!(out.stats.configs, baseline.stats.configs, "{label}");
-                assert_eq!(out.stats.truncated, baseline.stats.truncated, "{label}");
-                assert_eq!(out.stats.transitions, baseline.stats.transitions, "{label}");
-                assert_eq!(out.stats.dedup_hits, baseline.stats.dedup_hits, "{label}");
-                assert_eq!(
-                    out.stats.peak_frontier, baseline.stats.peak_frontier,
-                    "{label}"
-                );
-                assert_eq!(out.findings, baseline.findings, "{label}");
-                assert_eq!(out.stats.shards, shards, "{label}");
-                assert_eq!(
-                    out.stats.shard_occupancy.iter().sum::<usize>(),
-                    baseline.stats.shard_occupancy.iter().sum::<usize>(),
-                    "{label}: sharding must not change the visited count"
-                );
+                for mem_budget in [0usize, 128] {
+                    let out = Checker::parallel_bfs(threads)
+                        .with_shards(shards)
+                        .with_budget(budget)
+                        .with_mem_budget(mem_budget)
+                        .run(&space, vec![(0, 0)]);
+                    let label = format!(
+                        "budget {budget}, {threads} threads, {shards} shards, \
+                         mem budget {mem_budget}"
+                    );
+                    assert_eq!(out.stats.configs, baseline.stats.configs, "{label}");
+                    assert_eq!(out.stats.truncated, baseline.stats.truncated, "{label}");
+                    assert_eq!(out.stats.transitions, baseline.stats.transitions, "{label}");
+                    assert_eq!(out.stats.dedup_hits, baseline.stats.dedup_hits, "{label}");
+                    assert_eq!(
+                        out.stats.peak_frontier, baseline.stats.peak_frontier,
+                        "{label}"
+                    );
+                    assert_eq!(out.findings, baseline.findings, "{label}");
+                    assert_eq!(out.stats.shards, shards, "{label}");
+                    assert_eq!(
+                        out.stats.shard_occupancy.iter().sum::<usize>(),
+                        baseline.stats.shard_occupancy.iter().sum::<usize>(),
+                        "{label}: sharding must not change the visited count"
+                    );
+                    if mem_budget == 0 {
+                        assert_eq!(out.stats.spilled_chunks, 0, "{label}");
+                    } else if budget > 16 {
+                        // Wide-enough explorations must actually have hit
+                        // disk, or this arm tests nothing.
+                        assert!(out.stats.spilled_chunks >= 2, "{label}: no spilling");
+                    }
+                }
             }
         }
     }

@@ -1,0 +1,172 @@
+//! Spill-file hygiene: temp files must vanish however a run ends.
+//!
+//! The disk-backed frontier creates at most one temp file per frontier
+//! and deletes it when the frontier drops. These tests pin that behaviour
+//! at the `Checker` level for every exit path — normal completion, early
+//! stop mid-level, and a panic mid-exploration — plus the
+//! `SLX_ENGINE_SPILL_DIR` / `SLX_ENGINE_MEM_BUDGET` environment knobs
+//! (directory honored and created if absent).
+//!
+//! Every test other than the env-var one pins its budget and directory
+//! explicitly, so the `set_var` below cannot leak into them regardless of
+//! test-thread interleaving.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use slx_engine::{digest128_of, Checker, Digest, Expansion, StateSpace};
+
+/// A fresh, unique, not-yet-created directory for one test.
+fn fresh_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "slx-hygiene-{}-{tag}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn dir_entries(dir: &PathBuf) -> Vec<String> {
+    std::fs::read_dir(dir)
+        .unwrap_or_else(|err| panic!("spill dir {} unreadable: {err}", dir.display()))
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect()
+}
+
+/// A wide binary tree with a cross edge, as in `shard_props`: levels grow
+/// to hundreds of states, far past a tiny byte budget.
+struct WideTree {
+    bound: usize,
+    /// Depth at which every expansion panics (`usize::MAX` = never).
+    panic_depth: usize,
+}
+
+impl StateSpace for WideTree {
+    type State = u64;
+    type Finding = u64;
+
+    fn digest(&self, s: &u64) -> Digest {
+        digest128_of(s)
+    }
+
+    fn expand(&self, &s: &u64, depth: usize, ctx: &mut Expansion<Self>) {
+        assert!(depth < self.panic_depth, "injected mid-exploration panic");
+        if depth >= self.bound {
+            ctx.finding(s);
+            return;
+        }
+        ctx.push(s * 2 + 1);
+        ctx.push(s * 2 + 2);
+        ctx.push(s | 1);
+    }
+}
+
+fn tree(bound: usize) -> WideTree {
+    WideTree {
+        bound,
+        panic_depth: usize::MAX,
+    }
+}
+
+#[test]
+fn normal_completion_creates_the_dir_and_removes_every_file() {
+    let dir = fresh_dir("normal");
+    assert!(!dir.exists(), "test premise: dir must start absent");
+    let out = Checker::parallel_bfs(1)
+        .with_mem_budget(256)
+        .with_spill_dir(&dir)
+        .run(&tree(9), vec![0]);
+    assert!(out.stats.spilled_chunks >= 2, "budget must force spilling");
+    assert!(dir.exists(), "absent spill dir must be created");
+    assert_eq!(dir_entries(&dir), Vec::<String>::new());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn early_stop_removes_every_file() {
+    let dir = fresh_dir("early-stop");
+    // Findings only appear at the horizon, so the stop fires while both
+    // the consumed frontier and the half-built next frontier hold spill
+    // files.
+    let out = Checker::parallel_bfs(1)
+        .with_mem_budget(256)
+        .with_spill_dir(&dir)
+        .run_until(&tree(9), vec![0], |findings| !findings.is_empty());
+    assert!(out.stats.stopped_early);
+    assert!(out.stats.spilled_chunks >= 2, "budget must force spilling");
+    assert_eq!(dir_entries(&dir), Vec::<String>::new());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn panic_mid_exploration_removes_every_file() {
+    let dir = fresh_dir("panic");
+    let space = WideTree {
+        bound: 9,
+        panic_depth: 6,
+    };
+    let checker = Checker::parallel_bfs(1)
+        .with_mem_budget(256)
+        .with_spill_dir(&dir);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        checker.run(&space, vec![0])
+    }));
+    assert!(result.is_err(), "the injected panic must surface");
+    assert!(
+        dir.exists(),
+        "spilling must have started before the depth-6 panic"
+    );
+    assert_eq!(
+        dir_entries(&dir),
+        Vec::<String>::new(),
+        "unwinding must drop (and delete) live spill files"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn env_knobs_are_honored_and_dir_created_if_absent() {
+    let dir = fresh_dir("env");
+    assert!(!dir.exists());
+    std::env::set_var("SLX_ENGINE_SPILL_DIR", &dir);
+    std::env::set_var("SLX_ENGINE_MEM_BUDGET", "256");
+    // No explicit knobs: budget and directory must come from the
+    // environment.
+    let checker = Checker::parallel_bfs(1);
+    assert_eq!(checker.resolve_mem_budget(), Some(256));
+    let out = checker.run(&tree(9), vec![0]);
+    assert!(
+        out.stats.spilled_chunks >= 2,
+        "SLX_ENGINE_MEM_BUDGET must force spilling"
+    );
+    assert!(out.stats.spilled_bytes > 0);
+    assert!(
+        dir.exists(),
+        "SLX_ENGINE_SPILL_DIR must be created if absent"
+    );
+    assert_eq!(dir_entries(&dir), Vec::<String>::new());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn spilled_run_is_bit_identical_to_resident_run() {
+    // The hygiene suite's sanity anchor: the same space explored with and
+    // without spilling (budget pinned off) reports identical results.
+    let dir = fresh_dir("identical");
+    let resident = Checker::parallel_bfs(1)
+        .with_mem_budget(0)
+        .run(&tree(8), vec![0]);
+    let spilled = Checker::parallel_bfs(1)
+        .with_mem_budget(256)
+        .with_spill_dir(&dir)
+        .run(&tree(8), vec![0]);
+    assert_eq!(spilled.findings, resident.findings);
+    assert_eq!(spilled.stats.configs, resident.stats.configs);
+    assert_eq!(spilled.stats.transitions, resident.stats.transitions);
+    assert_eq!(spilled.stats.dedup_hits, resident.stats.dedup_hits);
+    assert_eq!(spilled.stats.peak_frontier, resident.stats.peak_frontier);
+    assert_eq!(resident.stats.spilled_chunks, 0);
+    assert!(spilled.stats.spilled_chunks > 0);
+    assert!(spilled.stats.peak_resident_states < spilled.stats.peak_frontier);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -8,7 +8,7 @@
 
 use std::hash::Hash;
 
-use slx_engine::{Checker, Digest, Expansion, ExploreStats, Fingerprinter, StateSpace};
+use slx_engine::{Checker, Digest, Expansion, ExploreStats, Fingerprinter, StateCodec, StateSpace};
 use slx_history::{History, ProcessId};
 use slx_memory::{Process, StepEffect, System, Word};
 use slx_safety::SafetyProperty;
@@ -59,8 +59,8 @@ struct SafetySpace<'a, W, P, S, D> {
 
 impl<W, P, S, D> StateSpace for SafetySpace<'_, W, P, S, D>
 where
-    W: Word + Send + Sync,
-    P: Process<W> + Clone + Eq + Hash + Send + Sync,
+    W: Word + StateCodec + Send + Sync,
+    P: Process<W> + StateCodec + Clone + Eq + Hash + Send + Sync,
     S: SafetyProperty + Sync,
     D: Fn(&History) -> u64 + Sync,
 {
@@ -119,8 +119,8 @@ pub fn explore_safety<W, P, S>(
     digest: impl Fn(&History) -> u64 + Copy + Send + Sync,
 ) -> ExploreOutcome
 where
-    W: Word + Send + Sync,
-    P: Process<W> + Clone + Eq + Hash + Send + Sync,
+    W: Word + StateCodec + Send + Sync,
+    P: Process<W> + StateCodec + Clone + Eq + Hash + Send + Sync,
     S: SafetyProperty + Sync,
 {
     explore_safety_with(&Checker::auto(), initial, active, depth, safety, digest)
@@ -137,8 +137,8 @@ pub fn explore_safety_with<W, P, S>(
     digest: impl Fn(&History) -> u64 + Copy + Send + Sync,
 ) -> ExploreOutcome
 where
-    W: Word + Send + Sync,
-    P: Process<W> + Clone + Eq + Hash + Send + Sync,
+    W: Word + StateCodec + Send + Sync,
+    P: Process<W> + StateCodec + Clone + Eq + Hash + Send + Sync,
     S: SafetyProperty + Sync,
 {
     let space = SafetySpace {
@@ -179,8 +179,8 @@ struct SoloSpace<'a, W, P> {
 
 impl<W, P> StateSpace for SoloSpace<'_, W, P>
 where
-    W: Word + Send + Sync,
-    P: Process<W> + Clone + Eq + Hash + Send + Sync,
+    W: Word + StateCodec + Send + Sync,
+    P: Process<W> + StateCodec + Clone + Eq + Hash + Send + Sync,
 {
     type State = System<W, P>;
     type Finding = SoloCounterexample;
@@ -240,8 +240,8 @@ pub fn verify_solo_progress<W, P>(
     solo_budget: usize,
 ) -> Option<SoloCounterexample>
 where
-    W: Word + Send + Sync,
-    P: Process<W> + Clone + Eq + Hash + Send + Sync,
+    W: Word + StateCodec + Send + Sync,
+    P: Process<W> + StateCodec + Clone + Eq + Hash + Send + Sync,
 {
     let space = SoloSpace {
         active,
@@ -332,6 +332,16 @@ mod tests {
                 StepEffect::Responded(Response::Decided(v))
             }
         }
+        impl StateCodec for Selfish {
+            fn encode(&self, out: &mut Vec<u8>) {
+                self.pending.encode(out);
+            }
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                Some(Selfish {
+                    pending: Option::decode(input)?,
+                })
+            }
+        }
         let mem: Memory<ConsWord> = Memory::new();
         let mut sys = System::new(
             mem,
@@ -386,6 +396,18 @@ mod tests {
             fn step(&mut self, mem: &mut Memory<ConsWord>) -> StepEffect {
                 mem.apply(slx_memory::Primitive::Read(self.reg)).unwrap();
                 StepEffect::Ran
+            }
+        }
+        impl StateCodec for Spinner {
+            fn encode(&self, out: &mut Vec<u8>) {
+                self.reg.encode(out);
+                self.pending.encode(out);
+            }
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                Some(Spinner {
+                    reg: slx_memory::ObjId::decode(input)?,
+                    pending: bool::decode(input)?,
+                })
             }
         }
         let mut mem: Memory<ConsWord> = Memory::new();

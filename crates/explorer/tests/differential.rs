@@ -172,6 +172,155 @@ fn verdicts_and_counts_are_thread_and_shard_count_independent() {
     assert_eq!(t_dfs.configs, tm_base.configs);
 }
 
+/// The disk-backed-frontier determinism pin: on both seed scenarios,
+/// spill-enabled runs (a memory budget tiny enough to spill several
+/// chunks per level) must produce byte-identical verdicts, visited-config
+/// counts, truncation flags, and dedup accounting to fully-resident runs,
+/// across {1, 4} worker threads × {1, 16} visited-set shards. The
+/// no-spill arms pin the budget to 0 so the matrix stays meaningful even
+/// under a `SLX_ENGINE_MEM_BUDGET` environment (the spill CI job).
+#[test]
+fn spill_and_in_memory_runs_are_byte_identical() {
+    let consensus = of_consensus_scenario();
+    let tm = tm_scenario();
+    let active = [p(0), p(1)];
+    let consensus_safety = ConsensusSafety::new();
+    let tm_safety = Opacity::new(v(0));
+
+    let consensus_base = explore_safety_with(
+        &Checker::parallel_bfs(1).with_shards(1).with_mem_budget(0),
+        &consensus,
+        &active,
+        14,
+        &consensus_safety,
+        history_digest,
+    );
+    let tm_base = explore_safety_with(
+        &Checker::parallel_bfs(1).with_shards(1).with_mem_budget(0),
+        &tm,
+        &active,
+        20,
+        &tm_safety,
+        history_digest,
+    );
+    assert_eq!(consensus_base.stats.spilled_chunks, 0);
+    assert!(consensus_base.configs > 100, "scenario must branch");
+
+    // Half a KiB (256-byte chunks): an encoded mid-exploration `System`
+    // is one-to-several hundred bytes on both scenarios, so every level
+    // past the first few spills at least two chunks — including the
+    // narrow TM commit-race levels.
+    const TINY_BUDGET: usize = 512;
+    for threads in [1usize, 4] {
+        for shards in [1usize, 16] {
+            for mem_budget in [0usize, TINY_BUDGET] {
+                let checker = Checker::parallel_bfs(threads)
+                    .with_shards(shards)
+                    .with_mem_budget(mem_budget);
+                let label = format!("{threads} threads, {shards} shards, mem {mem_budget}");
+
+                let c = explore_safety_with(
+                    &checker,
+                    &consensus,
+                    &active,
+                    14,
+                    &consensus_safety,
+                    history_digest,
+                );
+                assert_eq!(c.holds(), consensus_base.holds(), "consensus, {label}");
+                assert_eq!(c.configs, consensus_base.configs, "consensus, {label}");
+                assert_eq!(c.truncated, consensus_base.truncated, "consensus, {label}");
+                assert_eq!(
+                    c.violations, consensus_base.violations,
+                    "consensus, {label}"
+                );
+                assert_eq!(
+                    c.stats.transitions, consensus_base.stats.transitions,
+                    "consensus, {label}"
+                );
+                assert_eq!(
+                    c.stats.dedup_hits, consensus_base.stats.dedup_hits,
+                    "consensus, {label}"
+                );
+                assert_eq!(
+                    c.stats.peak_frontier, consensus_base.stats.peak_frontier,
+                    "consensus, {label}"
+                );
+                assert_eq!(
+                    c.stats.shard_occupancy.iter().sum::<usize>(),
+                    consensus_base.stats.shard_occupancy.iter().sum::<usize>(),
+                    "consensus, {label}"
+                );
+
+                let t = explore_safety_with(&checker, &tm, &active, 20, &tm_safety, history_digest);
+                assert_eq!(t.holds(), tm_base.holds(), "tm, {label}");
+                assert_eq!(t.configs, tm_base.configs, "tm, {label}");
+                assert_eq!(t.truncated, tm_base.truncated, "tm, {label}");
+                assert_eq!(t.stats.dedup_hits, tm_base.stats.dedup_hits, "tm, {label}");
+
+                if mem_budget == 0 {
+                    assert_eq!(c.stats.spilled_chunks, 0, "consensus, {label}");
+                    assert_eq!(t.stats.spilled_chunks, 0, "tm, {label}");
+                } else {
+                    assert!(
+                        c.stats.spilled_chunks >= 2,
+                        "consensus, {label}: the tiny budget must spill \
+                         (got {} chunks)",
+                        c.stats.spilled_chunks
+                    );
+                    assert!(c.stats.spilled_bytes > 0, "consensus, {label}");
+                    assert!(
+                        c.stats.peak_resident_states < c.stats.peak_frontier,
+                        "consensus, {label}: resident window {} must stay below \
+                         the widest level {}",
+                        c.stats.peak_resident_states,
+                        c.stats.peak_frontier
+                    );
+                    assert!(t.stats.spilled_chunks >= 2, "tm, {label}");
+                }
+            }
+        }
+    }
+}
+
+/// The same pin on the *budgeted* valence query: `max_states` truncation
+/// must cut the same frontier prefix whether the tail is resident or
+/// spilled, at budgets that land mid-level.
+#[test]
+fn spilled_valence_truncation_matches_resident() {
+    let cas = cas_consensus_scenario();
+    let of = of_consensus_scenario();
+    let active = [p(0), p(1)];
+    for budget in [3usize, 17, 50, 400, 10_000] {
+        let base_cas = decidable_values_with(
+            &Checker::parallel_bfs(1).with_shards(1).with_mem_budget(0),
+            &cas,
+            &active,
+            budget,
+        );
+        let base_of = decidable_values_with(
+            &Checker::parallel_bfs(1).with_shards(1).with_mem_budget(0),
+            &of,
+            &active,
+            budget,
+        );
+        for threads in [1usize, 4] {
+            let spilling = Checker::parallel_bfs(threads)
+                .with_shards(16)
+                .with_mem_budget(2048);
+            let got_cas = decidable_values_with(&spilling, &cas, &active, budget);
+            let got_of = decidable_values_with(&spilling, &of, &active, budget);
+            for (got, base, name) in [(&got_cas, &base_cas, "cas"), (&got_of, &base_of, "of")] {
+                let label = format!("{name}, budget {budget}, {threads} threads");
+                assert_eq!(got.values, base.values, "{label}");
+                assert_eq!(got.bivalent(), base.bivalent(), "{label}");
+                assert_eq!(got.truncated, base.truncated, "{label}");
+                assert_eq!(got.configs, base.configs, "{label}");
+            }
+        }
+    }
+}
+
 /// The same matrix on the budgeted valence query (the bivalence
 /// adversary's inner loop): values, bivalence, truncation, and configs
 /// must not depend on threads or shards, including at budgets that cut
@@ -363,6 +512,16 @@ fn backends_agree_on_injected_violation() {
         fn step(&mut self, _mem: &mut Memory<ConsWord>) -> slx_memory::StepEffect {
             let v = self.pending.take().expect("pending");
             slx_memory::StepEffect::Responded(slx_history::Response::Decided(v))
+        }
+    }
+    impl slx_engine::StateCodec for Selfish {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.pending.encode(out);
+        }
+        fn decode(input: &mut &[u8]) -> Option<Self> {
+            Some(Selfish {
+                pending: Option::decode(input)?,
+            })
         }
     }
     let mem: Memory<ConsWord> = Memory::new();

@@ -1,0 +1,281 @@
+//! [`StateCodec`] implementations for the history alphabet.
+//!
+//! These let configurations containing histories round-trip through the
+//! exploration kernel's disk-backed frontier (`slx_engine`'s spill path):
+//! a spilled `System` carries its history and event log, so every type in
+//! the external alphabet encodes here. Enum variants are tagged with one
+//! byte in declaration order; payloads follow, using the kernel's
+//! fixed-width little-endian primitive encodings.
+
+use slx_engine::StateCodec;
+
+use crate::action::{Action, Operation, Response};
+use crate::history::History;
+use crate::ids::{ProcessId, Value, VarId};
+
+impl StateCodec for ProcessId {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.index().encode(out);
+    }
+
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(ProcessId::new(usize::decode(input)?))
+    }
+}
+
+impl StateCodec for Value {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.raw().encode(out);
+    }
+
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(Value::new(i64::decode(input)?))
+    }
+}
+
+impl StateCodec for VarId {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.index().encode(out);
+    }
+
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(VarId::new(usize::decode(input)?))
+    }
+}
+
+impl StateCodec for Operation {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Operation::Propose(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            Operation::Read(x) => {
+                out.push(1);
+                x.encode(out);
+            }
+            Operation::Write(x, v) => {
+                out.push(2);
+                x.encode(out);
+                v.encode(out);
+            }
+            Operation::TestAndSet => out.push(3),
+            Operation::CompareAndSwap { expected, new } => {
+                out.push(4);
+                expected.encode(out);
+                new.encode(out);
+            }
+            Operation::FetchAdd(v) => {
+                out.push(5);
+                v.encode(out);
+            }
+            Operation::TxStart => out.push(6),
+            Operation::TxRead(x) => {
+                out.push(7);
+                x.encode(out);
+            }
+            Operation::TxWrite(x, v) => {
+                out.push(8);
+                x.encode(out);
+                v.encode(out);
+            }
+            Operation::TxCommit => out.push(9),
+        }
+    }
+
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(match u8::decode(input)? {
+            0 => Operation::Propose(Value::decode(input)?),
+            1 => Operation::Read(VarId::decode(input)?),
+            2 => Operation::Write(VarId::decode(input)?, Value::decode(input)?),
+            3 => Operation::TestAndSet,
+            4 => Operation::CompareAndSwap {
+                expected: Value::decode(input)?,
+                new: Value::decode(input)?,
+            },
+            5 => Operation::FetchAdd(Value::decode(input)?),
+            6 => Operation::TxStart,
+            7 => Operation::TxRead(VarId::decode(input)?),
+            8 => Operation::TxWrite(VarId::decode(input)?, Value::decode(input)?),
+            9 => Operation::TxCommit,
+            _ => return None,
+        })
+    }
+}
+
+impl StateCodec for Response {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Decided(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            Response::ValueReturned(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+            Response::Ok => out.push(2),
+            Response::Flag(b) => {
+                out.push(3);
+                b.encode(out);
+            }
+            Response::Committed => out.push(4),
+            Response::Aborted => out.push(5),
+        }
+    }
+
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(match u8::decode(input)? {
+            0 => Response::Decided(Value::decode(input)?),
+            1 => Response::ValueReturned(Value::decode(input)?),
+            2 => Response::Ok,
+            3 => Response::Flag(bool::decode(input)?),
+            4 => Response::Committed,
+            5 => Response::Aborted,
+            _ => return None,
+        })
+    }
+}
+
+impl StateCodec for Action {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Action::Invoke { proc, op } => {
+                out.push(0);
+                proc.encode(out);
+                op.encode(out);
+            }
+            Action::Respond { proc, resp } => {
+                out.push(1);
+                proc.encode(out);
+                resp.encode(out);
+            }
+            Action::Crash { proc } => {
+                out.push(2);
+                proc.encode(out);
+            }
+        }
+    }
+
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(match u8::decode(input)? {
+            0 => Action::Invoke {
+                proc: ProcessId::decode(input)?,
+                op: Operation::decode(input)?,
+            },
+            1 => Action::Respond {
+                proc: ProcessId::decode(input)?,
+                resp: Response::decode(input)?,
+            },
+            2 => Action::Crash {
+                proc: ProcessId::decode(input)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+impl StateCodec for History {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Same wire shape as `Vec<Action>`, without materializing one.
+        let len = u32::try_from(self.len()).expect("histories are far below 2^32 actions");
+        len.encode(out);
+        for action in self.iter() {
+            action.encode(out);
+        }
+    }
+
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        // `from_actions` reuses the Vec's allocation, so this inherits
+        // `Vec::decode`'s reserve-capped-by-input corrupt-length defense.
+        Some(History::from_actions(Vec::<Action>::decode(input)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: StateCodec + PartialEq + std::fmt::Debug>(value: T) {
+        let mut buf = Vec::new();
+        value.encode(&mut buf);
+        let mut input = buf.as_slice();
+        assert_eq!(T::decode(&mut input), Some(value));
+        assert!(input.is_empty(), "decode must consume exactly the encoding");
+    }
+
+    #[test]
+    fn alphabet_round_trips() {
+        let p = ProcessId::new(3);
+        let x = VarId::new(1);
+        let v = Value::new(-42);
+        round_trip(p);
+        round_trip(x);
+        round_trip(v);
+        for op in [
+            Operation::Propose(v),
+            Operation::Read(x),
+            Operation::Write(x, v),
+            Operation::TestAndSet,
+            Operation::CompareAndSwap {
+                expected: v,
+                new: Value::new(7),
+            },
+            Operation::FetchAdd(v),
+            Operation::TxStart,
+            Operation::TxRead(x),
+            Operation::TxWrite(x, v),
+            Operation::TxCommit,
+        ] {
+            round_trip(op);
+            round_trip(Action::invoke(p, op));
+        }
+        for resp in [
+            Response::Decided(v),
+            Response::ValueReturned(v),
+            Response::Ok,
+            Response::Flag(true),
+            Response::Committed,
+            Response::Aborted,
+        ] {
+            round_trip(resp);
+            round_trip(Action::respond(p, resp));
+        }
+        round_trip(Action::crash(p));
+    }
+
+    #[test]
+    fn histories_round_trip() {
+        round_trip(History::new());
+        round_trip(History::from_actions([
+            Action::invoke(ProcessId::new(0), Operation::Propose(Value::new(1))),
+            Action::invoke(ProcessId::new(1), Operation::Propose(Value::new(2))),
+            Action::respond(ProcessId::new(0), Response::Decided(Value::new(1))),
+            Action::crash(ProcessId::new(1)),
+        ]));
+    }
+
+    #[test]
+    fn unknown_tags_fail_cleanly() {
+        let mut input: &[u8] = &[99];
+        assert_eq!(Operation::decode(&mut input), None);
+        let mut input: &[u8] = &[99];
+        assert_eq!(Response::decode(&mut input), None);
+        let mut input: &[u8] = &[99];
+        assert_eq!(Action::decode(&mut input), None);
+    }
+}

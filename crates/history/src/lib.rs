@@ -44,6 +44,7 @@
 
 mod action;
 mod calls;
+mod codec;
 mod completion;
 mod history;
 mod ids;

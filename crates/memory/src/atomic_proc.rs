@@ -6,6 +6,7 @@
 //! object gives the canonical wait-free, linearizable implementations the
 //! safety checkers are validated against.
 
+use slx_engine::StateCodec;
 use slx_history::{Operation, Response, Value};
 
 use crate::base::{Memory, ObjId, PrimOutcome, Primitive};
@@ -43,6 +44,41 @@ impl AtomicObjectProcess {
             obj,
             pending: None,
         }
+    }
+}
+
+impl StateCodec for AtomicKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            AtomicKind::Tas => 0,
+            AtomicKind::Cas => 1,
+            AtomicKind::Counter => 2,
+        });
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(match u8::decode(input)? {
+            0 => AtomicKind::Tas,
+            1 => AtomicKind::Cas,
+            2 => AtomicKind::Counter,
+            _ => return None,
+        })
+    }
+}
+
+impl StateCodec for AtomicObjectProcess {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.kind.encode(out);
+        self.obj.encode(out);
+        self.pending.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(AtomicObjectProcess {
+            kind: AtomicKind::decode(input)?,
+            obj: ObjId::decode(input)?,
+            pending: Option::decode(input)?,
+        })
     }
 }
 

@@ -3,6 +3,8 @@
 use std::fmt;
 use std::hash::Hash;
 
+use slx_engine::StateCodec;
+
 /// A word storable in a base object.
 ///
 /// The paper's base objects hold arbitrary atomic state; making the word
@@ -32,6 +34,73 @@ impl fmt::Display for ObjId {
     }
 }
 
+impl StateCodec for ObjId {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(ObjId(usize::decode(input)?))
+    }
+}
+
+/// Encodes a slice of object ids compactly: layouts allocate registers in
+/// consecutive runs, so most slices collapse to `(tag, first, len)`
+/// instead of one varint per id — a measurable win on the disk-backed
+/// frontier, which round-trips every spilled configuration's register
+/// arrays. Non-consecutive slices fall back to the plain list encoding.
+/// Decode with [`decode_objid_run`].
+pub fn encode_objid_run(ids: &[ObjId], out: &mut Vec<u8>) {
+    let consecutive = ids.windows(2).all(|w| w[1].0 == w[0].0.wrapping_add(1));
+    if consecutive && !ids.is_empty() {
+        out.push(1);
+        ids[0].0.encode(out);
+        ids.len().encode(out);
+    } else {
+        out.push(0);
+        ids.len().encode(out);
+        for id in ids {
+            id.encode(out);
+        }
+    }
+}
+
+/// Largest run length [`decode_objid_run`] will materialize: far above
+/// any real memory's object count, low enough that a corrupt length
+/// prefix fails with `None` instead of an unbounded allocation (the
+/// run encoding is three varints regardless of `len`, so the usual
+/// cap-by-input-length defense cannot apply).
+const MAX_OBJID_RUN: usize = 1 << 20;
+
+/// Decoding counterpart of [`encode_objid_run`].
+pub fn decode_objid_run(input: &mut &[u8]) -> Option<Vec<ObjId>> {
+    match u8::decode(input)? {
+        1 => {
+            let first = usize::decode(input)?;
+            let len = usize::decode(input)?;
+            // Reject absurd lengths and runs that would wrap (encode
+            // never produces either) so ids stay unique and allocation
+            // stays bounded on malformed input.
+            if len > MAX_OBJID_RUN {
+                return None;
+            }
+            first.checked_add(len)?;
+            Some((first..first + len).map(ObjId).collect())
+        }
+        0 => {
+            let len = usize::decode(input)?;
+            let mut ids = Vec::with_capacity(len.min(input.len()));
+            for _ in 0..len {
+                ids.push(ObjId::decode(input)?);
+            }
+            Some(ids)
+        }
+        _ => None,
+    }
+}
+
 /// One base object: an atomic hardware-like primitive object.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum BaseObject<W> {
@@ -45,6 +114,46 @@ pub enum BaseObject<W> {
     Counter(i64),
     /// Atomic snapshot object: per-process update, atomic scan.
     Snapshot(Vec<W>),
+}
+
+impl<W: StateCodec> StateCodec for BaseObject<W> {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            BaseObject::Register(w) => {
+                out.push(0);
+                w.encode(out);
+            }
+            BaseObject::Cas(w) => {
+                out.push(1);
+                w.encode(out);
+            }
+            BaseObject::Tas(b) => {
+                out.push(2);
+                b.encode(out);
+            }
+            BaseObject::Counter(c) => {
+                out.push(3);
+                c.encode(out);
+            }
+            BaseObject::Snapshot(v) => {
+                out.push(4);
+                v.encode(out);
+            }
+        }
+    }
+
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(match u8::decode(input)? {
+            0 => BaseObject::Register(W::decode(input)?),
+            1 => BaseObject::Cas(W::decode(input)?),
+            2 => BaseObject::Tas(bool::decode(input)?),
+            3 => BaseObject::Counter(i64::decode(input)?),
+            4 => BaseObject::Snapshot(Vec::decode(input)?),
+            _ => return None,
+        })
+    }
 }
 
 /// An atomic primitive applied to a base object.
@@ -423,6 +532,24 @@ impl<W: Word> Memory<W> {
 impl<W: Word> Default for Memory<W> {
     fn default() -> Self {
         Memory::new()
+    }
+}
+
+impl<W: StateCodec> StateCodec for Memory<W> {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.objects.encode(out);
+        // `applied` participates in `Eq`/`Hash` (it is the step counter
+        // behind the atomicity check), so it must round-trip too.
+        self.applied.encode(out);
+    }
+
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(Memory {
+            objects: Vec::decode(input)?,
+            applied: u64::decode(input)?,
+        })
     }
 }
 

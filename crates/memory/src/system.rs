@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use slx_engine::StateCodec;
 use slx_history::{Action, History, Operation, ProcessId, Response};
 
 use crate::base::{Memory, Word};
@@ -26,6 +27,43 @@ pub enum Event {
     /// A process took one computation step (possibly the one that produced
     /// a response; in that case both events are logged, step first).
     Stepped(ProcessId),
+}
+
+impl StateCodec for Event {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Event::Invoked(p, op) => {
+                out.push(0);
+                p.encode(out);
+                op.encode(out);
+            }
+            Event::Responded(p, resp) => {
+                out.push(1);
+                p.encode(out);
+                resp.encode(out);
+            }
+            Event::Crashed(p) => {
+                out.push(2);
+                p.encode(out);
+            }
+            Event::Stepped(p) => {
+                out.push(3);
+                p.encode(out);
+            }
+        }
+    }
+
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(match u8::decode(input)? {
+            0 => Event::Invoked(ProcessId::decode(input)?, Operation::decode(input)?),
+            1 => Event::Responded(ProcessId::decode(input)?, Response::decode(input)?),
+            2 => Event::Crashed(ProcessId::decode(input)?),
+            3 => Event::Stepped(ProcessId::decode(input)?),
+            _ => return None,
+        })
+    }
 }
 
 /// Errors from driving a [`System`].
@@ -314,6 +352,33 @@ impl<W: Word, P: std::hash::Hash> System<W, P> {
         let mut fp = slx_engine::Fingerprinter::new();
         self.hash(&mut fp);
         fp.digest()
+    }
+}
+
+impl<W: Word + StateCodec, P: StateCodec> StateCodec for System<W, P> {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.memory.encode(out);
+        self.procs.encode(out);
+        self.pending.encode(out);
+        self.crashed.encode(out);
+        // History and events are excluded from `Eq`/`Hash`, but findings
+        // clone the history and liveness views read the event log, so a
+        // spilled configuration must carry both verbatim.
+        self.history.encode(out);
+        self.events.encode(out);
+    }
+
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(System {
+            memory: Memory::decode(input)?,
+            procs: Vec::decode(input)?,
+            pending: Vec::decode(input)?,
+            crashed: Vec::decode(input)?,
+            history: History::decode(input)?,
+            events: Vec::decode(input)?,
+        })
     }
 }
 

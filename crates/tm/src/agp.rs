@@ -1,5 +1,6 @@
 //! Algorithm I(1,2) — the paper's Algorithm 1, step for step.
 
+use slx_engine::StateCodec;
 use slx_history::{Operation, ProcessId, Response, Value};
 use slx_memory::{Memory, ObjId, PrimOutcome, Primitive, Process, StepEffect};
 
@@ -115,6 +116,68 @@ impl AgpTm {
             ts_aborts: 0,
             cas_aborts: 0,
         }
+    }
+}
+
+impl StateCodec for AgpTm {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.c.encode(out);
+        self.r.encode(out);
+        self.me.encode(out);
+        self.n.encode(out);
+        self.nvars.encode(out);
+        self.timestamp.encode(out);
+        self.version.encode(out);
+        self.old_values.encode(out);
+        self.values.encode(out);
+        match &self.pc {
+            Pc::Idle => out.push(0),
+            Pc::StartAnnounce => out.push(1),
+            Pc::StartReadC => out.push(2),
+            Pc::CommitScan => out.push(3),
+            Pc::CommitCas => out.push(4),
+            Pc::LocalRespond(resp) => {
+                out.push(5);
+                resp.encode(out);
+            }
+        }
+        self.ts_aborts.encode(out);
+        self.cas_aborts.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let c = ObjId::decode(input)?;
+        let r = ObjId::decode(input)?;
+        let me = ProcessId::decode(input)?;
+        let n = usize::decode(input)?;
+        let nvars = usize::decode(input)?;
+        let timestamp = u64::decode(input)?;
+        let version = Option::decode(input)?;
+        let old_values = Vec::decode(input)?;
+        let values = Vec::decode(input)?;
+        let pc = match u8::decode(input)? {
+            0 => Pc::Idle,
+            1 => Pc::StartAnnounce,
+            2 => Pc::StartReadC,
+            3 => Pc::CommitScan,
+            4 => Pc::CommitCas,
+            5 => Pc::LocalRespond(Response::decode(input)?),
+            _ => return None,
+        };
+        Some(AgpTm {
+            c,
+            r,
+            me,
+            n,
+            nvars,
+            timestamp,
+            version,
+            old_values,
+            values,
+            pc,
+            ts_aborts: u64::decode(input)?,
+            cas_aborts: u64::decode(input)?,
+        })
     }
 }
 

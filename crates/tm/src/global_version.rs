@@ -1,6 +1,7 @@
 //! The opaque, lock-free ((1,n)-free) TM: Algorithm 1 without the
 //! timestamp rule.
 
+use slx_engine::StateCodec;
 use slx_history::{Operation, Response, Value};
 use slx_memory::{Memory, ObjId, PrimOutcome, Primitive, Process, StepEffect};
 
@@ -91,6 +92,52 @@ impl GlobalVersionTm {
             commits: 0,
             aborts: 0,
         }
+    }
+}
+
+impl StateCodec for GlobalVersionTm {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.c.encode(out);
+        self.nvars.encode(out);
+        self.version.encode(out);
+        self.old_values.encode(out);
+        self.values.encode(out);
+        match &self.pc {
+            Pc::Idle => out.push(0),
+            Pc::StartReadC => out.push(1),
+            Pc::CommitCas => out.push(2),
+            Pc::LocalRespond(resp) => {
+                out.push(3);
+                resp.encode(out);
+            }
+        }
+        self.commits.encode(out);
+        self.aborts.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let c = ObjId::decode(input)?;
+        let nvars = usize::decode(input)?;
+        let version = Option::decode(input)?;
+        let old_values = Vec::decode(input)?;
+        let values = Vec::decode(input)?;
+        let pc = match u8::decode(input)? {
+            0 => Pc::Idle,
+            1 => Pc::StartReadC,
+            2 => Pc::CommitCas,
+            3 => Pc::LocalRespond(Response::decode(input)?),
+            _ => return None,
+        };
+        Some(GlobalVersionTm {
+            c,
+            nvars,
+            version,
+            old_values,
+            values,
+            pc,
+            commits: u64::decode(input)?,
+            aborts: u64::decode(input)?,
+        })
     }
 }
 

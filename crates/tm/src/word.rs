@@ -1,5 +1,6 @@
 //! The base-object alphabet of the TM implementations.
 
+use slx_engine::StateCodec;
 use slx_history::Value;
 
 /// Words stored in the TM base objects:
@@ -53,6 +54,35 @@ impl TmWord {
             TmWord::Ts(t) => *t,
             TmWord::Versioned { .. } => panic!("expected a timestamp, found a versioned word"),
         }
+    }
+}
+
+impl StateCodec for TmWord {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TmWord::Versioned { version, values } => {
+                out.push(0);
+                version.encode(out);
+                values.encode(out);
+            }
+            TmWord::Ts(t) => {
+                out.push(1);
+                t.encode(out);
+            }
+        }
+    }
+
+    #[inline]
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(match u8::decode(input)? {
+            0 => TmWord::Versioned {
+                version: u64::decode(input)?,
+                values: Vec::decode(input)?,
+            },
+            1 => TmWord::Ts(u64::decode(input)?),
+            _ => return None,
+        })
     }
 }
 
