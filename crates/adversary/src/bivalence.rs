@@ -8,7 +8,7 @@
 use std::hash::Hash;
 
 use slx_consensus::{ConsWord, ObstructionFreeConsensus, OfNormalizedState};
-use slx_engine::{Checker, StateCodec};
+use slx_engine::{Checker, DeltaCodec};
 use slx_explorer::decidable_values_with;
 use slx_history::{History, ProcessId, Value};
 use slx_memory::{BaseObject, Decision, ObjId, Process, Scheduler, StepEffect, System, Word};
@@ -66,8 +66,8 @@ pub fn run_bivalence_adversary<W, P>(
     valence_budget: usize,
 ) -> BivalenceReport
 where
-    W: Word + StateCodec + Send + Sync,
-    P: Process<W> + StateCodec + Clone + Eq + Hash + Send + Sync,
+    W: Word + DeltaCodec + Send + Sync,
+    P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
 {
     let mut report = BivalenceReport {
         steps: 0,
@@ -201,8 +201,8 @@ impl BivalenceScheduler {
 
 impl<W, P> Scheduler<W, P> for BivalenceScheduler
 where
-    W: Word + StateCodec + Send + Sync,
-    P: Process<W> + StateCodec + Clone + Eq + Hash + Send + Sync,
+    W: Word + DeltaCodec + Send + Sync,
+    P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
 {
     fn decide(&mut self, sys: &System<W, P>) -> Decision {
         // The adversary lost the moment anyone decided.

@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
-use slx_engine::StateCodec;
+use slx_engine::{DeltaCodec, DeltaCtx, StateCodec};
 
 /// Index of a state within an [`Automaton`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -52,6 +52,30 @@ impl<L: StateCodec> StateCodec for Execution<L> {
         Some(Execution {
             states: Vec::decode(input)?,
             actions: Vec::decode(input)?,
+        })
+    }
+}
+
+impl DeltaCodec for StateId {}
+
+impl<L: DeltaCodec + PartialEq + Clone> DeltaCodec for Execution<L> {
+    /// Sibling executions in a frontier extend a common prefix by one
+    /// state and one action; both vectors delta as slices.
+    fn encode_delta(&self, prev: Option<&Self>, out: &mut Vec<u8>) {
+        let Some(prev) = prev else {
+            return self.encode(out);
+        };
+        self.states.encode_delta(Some(&prev.states), out);
+        self.actions.encode_delta(Some(&prev.actions), out);
+    }
+
+    fn decode_delta(prev: Option<&Self>, input: &mut &[u8], ctx: &mut DeltaCtx) -> Option<Self> {
+        let Some(prev) = prev else {
+            return Self::decode(input);
+        };
+        Some(Execution {
+            states: Vec::decode_delta(Some(&prev.states), input, ctx)?,
+            actions: Vec::decode_delta(Some(&prev.actions), input, ctx)?,
         })
     }
 }

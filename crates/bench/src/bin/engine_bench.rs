@@ -2,44 +2,53 @@
 //! retained-clone baseline, with no external benchmarking dependency.
 //!
 //! Runs the obstruction-free-consensus safety exploration (the hot loop
-//! behind Figure 1a's white anchor) at several depths on four
+//! behind Figure 1a's white anchor) at several depths on five
 //! configurations and prints a comparison table:
 //!
 //! - **sharded** — the kernel with its sharded visited set (thread count
 //!   from `SLX_ENGINE_THREADS` or autodetected; shard count from
 //!   `SLX_ENGINE_SHARDS` or four per thread), the default since the
 //!   sharded-merge refactor;
-//! - **spill** — the same kernel under a 16 KiB frontier memory budget
-//!   (`SPILL_BUDGET`): every level beyond the budget round-trips through
-//!   `StateCodec` records in temp files (the beyond-RAM configuration;
-//!   resident footprint stays bounded while verdicts stay identical);
+//! - **spill Δ** — the same kernel under a 16 KiB frontier memory budget
+//!   (`SPILL_BUDGET`) with the default **delta-encoded** spill chunks:
+//!   every level beyond the budget round-trips through records
+//!   delta-encoded against their chunk predecessor (the beyond-RAM
+//!   configuration; resident footprint stays bounded while verdicts stay
+//!   identical);
+//! - **spill ≡** — the same budget with plain self-contained records
+//!   (the PR 3 chunk encoding, kept as the delta codec's comparison
+//!   arm);
 //! - **1 shard** — the kernel pinned to a single shard: the PR 1
 //!   behaviour, whose dedup/merge phase is a single sequential map (the
 //!   sharded column must not regress below this one);
 //! - **baseline** — the seed's sequential DFS over retained `(System,
 //!   digest)` clones.
 //!
-//! Verdicts and visited counts are asserted equal across all four on
-//! every row. Usage:
+//! Verdicts and visited counts are asserted equal across all five on
+//! every row. After the table, one machine-readable JSON line per
+//! (depth, arm) is printed for trajectory tracking (`"bench":
+//! "engine_bench"`). Usage:
 //!
 //! ```text
-//! cargo run --release -p slx-bench --bin engine_bench [max_depth]
+//! cargo run --release -p slx-bench --bin engine_bench [max_depth] [spill_budget]
 //! ```
 
 use std::time::Instant;
 
 use slx_core::consensus::{ConsWord, ObstructionFreeConsensus};
-use slx_core::engine::Checker;
+use slx_core::engine::{Checker, SpillCodec};
 use slx_core::explorer::baseline::explore_safety_retained;
-use slx_core::explorer::{explore_safety_with, history_digest};
+use slx_core::explorer::{explore_safety_with, history_digest, ExploreOutcome};
 use slx_core::history::{Operation, ProcessId, Value};
 use slx_core::memory::{Memory, System};
 use slx_core::safety::ConsensusSafety;
 
-/// Frontier memory budget of the spill arm: an encoded consensus record
-/// is ~400 bytes, so the 8 KiB chunk window holds ~20 states and the
-/// deeper rows' levels (up to ~80 states wide) each spill several chunks
-/// — the beyond-RAM regime, scaled down to bench runtimes.
+/// Default frontier memory budget of the spill arms (override with the
+/// second CLI argument): a self-contained encoded consensus record is
+/// ~400 bytes, so the 8 KiB chunk window holds ~20 plain states (a few
+/// times that with delta records) and the deeper rows' levels each spill
+/// several chunks — the beyond-RAM regime, scaled down to bench
+/// runtimes.
 const SPILL_BUDGET: usize = 16 * 1024;
 
 fn of_system() -> System<ConsWord, ObstructionFreeConsensus> {
@@ -63,34 +72,70 @@ fn of_system() -> System<ConsWord, ObstructionFreeConsensus> {
     sys
 }
 
+/// One machine-readable trajectory record per (depth, arm).
+fn json_line(depth: usize, arm: &str, out: &ExploreOutcome, secs: f64, overhead_x: f64) -> String {
+    format!(
+        "{{\"bench\":\"engine_bench\",\"workload\":\"fig1a-of-consensus\",\
+         \"depth\":{depth},\"arm\":\"{arm}\",\"configs\":{},\
+         \"states_per_sec\":{:.0},\"secs\":{:.6},\"overhead_x\":{:.3},\
+         \"spilled_chunks\":{},\"spilled_bytes\":{},\
+         \"peak_resident_states\":{},\"peak_frontier\":{},\
+         \"threads\":{},\"shards\":{}}}",
+        out.configs,
+        out.configs as f64 / secs,
+        secs,
+        overhead_x,
+        out.stats.spilled_chunks,
+        out.stats.spilled_bytes,
+        out.stats.peak_resident_states,
+        out.stats.peak_frontier,
+        out.stats.threads,
+        out.stats.shards,
+    )
+}
+
 fn main() {
     let max_depth: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(22);
+    let spill_budget: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(SPILL_BUDGET);
     let active = [ProcessId::new(0), ProcessId::new(1)];
     let safety = ConsensusSafety::new();
     let sharded_checker = Checker::auto().with_mem_budget(0);
-    let spill_checker = Checker::auto().with_mem_budget(SPILL_BUDGET);
+    let delta_checker = Checker::auto()
+        .with_mem_budget(spill_budget)
+        .with_spill_codec(SpillCodec::Delta);
+    let plain_checker = Checker::auto()
+        .with_mem_budget(spill_budget)
+        .with_spill_codec(SpillCodec::Plain);
     let single_shard_checker = Checker::auto().with_shards(1).with_mem_budget(0);
     let mut threads_used = 1;
     let mut shards_used = 1;
     let mut balance = 1.0f64;
-    let mut spill_chunks = 0usize;
-    let mut spill_bytes = 0u64;
+    let mut delta_chunks = 0usize;
+    let mut delta_bytes = 0u64;
+    let mut plain_bytes = 0u64;
     let mut spill_resident = 0usize;
     let mut spill_peak_frontier = 0usize;
-    let mut worst_spill_overhead = 0.0f64;
+    let mut worst_delta_overhead = 0.0f64;
+    let mut worst_plain_overhead = 0.0f64;
+    let mut json_lines: Vec<String> = Vec::new();
 
     println!(
-        "{:>6} {:>10} {:>13} {:>13} {:>13} {:>13} {:>9} {:>9}",
+        "{:>6} {:>10} {:>13} {:>13} {:>13} {:>13} {:>13} {:>9} {:>9} {:>9}",
         "depth",
         "configs",
         "sharded st/s",
-        "spill st/s",
+        "spill-Δ st/s",
+        "spill-≡ st/s",
         "1-shard st/s",
         "baseline st/s",
-        "spill x",
+        "Δ x",
+        "plain x",
         "vs base"
     );
     for depth in (10..=max_depth).step_by(4) {
@@ -99,7 +144,7 @@ fn main() {
         // Best-of-3 per configuration: these explorations are
         // milliseconds long, so a single sample is allocator/scheduler
         // noise.
-        let measure = |run: &dyn Fn() -> _| {
+        let measure = |run: &dyn Fn() -> ExploreOutcome| {
             let mut best_secs = f64::INFINITY;
             let mut out = None;
             for _ in 0..3 {
@@ -110,37 +155,14 @@ fn main() {
             }
             (out.expect("ran at least once"), best_secs)
         };
+        let explore = |checker: &Checker| {
+            explore_safety_with(checker, &sys, &active, depth, &safety, history_digest)
+        };
 
-        let (sharded, sharded_secs) = measure(&|| {
-            explore_safety_with(
-                &sharded_checker,
-                &sys,
-                &active,
-                depth,
-                &safety,
-                history_digest,
-            )
-        });
-        let (spill, spill_secs) = measure(&|| {
-            explore_safety_with(
-                &spill_checker,
-                &sys,
-                &active,
-                depth,
-                &safety,
-                history_digest,
-            )
-        });
-        let (single, single_secs) = measure(&|| {
-            explore_safety_with(
-                &single_shard_checker,
-                &sys,
-                &active,
-                depth,
-                &safety,
-                history_digest,
-            )
-        });
+        let (sharded, sharded_secs) = measure(&|| explore(&sharded_checker));
+        let (delta, delta_secs) = measure(&|| explore(&delta_checker));
+        let (plain, plain_secs) = measure(&|| explore(&plain_checker));
+        let (single, single_secs) = measure(&|| explore(&single_shard_checker));
         let (baseline, baseline_secs) =
             measure(&|| explore_safety_retained(&sys, &active, depth, &safety, history_digest));
 
@@ -158,52 +180,93 @@ fn main() {
             "shard count must not change visited counts at depth {depth}"
         );
         assert_eq!(sharded.holds(), single.holds());
-        assert_eq!(
-            spill.configs, sharded.configs,
-            "spilling must not change visited counts at depth {depth}"
-        );
-        assert_eq!(spill.holds(), sharded.holds());
-        assert_eq!(
-            spill.stats.dedup_hits, sharded.stats.dedup_hits,
-            "spilling must not change dedup accounting at depth {depth}"
-        );
+        for (spill, name) in [(&delta, "delta"), (&plain, "plain")] {
+            assert_eq!(
+                spill.configs, sharded.configs,
+                "{name} spilling must not change visited counts at depth {depth}"
+            );
+            assert_eq!(spill.holds(), sharded.holds(), "{name} at depth {depth}");
+            assert_eq!(
+                spill.stats.dedup_hits, sharded.stats.dedup_hits,
+                "{name} spilling must not change dedup accounting at depth {depth}"
+            );
+        }
 
         threads_used = sharded.stats.threads;
         shards_used = sharded.stats.shards;
         balance = sharded.stats.shard_balance();
-        spill_chunks = spill.stats.spilled_chunks;
-        spill_bytes = spill.stats.spilled_bytes;
-        spill_resident = spill.stats.peak_resident_states;
-        spill_peak_frontier = spill.stats.peak_frontier;
+        delta_chunks = delta.stats.spilled_chunks;
+        delta_bytes = delta.stats.spilled_bytes;
+        plain_bytes = plain.stats.spilled_bytes;
+        spill_resident = delta.stats.peak_resident_states;
+        spill_peak_frontier = delta.stats.peak_frontier;
         let sharded_rate = sharded.configs as f64 / sharded_secs;
-        let spill_rate = spill.configs as f64 / spill_secs;
+        let delta_rate = delta.configs as f64 / delta_secs;
+        let plain_rate = plain.configs as f64 / plain_secs;
         let single_rate = single.configs as f64 / single_secs;
         let baseline_rate = baseline.configs as f64 / baseline_secs;
-        let spill_overhead = sharded_rate / spill_rate;
-        worst_spill_overhead = worst_spill_overhead.max(spill_overhead);
+        let delta_overhead = sharded_rate / delta_rate;
+        let plain_overhead = sharded_rate / plain_rate;
+        worst_delta_overhead = worst_delta_overhead.max(delta_overhead);
+        worst_plain_overhead = worst_plain_overhead.max(plain_overhead);
         println!(
-            "{:>6} {:>10} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>8.2}x {:>8.2}x",
+            "{:>6} {:>10} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>8.2}x {:>8.2}x {:>8.2}x",
             depth,
             sharded.configs,
             sharded_rate,
-            spill_rate,
+            delta_rate,
+            plain_rate,
             single_rate,
             baseline_rate,
-            spill_overhead,
+            delta_overhead,
+            plain_overhead,
             sharded_rate / baseline_rate
         );
+        json_lines.push(json_line(depth, "sharded", &sharded, sharded_secs, 1.0));
+        json_lines.push(json_line(
+            depth,
+            "spill-delta",
+            &delta,
+            delta_secs,
+            delta_overhead,
+        ));
+        json_lines.push(json_line(
+            depth,
+            "spill-plain",
+            &plain,
+            plain_secs,
+            plain_overhead,
+        ));
+        json_lines.push(json_line(
+            depth,
+            "single-shard",
+            &single,
+            single_secs,
+            sharded_rate / single_rate,
+        ));
+        json_lines.push(json_line(
+            depth,
+            "retained-baseline",
+            &baseline,
+            baseline_secs,
+            sharded_rate / baseline_rate,
+        ));
     }
     println!(
         "\nengine backend: {threads_used} thread(s), {shards_used} visited-set shard(s) \
          (occupancy balance {balance:.2}); dedup on 128-bit fingerprints \
          (baseline retains full configuration clones). \
          Knobs: SLX_ENGINE_THREADS, SLX_ENGINE_SHARDS, SLX_ENGINE_MEM_BUDGET, \
-         SLX_ENGINE_SPILL_DIR."
+         SLX_ENGINE_SPILL_DIR, SLX_ENGINE_SPILL_CODEC."
     );
     println!(
-        "spill arm (last row): {SPILL_BUDGET}-byte budget, {spill_chunks} chunks / \
-         {spill_bytes} bytes spilled, peak {spill_resident} resident of \
-         {spill_peak_frontier} frontier states; worst in-memory/spill ratio \
-         {worst_spill_overhead:.2}x (beyond-RAM target: <= 1.30x)."
+        "spill arms (last row): {spill_budget}-byte budget; delta codec wrote \
+         {delta_chunks} chunks / {delta_bytes} bytes (plain: {plain_bytes} bytes), \
+         peak {spill_resident} resident of {spill_peak_frontier} frontier states; \
+         worst in-memory/spill ratio {worst_delta_overhead:.2}x delta vs \
+         {worst_plain_overhead:.2}x plain (beyond-RAM target: <= 1.30x).\n"
     );
+    for line in json_lines {
+        println!("{line}");
+    }
 }

@@ -1,6 +1,6 @@
 //! Gafni's commit-adopt object from registers, as a resumable sub-machine.
 
-use slx_engine::StateCodec;
+use slx_engine::{DeltaCodec, DeltaCtx, StateCodec};
 use slx_history::Value;
 use slx_memory::{Memory, ObjId, PrimOutcome, Primitive};
 
@@ -207,6 +207,20 @@ impl StateCodec for AdoptCommit {
         // them (see `slx_memory::encode_objid_run`).
         slx_memory::encode_objid_run(&self.a, out);
         slx_memory::encode_objid_run(&self.b, out);
+        self.encode_locals(out);
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        let a = slx_memory::decode_objid_run(bytes)?;
+        let b = slx_memory::decode_objid_run(bytes)?;
+        AdoptCommit::decode_locals(a, b, bytes)
+    }
+}
+
+impl AdoptCommit {
+    /// Encodes everything but the register arrays — the shared tail of
+    /// both the self-contained and the delta encodings.
+    fn encode_locals(&self, out: &mut Vec<u8>) {
         self.me.encode(out);
         self.input.encode(out);
         match self.pc {
@@ -228,9 +242,7 @@ impl StateCodec for AdoptCommit {
         self.min_b_seen.encode(out);
     }
 
-    fn decode(bytes: &mut &[u8]) -> Option<Self> {
-        let a = slx_memory::decode_objid_run(bytes)?;
-        let b = slx_memory::decode_objid_run(bytes)?;
+    fn decode_locals(a: Vec<ObjId>, b: Vec<ObjId>, bytes: &mut &[u8]) -> Option<AdoptCommit> {
         let me = usize::decode(bytes)?;
         let input = Value::decode(bytes)?;
         let pc = match u8::decode(bytes)? {
@@ -252,6 +264,40 @@ impl StateCodec for AdoptCommit {
             any_b: bool::decode(bytes)?,
             min_b_seen: Option::decode(bytes)?,
         })
+    }
+}
+
+impl DeltaCodec for AdoptCommit {
+    /// A process stays inside one commit-adopt object for `2n + 2`
+    /// consecutive steps, so a sibling's sub-machine almost always holds
+    /// the *same* register arrays: those collapse to one marker byte and
+    /// only the few-byte local fields re-encode.
+    fn encode_delta(&self, prev: Option<&Self>, out: &mut Vec<u8>) {
+        let Some(prev) = prev else {
+            return self.encode(out);
+        };
+        let same_regs = self.a == prev.a && self.b == prev.b;
+        out.push(u8::from(same_regs));
+        if !same_regs {
+            slx_memory::encode_objid_run(&self.a, out);
+            slx_memory::encode_objid_run(&self.b, out);
+        }
+        self.encode_locals(out);
+    }
+
+    fn decode_delta(prev: Option<&Self>, input: &mut &[u8], _ctx: &mut DeltaCtx) -> Option<Self> {
+        let Some(prev) = prev else {
+            return Self::decode(input);
+        };
+        let (a, b) = match u8::decode(input)? {
+            1 => (prev.a.clone(), prev.b.clone()),
+            0 => (
+                slx_memory::decode_objid_run(input)?,
+                slx_memory::decode_objid_run(input)?,
+            ),
+            _ => return None,
+        };
+        AdoptCommit::decode_locals(a, b, input)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Wait-free consensus from a single compare-and-swap object.
 
-use slx_engine::StateCodec;
+use slx_engine::{DeltaCodec, StateCodec};
 use slx_history::{Operation, Response, Value};
 use slx_memory::{Memory, ObjId, PrimOutcome, Primitive, Process, StepEffect};
 
@@ -63,6 +63,9 @@ impl StateCodec for CasConsensus {
         Some(CasConsensus { obj, pc })
     }
 }
+
+// Three bytes at most: the self-contained default is minimal.
+impl DeltaCodec for CasConsensus {}
 
 impl Process<ConsWord> for CasConsensus {
     fn on_invoke(&mut self, op: Operation) {

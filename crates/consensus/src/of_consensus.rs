@@ -1,7 +1,7 @@
 //! Obstruction-free consensus from registers: rounds of commit-adopt plus
 //! a decision register.
 
-use slx_engine::StateCodec;
+use slx_engine::{DeltaCodec, DeltaCtx, StateCodec};
 use slx_history::{Operation, ProcessId, Response, Value};
 use slx_memory::{Memory, ObjId, PrimOutcome, Primitive, Process, StepEffect};
 
@@ -19,13 +19,31 @@ use crate::word::ConsWord;
 /// the disk-backed frontier decodes one per restored state, so the
 /// nested shape cost ~130 heap allocations per clone where this one
 /// costs a reference-count bump (and a single allocation per decode).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+// `Hash` stays derived (it hashes the slice contents): the manual
+// `PartialEq` only adds a pointer-identity fast path, and pointer
+// equality implies content equality, so `a == b ⇒ hash(a) == hash(b)`
+// still holds.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Debug, Clone, Eq, Hash)]
 pub struct Layout {
     decision: ObjId,
     /// Participants per commit-adopt object.
     n: usize,
     /// `a`-then-`b` register ids, `2n` per round.
     regs: std::sync::Arc<[ObjId]>,
+}
+
+impl PartialEq for Layout {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer-identical slices (every clone of one layout — i.e. all
+        // processes of a configuration and all its exploration
+        // descendants) short-circuit the element walk: the kernel
+        // compares sibling configurations per spilled record, where
+        // walking `2n × max_rounds` ids dominates the whole encode.
+        self.decision == other.decision
+            && self.n == other.n
+            && (std::sync::Arc::ptr_eq(&self.regs, &other.regs) || self.regs == other.regs)
+    }
 }
 
 impl Layout {
@@ -197,6 +215,48 @@ impl StateCodec for Layout {
     }
 }
 
+impl DeltaCodec for Layout {
+    /// Every process of a configuration — and every sibling in a chunk —
+    /// runs over the *same* layout, so the common case is one marker
+    /// byte, and the decode side restores the `Arc` sharing the
+    /// in-memory kernel enjoys (the whole reason clones of this type are
+    /// a refcount bump) instead of re-materializing the register slice
+    /// per record.
+    fn encode_delta(&self, prev: Option<&Self>, out: &mut Vec<u8>) {
+        let same = prev.is_some_and(|prev| {
+            self.decision == prev.decision
+                && self.n == prev.n
+                && (std::sync::Arc::ptr_eq(&self.regs, &prev.regs) || self.regs == prev.regs)
+        });
+        out.push(u8::from(same));
+        if !same {
+            self.encode(out);
+        }
+    }
+
+    fn decode_delta(prev: Option<&Self>, input: &mut &[u8], ctx: &mut DeltaCtx) -> Option<Self> {
+        match u8::decode(input)? {
+            1 => prev.cloned(),
+            0 => {
+                let decision = ObjId::decode(input)?;
+                let n = usize::decode(input)?;
+                // Self-contained (chunk-first) records intern the slice:
+                // every chunk of a replay shares one allocation instead
+                // of materializing `2n × max_rounds` ids per chunk.
+                let before = *input;
+                let regs = slx_memory::decode_objid_run(input)?;
+                if n > 0 && !regs.len().is_multiple_of(2 * n) {
+                    return None;
+                }
+                let key = &before[..before.len() - input.len()];
+                let regs: std::sync::Arc<[ObjId]> = ctx.intern(key, regs.into());
+                Some(Layout { decision, n, regs })
+            }
+            _ => None,
+        }
+    }
+}
+
 impl StateCodec for ObstructionFreeConsensus {
     fn encode(&self, out: &mut Vec<u8>) {
         self.layout.encode(out);
@@ -229,6 +289,74 @@ impl StateCodec for ObstructionFreeConsensus {
             0 => Pc::Idle,
             1 => Pc::CheckDecision,
             2 => Pc::Round(AdoptCommit::decode(input)?),
+            3 => Pc::WriteDecision(Value::decode(input)?),
+            _ => return None,
+        };
+        Some(ObstructionFreeConsensus {
+            layout,
+            me,
+            n,
+            est,
+            round,
+            pc,
+            rounds_used: u64::decode(input)?,
+        })
+    }
+}
+
+impl DeltaCodec for ObstructionFreeConsensus {
+    /// The layout collapses to its one-byte same-as-predecessor marker
+    /// (see [`Layout`]'s hooks) and an in-round sub-machine deltas
+    /// against the predecessor's; the remaining locals are a few bytes.
+    fn encode_delta(&self, prev: Option<&Self>, out: &mut Vec<u8>) {
+        let Some(prev) = prev else {
+            return self.encode(out);
+        };
+        self.layout.encode_delta(Some(&prev.layout), out);
+        self.me.encode(out);
+        self.n.encode(out);
+        self.est.encode(out);
+        self.round.encode(out);
+        match &self.pc {
+            Pc::Idle => out.push(0),
+            Pc::CheckDecision => out.push(1),
+            Pc::Round(ac) => {
+                out.push(2);
+                // Mirrored on decode: the sub-machine deltas iff the
+                // predecessor was also mid-round.
+                let prev_ac = match &prev.pc {
+                    Pc::Round(prev_ac) => Some(prev_ac),
+                    _ => None,
+                };
+                ac.encode_delta(prev_ac, out);
+            }
+            Pc::WriteDecision(v) => {
+                out.push(3);
+                v.encode(out);
+            }
+        }
+        self.rounds_used.encode(out);
+    }
+
+    fn decode_delta(prev: Option<&Self>, input: &mut &[u8], ctx: &mut DeltaCtx) -> Option<Self> {
+        let Some(prev) = prev else {
+            return Self::decode(input);
+        };
+        let layout = Layout::decode_delta(Some(&prev.layout), input, ctx)?;
+        let me = ProcessId::decode(input)?;
+        let n = usize::decode(input)?;
+        let est = Value::decode(input)?;
+        let round = usize::decode(input)?;
+        let pc = match u8::decode(input)? {
+            0 => Pc::Idle,
+            1 => Pc::CheckDecision,
+            2 => {
+                let prev_ac = match &prev.pc {
+                    Pc::Round(prev_ac) => Some(prev_ac),
+                    _ => None,
+                };
+                Pc::Round(AdoptCommit::decode_delta(prev_ac, input, ctx)?)
+            }
             3 => Pc::WriteDecision(Value::decode(input)?),
             _ => return None,
         };

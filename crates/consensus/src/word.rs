@@ -1,6 +1,6 @@
 //! The register alphabet of the consensus implementations.
 
-use slx_engine::StateCodec;
+use slx_engine::{DeltaCodec, StateCodec};
 use slx_history::Value;
 
 /// Contents of the registers used by the consensus algorithms: the
@@ -53,6 +53,9 @@ impl StateCodec for ConsWord {
         })
     }
 }
+
+// Two or three bytes at most: the self-contained default is minimal.
+impl DeltaCodec for ConsWord {}
 
 impl std::fmt::Display for ConsWord {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -7,9 +7,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::codec::StateCodec;
+use crate::codec::DeltaCodec;
 use crate::space::{Expansion, StateSpace};
-use crate::spill::{SpillConfig, SpillFrontier};
+use crate::spill::{SpillCodec, SpillConfig, SpillFrontier};
 use crate::stats::ExploreStats;
 use crate::visited::ShardedVisited;
 use crate::Digest;
@@ -70,6 +70,10 @@ pub struct Checker {
     /// Explicit spill directory; `None` defers to `SLX_ENGINE_SPILL_DIR`,
     /// then to the system temp directory.
     spill_dir: Option<PathBuf>,
+    /// Explicit spill-chunk record encoding; `None` defers to
+    /// `SLX_ENGINE_SPILL_CODEC` (`plain` or `delta`), then to
+    /// [`SpillCodec::Delta`].
+    spill_codec: Option<SpillCodec>,
 }
 
 /// Minimum frontier size before a BFS level is worth spawning workers for:
@@ -107,6 +111,7 @@ impl Checker {
             shards: None,
             mem_budget: None,
             spill_dir: None,
+            spill_codec: None,
         }
     }
 
@@ -119,6 +124,7 @@ impl Checker {
             shards: None,
             mem_budget: None,
             spill_dir: None,
+            spill_codec: None,
         }
     }
 
@@ -162,7 +168,8 @@ impl Checker {
 
     /// Bounds the BFS frontier's resident footprint to roughly `bytes`
     /// bytes of encoded states: cold frontier chunks beyond the budget
-    /// are serialized ([`StateCodec`]) to self-cleaning temp files and
+    /// are serialized ([`crate::StateCodec`] records, delta-encoded by
+    /// default — see [`Checker::with_spill_codec`]) to self-cleaning temp files and
     /// streamed back during level expansion, so arbitrarily wide levels
     /// explore in bounded memory. Chunk boundaries depend only on encoded
     /// sizes and chunks replay in frontier order, so verdicts, findings,
@@ -188,6 +195,46 @@ impl Checker {
     pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.spill_dir = Some(dir.into());
         self
+    }
+
+    /// Pins the spill-chunk record encoding: [`SpillCodec::Delta`] (the
+    /// default — records delta-encode against their chunk predecessor,
+    /// cutting spill volume and decode cost on sibling-heavy levels) or
+    /// [`SpillCodec::Plain`] (every record self-contained; the
+    /// comparison arm). Verdicts, findings, and every count except the
+    /// spill-volume statistics are identical under either. Without this
+    /// knob the `SLX_ENGINE_SPILL_CODEC` environment variable (`delta` /
+    /// `plain`) is honored, falling back to delta.
+    #[must_use]
+    pub fn with_spill_codec(mut self, codec: SpillCodec) -> Self {
+        self.spill_codec = Some(codec);
+        self
+    }
+
+    /// The spill-chunk record encoding this checker will use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized `SLX_ENGINE_SPILL_CODEC` value: the
+    /// variable exists to pin comparison arms, and a typo silently
+    /// falling back to the default would make e.g. a "plain codec" CI
+    /// arm green-light while re-testing the delta path.
+    #[must_use]
+    pub fn resolve_spill_codec(&self) -> SpillCodec {
+        self.spill_codec
+            .or_else(
+                || match std::env::var("SLX_ENGINE_SPILL_CODEC").ok().as_deref() {
+                    Some("plain") => Some(SpillCodec::Plain),
+                    Some("delta") => Some(SpillCodec::Delta),
+                    Some("") | None => None,
+                    Some(other) => {
+                        panic!(
+                            "SLX_ENGINE_SPILL_CODEC must be \"delta\" or \"plain\", got {other:?}"
+                        )
+                    }
+                },
+            )
+            .unwrap_or_default()
     }
 
     /// The frontier memory budget this checker will spill under, if any:
@@ -222,7 +269,11 @@ impl Checker {
             .unwrap_or_else(std::env::temp_dir);
         std::fs::create_dir_all(&dir)
             .unwrap_or_else(|err| panic!("cannot create spill dir {}: {err}", dir.display()));
-        Some(SpillConfig::new((budget / 2).max(64), dir))
+        Some(SpillConfig::new(
+            (budget / 2).max(64),
+            self.resolve_spill_codec(),
+            dir,
+        ))
     }
 
     /// The configured backend.
@@ -235,7 +286,7 @@ impl Checker {
     pub fn run<Sp>(&self, space: &Sp, initial: Vec<Sp::State>) -> KernelOutcome<Sp::Finding>
     where
         Sp: StateSpace + Sync,
-        Sp::State: StateCodec,
+        Sp::State: DeltaCodec,
     {
         self.run_until(space, initial, |_| false)
     }
@@ -252,7 +303,7 @@ impl Checker {
     ) -> KernelOutcome<Sp::Finding>
     where
         Sp: StateSpace + Sync,
-        Sp::State: StateCodec,
+        Sp::State: DeltaCodec,
     {
         match self.backend {
             Backend::ParallelBfs { threads } => self.run_bfs(space, initial, threads, stop),
@@ -269,7 +320,7 @@ impl Checker {
     ) -> KernelOutcome<Sp::Finding>
     where
         Sp: StateSpace + Sync,
-        Sp::State: StateCodec,
+        Sp::State: DeltaCodec,
     {
         let start = Instant::now();
         let spill = self.resolve_spill();
@@ -281,6 +332,7 @@ impl Checker {
         let mut stats = ExploreStats {
             threads,
             shards: shard_count,
+            mem_budget: self.resolve_mem_budget(),
             ..ExploreStats::default()
         };
         let mut findings: Vec<Sp::Finding> = Vec::new();
@@ -319,6 +371,7 @@ impl Checker {
             stats.peak_frontier = stats.peak_frontier.max(frontier.len());
             stats.spilled_chunks += frontier.spilled_chunks();
             stats.spilled_bytes += frontier.spilled_bytes();
+            stats.peak_resident_bytes = stats.peak_resident_bytes.max(frontier.peak_window_bytes());
 
             // Stream the level back chunk by chunk (one chunk, the whole
             // level, without a memory budget): the peak resident decoded
@@ -772,6 +825,99 @@ mod tests {
             resident.stats.peak_resident_states,
             resident.stats.peak_frontier
         );
+    }
+
+    #[test]
+    fn growing_states_respect_the_byte_budget() {
+        // The accumulating-history shape that broke the old state-count
+        // window: every step appends to a payload, so states late in the
+        // run encode ~50x larger than the probe-sized first record. The
+        // byte-measured window must keep the resident encoded bytes
+        // within one chunk (budget / 2) plus one record — and the run
+        // must stay bit-identical to the resident one.
+        struct Accumulator {
+            bound: u32,
+        }
+        impl StateSpace for Accumulator {
+            type State = (u32, Vec<u32>);
+            type Finding = u32;
+            fn digest(&self, s: &Self::State) -> Digest {
+                digest128_of(s)
+            }
+            fn expand(&self, (x, trail): &Self::State, _depth: usize, ctx: &mut Expansion<Self>) {
+                if *x >= self.bound {
+                    ctx.finding(trail.len() as u32);
+                    return;
+                }
+                // Branches grow the trail by different amounts, so one
+                // BFS level mixes records of very different sizes — the
+                // shape the old first-record probe mis-sized.
+                for step in 0..3u32 {
+                    let mut grown = trail.clone();
+                    grown.extend(std::iter::repeat_n(*x * 3 + step + 1000, step as usize + 1));
+                    ctx.push((*x + 1, grown));
+                }
+            }
+        }
+        const BUDGET: usize = 2048;
+        let space = Accumulator { bound: 8 };
+        let resident = Checker::parallel_bfs(1)
+            .with_mem_budget(0)
+            .run(&space, vec![(0, Vec::new())]);
+        let spilled = Checker::parallel_bfs(1)
+            .with_mem_budget(BUDGET)
+            .run(&space, vec![(0, Vec::new())]);
+        assert_eq!(spilled.stats.configs, resident.stats.configs);
+        assert_eq!(spilled.stats.dedup_hits, resident.stats.dedup_hits);
+        assert_eq!(spilled.findings, resident.findings);
+        assert!(spilled.stats.spilled_chunks > 2, "deep levels must spill");
+        // Largest record: 16 digest bytes + tuple of (u32, 24-element
+        // Vec<u32> with multi-byte varints).
+        let max_record = 16 + 4 + 24 * 5;
+        assert!(
+            spilled.stats.peak_resident_bytes <= BUDGET / 2 + max_record,
+            "window peaked at {} encoded bytes; chunk budget {} + record {max_record}",
+            spilled.stats.peak_resident_bytes,
+            BUDGET / 2
+        );
+        assert_eq!(spilled.stats.mem_budget, Some(BUDGET));
+        assert_eq!(resident.stats.mem_budget, None);
+    }
+
+    #[test]
+    fn spill_codec_resolution() {
+        assert_eq!(
+            Checker::parallel_bfs(1).resolve_spill_codec(),
+            SpillCodec::Delta,
+            "delta is the default"
+        );
+        assert_eq!(
+            Checker::parallel_bfs(1)
+                .with_spill_codec(SpillCodec::Plain)
+                .resolve_spill_codec(),
+            SpillCodec::Plain
+        );
+    }
+
+    #[test]
+    fn plain_spill_codec_matches_delta_and_resident() {
+        let space = grid(60);
+        let resident = Checker::parallel_bfs(1)
+            .with_mem_budget(0)
+            .run(&space, vec![(0, 0)]);
+        for codec in [SpillCodec::Delta, SpillCodec::Plain] {
+            let spilled = Checker::parallel_bfs(1)
+                .with_mem_budget(256)
+                .with_spill_codec(codec)
+                .run(&space, vec![(0, 0)]);
+            assert_eq!(spilled.stats.configs, resident.stats.configs, "{codec:?}");
+            assert_eq!(
+                spilled.stats.dedup_hits, resident.stats.dedup_hits,
+                "{codec:?}"
+            );
+            assert_eq!(spilled.findings, resident.findings, "{codec:?}");
+            assert!(spilled.stats.spilled_chunks >= 2, "{codec:?}");
+        }
     }
 
     #[test]

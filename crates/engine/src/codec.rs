@@ -29,6 +29,9 @@
 //! expand). `usize` encodes as `u64`, so spill files do not depend on the
 //! platform word size.
 
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+
 /// A state that can be serialized into (and restored from) a
 /// self-delimiting binary encoding, enabling the [`crate::Checker`] to
 /// spill cold frontier chunks to disk under a memory budget.
@@ -92,6 +95,14 @@ fn take_varint(input: &mut &[u8]) -> Option<u64> {
         }
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
+            // Reject overlong (non-minimal) forms: a final zero byte in a
+            // multi-byte encoding contributes nothing, so e.g. `0x80 0x00`
+            // would alias the valid one-byte `0x00`. `put_varint` never
+            // emits such forms; accepting them would let a damaged spill
+            // file silently decode as a different valid record.
+            if byte == 0 {
+                return None;
+            }
             return Some(v);
         }
         shift += 7;
@@ -258,6 +269,251 @@ impl<T: StateCodec> StateCodec for Option<T> {
     }
 }
 
+/// Per-replay decode context: an intern table rebuilding shared immutable
+/// sub-structures.
+///
+/// The in-memory kernel shares big immutable pieces of sibling states —
+/// the consensus `Layout`'s `Arc<[ObjId]>` register slice above all — by
+/// reference-count bumps. A plain per-record decode re-materializes each
+/// of them from scratch, which is most of the spill arm's overhead.
+/// Within one chunk the delta chain restores sharing for free (an
+/// "unchanged" field decodes as a clone of the predecessor's), but the
+/// first record of every chunk is self-contained; the intern table closes
+/// that last gap. Keyed by the encoded bytes of the sub-structure (plus
+/// its type), it hands every later self-contained decode in the same
+/// replay the first decode's allocation.
+///
+/// One `DeltaCtx` lives for one chunk replay (see
+/// `crate::spill::FrontierChunks`), so nothing interned outlives the
+/// frontier it came from.
+#[derive(Debug, Default)]
+pub struct DeltaCtx {
+    interned: HashMap<TypeId, InternedByKey>,
+}
+
+/// One type's interned values, keyed by their encoded bytes.
+type InternedByKey = HashMap<Box<[u8]>, Box<dyn Any>>;
+
+impl DeltaCtx {
+    /// An empty context.
+    #[must_use]
+    pub fn new() -> Self {
+        DeltaCtx::default()
+    }
+
+    /// Returns the canonical copy of `fresh` for `key` (its encoded
+    /// bytes), registering `fresh` as the canonical copy on first sight.
+    /// Intern only cheaply clonable shared handles (`Arc`/`Rc` values):
+    /// the hit path clones the stored canonical value.
+    pub fn intern<T: Clone + 'static>(&mut self, key: &[u8], fresh: T) -> T {
+        let by_type = self.interned.entry(TypeId::of::<T>()).or_default();
+        if let Some(hit) = by_type.get(key).and_then(|b| b.downcast_ref::<T>()) {
+            return hit.clone();
+        }
+        by_type.insert(key.into(), Box::new(fresh.clone()));
+        fresh
+    }
+
+    /// Interned entries (for tests and diagnostics).
+    #[must_use]
+    pub fn interned_count(&self) -> usize {
+        self.interned.values().map(HashMap::len).sum()
+    }
+}
+
+/// Context encoding for spill chunks: each record delta-encoded against
+/// its chunk predecessor.
+///
+/// The disk-backed frontier (`crate::spill`) writes records in push order,
+/// and consecutive records of a BFS level are siblings: they share their
+/// layouts, most of their memory words, long history prefixes. A
+/// [`DeltaCodec`] exploits exactly that — [`DeltaCodec::encode_delta`]
+/// receives the previously pushed record and may collapse unchanged
+/// fields to a few skip/copy varints, and [`DeltaCodec::decode_delta`]
+/// rebuilds them as clones of the predecessor's fields (restoring the
+/// `Arc` sharing the in-memory kernel enjoys) with a [`DeltaCtx`] intern
+/// table for sharing across self-contained records.
+///
+/// `prev = None` means the record must be **self-contained** (the spill
+/// path passes `None` for the first record of every chunk, which is what
+/// keeps chunk boundaries independently decodable and replay
+/// deterministic).
+///
+/// The contract, pinned by `codec_props` alongside the [`StateCodec`]
+/// laws, for every `prev` in `{None, Some(p)}`:
+///
+/// 1. **Round trip**: `decode_delta(prev, encode_delta(self, prev)) ==
+///    self`, against the *same* predecessor on both sides.
+/// 2. **Self-delimiting**: `decode_delta` consumes exactly the bytes
+///    `encode_delta` produced.
+/// 3. **Determinism**: `encode_delta` is a pure function of `(self,
+///    prev)` — chunk boundaries are byte-measured, so spill determinism
+///    rides on it.
+/// 4. **Totality of decode**: malformed or truncated input yields `None`.
+///
+/// Every method has a self-contained default (delegating to
+/// [`StateCodec`]), so `impl DeltaCodec for X {}` opts a type in with
+/// plain behaviour; types with shareable structure override both hooks
+/// together.
+pub trait DeltaCodec: StateCodec {
+    /// Appends the encoding of `self` against the chunk predecessor
+    /// `prev` (`None` ⇒ the record must be self-contained).
+    fn encode_delta(&self, prev: Option<&Self>, out: &mut Vec<u8>) {
+        let _ = prev;
+        self.encode(out);
+    }
+
+    /// Decodes one value encoded by [`DeltaCodec::encode_delta`] against
+    /// the same `prev`, advancing `input` past exactly the bytes written.
+    /// Returns `None` on malformed or truncated input — including a delta
+    /// record presented without its predecessor.
+    fn decode_delta(prev: Option<&Self>, input: &mut &[u8], ctx: &mut DeltaCtx) -> Option<Self> {
+        let _ = (prev, ctx);
+        Self::decode(input)
+    }
+}
+
+macro_rules! plain_delta_codec {
+    ($($ty:ty),*) => {$(
+        impl DeltaCodec for $ty {}
+    )*};
+}
+
+// Primitives are at most a few bytes; a delta marker would cost as much
+// as the value.
+plain_delta_codec!(u8, u16, u32, u64, u128, i64, usize, bool, ());
+
+impl<A: DeltaCodec, B: DeltaCodec> DeltaCodec for (A, B) {
+    fn encode_delta(&self, prev: Option<&Self>, out: &mut Vec<u8>) {
+        self.0.encode_delta(prev.map(|p| &p.0), out);
+        self.1.encode_delta(prev.map(|p| &p.1), out);
+    }
+
+    fn decode_delta(prev: Option<&Self>, input: &mut &[u8], ctx: &mut DeltaCtx) -> Option<Self> {
+        Some((
+            A::decode_delta(prev.map(|p| &p.0), input, ctx)?,
+            B::decode_delta(prev.map(|p| &p.1), input, ctx)?,
+        ))
+    }
+}
+
+impl<A: DeltaCodec, B: DeltaCodec, C: DeltaCodec> DeltaCodec for (A, B, C) {
+    fn encode_delta(&self, prev: Option<&Self>, out: &mut Vec<u8>) {
+        self.0.encode_delta(prev.map(|p| &p.0), out);
+        self.1.encode_delta(prev.map(|p| &p.1), out);
+        self.2.encode_delta(prev.map(|p| &p.2), out);
+    }
+
+    fn decode_delta(prev: Option<&Self>, input: &mut &[u8], ctx: &mut DeltaCtx) -> Option<Self> {
+        Some((
+            A::decode_delta(prev.map(|p| &p.0), input, ctx)?,
+            B::decode_delta(prev.map(|p| &p.1), input, ctx)?,
+            C::decode_delta(prev.map(|p| &p.2), input, ctx)?,
+        ))
+    }
+}
+
+impl<T: DeltaCodec> DeltaCodec for Option<T> {
+    fn encode_delta(&self, prev: Option<&Self>, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(value) => {
+                out.push(1);
+                value.encode_delta(prev.and_then(Option::as_ref), out);
+            }
+        }
+    }
+
+    fn decode_delta(prev: Option<&Self>, input: &mut &[u8], ctx: &mut DeltaCtx) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(None),
+            1 => Some(Some(T::decode_delta(
+                prev.and_then(Option::as_ref),
+                input,
+                ctx,
+            )?)),
+            _ => None,
+        }
+    }
+}
+
+impl<T: DeltaCodec + PartialEq + Clone> DeltaCodec for Vec<T> {
+    fn encode_delta(&self, prev: Option<&Self>, out: &mut Vec<u8>) {
+        match prev {
+            None => self.encode(out),
+            Some(prev) => encode_slice_delta(self, prev, out),
+        }
+    }
+
+    fn decode_delta(prev: Option<&Self>, input: &mut &[u8], ctx: &mut DeltaCtx) -> Option<Self> {
+        match prev {
+            None => Self::decode(input),
+            Some(prev) => decode_slice_delta(prev, input, ctx),
+        }
+    }
+}
+
+/// Delta-encodes `items` against the predecessor record's `prev` slice:
+/// length, then the sparse run of changed entries below the common length
+/// — each emitted as a strictly positive index gap followed by the
+/// element delta-encoded against its counterpart, terminated by a zero
+/// gap — then any tail beyond `prev` self-contained. Unchanged elements
+/// cost nothing on the wire and decode as clones of `prev`'s, and the
+/// gap-sentinel framing needs only **one** compare pass (this helper sits
+/// on the spill push path, where every pushed state walks it) — this is
+/// the skip/copy core every slice-shaped layer codec (`Vec`, histories,
+/// event logs, memory object pools) delegates to. Decode with
+/// [`decode_slice_delta`].
+pub fn encode_slice_delta<T: DeltaCodec + PartialEq>(items: &[T], prev: &[T], out: &mut Vec<u8>) {
+    let len = u32::try_from(items.len()).expect("frontier states are far below 2^32 elements");
+    len.encode(out);
+    let common = items.len().min(prev.len());
+    let mut last = 0usize; // one past the previous changed index
+    for (i, (item, old)) in items[..common].iter().zip(&prev[..common]).enumerate() {
+        if item != old {
+            (i - last + 1).encode(out);
+            item.encode_delta(Some(old), out);
+            last = i + 1;
+        }
+    }
+    0usize.encode(out);
+    for item in &items[common..] {
+        item.encode_delta(None, out);
+    }
+}
+
+/// Decoding counterpart of [`encode_slice_delta`]; rejects gaps that run
+/// past the common length (the encoder never produces them).
+pub fn decode_slice_delta<T: DeltaCodec + PartialEq + Clone>(
+    prev: &[T],
+    input: &mut &[u8],
+    ctx: &mut DeltaCtx,
+) -> Option<Vec<T>> {
+    let len = u32::decode(input)? as usize;
+    let common = len.min(prev.len());
+    // The tail decodes from the input (≥ 1 byte per element), so a corrupt
+    // length prefix fails on input exhaustion, never an unbounded reserve.
+    let mut items = Vec::with_capacity(len.min(common + input.len()));
+    items.extend_from_slice(&prev[..common]);
+    let mut next = 0usize; // one past the previous changed index
+    loop {
+        let gap = usize::decode(input)?;
+        if gap == 0 {
+            break;
+        }
+        let index = next.checked_add(gap)? - 1;
+        if index >= common {
+            return None;
+        }
+        items[index] = T::decode_delta(Some(&prev[index]), input, ctx)?;
+        next = index + 1;
+    }
+    for _ in common..len {
+        items.push(T::decode_delta(None, input, ctx)?);
+    }
+    Some(items)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,5 +585,128 @@ mod tests {
         assert_eq!(bool::decode(&mut input), None);
         let mut input: &[u8] = &[7];
         assert_eq!(Option::<u8>::decode(&mut input), None);
+    }
+
+    #[test]
+    fn overlong_varints_are_rejected() {
+        // `0x80 0x00` is a two-byte encoding of 0; only `0x00` is valid.
+        for overlong in [
+            &[0x80, 0x00][..],
+            &[0x81, 0x00],
+            &[0xff, 0x00],
+            &[0x80, 0x80, 0x00],
+            &[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x00],
+        ] {
+            let mut input = overlong;
+            assert_eq!(u64::decode(&mut input), None, "overlong {overlong:?}");
+        }
+        // The minimal forms they alias still decode.
+        let mut input: &[u8] = &[0x00];
+        assert_eq!(u64::decode(&mut input), Some(0));
+        let mut input: &[u8] = &[0x81, 0x01];
+        assert_eq!(u64::decode(&mut input), Some(0x81));
+        // Boundary values survive the canonicality check.
+        round_trip(u64::MAX);
+        round_trip(0x7fu64);
+        round_trip(0x80u64);
+    }
+
+    fn delta_round_trip<T: DeltaCodec + PartialEq + Clone + std::fmt::Debug>(
+        value: &T,
+        prev: Option<&T>,
+    ) -> usize {
+        let mut buf = Vec::new();
+        value.encode_delta(prev, &mut buf);
+        let mut again = Vec::new();
+        value.encode_delta(prev, &mut again);
+        assert_eq!(buf, again, "delta encode must be deterministic");
+        let mut input = buf.as_slice();
+        let mut ctx = DeltaCtx::new();
+        assert_eq!(
+            T::decode_delta(prev, &mut input, &mut ctx).as_ref(),
+            Some(value)
+        );
+        assert!(input.is_empty(), "delta decode must consume the encoding");
+        buf.len()
+    }
+
+    #[test]
+    fn delta_defaults_round_trip() {
+        delta_round_trip(&7u64, None);
+        delta_round_trip(&7u64, Some(&7u64));
+        delta_round_trip(&(3u32, 9u64), Some(&(3u32, 8u64)));
+        delta_round_trip(&Some(4u8), Some(&None));
+        delta_round_trip(&Option::<u8>::None, Some(&Some(1)));
+    }
+
+    #[test]
+    fn slice_delta_skips_unchanged_elements() {
+        let prev = vec![10u64, 20, 30, 40];
+        let same = delta_round_trip(&prev.clone(), Some(&prev));
+        assert_eq!(same, 2, "an unchanged slice is two varints");
+        // One changed element plus an appended tail.
+        let next = vec![10u64, 21, 30, 40, 50];
+        let bytes = delta_round_trip(&next, Some(&prev));
+        let mut full = Vec::new();
+        next.encode(&mut full);
+        assert!(bytes < full.len(), "delta {bytes} vs full {}", full.len());
+        // Truncation below the predecessor's length.
+        delta_round_trip(&vec![10u64, 99], Some(&prev));
+        delta_round_trip(&Vec::<u64>::new(), Some(&prev));
+        delta_round_trip(&next, None);
+    }
+
+    #[test]
+    fn slice_delta_rejects_bad_changed_gaps() {
+        let prev = vec![1u64, 2, 3];
+        // A gap running past the common length.
+        let mut buf = Vec::new();
+        3u32.encode(&mut buf); // len
+        9usize.encode(&mut buf); // gap to index 8 >= common 3
+        7u64.encode(&mut buf);
+        0usize.encode(&mut buf);
+        let mut input = buf.as_slice();
+        assert_eq!(
+            decode_slice_delta::<u64>(&prev, &mut input, &mut DeltaCtx::new()),
+            None
+        );
+        // A second gap overrunning after a valid first entry.
+        let mut buf = Vec::new();
+        3u32.encode(&mut buf);
+        1usize.encode(&mut buf); // index 0
+        7u64.encode(&mut buf);
+        4usize.encode(&mut buf); // gap to index 4 >= common 3
+        8u64.encode(&mut buf);
+        0usize.encode(&mut buf);
+        let mut input = buf.as_slice();
+        assert_eq!(
+            decode_slice_delta::<u64>(&prev, &mut input, &mut DeltaCtx::new()),
+            None
+        );
+        // A missing terminator fails on input exhaustion.
+        let mut buf = Vec::new();
+        3u32.encode(&mut buf);
+        1usize.encode(&mut buf);
+        7u64.encode(&mut buf);
+        let mut input = buf.as_slice();
+        assert_eq!(
+            decode_slice_delta::<u64>(&prev, &mut input, &mut DeltaCtx::new()),
+            None
+        );
+    }
+
+    #[test]
+    fn intern_table_shares_one_allocation_per_key() {
+        use std::sync::Arc;
+        let mut ctx = DeltaCtx::new();
+        let first: Arc<[u64]> = ctx.intern(b"key", Arc::from(vec![1u64, 2, 3]));
+        let second: Arc<[u64]> = ctx.intern(b"key", Arc::from(vec![1u64, 2, 3]));
+        assert!(Arc::ptr_eq(&first, &second), "same key must share");
+        let other: Arc<[u64]> = ctx.intern(b"other", Arc::from(vec![9u64]));
+        assert!(!Arc::ptr_eq(&first, &other));
+        // Same bytes, different type: kept apart.
+        let as_u8: Arc<[u8]> = ctx.intern(b"key", Arc::from(vec![7u8]));
+        assert_eq!(&*as_u8, &[7u8]);
+        assert_eq!(ctx.interned_count(), 3);
     }
 }

@@ -17,15 +17,23 @@
 //!   contiguous shard range, lock-free); shard count via
 //!   [`Checker::with_shards`] or `SLX_ENGINE_SHARDS`, and verdicts are
 //!   shard-count and thread-count independent by construction;
-//! - [`StateCodec`] + the **disk-backed frontier** — states encode to a
-//!   self-delimiting binary format, and under a memory budget
-//!   ([`Checker::with_mem_budget`] or `SLX_ENGINE_MEM_BUDGET` bytes; spill
-//!   directory via [`Checker::with_spill_dir`] or `SLX_ENGINE_SPILL_DIR`)
-//!   the BFS frontier — the last O(states) structure holding full
-//!   configurations — spills cold chunks to self-cleaning temp files and
-//!   streams them back during expansion, bounding peak resident states
-//!   regardless of level width. Chunk order is deterministic, so spilling
-//!   changes no verdict, finding, or statistic;
+//! - [`StateCodec`] / [`DeltaCodec`] + the **disk-backed frontier** —
+//!   states encode to a self-delimiting binary format, and under a memory
+//!   budget ([`Checker::with_mem_budget`] or `SLX_ENGINE_MEM_BUDGET`
+//!   bytes; spill directory via [`Checker::with_spill_dir`] or
+//!   `SLX_ENGINE_SPILL_DIR`) the BFS frontier — the last O(states)
+//!   structure holding full configurations — spills cold chunks to
+//!   self-cleaning temp files and streams them back during expansion,
+//!   bounding peak resident states regardless of level width. Chunk
+//!   windows are byte-measured, and records are **delta-encoded against
+//!   their chunk predecessor** by default ([`SpillCodec`],
+//!   `SLX_ENGINE_SPILL_CODEC`): sibling states share layouts, memory
+//!   words, and history prefixes, so unchanged fields collapse to
+//!   skip/copy varints on the wire and decode as clones of the
+//!   predecessor's fields — with a per-replay [`DeltaCtx`] intern table
+//!   restoring `Arc` sharing across chunk boundaries. Chunk order is
+//!   deterministic, so spilling changes no verdict, finding, or
+//!   statistic;
 //! - [`Fingerprinter`] — a fast two-lane non-cryptographic hasher that
 //!   produces the 128-bit digests in one pass (replacing the SipHash
 //!   `DefaultHasher` helpers that used to be copy-pasted across the
@@ -61,8 +69,9 @@ mod stats;
 mod visited;
 
 pub use checker::{Backend, Checker, KernelOutcome};
-pub use codec::StateCodec;
+pub use codec::{decode_slice_delta, encode_slice_delta, DeltaCodec, DeltaCtx, StateCodec};
 pub use digest::{digest128_of, digest64_of, digest64_of_iter, Digest, Fingerprinter};
 pub use space::{Expansion, StateSpace};
+pub use spill::SpillCodec;
 pub use stats::ExploreStats;
 pub use visited::ShardedVisited;

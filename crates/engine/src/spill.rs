@@ -4,11 +4,28 @@
 //! (PR 2), the frontier `Vec` is the only kernel structure that retains
 //! full configurations between levels — the structure that caps how far
 //! past RAM an exploration can go. [`SpillFrontier`] removes that cap:
-//! under a memory budget it keeps only a bounded encode buffer resident,
-//! serializing cold chunks ([`crate::StateCodec`] records) to a temp file
-//! and streaming them back chunk by chunk during level expansion, so the
-//! peak number of decoded states resident at once is bounded regardless
-//! of level size.
+//! under a memory budget it keeps only a bounded decoded window resident,
+//! serializing cold chunks to a temp file and streaming them back chunk
+//! by chunk during level expansion, so the peak number of decoded states
+//! resident at once is bounded regardless of level size.
+//!
+//! Chunk records are **delta-encoded** ([`crate::DeltaCodec`], the
+//! default; [`SpillCodec::Plain`] keeps the PR 3 self-contained records
+//! for comparison): consecutive records of a level are siblings sharing
+//! layouts, memory words, and history prefixes, so each record encodes
+//! against its chunk predecessor and unchanged fields collapse to a few
+//! skip/copy varints. The first record of every chunk stays
+//! self-contained, so chunks decode independently and replay order stays
+//! deterministic; on decode, a per-replay [`crate::DeltaCtx`] intern
+//! table restores the `Arc` sharing between records that a per-field
+//! materialization would lose.
+//!
+//! The chunk window is **byte-measured**: every pushed pair is encoded
+//! into the window buffer immediately, and the window flushes as soon as
+//! its actual encoded size reaches the chunk byte budget — so the
+//! resident-window bound holds even when encoded state size grows across
+//! a level (accumulating histories), where the old first-record
+//! state-count probe overshot.
 //!
 //! Determinism is preserved by construction: chunk boundaries depend only
 //! on the (deterministic) encoded byte sizes of the pushed states, chunks
@@ -28,24 +45,42 @@ use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::codec::StateCodec;
+use crate::codec::{DeltaCodec, DeltaCtx, StateCodec};
 use crate::Digest;
+
+/// How spill-chunk records are encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpillCodec {
+    /// Each record delta-encoded against its chunk predecessor
+    /// ([`crate::DeltaCodec`]); the first record of a chunk is
+    /// self-contained. The default: siblings share most of their
+    /// structure, so deltas cut both spill volume and decode cost.
+    #[default]
+    Delta,
+    /// Every record self-contained (the PR 3 baseline). Kept as the
+    /// comparison arm for `engine_bench` and the differential suites.
+    Plain,
+}
 
 /// Resolved spill settings for one exploration run.
 #[derive(Debug, Clone)]
 pub(crate) struct SpillConfig {
-    /// Byte size a chunk aims for (the decoded window is measured against
-    /// it). Each of the two frontiers alive at a time (the level being
-    /// consumed and the level being built) keeps its window below this.
+    /// Byte size a chunk aims for (the decoded window's encoded bytes are
+    /// measured against it). Each of the two frontiers alive at a time
+    /// (the level being consumed and the level being built) keeps its
+    /// window at this size plus at most one record.
     pub(crate) chunk_bytes: usize,
+    /// Record encoding for spilled chunks.
+    pub(crate) codec: SpillCodec,
     /// The run's shared file pool.
     pub(crate) pool: Rc<RefCell<SpillPool>>,
 }
 
 impl SpillConfig {
-    pub(crate) fn new(chunk_bytes: usize, dir: PathBuf) -> SpillConfig {
+    pub(crate) fn new(chunk_bytes: usize, codec: SpillCodec, dir: PathBuf) -> SpillConfig {
         SpillConfig {
             chunk_bytes,
+            codec,
             pool: Rc::new(RefCell::new(SpillPool {
                 dir,
                 free: Vec::new(),
@@ -132,13 +167,15 @@ impl SpillFile {
 ///
 /// Without a [`SpillConfig`] this is a plain `Vec` (the kernel's historic
 /// behaviour, zero overhead). With one, pushed pairs accumulate in a
-/// *decoded* tail window; whenever the window reaches the chunk size
-/// (state count derived from the first pair's encoded size against
-/// `chunk_bytes`), the whole window is encoded and appended to a
-/// self-cleaning temp file. Only the overflow beyond the window ever
-/// round-trips through the codec — a frontier that fits its budget pays
-/// nothing — and [`SpillFrontier::into_chunks`] replays the pairs in push
-/// order, one chunk resident at a time.
+/// decoded tail window whose encoded byte size is tracked exactly (each
+/// push appends the record — delta-encoded against its window predecessor
+/// under [`SpillCodec::Delta`] — to the window buffer); the moment the
+/// buffer reaches the chunk byte budget, it is appended to a
+/// self-cleaning temp file and the window restarts. Only states that
+/// overflow into a flushed chunk ever round-trip through a decode — the
+/// final window of every frontier replays its decoded states directly —
+/// and [`SpillFrontier::into_chunks`] replays the pairs in push order,
+/// one chunk resident at a time.
 #[derive(Debug)]
 pub(crate) struct SpillFrontier<S> {
     /// The decoded pairs: everything (no-spill mode) or the tail window
@@ -154,12 +191,12 @@ pub(crate) struct SpillFrontier<S> {
 #[derive(Debug)]
 struct SpillState {
     config: SpillConfig,
-    /// Pairs per chunk, measured against the first pushed pair's encoded
-    /// record size (deterministic: the first pair of a frontier depends
-    /// only on merge order). `None` until the first push.
-    chunk_states: Option<usize>,
-    /// Scratch encode buffer, reused across flushes.
+    /// Encoded records of the current window (`resident`), appended push
+    /// by push; its length is the window's exact byte measure.
     buf: Vec<u8>,
+    /// Largest window byte measure observed (the resident-byte bound the
+    /// memory budget is supposed to enforce).
+    peak_window_bytes: usize,
     /// Chunks already written to `file`, in push order.
     chunks: Vec<ChunkMeta>,
     /// Leased from the pool on the first spill, so small levels never
@@ -178,15 +215,15 @@ impl Drop for SpillState {
     }
 }
 
-impl<S: StateCodec> SpillFrontier<S> {
+impl<S: DeltaCodec> SpillFrontier<S> {
     /// A frontier; `config: None` keeps every pair decoded and resident.
     pub(crate) fn new(config: Option<SpillConfig>) -> Self {
         SpillFrontier {
             resident: Vec::new(),
             spill: config.map(|config| SpillState {
                 config,
-                chunk_states: None,
                 buf: Vec::new(),
+                peak_window_bytes: 0,
                 chunks: Vec::new(),
                 file: None,
                 spilled_bytes: 0,
@@ -204,14 +241,14 @@ impl<S: StateCodec> SpillFrontier<S> {
         let Some(spill) = &mut self.spill else {
             return;
         };
-        let chunk_states = *spill.chunk_states.get_or_insert_with(|| {
-            // Record size of the first pair: 16 digest bytes + the state.
-            let mut probe = Vec::new();
-            self.resident[0].0.encode(&mut probe);
-            (spill.config.chunk_bytes / (16 + probe.len())).max(1)
-        });
-        if self.resident.len() >= chunk_states {
-            spill.flush_chunk(&self.resident);
+        let (prev, record) = match self.resident.as_slice() {
+            [.., prev, record] => (Some(&prev.0), record),
+            [record] => (None, record),
+            [] => unreachable!("just pushed"),
+        };
+        spill.append_record(prev, record);
+        if spill.buf.len() >= spill.config.chunk_bytes {
+            spill.flush_chunk(self.resident.len());
             self.resident.clear();
         }
     }
@@ -243,6 +280,15 @@ impl<S: StateCodec> SpillFrontier<S> {
         self.spill.as_ref().map_or(0, |spill| spill.spilled_bytes)
     }
 
+    /// Largest encoded byte size the decoded window reached (0 without a
+    /// spill config: unbudgeted frontiers never encode, so there is
+    /// nothing to measure).
+    pub(crate) fn peak_window_bytes(&self) -> usize {
+        self.spill
+            .as_ref()
+            .map_or(0, |spill| spill.peak_window_bytes)
+    }
+
     /// Consumes the frontier into its chunk replay. Chunks come back in
     /// push order; the spill file (if any) is deleted when the replay is
     /// dropped.
@@ -251,6 +297,7 @@ impl<S: StateCodec> SpillFrontier<S> {
         FrontierChunks {
             resident: Some(self.resident),
             spill: self.spill,
+            ctx: DeltaCtx::new(),
             next_chunk: 0,
             remaining,
         }
@@ -258,14 +305,24 @@ impl<S: StateCodec> SpillFrontier<S> {
 }
 
 impl SpillState {
-    fn flush_chunk<S: StateCodec>(&mut self, pairs: &[(S, Digest)]) {
-        if pairs.is_empty() {
-            return;
+    /// Encodes one just-pushed pair onto the window buffer, delta-chained
+    /// to its window predecessor (`None` for the first record of the
+    /// window, which therefore stays self-contained — the chunk boundary
+    /// invariant the replay relies on).
+    fn append_record<S: DeltaCodec>(&mut self, prev: Option<&S>, (state, digest): &(S, Digest)) {
+        digest.0.encode(&mut self.buf);
+        match self.config.codec {
+            SpillCodec::Delta => state.encode_delta(prev, &mut self.buf),
+            SpillCodec::Plain => state.encode(&mut self.buf),
         }
-        self.buf.clear();
-        for (state, digest) in pairs {
-            digest.0.encode(&mut self.buf);
-            state.encode(&mut self.buf);
+        self.peak_window_bytes = self.peak_window_bytes.max(self.buf.len());
+    }
+
+    /// Appends the window buffer (holding `count` records) to the spill
+    /// file as one chunk.
+    fn flush_chunk(&mut self, count: usize) {
+        if count == 0 {
+            return;
         }
         let file = self
             .file
@@ -279,9 +336,10 @@ impl SpillState {
         self.chunks.push(ChunkMeta {
             offset: self.spilled_bytes,
             len: self.buf.len(),
-            count: pairs.len(),
+            count,
         });
         self.spilled_bytes += self.buf.len() as u64;
+        self.buf.clear();
     }
 }
 
@@ -293,12 +351,16 @@ pub(crate) struct FrontierChunks<S> {
     /// (no-spill mode), yielded after the file chunks.
     resident: Option<Vec<(S, Digest)>>,
     spill: Option<SpillState>,
+    /// Per-replay intern table: self-contained chunk-first records
+    /// rebuild their shared sub-structures through it, so records in
+    /// different chunks of one replay share allocations again.
+    ctx: DeltaCtx,
     next_chunk: usize,
     /// Pairs still to yield (pre-capped by any truncation).
     remaining: usize,
 }
 
-impl<S: StateCodec> FrontierChunks<S> {
+impl<S: DeltaCodec> FrontierChunks<S> {
     /// The next chunk of pairs, in push order, or `None` when the replay
     /// (or its truncation point) is exhausted.
     ///
@@ -325,16 +387,25 @@ impl<S: StateCodec> FrontierChunks<S> {
                 let yield_count = meta.count.min(self.remaining);
                 self.remaining -= yield_count;
                 let mut input = bytes.as_slice();
-                let mut pairs = Vec::with_capacity(yield_count);
+                let mut pairs: Vec<(S, Digest)> = Vec::with_capacity(yield_count);
                 for _ in 0..yield_count {
                     let digest = u128::decode(&mut input).expect("corrupt spill record: digest");
-                    let state = S::decode(&mut input).expect("corrupt spill record: state");
+                    let state = match spill.config.codec {
+                        SpillCodec::Delta => {
+                            let prev = pairs.last().map(|(state, _)| state);
+                            S::decode_delta(prev, &mut input, &mut self.ctx)
+                                .expect("corrupt spill record: state")
+                        }
+                        SpillCodec::Plain => {
+                            S::decode(&mut input).expect("corrupt spill record: state")
+                        }
+                    };
                     pairs.push((state, Digest(digest)));
                 }
                 return Some(pairs);
             }
         }
-        // The decoded tail: never touched the codec.
+        // The decoded tail: never touched a decode.
         let mut window = self.resident.take()?;
         window.truncate(self.remaining);
         self.remaining = 0;
@@ -361,10 +432,10 @@ mod tests {
     }
 
     fn test_config(chunk_bytes: usize) -> SpillConfig {
-        SpillConfig::new(chunk_bytes, test_dir())
+        SpillConfig::new(chunk_bytes, SpillCodec::Delta, test_dir())
     }
 
-    fn drain<S: StateCodec>(mut chunks: FrontierChunks<S>) -> (Vec<(S, Digest)>, Vec<usize>) {
+    fn drain<S: DeltaCodec>(mut chunks: FrontierChunks<S>) -> (Vec<(S, Digest)>, Vec<usize>) {
         let mut all = Vec::new();
         let mut sizes = Vec::new();
         while let Some(chunk) = chunks.next_chunk() {
@@ -388,6 +459,7 @@ mod tests {
         }
         assert_eq!(frontier.len(), 10);
         assert_eq!(frontier.spilled_chunks(), 0);
+        assert_eq!(frontier.peak_window_bytes(), 0, "nothing encoded");
         let (all, sizes) = drain(frontier.into_chunks());
         assert_eq!(all, pairs(10));
         assert_eq!(sizes, vec![10]);
@@ -409,6 +481,89 @@ mod tests {
             sizes.iter().all(|&s| s <= 3),
             "chunks stay bounded: {sizes:?}"
         );
+    }
+
+    #[test]
+    fn plain_and_delta_codecs_replay_identically() {
+        for chunk_bytes in [40usize, 64, 200] {
+            let mut delta: SpillFrontier<Vec<u64>> = SpillFrontier::new(Some(SpillConfig::new(
+                chunk_bytes,
+                SpillCodec::Delta,
+                test_dir(),
+            )));
+            let mut plain: SpillFrontier<Vec<u64>> = SpillFrontier::new(Some(SpillConfig::new(
+                chunk_bytes,
+                SpillCodec::Plain,
+                test_dir(),
+            )));
+            // Sibling-shaped states: a long shared prefix plus a varying
+            // tail, like the configurations of one BFS level.
+            let states: Vec<(Vec<u64>, Digest)> = (0..64u64)
+                .map(|i| {
+                    let mut v: Vec<u64> = (0..12).collect();
+                    v.push(i);
+                    (v, Digest(u128::from(i) | 0xabc0))
+                })
+                .collect();
+            for (s, d) in &states {
+                delta.push(s.clone(), *d);
+                plain.push(s.clone(), *d);
+            }
+            assert!(
+                delta.spilled_chunks() >= 2,
+                "chunk {chunk_bytes} must spill"
+            );
+            assert!(
+                delta.spilled_bytes() < plain.spilled_bytes(),
+                "chunk {chunk_bytes}: delta ({}) must beat plain ({}) on sibling-shaped states",
+                delta.spilled_bytes(),
+                plain.spilled_bytes()
+            );
+            let (from_delta, _) = drain(delta.into_chunks());
+            let (from_plain, _) = drain(plain.into_chunks());
+            assert_eq!(from_delta, states, "chunk {chunk_bytes}");
+            assert_eq!(from_plain, states, "chunk {chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn growing_records_respect_the_byte_budget() {
+        // Records grow from ~18 to ~120 encoded bytes across the level —
+        // the accumulating-history shape. The old state-count window
+        // (chunk_bytes / first_record_size states per chunk) would pack
+        // 256/18 = 14 of the large records = ~1.7 KiB into one window;
+        // the byte-measured window must stay within chunk_bytes plus one
+        // record regardless of growth. Plain encoding so the sizes are
+        // predictable.
+        const CHUNK: usize = 256;
+        let mut frontier: SpillFrontier<Vec<u64>> =
+            SpillFrontier::new(Some(SpillConfig::new(CHUNK, SpillCodec::Plain, test_dir())));
+        let states: Vec<(Vec<u64>, Digest)> = (0..100u64)
+            .map(|i| ((0..i).collect(), Digest(u128::from(i))))
+            .collect();
+        let mut max_record = 0;
+        for (s, d) in &states {
+            let mut one = Vec::new();
+            s.encode(&mut one);
+            max_record = max_record.max(16 + one.len());
+            frontier.push(s.clone(), *d);
+        }
+        assert!(frontier.spilled_chunks() >= 4, "must spill repeatedly");
+        assert!(
+            frontier.peak_window_bytes() <= CHUNK + max_record,
+            "window peaked at {} bytes; budget {CHUNK} + one record {max_record}",
+            frontier.peak_window_bytes()
+        );
+        let spill = frontier.spill.as_ref().expect("spill mode");
+        for meta in &spill.chunks {
+            assert!(
+                meta.len <= CHUNK + max_record,
+                "chunk of {} bytes exceeds budget {CHUNK} + record {max_record}",
+                meta.len
+            );
+        }
+        let (all, _) = drain(frontier.into_chunks());
+        assert_eq!(all, states);
     }
 
     #[test]
@@ -434,8 +589,11 @@ mod tests {
     #[test]
     fn small_levels_never_touch_disk() {
         let dir = test_dir();
-        let mut frontier: SpillFrontier<u64> =
-            SpillFrontier::new(Some(SpillConfig::new(1 << 20, dir.clone())));
+        let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(SpillConfig::new(
+            1 << 20,
+            SpillCodec::Delta,
+            dir.clone(),
+        )));
         for (s, d) in pairs(50) {
             frontier.push(s, d);
         }
@@ -449,7 +607,7 @@ mod tests {
     #[test]
     fn spill_file_dies_with_the_last_pool_holder() {
         let dir = test_dir();
-        let config = SpillConfig::new(32, dir.clone());
+        let config = SpillConfig::new(32, SpillCodec::Delta, dir.clone());
         let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(config.clone()));
         for (s, d) in pairs(64) {
             frontier.push(s, d);
@@ -473,7 +631,7 @@ mod tests {
     #[test]
     fn consecutive_frontiers_reuse_the_pooled_file() {
         let dir = test_dir();
-        let config = SpillConfig::new(32, dir.clone());
+        let config = SpillConfig::new(32, SpillCodec::Delta, dir.clone());
         for round in 0..3 {
             let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(config.clone()));
             for (s, d) in pairs(64) {
@@ -493,10 +651,41 @@ mod tests {
     }
 
     #[test]
+    fn recycled_files_never_leak_stale_tails() {
+        // A big frontier fills the pooled file with many chunks; the next
+        // frontier over the same pool is smaller and must replay only its
+        // own (fully rewritten) records — never a stale tail from before
+        // the recycle's `set_len(0)`.
+        let dir = test_dir();
+        let config = SpillConfig::new(48, SpillCodec::Delta, dir.clone());
+        let mut big: SpillFrontier<u64> = SpillFrontier::new(Some(config.clone()));
+        for (s, d) in pairs(200) {
+            big.push(s, d);
+        }
+        let (all_big, _) = drain(big.into_chunks());
+        assert_eq!(all_big, pairs(200));
+        for round in 0..3 {
+            let mut small: SpillFrontier<u64> = SpillFrontier::new(Some(config.clone()));
+            let expected: Vec<(u64, Digest)> = pairs(20)
+                .into_iter()
+                .map(|(s, d)| (s + 1000 * round, d))
+                .collect();
+            for (s, d) in &expected {
+                small.push(*s, *d);
+            }
+            assert!(small.spilled_chunks() >= 2, "round {round} must spill");
+            let (all_small, _) = drain(small.into_chunks());
+            assert_eq!(all_small, expected, "round {round}: no stale records");
+        }
+        drop(config);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn partially_consumed_replay_cleans_up_too() {
         let dir = test_dir();
         let mut frontier: SpillFrontier<u64> =
-            SpillFrontier::new(Some(SpillConfig::new(32, dir.clone())));
+            SpillFrontier::new(Some(SpillConfig::new(32, SpillCodec::Delta, dir.clone())));
         for (s, d) in pairs(64) {
             frontier.push(s, d);
         }

@@ -21,12 +21,23 @@ pub struct ExploreStats {
     /// one it stays bounded by the budget's chunk size regardless of
     /// level width — the disk-backed frontier's whole point.
     pub peak_resident_states: usize,
+    /// Largest encoded byte size the decoded frontier window reached (the
+    /// measure the memory budget bounds; 0 without a budget — unbudgeted
+    /// frontiers never encode, so there is nothing to measure). Stays
+    /// within one chunk budget (half the memory budget) plus one record,
+    /// even when encoded state size grows across a level.
+    pub peak_resident_bytes: usize,
     /// Frontier chunks serialized to spill files (0 without a memory
     /// budget, and whenever every level fit in the budget). Counts the
     /// frontiers that were (or began being) expanded.
     pub spilled_chunks: usize,
     /// Bytes written to spill files by the counted chunks.
     pub spilled_bytes: u64,
+    /// The frontier memory budget that was active, if any (the resolved
+    /// [`crate::Checker::with_mem_budget`] / `SLX_ENGINE_MEM_BUDGET`
+    /// value). `None` for unbudgeted runs and for the DFS backend, which
+    /// never spills.
+    pub mem_budget: Option<usize>,
     /// Whether any expansion reported truncation (horizon or budget hit):
     /// if `false`, the exploration was exhaustive.
     pub truncated: bool,
@@ -107,11 +118,18 @@ impl fmt::Display for ExploreStats {
                 self.shard_balance()
             )?;
         }
-        if self.spilled_chunks > 0 {
+        // `peak_resident_states` is the statistic a memory budget
+        // controls, so print it whenever a budget was active — a tuned
+        // run whose levels all fit (0 spilled chunks) must still show
+        // what the budget held the window to.
+        if self.mem_budget.is_some() || self.spilled_chunks > 0 {
             write!(
                 f,
-                ", spilled {} chunks ({} bytes, peak {} resident states)",
-                self.spilled_chunks, self.spilled_bytes, self.peak_resident_states
+                ", spilled {} chunks ({} bytes), peak {} resident states ({} bytes)",
+                self.spilled_chunks,
+                self.spilled_bytes,
+                self.peak_resident_states,
+                self.peak_resident_bytes,
             )?;
         }
         write!(
@@ -146,8 +164,10 @@ mod tests {
             dedup_hits: 5,
             peak_frontier: 4,
             peak_resident_states: 2,
+            peak_resident_bytes: 64,
             spilled_chunks: 3,
             spilled_bytes: 96,
+            mem_budget: Some(128),
             truncated: true,
             stopped_early: false,
             threads: 2,
@@ -160,6 +180,39 @@ mod tests {
         assert!(s.contains("truncated"));
         assert!(s.contains("4 shards"));
         assert!(s.contains("spilled 3 chunks"));
+        assert!(s.contains("peak 2 resident states"));
+    }
+
+    #[test]
+    fn display_shows_resident_peak_whenever_a_budget_was_active() {
+        // The tuned case: a budget is set but every level fit, so nothing
+        // spilled. The stat the budget controls must still print.
+        let stats = ExploreStats {
+            configs: 10,
+            peak_frontier: 4,
+            peak_resident_states: 4,
+            peak_resident_bytes: 96,
+            spilled_chunks: 0,
+            mem_budget: Some(4096),
+            threads: 1,
+            shards: 1,
+            ..ExploreStats::default()
+        };
+        let s = stats.to_string();
+        assert!(
+            s.contains("peak 4 resident states"),
+            "budgeted-but-unspilled run must report the resident peak: {s}"
+        );
+        assert!(s.contains("spilled 0 chunks"), "{s}");
+        // Without a budget (and without spilling) the spill line stays
+        // out, as before.
+        let unbudgeted = ExploreStats {
+            configs: 10,
+            threads: 1,
+            shards: 1,
+            ..ExploreStats::default()
+        };
+        assert!(!unbudgeted.to_string().contains("resident"));
     }
 
     #[test]

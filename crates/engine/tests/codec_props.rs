@@ -18,7 +18,7 @@
 //!    boundaries — hence spill determinism — depend on this).
 
 use slx_consensus::{CasConsensus, ConsWord, ObstructionFreeConsensus};
-use slx_engine::StateCodec;
+use slx_engine::{DeltaCodec, DeltaCtx, StateCodec};
 use slx_history::{Operation, ProcessId, Value, VarId};
 use slx_memory::{Memory, System, Word};
 use slx_tm::{AgpTm, GlobalVersionTm, TmWord};
@@ -30,11 +30,41 @@ fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
 }
 
-/// Round-trips one system state and checks all three codec laws.
-fn check_system<W, P>(sys: &System<W, P>, label: &str)
+/// Checks the full-state invariants the spill replay depends on.
+fn assert_faithful<W, P>(decoded: &System<W, P>, sys: &System<W, P>, label: &str, law: &str)
 where
-    W: Word + StateCodec + Send + Sync,
-    P: slx_memory::Process<W> + StateCodec + Clone + Eq + std::hash::Hash + std::fmt::Debug,
+    W: Word + DeltaCodec + Send + Sync,
+    P: slx_memory::Process<W> + DeltaCodec + Clone + Eq + std::hash::Hash + std::fmt::Debug,
+{
+    assert_eq!(
+        decoded, sys,
+        "{label}: {law}: configuration must round-trip"
+    );
+    assert_eq!(
+        decoded.history(),
+        sys.history(),
+        "{label}: {law}: history must round-trip (Eq ignores it; findings do not)"
+    );
+    assert_eq!(
+        decoded.events(),
+        sys.events(),
+        "{label}: {law}: event log must round-trip"
+    );
+    assert_eq!(
+        decoded.digest128(),
+        sys.digest128(),
+        "{label}: {law}: fingerprint must be stable across the round trip"
+    );
+}
+
+/// Round-trips one system state and checks all three codec laws, plus —
+/// when a chunk predecessor is given — the delta-codec laws against it
+/// (round trip, self-delimitation, encode determinism, and the
+/// self-contained `prev = None` form the first record of a chunk uses).
+fn check_system<W, P>(sys: &System<W, P>, prev: Option<&System<W, P>>, label: &str)
+where
+    W: Word + DeltaCodec + Send + Sync,
+    P: slx_memory::Process<W> + DeltaCodec + Clone + Eq + std::hash::Hash + std::fmt::Debug,
 {
     let mut buf = Vec::new();
     sys.encode(&mut buf);
@@ -51,41 +81,46 @@ where
         input.is_empty(),
         "{label}: decode must consume the encoding"
     );
-    assert_eq!(&decoded, sys, "{label}: configuration must round-trip");
-    assert_eq!(
-        decoded.history(),
-        sys.history(),
-        "{label}: history must round-trip (Eq ignores it; findings do not)"
-    );
-    assert_eq!(
-        decoded.events(),
-        sys.events(),
-        "{label}: event log must round-trip"
-    );
-    assert_eq!(
-        decoded.digest128(),
-        sys.digest128(),
-        "{label}: fingerprint must be stable across the round trip"
-    );
+    assert_faithful(&decoded, sys, label, "plain");
+
+    for (delta_prev, law) in [(prev, "delta"), (None, "delta-self-contained")] {
+        let mut delta = Vec::new();
+        sys.encode_delta(delta_prev, &mut delta);
+        let mut again = Vec::new();
+        sys.encode_delta(delta_prev, &mut again);
+        assert_eq!(delta, again, "{label}: {law} encode must be deterministic");
+        let mut input = delta.as_slice();
+        let mut ctx = DeltaCtx::new();
+        let decoded = System::<W, P>::decode_delta(delta_prev, &mut input, &mut ctx)
+            .unwrap_or_else(|| panic!("{label}: {law} decode failed on a fresh encoding"));
+        assert!(
+            input.is_empty(),
+            "{label}: {law} decode must consume the encoding"
+        );
+        assert_faithful(&decoded, sys, label, law);
+    }
 }
 
-/// Takes up to `steps` random steps, round-tripping after every one.
+/// Takes up to `steps` random steps, round-tripping after every one —
+/// delta-checking each state against its predecessor on the walk (the
+/// chunk-neighbour relationship the spill path encodes against).
 fn walk_and_check<W, P>(sys: &mut System<W, P>, rng: &mut Rng, steps: usize, label: &str) -> usize
 where
-    W: Word + StateCodec + Send + Sync,
-    P: slx_memory::Process<W> + StateCodec + Clone + Eq + std::hash::Hash + std::fmt::Debug,
+    W: Word + DeltaCodec + Send + Sync,
+    P: slx_memory::Process<W> + DeltaCodec + Clone + Eq + std::hash::Hash + std::fmt::Debug,
 {
     let mut checked = 0;
-    check_system(sys, label);
+    check_system(sys, None, label);
     checked += 1;
     for _ in 0..steps {
         let steppable = sys.steppable();
         if steppable.is_empty() {
             break;
         }
+        let prev = sys.clone();
         let q = steppable[rng.below(steppable.len() as u64) as usize];
         sys.step(q).expect("steppable process steps");
-        check_system(sys, label);
+        check_system(sys, Some(&prev), label);
         checked += 1;
     }
     checked
@@ -218,6 +253,120 @@ fn automata_states_round_trip() {
         checked += 2;
     }
     assert!(checked >= 500);
+}
+
+#[test]
+fn sibling_deltas_are_much_smaller_than_plain_records() {
+    // One scheduled step apart — exactly the spill chunk neighbour
+    // relationship. The delta must be a small fraction of the plain
+    // record on the consensus workload (this is the ~1.3x-overhead
+    // tentpole's mechanism, so pin it).
+    let mut rng = Rng(0xD317A);
+    let mut total_plain = 0usize;
+    let mut total_delta = 0usize;
+    for _ in 0..10 {
+        let mut mem: Memory<ConsWord> = Memory::new();
+        let layout = ObstructionFreeConsensus::layout(&mut mem, 2, 16);
+        let procs = vec![
+            ObstructionFreeConsensus::new(layout.clone(), p(0), 2),
+            ObstructionFreeConsensus::new(layout, p(1), 2),
+        ];
+        let mut sys = System::new(mem, procs);
+        sys.invoke(p(0), Operation::Propose(Value::new(1))).unwrap();
+        sys.invoke(p(1), Operation::Propose(Value::new(2))).unwrap();
+        for _ in 0..30 {
+            let steppable = sys.steppable();
+            if steppable.is_empty() {
+                break;
+            }
+            let prev = sys.clone();
+            let q = steppable[rng.below(steppable.len() as u64) as usize];
+            sys.step(q).expect("steppable");
+            let mut plain = Vec::new();
+            sys.encode(&mut plain);
+            let mut delta = Vec::new();
+            sys.encode_delta(Some(&prev), &mut delta);
+            total_plain += plain.len();
+            total_delta += delta.len();
+        }
+    }
+    assert!(
+        total_delta * 4 < total_plain,
+        "sibling deltas ({total_delta} bytes) must be under a quarter of \
+         the plain records ({total_plain} bytes)"
+    );
+}
+
+#[test]
+fn overlong_varints_fail_cleanly_at_every_layer() {
+    // `0x80 0x00` is an overlong LEB128 zero: a damaged spill file must
+    // fail to decode rather than alias the valid one-byte form.
+    let overlong: &[u8] = &[0x80, 0x00];
+    let mut input = overlong;
+    assert_eq!(u64::decode(&mut input), None);
+    let mut input = overlong;
+    assert_eq!(usize::decode(&mut input), None);
+    let mut input = overlong;
+    assert_eq!(ProcessId::decode(&mut input), None);
+    let mut input = overlong;
+    assert_eq!(Value::decode(&mut input), None, "zigzag path");
+    // An otherwise-valid system encoding with one varint replaced by an
+    // overlong form must fail loudly, not decode to a different state.
+    let mut mem: Memory<ConsWord> = Memory::new();
+    let obj = CasConsensus::alloc(&mut mem);
+    let mut sys = System::new(mem, vec![CasConsensus::new(obj), CasConsensus::new(obj)]);
+    sys.invoke(p(0), Operation::Propose(Value::new(1))).unwrap();
+    let mut buf = Vec::new();
+    sys.encode(&mut buf);
+    // Splice: stretch the first zero byte (a varint in the memory pool
+    // encoding) into its two-byte overlong form.
+    let zero_at = buf
+        .iter()
+        .position(|&b| b == 0x00)
+        .expect("some varint is zero");
+    let mut damaged = buf[..zero_at].to_vec();
+    damaged.extend_from_slice(&[0x80, 0x00]);
+    damaged.extend_from_slice(&buf[zero_at + 1..]);
+    let mut input = damaged.as_slice();
+    let decoded = System::<ConsWord, CasConsensus>::decode(&mut input);
+    assert!(
+        decoded.is_none() || !input.is_empty(),
+        "an overlong splice must not silently decode as a full valid record"
+    );
+}
+
+#[test]
+fn truncated_delta_encodings_fail_cleanly() {
+    // Every strict prefix of a delta record must decode to None against
+    // the same predecessor — same totality law as the plain codec.
+    let mut mem: Memory<ConsWord> = Memory::new();
+    let layout = ObstructionFreeConsensus::layout(&mut mem, 2, 8);
+    let procs = vec![
+        ObstructionFreeConsensus::new(layout.clone(), p(0), 2),
+        ObstructionFreeConsensus::new(layout, p(1), 2),
+    ];
+    let mut sys = System::new(mem, procs);
+    sys.invoke(p(0), Operation::Propose(Value::new(1))).unwrap();
+    sys.invoke(p(1), Operation::Propose(Value::new(2))).unwrap();
+    let prev = sys.clone();
+    for _ in 0..3 {
+        sys.step(p(0)).unwrap();
+    }
+    let mut buf = Vec::new();
+    sys.encode_delta(Some(&prev), &mut buf);
+    for cut in 0..buf.len() {
+        let mut input = &buf[..cut];
+        let mut ctx = DeltaCtx::new();
+        assert!(
+            System::<ConsWord, ObstructionFreeConsensus>::decode_delta(
+                Some(&prev),
+                &mut input,
+                &mut ctx
+            )
+            .is_none(),
+            "delta prefix of length {cut} must not decode"
+        );
+    }
 }
 
 #[test]

@@ -149,6 +149,73 @@ fn env_knobs_are_honored_and_dir_created_if_absent() {
 }
 
 #[test]
+fn pool_recycles_at_most_two_files_under_delta_spilling() {
+    use std::sync::atomic::AtomicUsize;
+
+    // Observes the spill directory from *inside* the exploration: at any
+    // point of a multi-level forced-spill run (delta-encoded chunks, the
+    // default), at most two pooled files may exist — one for the level
+    // being consumed, one for the level being built — and both inodes
+    // are recycled across levels rather than churned.
+    struct Watched {
+        bound: usize,
+        dir: PathBuf,
+        max_seen: AtomicUsize,
+    }
+
+    impl StateSpace for Watched {
+        type State = u64;
+        type Finding = u64;
+
+        fn digest(&self, s: &u64) -> Digest {
+            digest128_of(s)
+        }
+
+        fn expand(&self, &s: &u64, depth: usize, ctx: &mut Expansion<Self>) {
+            if self.dir.exists() {
+                let seen = std::fs::read_dir(&self.dir).unwrap().count();
+                self.max_seen.fetch_max(seen, Ordering::Relaxed);
+                assert!(
+                    seen <= 2,
+                    "{seen} spill files at depth {depth}; the pool must hold \
+                     at most two (consumed level + built level)"
+                );
+            }
+            if depth >= self.bound {
+                ctx.finding(s);
+                return;
+            }
+            ctx.push(s * 2 + 1);
+            ctx.push(s * 2 + 2);
+            ctx.push(s | 1);
+        }
+    }
+
+    let dir = fresh_dir("pool");
+    let space = Watched {
+        bound: 9,
+        dir: dir.clone(),
+        max_seen: AtomicUsize::new(0),
+    };
+    let out = Checker::parallel_bfs(1)
+        .with_mem_budget(256)
+        .with_spill_dir(&dir)
+        .run(&space, vec![0]);
+    assert!(
+        out.stats.spilled_chunks >= 4,
+        "several levels must spill (got {} chunks)",
+        out.stats.spilled_chunks
+    );
+    assert_eq!(
+        space.max_seen.load(Ordering::Relaxed),
+        2,
+        "both pooled files must actually be exercised"
+    );
+    assert_eq!(dir_entries(&dir), Vec::<String>::new(), "cleanup on end");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn spilled_run_is_bit_identical_to_resident_run() {
     // The hygiene suite's sanity anchor: the same space explored with and
     // without spilling (budget pinned off) reports identical results.

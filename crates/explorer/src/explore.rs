@@ -8,7 +8,7 @@
 
 use std::hash::Hash;
 
-use slx_engine::{Checker, Digest, Expansion, ExploreStats, Fingerprinter, StateCodec, StateSpace};
+use slx_engine::{Checker, DeltaCodec, Digest, Expansion, ExploreStats, Fingerprinter, StateSpace};
 use slx_history::{History, ProcessId};
 use slx_memory::{Process, StepEffect, System, Word};
 use slx_safety::SafetyProperty;
@@ -59,8 +59,8 @@ struct SafetySpace<'a, W, P, S, D> {
 
 impl<W, P, S, D> StateSpace for SafetySpace<'_, W, P, S, D>
 where
-    W: Word + StateCodec + Send + Sync,
-    P: Process<W> + StateCodec + Clone + Eq + Hash + Send + Sync,
+    W: Word + DeltaCodec + Send + Sync,
+    P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
     S: SafetyProperty + Sync,
     D: Fn(&History) -> u64 + Sync,
 {
@@ -119,8 +119,8 @@ pub fn explore_safety<W, P, S>(
     digest: impl Fn(&History) -> u64 + Copy + Send + Sync,
 ) -> ExploreOutcome
 where
-    W: Word + StateCodec + Send + Sync,
-    P: Process<W> + StateCodec + Clone + Eq + Hash + Send + Sync,
+    W: Word + DeltaCodec + Send + Sync,
+    P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
     S: SafetyProperty + Sync,
 {
     explore_safety_with(&Checker::auto(), initial, active, depth, safety, digest)
@@ -137,8 +137,8 @@ pub fn explore_safety_with<W, P, S>(
     digest: impl Fn(&History) -> u64 + Copy + Send + Sync,
 ) -> ExploreOutcome
 where
-    W: Word + StateCodec + Send + Sync,
-    P: Process<W> + StateCodec + Clone + Eq + Hash + Send + Sync,
+    W: Word + DeltaCodec + Send + Sync,
+    P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
     S: SafetyProperty + Sync,
 {
     let space = SafetySpace {
@@ -179,8 +179,8 @@ struct SoloSpace<'a, W, P> {
 
 impl<W, P> StateSpace for SoloSpace<'_, W, P>
 where
-    W: Word + StateCodec + Send + Sync,
-    P: Process<W> + StateCodec + Clone + Eq + Hash + Send + Sync,
+    W: Word + DeltaCodec + Send + Sync,
+    P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
 {
     type State = System<W, P>;
     type Finding = SoloCounterexample;
@@ -240,8 +240,8 @@ pub fn verify_solo_progress<W, P>(
     solo_budget: usize,
 ) -> Option<SoloCounterexample>
 where
-    W: Word + StateCodec + Send + Sync,
-    P: Process<W> + StateCodec + Clone + Eq + Hash + Send + Sync,
+    W: Word + DeltaCodec + Send + Sync,
+    P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
 {
     let space = SoloSpace {
         active,
@@ -257,6 +257,7 @@ where
 mod tests {
     use super::*;
     use slx_consensus::{CasConsensus, ConsWord, ObstructionFreeConsensus};
+    use slx_engine::StateCodec;
     use slx_history::{Action, Operation, Response, Value};
     use slx_memory::Memory;
     use slx_safety::ConsensusSafety;
@@ -342,6 +343,7 @@ mod tests {
                 })
             }
         }
+        impl DeltaCodec for Selfish {}
         let mem: Memory<ConsWord> = Memory::new();
         let mut sys = System::new(
             mem,
@@ -410,6 +412,7 @@ mod tests {
                 })
             }
         }
+        impl DeltaCodec for Spinner {}
         let mut mem: Memory<ConsWord> = Memory::new();
         let reg = mem.alloc_register(ConsWord::Bot);
         let mut sys = System::new(

@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 use std::hash::Hash;
 
-use slx_engine::{Checker, Digest, Expansion, StateCodec, StateSpace};
+use slx_engine::{Checker, DeltaCodec, Digest, Expansion, StateSpace};
 use slx_history::{ProcessId, Response, Value};
 use slx_memory::{Process, StepEffect, System, Word};
 
@@ -37,8 +37,8 @@ struct ValenceSpace<'a, W, P> {
 
 impl<W, P> StateSpace for ValenceSpace<'_, W, P>
 where
-    W: Word + StateCodec + Send + Sync,
-    P: Process<W> + StateCodec + Clone + Eq + Hash + Send + Sync,
+    W: Word + DeltaCodec + Send + Sync,
+    P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
 {
     type State = System<W, P>;
     type Finding = Value;
@@ -83,8 +83,8 @@ pub fn decidable_values<W, P>(
     budget: usize,
 ) -> DecidableSet
 where
-    W: Word + StateCodec + Send + Sync,
-    P: Process<W> + StateCodec + Clone + Eq + Hash + Send + Sync,
+    W: Word + DeltaCodec + Send + Sync,
+    P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
 {
     decidable_values_with(&Checker::auto(), sys, active, budget)
 }
@@ -99,8 +99,8 @@ pub fn decidable_values_with<W, P>(
     budget: usize,
 ) -> DecidableSet
 where
-    W: Word + StateCodec + Send + Sync,
-    P: Process<W> + StateCodec + Clone + Eq + Hash + Send + Sync,
+    W: Word + DeltaCodec + Send + Sync,
+    P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
 {
     let space = ValenceSpace {
         active,

@@ -206,11 +206,13 @@ fn spill_and_in_memory_runs_are_byte_identical() {
     assert_eq!(consensus_base.stats.spilled_chunks, 0);
     assert!(consensus_base.configs > 100, "scenario must branch");
 
-    // Half a KiB (256-byte chunks): an encoded mid-exploration `System`
-    // is one-to-several hundred bytes on both scenarios, so every level
-    // past the first few spills at least two chunks — including the
-    // narrow TM commit-race levels.
-    const TINY_BUDGET: usize = 512;
+    // A quarter KiB (128-byte chunks): a self-contained mid-exploration
+    // `System` record is one-to-several hundred bytes and a
+    // delta-encoded sibling a few dozen, so every level past the first
+    // few spills at least two chunks — including the narrow TM
+    // commit-race levels, whose records the delta codec shrinks the
+    // most.
+    const TINY_BUDGET: usize = 256;
     for threads in [1usize, 4] {
         for shards in [1usize, 16] {
             for mem_budget in [0usize, TINY_BUDGET] {
@@ -281,6 +283,62 @@ fn spill_and_in_memory_runs_are_byte_identical() {
             }
         }
     }
+}
+
+/// The spill-codec pin: the delta-encoded chunk records (the default
+/// since the delta refactor) and the plain self-contained records must
+/// replay to identical verdicts, counts, and findings — and both must
+/// match the resident run — while the delta arm writes measurably fewer
+/// bytes on the sibling-heavy consensus levels.
+#[test]
+fn delta_and_plain_spill_codecs_agree() {
+    use slx_engine::SpillCodec;
+    let consensus = of_consensus_scenario();
+    let active = [p(0), p(1)];
+    let safety = ConsensusSafety::new();
+    let resident = explore_safety_with(
+        &Checker::parallel_bfs(1).with_shards(1).with_mem_budget(0),
+        &consensus,
+        &active,
+        14,
+        &safety,
+        history_digest,
+    );
+    let run = |codec: SpillCodec| {
+        explore_safety_with(
+            &Checker::parallel_bfs(1)
+                .with_shards(1)
+                .with_mem_budget(2048)
+                .with_spill_codec(codec),
+            &consensus,
+            &active,
+            14,
+            &safety,
+            history_digest,
+        )
+    };
+    let delta = run(SpillCodec::Delta);
+    let plain = run(SpillCodec::Plain);
+    for (got, name) in [(&delta, "delta"), (&plain, "plain")] {
+        assert_eq!(got.holds(), resident.holds(), "{name}");
+        assert_eq!(got.configs, resident.configs, "{name}");
+        assert_eq!(got.violations, resident.violations, "{name}");
+        assert_eq!(got.truncated, resident.truncated, "{name}");
+        assert_eq!(got.stats.transitions, resident.stats.transitions, "{name}");
+        assert_eq!(got.stats.dedup_hits, resident.stats.dedup_hits, "{name}");
+        assert_eq!(
+            got.stats.peak_frontier, resident.stats.peak_frontier,
+            "{name}"
+        );
+        assert!(got.stats.spilled_chunks >= 2, "{name} must spill");
+    }
+    assert!(
+        delta.stats.spilled_bytes < plain.stats.spilled_bytes / 2,
+        "delta chunks ({} bytes) must substantially undercut plain chunks \
+         ({} bytes) on sibling-heavy consensus levels",
+        delta.stats.spilled_bytes,
+        plain.stats.spilled_bytes
+    );
 }
 
 /// The same pin on the *budgeted* valence query: `max_states` truncation
@@ -524,6 +582,7 @@ fn backends_agree_on_injected_violation() {
             })
         }
     }
+    impl slx_engine::DeltaCodec for Selfish {}
     let mem: Memory<ConsWord> = Memory::new();
     let mut sys = System::new(
         mem,

@@ -7,11 +7,44 @@
 //! byte in declaration order; payloads follow, using the kernel's
 //! fixed-width little-endian primitive encodings.
 
-use slx_engine::StateCodec;
+use slx_engine::{decode_slice_delta, encode_slice_delta, DeltaCodec, DeltaCtx, StateCodec};
 
 use crate::action::{Action, Operation, Response};
 use crate::history::History;
 use crate::ids::{ProcessId, Value, VarId};
+
+// The alphabet types are a few bytes each; their delta hooks keep the
+// self-contained defaults. Histories delta below — they are where sibling
+// records share long prefixes.
+impl DeltaCodec for ProcessId {}
+impl DeltaCodec for Value {}
+impl DeltaCodec for VarId {}
+impl DeltaCodec for Operation {}
+impl DeltaCodec for Response {}
+impl DeltaCodec for Action {}
+
+impl DeltaCodec for History {
+    fn encode_delta(&self, prev: Option<&Self>, out: &mut Vec<u8>) {
+        match prev {
+            None => self.encode(out),
+            // Sibling configurations extend a common parent history, so
+            // the shared prefix collapses to the slice-delta header and
+            // only the divergent tail actions hit the wire.
+            Some(prev) => encode_slice_delta(self.actions(), prev.actions(), out),
+        }
+    }
+
+    fn decode_delta(prev: Option<&Self>, input: &mut &[u8], ctx: &mut DeltaCtx) -> Option<Self> {
+        match prev {
+            None => Self::decode(input),
+            Some(prev) => Some(History::from_actions(decode_slice_delta(
+                prev.actions(),
+                input,
+                ctx,
+            )?)),
+        }
+    }
+}
 
 impl StateCodec for ProcessId {
     #[inline]
@@ -267,6 +300,49 @@ mod tests {
             Action::respond(ProcessId::new(0), Response::Decided(Value::new(1))),
             Action::crash(ProcessId::new(1)),
         ]));
+    }
+
+    #[test]
+    fn history_deltas_round_trip_and_compress_shared_prefixes() {
+        let p = ProcessId::new(0);
+        let base = History::from_actions([
+            Action::invoke(p, Operation::Propose(Value::new(1))),
+            Action::invoke(ProcessId::new(1), Operation::Propose(Value::new(2))),
+            Action::respond(p, Response::Decided(Value::new(1))),
+        ]);
+        let mut extended = base.clone();
+        extended.push(Action::crash(ProcessId::new(1)));
+
+        let mut delta = Vec::new();
+        extended.encode_delta(Some(&base), &mut delta);
+        let mut full = Vec::new();
+        extended.encode(&mut full);
+        assert!(
+            delta.len() < full.len(),
+            "shared prefix must compress: delta {} vs full {}",
+            delta.len(),
+            full.len()
+        );
+        let mut input = delta.as_slice();
+        let mut ctx = slx_engine::DeltaCtx::new();
+        assert_eq!(
+            History::decode_delta(Some(&base), &mut input, &mut ctx),
+            Some(extended.clone())
+        );
+        assert!(input.is_empty());
+
+        // Self-contained (chunk-first) form round-trips too, and an
+        // identical history costs only the slice-delta header.
+        let mut contained = Vec::new();
+        extended.encode_delta(None, &mut contained);
+        let mut input = contained.as_slice();
+        assert_eq!(
+            History::decode_delta(None, &mut input, &mut ctx),
+            Some(extended.clone())
+        );
+        let mut same = Vec::new();
+        extended.encode_delta(Some(&extended), &mut same);
+        assert_eq!(same.len(), 2, "unchanged history is two varints");
     }
 
     #[test]

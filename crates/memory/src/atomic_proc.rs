@@ -6,7 +6,7 @@
 //! object gives the canonical wait-free, linearizable implementations the
 //! safety checkers are validated against.
 
-use slx_engine::StateCodec;
+use slx_engine::{DeltaCodec, StateCodec};
 use slx_history::{Operation, Response, Value};
 
 use crate::base::{Memory, ObjId, PrimOutcome, Primitive};
@@ -81,6 +81,11 @@ impl StateCodec for AtomicObjectProcess {
         })
     }
 }
+
+// Both encode to a handful of bytes; the self-contained defaults are
+// already minimal.
+impl DeltaCodec for AtomicKind {}
+impl DeltaCodec for AtomicObjectProcess {}
 
 impl Process<i64> for AtomicObjectProcess {
     fn on_invoke(&mut self, op: Operation) {

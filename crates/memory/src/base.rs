@@ -3,7 +3,7 @@
 use std::fmt;
 use std::hash::Hash;
 
-use slx_engine::StateCodec;
+use slx_engine::{decode_slice_delta, encode_slice_delta, DeltaCodec, DeltaCtx, StateCodec};
 
 /// A word storable in a base object.
 ///
@@ -549,6 +549,40 @@ impl<W: StateCodec> StateCodec for Memory<W> {
         Some(Memory {
             objects: Vec::decode(input)?,
             applied: u64::decode(input)?,
+        })
+    }
+}
+
+// Object ids are one varint; a changed base object re-encodes whole (its
+// payload is a word or a bit — a field bitmap would cost as much).
+impl DeltaCodec for ObjId {}
+impl<W: DeltaCodec> DeltaCodec for BaseObject<W> {}
+
+impl<W: DeltaCodec + PartialEq + Clone> DeltaCodec for Memory<W> {
+    fn encode_delta(&self, prev: Option<&Self>, out: &mut Vec<u8>) {
+        let Some(prev) = prev else {
+            return self.encode(out);
+        };
+        // One scheduled step mutates at most one base object, so sibling
+        // memories differ in zero or one entry of the object pool.
+        encode_slice_delta(&self.objects, &prev.objects, out);
+        // `applied` drifts by a handful of steps between siblings; the
+        // wrapping difference zigzags to one byte either direction.
+        self.applied
+            .wrapping_sub(prev.applied)
+            .cast_signed()
+            .encode(out);
+    }
+
+    fn decode_delta(prev: Option<&Self>, input: &mut &[u8], ctx: &mut DeltaCtx) -> Option<Self> {
+        let Some(prev) = prev else {
+            return Self::decode(input);
+        };
+        Some(Memory {
+            objects: decode_slice_delta(&prev.objects, input, ctx)?,
+            applied: prev
+                .applied
+                .wrapping_add(i64::decode(input)?.cast_unsigned()),
         })
     }
 }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use slx_engine::StateCodec;
+use slx_engine::{DeltaCodec, DeltaCtx, StateCodec};
 use slx_history::{Action, History, Operation, ProcessId, Response};
 
 use crate::base::{Memory, Word};
@@ -378,6 +378,71 @@ impl<W: Word + StateCodec, P: StateCodec> StateCodec for System<W, P> {
             crashed: Vec::decode(input)?,
             history: History::decode(input)?,
             events: Vec::decode(input)?,
+        })
+    }
+}
+
+// One-byte events keep the self-contained default; event *logs* delta as
+// slices through `Vec`'s hooks inside `System`'s delta below.
+impl DeltaCodec for Event {}
+
+impl<W: Word + DeltaCodec, P: DeltaCodec + PartialEq + Clone> DeltaCodec for System<W, P> {
+    /// Consecutive spill records are sibling configurations of one BFS
+    /// level, typically one scheduled step apart: each field deltas
+    /// against its counterpart — memory and process pools
+    /// element-sparsely, history and event log by shared prefix — so an
+    /// unchanged field costs its two-varint slice-delta header and one
+    /// compare pass. (No field bitmap: pre-comparing the O(n) fields to
+    /// save those header bytes was measured to cost more encode time
+    /// than it saved in bytes — every compare the bitmap needs is one
+    /// the slice delta already does.) The flag byte covers only the two
+    /// cheap bit-vectors.
+    fn encode_delta(&self, prev: Option<&Self>, out: &mut Vec<u8>) {
+        let Some(prev) = prev else {
+            return self.encode(out);
+        };
+        let pending_changed = self.pending != prev.pending;
+        let crashed_changed = self.crashed != prev.crashed;
+        out.push(u8::from(pending_changed) | u8::from(crashed_changed) << 1);
+        self.memory.encode_delta(Some(&prev.memory), out);
+        self.procs.encode_delta(Some(&prev.procs), out);
+        if pending_changed {
+            self.pending.encode_delta(Some(&prev.pending), out);
+        }
+        if crashed_changed {
+            self.crashed.encode_delta(Some(&prev.crashed), out);
+        }
+        self.history.encode_delta(Some(&prev.history), out);
+        self.events.encode_delta(Some(&prev.events), out);
+    }
+
+    fn decode_delta(prev: Option<&Self>, input: &mut &[u8], ctx: &mut DeltaCtx) -> Option<Self> {
+        let Some(prev) = prev else {
+            return Self::decode(input);
+        };
+        let flags = u8::decode(input)?;
+        if flags >= 1 << 2 {
+            return None;
+        }
+        let memory = Memory::decode_delta(Some(&prev.memory), input, ctx)?;
+        let procs = Vec::decode_delta(Some(&prev.procs), input, ctx)?;
+        let pending = if flags & 1 != 0 {
+            Vec::decode_delta(Some(&prev.pending), input, ctx)?
+        } else {
+            prev.pending.clone()
+        };
+        let crashed = if flags & 2 != 0 {
+            Vec::decode_delta(Some(&prev.crashed), input, ctx)?
+        } else {
+            prev.crashed.clone()
+        };
+        Some(System {
+            memory,
+            procs,
+            pending,
+            crashed,
+            history: History::decode_delta(Some(&prev.history), input, ctx)?,
+            events: Vec::decode_delta(Some(&prev.events), input, ctx)?,
         })
     }
 }

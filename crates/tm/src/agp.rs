@@ -1,6 +1,6 @@
 //! Algorithm I(1,2) — the paper's Algorithm 1, step for step.
 
-use slx_engine::StateCodec;
+use slx_engine::{DeltaCodec, DeltaCtx, StateCodec};
 use slx_history::{Operation, ProcessId, Response, Value};
 use slx_memory::{Memory, ObjId, PrimOutcome, Primitive, Process, StepEffect};
 
@@ -155,6 +155,96 @@ impl StateCodec for AgpTm {
         let version = Option::decode(input)?;
         let old_values = Vec::decode(input)?;
         let values = Vec::decode(input)?;
+        let pc = match u8::decode(input)? {
+            0 => Pc::Idle,
+            1 => Pc::StartAnnounce,
+            2 => Pc::StartReadC,
+            3 => Pc::CommitScan,
+            4 => Pc::CommitCas,
+            5 => Pc::LocalRespond(Response::decode(input)?),
+            _ => return None,
+        };
+        Some(AgpTm {
+            c,
+            r,
+            me,
+            n,
+            nvars,
+            timestamp,
+            version,
+            old_values,
+            values,
+            pc,
+            ts_aborts: u64::decode(input)?,
+            cas_aborts: u64::decode(input)?,
+        })
+    }
+}
+
+impl DeltaCodec for AgpTm {
+    /// Same shape as `GlobalVersionTm`'s hooks: the value vectors
+    /// collapse to a flag byte when unchanged, everything else is
+    /// scalar-sized.
+    fn encode_delta(&self, prev: Option<&Self>, out: &mut Vec<u8>) {
+        let Some(prev) = prev else {
+            return self.encode(out);
+        };
+        let old_changed = self.old_values != prev.old_values;
+        let values_changed = self.values != prev.values;
+        out.push(u8::from(old_changed) | u8::from(values_changed) << 1);
+        self.c.encode(out);
+        self.r.encode(out);
+        self.me.encode(out);
+        self.n.encode(out);
+        self.nvars.encode(out);
+        self.timestamp.encode(out);
+        self.version.encode(out);
+        if old_changed {
+            self.old_values.encode_delta(Some(&prev.old_values), out);
+        }
+        if values_changed {
+            self.values.encode_delta(Some(&prev.values), out);
+        }
+        match &self.pc {
+            Pc::Idle => out.push(0),
+            Pc::StartAnnounce => out.push(1),
+            Pc::StartReadC => out.push(2),
+            Pc::CommitScan => out.push(3),
+            Pc::CommitCas => out.push(4),
+            Pc::LocalRespond(resp) => {
+                out.push(5);
+                resp.encode(out);
+            }
+        }
+        self.ts_aborts.encode(out);
+        self.cas_aborts.encode(out);
+    }
+
+    fn decode_delta(prev: Option<&Self>, input: &mut &[u8], ctx: &mut DeltaCtx) -> Option<Self> {
+        let Some(prev) = prev else {
+            return Self::decode(input);
+        };
+        let flags = u8::decode(input)?;
+        if flags >= 1 << 2 {
+            return None;
+        }
+        let c = ObjId::decode(input)?;
+        let r = ObjId::decode(input)?;
+        let me = ProcessId::decode(input)?;
+        let n = usize::decode(input)?;
+        let nvars = usize::decode(input)?;
+        let timestamp = u64::decode(input)?;
+        let version = Option::decode(input)?;
+        let old_values = if flags & 1 != 0 {
+            Vec::decode_delta(Some(&prev.old_values), input, ctx)?
+        } else {
+            prev.old_values.clone()
+        };
+        let values = if flags & 2 != 0 {
+            Vec::decode_delta(Some(&prev.values), input, ctx)?
+        } else {
+            prev.values.clone()
+        };
         let pc = match u8::decode(input)? {
             0 => Pc::Idle,
             1 => Pc::StartAnnounce,

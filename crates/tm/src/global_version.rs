@@ -1,7 +1,7 @@
 //! The opaque, lock-free ((1,n)-free) TM: Algorithm 1 without the
 //! timestamp rule.
 
-use slx_engine::StateCodec;
+use slx_engine::{DeltaCodec, DeltaCtx, StateCodec};
 use slx_history::{Operation, Response, Value};
 use slx_memory::{Memory, ObjId, PrimOutcome, Primitive, Process, StepEffect};
 
@@ -121,6 +121,80 @@ impl StateCodec for GlobalVersionTm {
         let version = Option::decode(input)?;
         let old_values = Vec::decode(input)?;
         let values = Vec::decode(input)?;
+        let pc = match u8::decode(input)? {
+            0 => Pc::Idle,
+            1 => Pc::StartReadC,
+            2 => Pc::CommitCas,
+            3 => Pc::LocalRespond(Response::decode(input)?),
+            _ => return None,
+        };
+        Some(GlobalVersionTm {
+            c,
+            nvars,
+            version,
+            old_values,
+            values,
+            pc,
+            commits: u64::decode(input)?,
+            aborts: u64::decode(input)?,
+        })
+    }
+}
+
+impl DeltaCodec for GlobalVersionTm {
+    /// The transaction-local value vectors — the only fields that grow
+    /// with the variable count — usually match the predecessor's and
+    /// collapse to one flag byte; the scalar locals re-encode plainly.
+    fn encode_delta(&self, prev: Option<&Self>, out: &mut Vec<u8>) {
+        let Some(prev) = prev else {
+            return self.encode(out);
+        };
+        let old_changed = self.old_values != prev.old_values;
+        let values_changed = self.values != prev.values;
+        out.push(u8::from(old_changed) | u8::from(values_changed) << 1);
+        self.c.encode(out);
+        self.nvars.encode(out);
+        self.version.encode(out);
+        if old_changed {
+            self.old_values.encode_delta(Some(&prev.old_values), out);
+        }
+        if values_changed {
+            self.values.encode_delta(Some(&prev.values), out);
+        }
+        match &self.pc {
+            Pc::Idle => out.push(0),
+            Pc::StartReadC => out.push(1),
+            Pc::CommitCas => out.push(2),
+            Pc::LocalRespond(resp) => {
+                out.push(3);
+                resp.encode(out);
+            }
+        }
+        self.commits.encode(out);
+        self.aborts.encode(out);
+    }
+
+    fn decode_delta(prev: Option<&Self>, input: &mut &[u8], ctx: &mut DeltaCtx) -> Option<Self> {
+        let Some(prev) = prev else {
+            return Self::decode(input);
+        };
+        let flags = u8::decode(input)?;
+        if flags >= 1 << 2 {
+            return None;
+        }
+        let c = ObjId::decode(input)?;
+        let nvars = usize::decode(input)?;
+        let version = Option::decode(input)?;
+        let old_values = if flags & 1 != 0 {
+            Vec::decode_delta(Some(&prev.old_values), input, ctx)?
+        } else {
+            prev.old_values.clone()
+        };
+        let values = if flags & 2 != 0 {
+            Vec::decode_delta(Some(&prev.values), input, ctx)?
+        } else {
+            prev.values.clone()
+        };
         let pc = match u8::decode(input)? {
             0 => Pc::Idle,
             1 => Pc::StartReadC,

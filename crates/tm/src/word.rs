@@ -1,6 +1,6 @@
 //! The base-object alphabet of the TM implementations.
 
-use slx_engine::StateCodec;
+use slx_engine::{DeltaCodec, StateCodec};
 use slx_history::Value;
 
 /// Words stored in the TM base objects:
@@ -56,6 +56,10 @@ impl TmWord {
         }
     }
 }
+
+// Versioned words re-encode whole when changed (a changed commit rewrites
+// both version and values anyway); timestamps are one varint.
+impl DeltaCodec for TmWord {}
 
 impl StateCodec for TmWord {
     #[inline]
