@@ -69,6 +69,26 @@ where
     W: Word + DeltaCodec + Send + Sync,
     P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
 {
+    run_bivalence_adversary_with(&Checker::auto(), sys, active, budget, valence_budget)
+}
+
+/// [`run_bivalence_adversary`] on an explicit exploration-kernel checker
+/// for the inner valence queries — so the adversary's thousands of
+/// model-checking runs can be pinned to a thread/shard configuration or
+/// to a frontier memory budget (any spill codec, including replay
+/// recompute-from-parent; the replay differential test drives exactly
+/// that).
+pub fn run_bivalence_adversary_with<W, P>(
+    checker: &Checker,
+    sys: &mut System<W, P>,
+    active: &[ProcessId],
+    budget: u64,
+    valence_budget: usize,
+) -> BivalenceReport
+where
+    W: Word + DeltaCodec + Send + Sync,
+    P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
+{
     let mut report = BivalenceReport {
         steps: 0,
         step_counts: vec![0; sys.n()],
@@ -77,7 +97,6 @@ where
         history: History::new(),
         valence_configs: 0,
     };
-    let checker = Checker::auto();
 
     for _ in 0..budget {
         // Candidates ordered fairest-first.
@@ -96,7 +115,7 @@ where
                 // adversary never takes that edge.
                 continue;
             }
-            let d = decidable_values_with(&checker, &next, active, valence_budget);
+            let d = decidable_values_with(checker, &next, active, valence_budget);
             report.valence_configs += d.configs as u64;
             if d.bivalent() {
                 *sys = next;
@@ -370,6 +389,52 @@ mod tests {
         // Both processes are still pending: nobody decided.
         assert!(report.history.pending(p(0)));
         assert!(report.history.pending(p(1)));
+    }
+
+    #[test]
+    fn adversary_verdict_survives_replay_spilled_valence_queries() {
+        // The adversary's inner loop is thousands of valence
+        // model-checking runs; pin them to a tiny frontier budget with
+        // replay (recompute-from-parent) spill records and the driven
+        // schedule must not change at all: same steps, same history, same
+        // model-checking work.
+        use slx_engine::SpillCodec;
+        let scenario = || {
+            let mut mem: Memory<ConsWord> = Memory::new();
+            let layout = ObstructionFreeConsensus::layout(&mut mem, 2, 64);
+            let procs = vec![
+                ObstructionFreeConsensus::new(layout.clone(), p(0), 2),
+                ObstructionFreeConsensus::new(layout, p(1), 2),
+            ];
+            let mut sys = System::new(mem, procs);
+            sys.invoke(p(0), Operation::Propose(v(1))).unwrap();
+            sys.invoke(p(1), Operation::Propose(v(2))).unwrap();
+            sys
+        };
+        let mut resident_sys = scenario();
+        let resident = run_bivalence_adversary_with(
+            &Checker::parallel_bfs(1).with_mem_budget(0),
+            &mut resident_sys,
+            &[p(0), p(1)],
+            40,
+            60_000,
+        );
+        assert!(resident.adversary_won(), "baseline must win");
+        let mut replay_sys = scenario();
+        let replayed = run_bivalence_adversary_with(
+            &Checker::parallel_bfs(1)
+                .with_mem_budget(2048)
+                .with_spill_codec(SpillCodec::Replay),
+            &mut replay_sys,
+            &[p(0), p(1)],
+            40,
+            60_000,
+        );
+        assert!(replayed.adversary_won());
+        assert_eq!(replayed.steps, resident.steps);
+        assert_eq!(replayed.step_counts, resident.step_counts);
+        assert_eq!(replayed.history, resident.history);
+        assert_eq!(replayed.valence_configs, resident.valence_configs);
     }
 
     /// A fresh OF-consensus system with *no* proposals issued yet: the

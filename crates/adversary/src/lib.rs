@@ -30,7 +30,8 @@ mod counterexample_s;
 mod tm_starvation;
 
 pub use bivalence::{
-    normalized_of_consensus_key, run_bivalence_adversary, BivalenceReport, BivalenceScheduler,
+    normalized_of_consensus_key, run_bivalence_adversary, run_bivalence_adversary_with,
+    BivalenceReport, BivalenceScheduler,
 };
 pub use consensus_sets::{consensus_f1, consensus_f2, gmax_of};
 pub use counterexample_s::TripleRoundAdversary;

@@ -2,8 +2,11 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::hash::Hash;
 
-use slx_engine::{DeltaCodec, DeltaCtx, StateCodec};
+use slx_engine::{
+    digest128_of, Checker, DeltaCodec, DeltaCtx, Digest, Expansion, StateCodec, StateSpace,
+};
 
 /// Index of a state within an [`Automaton`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -17,7 +20,7 @@ impl fmt::Display for StateId {
 
 /// A finite execution: alternating states and actions, starting (and, per
 /// the paper, ending) with a state.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Execution<L> {
     /// The visited states; `states.len() == actions.len() + 1`.
     pub states: Vec<StateId>,
@@ -251,6 +254,12 @@ impl<L: Clone + Ord + fmt::Debug> Automaton<L> {
 
     /// Enumerates all executions with at most `depth` actions, starting
     /// from every initial state.
+    ///
+    /// This is the retained-queue baseline (it works for any `Ord`
+    /// label); codec-capable labels can run the same enumeration on the
+    /// exploration kernel — parallel, beyond-RAM, replay-spill capable —
+    /// via [`Automaton::executions_on`], which the differential tests pin
+    /// to this implementation.
     pub fn executions(&self, depth: usize) -> Vec<Execution<L>> {
         let mut out = Vec::new();
         let mut queue: VecDeque<Execution<L>> = self
@@ -439,6 +448,106 @@ impl<L: Clone + Ord + fmt::Debug> Automaton<L> {
     }
 }
 
+/// The automata execution space on the `slx-engine` kernel: states are
+/// (prefixes of) executions, successors extend an execution by one
+/// enabled transition, and every explored execution is reported as a
+/// finding — so a kernel run's findings are exactly
+/// [`Automaton::executions`], in the same BFS order, with the kernel's
+/// parallel expansion, disk-backed spilling, and replay regeneration
+/// available.
+///
+/// Extending an execution is a couple of `Vec` pushes, far cheaper than
+/// decoding a spilled execution record, so the space overrides
+/// [`StateSpace::successor_at`] with a real indexed fast path: the
+/// `index`-th (action, target) pair in the deterministic
+/// `enabled`/`successors` order is looked up and only that one child is
+/// built.
+pub struct ExecutionSpace<'a, L> {
+    automaton: &'a Automaton<L>,
+    depth: usize,
+}
+
+impl<L> StateSpace for ExecutionSpace<'_, L>
+where
+    L: Clone + Ord + fmt::Debug + Hash + Send + Sync + DeltaCodec,
+{
+    type State = Execution<L>;
+    type Finding = Execution<L>;
+
+    fn digest(&self, exec: &Self::State) -> Digest {
+        digest128_of(exec)
+    }
+
+    fn expand(&self, exec: &Self::State, _depth: usize, ctx: &mut Expansion<Self>) {
+        ctx.finding(exec.clone());
+        if exec.actions.len() >= self.depth {
+            return;
+        }
+        let s = exec.last_state();
+        let enabled = self.automaton.enabled(s);
+        ctx.reserve(enabled.len());
+        for a in enabled {
+            for t in self.automaton.successors(s, &a) {
+                let mut extended = exec.clone();
+                extended.states.push(t);
+                extended.actions.push(a.clone());
+                ctx.push(extended);
+            }
+        }
+    }
+
+    fn successor_at(&self, exec: &Self::State, _depth: usize, index: usize) -> Option<Self::State> {
+        if exec.actions.len() >= self.depth {
+            return None;
+        }
+        let s = exec.last_state();
+        let mut pushed = 0usize;
+        for a in self.automaton.enabled(s) {
+            for t in self.automaton.successors(s, &a) {
+                if pushed == index {
+                    let mut extended = exec.clone();
+                    extended.states.push(t);
+                    extended.actions.push(a.clone());
+                    return Some(extended);
+                }
+                pushed += 1;
+            }
+        }
+        None
+    }
+
+    fn has_successor_fast_path(&self) -> bool {
+        true
+    }
+}
+
+impl<L> Automaton<L>
+where
+    L: Clone + Ord + fmt::Debug + Hash + Send + Sync + DeltaCodec,
+{
+    /// [`Automaton::executions`] on an explicit exploration-kernel
+    /// checker: identical executions in identical order, but enumerated
+    /// by the shared kernel — so bounded-memory spilling
+    /// (`Checker::with_mem_budget`, any [`slx_engine::SpillCodec`]
+    /// including replay) and the parallel BFS backend apply to automata
+    /// enumeration too.
+    pub fn executions_on(&self, checker: &Checker, depth: usize) -> Vec<Execution<L>> {
+        let space = ExecutionSpace {
+            automaton: self,
+            depth,
+        };
+        let initial: Vec<Execution<L>> = self
+            .init
+            .iter()
+            .map(|&s| Execution {
+                states: vec![s],
+                actions: vec![],
+            })
+            .collect();
+        checker.run(&space, initial).findings
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -588,5 +697,57 @@ mod tests {
     #[should_panic(expected = "disjoint")]
     fn overlapping_signature_panics() {
         let _ = Automaton::new("bad", 1, [StateId(0)], ["a"], ["a"], Vec::<&str>::new());
+    }
+
+    /// An `Action`-labelled channel (codec-capable labels), so the kernel
+    /// enumeration is available: invoke = input, respond = output.
+    fn action_channel() -> Automaton<slx_history::Action> {
+        use slx_history::{Action, Operation, ProcessId, Response, Value};
+        let send = Action::invoke(ProcessId::new(0), Operation::Propose(Value::new(1)));
+        let deliver = Action::respond(ProcessId::new(0), Response::Decided(Value::new(1)));
+        let mut a = Automaton::new(
+            "action-chan",
+            3,
+            [StateId(0)],
+            [send],
+            [deliver],
+            Vec::<Action>::new(),
+        );
+        a.add_transition(StateId(0), send, StateId(1));
+        a.add_transition(StateId(1), deliver, StateId(2));
+        a.add_transition(StateId(1), send, StateId(1));
+        a.add_transition(StateId(2), send, StateId(2));
+        a
+    }
+
+    #[test]
+    fn kernel_executions_match_the_queue_baseline() {
+        let a =
+            action_channel().with_crash(slx_history::Action::crash(slx_history::ProcessId::new(0)));
+        for depth in [0usize, 1, 3, 5] {
+            let queue = a.executions(depth);
+            let kernel = a.executions_on(&Checker::parallel_bfs(1), depth);
+            assert_eq!(kernel, queue, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn kernel_executions_survive_replay_spilling() {
+        use slx_engine::SpillCodec;
+        let a = action_channel();
+        let resident = a.executions_on(&Checker::parallel_bfs(1).with_mem_budget(0), 6);
+        assert_eq!(resident, a.executions(6));
+        for codec in [SpillCodec::Delta, SpillCodec::Plain, SpillCodec::Replay] {
+            // A tiny budget spills nearly every level; the replay arm
+            // regenerates spilled executions from their parent prefixes
+            // (via the indexed fast path for single-child records).
+            let spilled = a.executions_on(
+                &Checker::parallel_bfs(1)
+                    .with_mem_budget(256)
+                    .with_spill_codec(codec),
+                6,
+            );
+            assert_eq!(spilled, resident, "{codec:?}");
+        }
     }
 }

@@ -28,6 +28,6 @@ mod automaton;
 mod lemma48;
 mod theorem49;
 
-pub use automaton::{Automaton, Execution, StateId};
+pub use automaton::{Automaton, Execution, ExecutionSpace, StateId};
 pub use lemma48::{lemma_4_8_holds, BoundedLiveness};
 pub use theorem49::{single_response_ib, trivial_it};

@@ -71,7 +71,7 @@ pub struct Checker {
     /// then to the system temp directory.
     spill_dir: Option<PathBuf>,
     /// Explicit spill-chunk record encoding; `None` defers to
-    /// `SLX_ENGINE_SPILL_CODEC` (`plain` or `delta`), then to
+    /// `SLX_ENGINE_SPILL_CODEC` (`delta`, `plain`, or `replay`), then to
     /// [`SpillCodec::Delta`].
     spill_codec: Option<SpillCodec>,
 }
@@ -199,12 +199,18 @@ impl Checker {
 
     /// Pins the spill-chunk record encoding: [`SpillCodec::Delta`] (the
     /// default — records delta-encode against their chunk predecessor,
-    /// cutting spill volume and decode cost on sibling-heavy levels) or
+    /// cutting spill volume and decode cost on sibling-heavy levels),
     /// [`SpillCodec::Plain`] (every record self-contained; the
-    /// comparison arm). Verdicts, findings, and every count except the
-    /// spill-volume statistics are identical under either. Without this
-    /// knob the `SLX_ENGINE_SPILL_CODEC` environment variable (`delta` /
-    /// `plain`) is honored, falling back to delta.
+    /// comparison arm), or [`SpillCodec::Replay`] (records store parent
+    /// states plus child action indices and the replay *regenerates* the
+    /// children by re-expanding the parent — no per-child codec work;
+    /// the fastest arm wherever expansion is cheaper than decoding,
+    /// which the Figure 1a consensus workload's deep rows are). Verdicts,
+    /// findings, and every count except the spill-volume and
+    /// replay-accounting statistics are identical under all three.
+    /// Without this knob the `SLX_ENGINE_SPILL_CODEC` environment
+    /// variable (`delta` / `plain` / `replay`) is honored, falling back
+    /// to delta.
     #[must_use]
     pub fn with_spill_codec(mut self, codec: SpillCodec) -> Self {
         self.spill_codec = Some(codec);
@@ -226,10 +232,12 @@ impl Checker {
                 || match std::env::var("SLX_ENGINE_SPILL_CODEC").ok().as_deref() {
                     Some("plain") => Some(SpillCodec::Plain),
                     Some("delta") => Some(SpillCodec::Delta),
+                    Some("replay") => Some(SpillCodec::Replay),
                     Some("") | None => None,
                     Some(other) => {
                         panic!(
-                            "SLX_ENGINE_SPILL_CODEC must be \"delta\" or \"plain\", got {other:?}"
+                            "SLX_ENGINE_SPILL_CODEC must be \"delta\", \"plain\", or \
+                             \"replay\", got {other:?}"
                         )
                     }
                 },
@@ -269,8 +277,12 @@ impl Checker {
             .unwrap_or_else(std::env::temp_dir);
         std::fs::create_dir_all(&dir)
             .unwrap_or_else(|err| panic!("cannot create spill dir {}: {err}", dir.display()));
+        // The 16-byte floor keeps a degenerate budget from flushing a
+        // chunk per record; it is low because records are small now that
+        // digests are not stored (a grid-walk record is two varint
+        // bytes), and the test suites rely on tiny budgets spilling.
         Some(SpillConfig::new(
-            (budget / 2).max(64),
+            (budget / 2).max(16),
             self.resolve_spill_codec(),
             dir,
         ))
@@ -349,15 +361,25 @@ impl Checker {
             let digest = space.digest(&state);
             if visited.insert(digest.0) {
                 occupancy[visited.shard_of(digest.0)] += 1;
-                frontier.push(state, digest);
+                frontier.push(state);
             }
         }
 
+        // Parents re-expanded by replay regeneration across the whole run
+        // (a `Cell` so the per-level regenerator closures can share it
+        // with the loop below).
+        let replayed = std::cell::Cell::new(0usize);
         let mut depth: usize = 0;
         'levels: while !frontier.is_empty() {
             // Budget: expand at most `allowed` more states, ever. The
             // truncation point is a state count, so it cuts the same
             // frontier prefix whether the tail is resident or spilled.
+            // Accumulate the consumed frontier's spill accounting up
+            // front, so even a budget truncation to emptiness below
+            // reports the chunks this frontier already wrote.
+            stats.spilled_chunks += frontier.spilled_chunks();
+            stats.spilled_bytes += frontier.spilled_bytes();
+            stats.peak_resident_bytes = stats.peak_resident_bytes.max(frontier.peak_window_bytes());
             if let Some(budget) = self.config_budget {
                 let allowed = budget.saturating_sub(stats.configs);
                 if frontier.len() > allowed {
@@ -369,9 +391,53 @@ impl Checker {
                 }
             }
             stats.peak_frontier = stats.peak_frontier.max(frontier.len());
-            stats.spilled_chunks += frontier.spilled_chunks();
-            stats.spilled_bytes += frontier.spilled_bytes();
-            stats.peak_resident_bytes = stats.peak_resident_bytes.max(frontier.peak_window_bytes());
+
+            // Replay-codec chunks regenerate their states by re-expanding
+            // the stored parents. The parents of this level's states were
+            // expanded at the previous depth; re-expansion must use the
+            // same depth to reproduce the push order the indices refer to
+            // (`saturating_sub`: the depth-0 frontier holds only literal
+            // records, so the value is never consulted there).
+            let parent_depth = depth.saturating_sub(1);
+            let regen = |parent: &Sp::State, indices: &[usize], out: &mut Vec<Sp::State>| {
+                replayed.set(replayed.get() + 1);
+                // The indexed fast path rebuilds one child without the
+                // successor vector, but must still walk the preceding
+                // pushes; for multi-child groups one shared expansion
+                // does that walk once instead of once per index.
+                if space.has_successor_fast_path() && indices.len() == 1 {
+                    for &index in indices {
+                        let succ = space
+                            .successor_at(parent, parent_depth, index)
+                            .unwrap_or_else(|| {
+                                panic!(
+                                    "corrupt replay record: parent has no successor at \
+                                     push index {index}"
+                                )
+                            });
+                        out.push(succ);
+                    }
+                } else {
+                    // One shared, digest-free expansion regenerates every
+                    // index of this record: the fallback never re-expands
+                    // a parent more than once per replayed record.
+                    let mut exp = Expansion::new_undigested(space);
+                    space.expand(parent, parent_depth, &mut exp);
+                    let total = exp.succs.len();
+                    let mut want = indices.iter().peekable();
+                    for (index, (succ, _)) in exp.succs.into_iter().enumerate() {
+                        if want.peek().is_some_and(|&&w| w == index) {
+                            out.push(succ);
+                            want.next();
+                        }
+                    }
+                    assert!(
+                        want.peek().is_none(),
+                        "corrupt replay record: successor index past the parent's \
+                         {total} pushes"
+                    );
+                }
+            };
 
             // Stream the level back chunk by chunk (one chunk, the whole
             // level, without a memory budget): the peak resident decoded
@@ -381,7 +447,12 @@ impl Checker {
             // the sequence the unspilled kernel would.
             let mut next: SpillFrontier<Sp::State> = SpillFrontier::new(spill.clone());
             let mut chunks = frontier.into_chunks();
-            while let Some(chunk) = chunks.next_chunk() {
+            // A parent's accepted successors, grouped so the frontier can
+            // store one replay record per parent (drained by
+            // `push_group`; reused across parents to avoid churn).
+            let mut accepted: Vec<Sp::State> = Vec::new();
+            let mut accepted_indices: Vec<usize> = Vec::new();
+            while let Some(chunk) = chunks.next_chunk(&regen) {
                 stats.peak_resident_states = stats.peak_resident_states.max(chunk.len());
                 let expansions = expand_level(space, &chunk, depth, threads);
 
@@ -407,14 +478,18 @@ impl Checker {
                         None
                     };
 
-                // Deterministic merge, in frontier order.
+                // Deterministic merge, in frontier order, grouped by
+                // parent: a parent's accepted successors are handed to
+                // the next frontier as one contiguous run with their
+                // push-order action indices, so the replay codec can
+                // store a single (parent, indices) record per parent.
                 let mut cursors = vec![0usize; shard_count];
-                for parts in expansions {
+                for (parts, parent) in expansions.into_iter().zip(chunk) {
                     stats.configs += 1;
                     stats.truncated |= parts.truncated;
                     let had_findings = !parts.findings.is_empty();
                     findings.extend(parts.findings);
-                    for (succ, digest) in parts.succs {
+                    for (index, (succ, digest)) in parts.succs.into_iter().enumerate() {
                         stats.transitions += 1;
                         let shard = visited.shard_of(digest.0);
                         let is_new = match &fresh {
@@ -427,13 +502,23 @@ impl Checker {
                         };
                         if is_new {
                             occupancy[shard] += 1;
-                            next.push(succ, digest);
+                            accepted.push(succ);
+                            accepted_indices.push(index);
                         } else {
                             stats.dedup_hits += 1;
                         }
                     }
+                    next.push_group(parent, &mut accepted, &accepted_indices);
+                    accepted_indices.clear();
                     if had_findings && stop(&findings) {
                         stats.stopped_early = true;
+                        // The half-built next frontier dies here; count
+                        // the spill I/O it already performed (the
+                        // consumed frontier's was counted at level top).
+                        stats.spilled_chunks += next.spilled_chunks();
+                        stats.spilled_bytes += next.spilled_bytes();
+                        stats.peak_resident_bytes =
+                            stats.peak_resident_bytes.max(next.peak_window_bytes());
                         break 'levels;
                     }
                 }
@@ -442,6 +527,7 @@ impl Checker {
             depth += 1;
         }
 
+        stats.replayed_parents = replayed.get();
         stats.shard_occupancy = occupancy;
         stats.elapsed = start.elapsed();
         KernelOutcome { findings, stats }
@@ -573,7 +659,7 @@ fn expand_one<Sp: StateSpace + ?Sized>(space: &Sp, state: &Sp::State, depth: usi
 /// merge is deterministic.
 fn expand_level<Sp>(
     space: &Sp,
-    frontier: &[(Sp::State, Digest)],
+    frontier: &[Sp::State],
     depth: usize,
     threads: usize,
 ) -> Vec<Parts<Sp>>
@@ -583,14 +669,14 @@ where
     if threads <= 1 || frontier.len() < PAR_MIN_FRONTIER {
         return frontier
             .iter()
-            .map(|(state, _)| expand_one(space, state, depth))
+            .map(|state| expand_one(space, state, depth))
             .collect();
     }
 
     // Several chunks per worker so an uneven chunk doesn't serialize the
     // level; at least 16 states per chunk so cursor traffic stays cheap.
     let chunk_size = (frontier.len() / (threads * 4)).max(16);
-    let chunks: Vec<&[(Sp::State, Digest)]> = frontier.chunks(chunk_size).collect();
+    let chunks: Vec<&[Sp::State]> = frontier.chunks(chunk_size).collect();
     let cursor = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, Vec<Parts<Sp>>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
 
@@ -603,7 +689,7 @@ where
                 };
                 let parts: Vec<Parts<Sp>> = chunk
                     .iter()
-                    .map(|(state, _)| expand_one(space, state, depth))
+                    .map(|state| expand_one(space, state, depth))
                     .collect();
                 done.lock()
                     .expect("no poisoned workers")
@@ -790,15 +876,16 @@ mod tests {
 
     #[test]
     fn spilling_matches_resident_exploration_exactly() {
-        // Records are 16 (digest) + 8 (two u32s) = 24 bytes; a 256-byte
-        // budget gives 128-byte chunks, so every level wider than ~5
-        // states spills — most of the 61-wide grid diagonals.
+        // Records are two one-byte varints (digests are not stored — the
+        // visited set consumed them before the push); a 128-byte budget
+        // gives 64-byte chunks, so every level wider than ~32 states
+        // spills — the middle half of the 61-wide grid diagonals.
         let space = grid(60);
         let resident = Checker::parallel_bfs(1)
             .with_mem_budget(0)
             .run(&space, vec![(0, 0)]);
         let spilled = Checker::parallel_bfs(1)
-            .with_mem_budget(256)
+            .with_mem_budget(128)
             .run(&space, vec![(0, 0)]);
         assert_eq!(spilled.stats.configs, resident.stats.configs);
         assert_eq!(spilled.stats.transitions, resident.stats.transitions);
@@ -859,7 +946,7 @@ mod tests {
                 }
             }
         }
-        const BUDGET: usize = 2048;
+        const BUDGET: usize = 1024;
         let space = Accumulator { bound: 8 };
         let resident = Checker::parallel_bfs(1)
             .with_mem_budget(0)
@@ -871,9 +958,9 @@ mod tests {
         assert_eq!(spilled.stats.dedup_hits, resident.stats.dedup_hits);
         assert_eq!(spilled.findings, resident.findings);
         assert!(spilled.stats.spilled_chunks > 2, "deep levels must spill");
-        // Largest record: 16 digest bytes + tuple of (u32, 24-element
-        // Vec<u32> with multi-byte varints).
-        let max_record = 16 + 4 + 24 * 5;
+        // Largest record: a tuple of (u32, 24-element Vec<u32> with
+        // multi-byte varints); digests are not stored.
+        let max_record = 4 + 24 * 5;
         assert!(
             spilled.stats.peak_resident_bytes <= BUDGET / 2 + max_record,
             "window peaked at {} encoded bytes; chunk budget {} + record {max_record}",
@@ -886,28 +973,42 @@ mod tests {
 
     #[test]
     fn spill_codec_resolution() {
-        assert_eq!(
-            Checker::parallel_bfs(1).resolve_spill_codec(),
-            SpillCodec::Delta,
-            "delta is the default"
-        );
+        // The env knob (covered exhaustively in its own process-isolated
+        // suite, `tests/spill_codec_knob.rs`) outranks the default, so
+        // only assert the default when the environment is silent.
+        if std::env::var_os("SLX_ENGINE_SPILL_CODEC").is_none_or(|v| v.is_empty()) {
+            assert_eq!(
+                Checker::parallel_bfs(1).resolve_spill_codec(),
+                SpillCodec::Delta,
+                "delta is the default"
+            );
+        }
         assert_eq!(
             Checker::parallel_bfs(1)
                 .with_spill_codec(SpillCodec::Plain)
                 .resolve_spill_codec(),
             SpillCodec::Plain
         );
+        assert_eq!(
+            Checker::parallel_bfs(1)
+                .with_spill_codec(SpillCodec::Replay)
+                .resolve_spill_codec(),
+            SpillCodec::Replay
+        );
     }
 
     #[test]
-    fn plain_spill_codec_matches_delta_and_resident() {
+    fn every_spill_codec_matches_the_resident_run() {
+        // GridWalk has no successor fast path, so the replay arm here
+        // exercises the full-expansion regeneration fallback.
         let space = grid(60);
         let resident = Checker::parallel_bfs(1)
             .with_mem_budget(0)
             .run(&space, vec![(0, 0)]);
-        for codec in [SpillCodec::Delta, SpillCodec::Plain] {
+        assert_eq!(resident.stats.replayed_parents, 0);
+        for codec in [SpillCodec::Delta, SpillCodec::Plain, SpillCodec::Replay] {
             let spilled = Checker::parallel_bfs(1)
-                .with_mem_budget(256)
+                .with_mem_budget(128)
                 .with_spill_codec(codec)
                 .run(&space, vec![(0, 0)]);
             assert_eq!(spilled.stats.configs, resident.stats.configs, "{codec:?}");
@@ -917,7 +1018,87 @@ mod tests {
             );
             assert_eq!(spilled.findings, resident.findings, "{codec:?}");
             assert!(spilled.stats.spilled_chunks >= 2, "{codec:?}");
+            if codec == SpillCodec::Replay {
+                assert!(
+                    spilled.stats.replayed_parents > 0,
+                    "spilled replay chunks must regenerate from parents"
+                );
+                assert!(
+                    spilled.stats.replayed_parents <= resident.stats.configs,
+                    "at most one re-expansion per parent per level: {} > {}",
+                    spilled.stats.replayed_parents,
+                    resident.stats.configs
+                );
+            } else {
+                assert_eq!(spilled.stats.replayed_parents, 0, "{codec:?}");
+            }
         }
+    }
+
+    #[test]
+    fn replay_fast_path_agrees_with_the_expand_fallback() {
+        /// GridWalk with a real indexed-successor fast path that mirrors
+        /// its expand push order.
+        struct FastGrid(GridWalk);
+        impl StateSpace for FastGrid {
+            type State = (u32, u32);
+            type Finding = (u32, u32);
+            fn digest(&self, state: &Self::State) -> Digest {
+                self.0.digest(state)
+            }
+            fn expand(&self, state: &Self::State, depth: usize, ctx: &mut Expansion<Self>) {
+                let mut inner = Expansion::new(&self.0);
+                self.0.expand(state, depth, &mut inner);
+                for finding in inner.findings {
+                    ctx.finding(finding);
+                }
+                for (succ, _) in inner.succs {
+                    ctx.push(succ);
+                }
+            }
+            fn has_successor_fast_path(&self) -> bool {
+                true
+            }
+            fn successor_at(
+                &self,
+                &(x, y): &Self::State,
+                _depth: usize,
+                index: usize,
+            ) -> Option<Self::State> {
+                if x == self.0.bound && y == self.0.bound {
+                    return None;
+                }
+                let mut succs = Vec::with_capacity(2);
+                if x < self.0.bound {
+                    succs.push((x + 1, y));
+                }
+                if y < self.0.bound {
+                    succs.push((x, y + 1));
+                }
+                succs.into_iter().nth(index)
+            }
+        }
+        let slow = grid(60);
+        let fast = FastGrid(grid(60));
+        let via_fallback = Checker::parallel_bfs(1)
+            .with_mem_budget(128)
+            .with_spill_codec(SpillCodec::Replay)
+            .run(&slow, vec![(0, 0)]);
+        let via_fast_path = Checker::parallel_bfs(1)
+            .with_mem_budget(128)
+            .with_spill_codec(SpillCodec::Replay)
+            .run(&fast, vec![(0, 0)]);
+        assert_eq!(via_fast_path.stats.configs, via_fallback.stats.configs);
+        assert_eq!(
+            via_fast_path.stats.dedup_hits,
+            via_fallback.stats.dedup_hits
+        );
+        assert_eq!(via_fast_path.findings, via_fallback.findings);
+        assert_eq!(
+            via_fast_path.stats.replayed_parents,
+            via_fallback.stats.replayed_parents
+        );
+        assert!(via_fast_path.stats.spilled_chunks >= 2);
     }
 
     #[test]

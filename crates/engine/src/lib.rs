@@ -25,15 +25,20 @@
 //!   structure holding full configurations — spills cold chunks to
 //!   self-cleaning temp files and streams them back during expansion,
 //!   bounding peak resident states regardless of level width. Chunk
-//!   windows are byte-measured, and records are **delta-encoded against
-//!   their chunk predecessor** by default ([`SpillCodec`],
-//!   `SLX_ENGINE_SPILL_CODEC`): sibling states share layouts, memory
+//!   windows are byte-measured; records hold states only (digests are
+//!   consumed by the visited set before a state is pushed) and come in
+//!   three encodings ([`SpillCodec`], `SLX_ENGINE_SPILL_CODEC`):
+//!   **delta** (the default — sibling states share layouts, memory
 //!   words, and history prefixes, so unchanged fields collapse to
 //!   skip/copy varints on the wire and decode as clones of the
-//!   predecessor's fields — with a per-replay [`DeltaCtx`] intern table
-//!   restoring `Arc` sharing across chunk boundaries. Chunk order is
-//!   deterministic, so spilling changes no verdict, finding, or
-//!   statistic;
+//!   predecessor's fields, with a per-replay [`DeltaCtx`] intern table
+//!   restoring `Arc` sharing across chunk boundaries), **plain**
+//!   (self-contained records, the comparison arm), and **replay**
+//!   (records store parent states plus child action indices, and the
+//!   replay *regenerates* spilled successors by re-expanding the parent
+//!   through [`StateSpace::successor_at`] — no per-child codec work at
+//!   all). Chunk order is deterministic and re-expansion is pure, so
+//!   spilling changes no verdict, finding, or statistic;
 //! - [`Fingerprinter`] — a fast two-lane non-cryptographic hasher that
 //!   produces the 128-bit digests in one pass (replacing the SipHash
 //!   `DefaultHasher` helpers that used to be copy-pasted across the

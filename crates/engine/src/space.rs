@@ -16,6 +16,12 @@ use crate::digest::Digest;
 /// terminal. Keeping the bound inside the space lets the same kernel drive
 /// bounded safety exploration, budgeted valence queries, and unbounded
 /// reachability alike.
+///
+/// `expand` must be a **pure function** of `(state, depth)`: the kernel's
+/// determinism guarantees (and, since the replay spill codec, its
+/// recompute-from-parent machinery — see [`crate::SpillCodec::Replay`])
+/// rely on a re-expansion producing the same successors in the same push
+/// order.
 pub trait StateSpace {
     /// A state of the transition system. `Send + Sync` because the
     /// parallel BFS backend hands frontier slices to worker threads.
@@ -31,6 +37,41 @@ pub trait StateSpace {
 
     /// Enumerates `state`'s successors and findings into `ctx`.
     fn expand(&self, state: &Self::State, depth: usize, ctx: &mut Expansion<Self>);
+
+    /// Rebuilds the successor that [`StateSpace::expand`]`(state, depth)`
+    /// would emit at push position `index` (the expansion's push order
+    /// defines the action index), or `None` when the expansion pushes
+    /// fewer than `index + 1` successors.
+    ///
+    /// This is the indexed-successor capability behind the replay spill
+    /// codec ([`crate::SpillCodec::Replay`]): spilled successors are
+    /// stored as *(parent, action indices)* and regenerated here instead
+    /// of round-tripping through a byte decode. The default falls back to
+    /// a full (digest-free) expansion and picks the `index`-th push;
+    /// spaces whose successors can be built individually override this
+    /// **and** [`StateSpace::has_successor_fast_path`] together, and must
+    /// keep the override in lock-step with `expand`'s push order (the
+    /// replay differential suites pin exactly that agreement).
+    fn successor_at(&self, state: &Self::State, depth: usize, index: usize) -> Option<Self::State> {
+        let mut exp = Expansion::new_undigested(self);
+        self.expand(state, depth, &mut exp);
+        exp.succs.into_iter().nth(index).map(|(succ, _)| succ)
+    }
+
+    /// Whether [`StateSpace::successor_at`] is a real fast path (builds
+    /// only the requested child) rather than the full-expansion fallback.
+    ///
+    /// The replay codec regenerates a **single-child** record through
+    /// `successor_at` when this returns `true`; multi-child records —
+    /// and every record when this returns `false` — regenerate through
+    /// one shared digest-free expansion of the parent, because even a
+    /// real indexed fast path must re-walk the pushes preceding each
+    /// requested index, which the shared expansion does once. Either
+    /// way a parent is never expanded more than once per replayed
+    /// record.
+    fn has_successor_fast_path(&self) -> bool {
+        false
+    }
 }
 
 /// Sink for one state's expansion: successors, findings, and truncation.
@@ -43,6 +84,12 @@ pub struct Expansion<'sp, Sp: StateSpace + ?Sized> {
     pub(crate) succs: Vec<(Sp::State, Digest)>,
     pub(crate) findings: Vec<Sp::Finding>,
     pub(crate) truncated: bool,
+    /// Whether pushes compute real digests. Replay regeneration turns
+    /// this off: regenerated successors go straight back into a frontier
+    /// (their digests were consumed by the visited set when the parent
+    /// was first expanded), so hashing them again would be pure waste on
+    /// the spill hot path.
+    digests: bool,
 }
 
 impl<'sp, Sp: StateSpace + ?Sized> Expansion<'sp, Sp> {
@@ -52,6 +99,17 @@ impl<'sp, Sp: StateSpace + ?Sized> Expansion<'sp, Sp> {
             succs: Vec::new(),
             findings: Vec::new(),
             truncated: false,
+            digests: true,
+        }
+    }
+
+    /// An expansion whose pushes skip digest computation (the successor
+    /// slots carry a zero digest). Used by replay regeneration, where
+    /// only the successor states are consumed.
+    pub(crate) fn new_undigested(space: &'sp Sp) -> Self {
+        Expansion {
+            digests: false,
+            ..Expansion::new(space)
         }
     }
 
@@ -61,9 +119,24 @@ impl<'sp, Sp: StateSpace + ?Sized> Expansion<'sp, Sp> {
         self.truncated = false;
     }
 
+    /// Pre-allocates room for at least `additional` more successors.
+    ///
+    /// `expand` implementations that know their branching factor up front
+    /// (typically the number of schedulable processes) call this before
+    /// their push loop, so the successor vector — which starts empty on
+    /// every expansion — is sized in one allocation instead of growing
+    /// through the doubling ladder on the hot path.
+    pub fn reserve(&mut self, additional: usize) {
+        self.succs.reserve(additional);
+    }
+
     /// Emits a successor state.
     pub fn push(&mut self, succ: Sp::State) {
-        let digest = self.space.digest(&succ);
+        let digest = if self.digests {
+            self.space.digest(&succ)
+        } else {
+            Digest(0)
+        };
         self.succs.push((succ, digest));
     }
 

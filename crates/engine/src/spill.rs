@@ -9,36 +9,60 @@
 //! by chunk during level expansion, so the peak number of decoded states
 //! resident at once is bounded regardless of level size.
 //!
-//! Chunk records are **delta-encoded** ([`crate::DeltaCodec`], the
-//! default; [`SpillCodec::Plain`] keeps the PR 3 self-contained records
-//! for comparison): consecutive records of a level are siblings sharing
-//! layouts, memory words, and history prefixes, so each record encodes
-//! against its chunk predecessor and unchanged fields collapse to a few
-//! skip/copy varints. The first record of every chunk stays
-//! self-contained, so chunks decode independently and replay order stays
-//! deterministic; on decode, a per-replay [`crate::DeltaCtx`] intern
-//! table restores the `Arc` sharing between records that a per-field
-//! materialization would lose.
+//! Records hold **states only**: a frontier entry's digest is consumed by
+//! the visited set before the entry is pushed and never read again, so
+//! spilling it would cost 16 bytes per record of pure dead weight (it did,
+//! until the replay refactor).
 //!
-//! The chunk window is **byte-measured**: every pushed pair is encoded
-//! into the window buffer immediately, and the window flushes as soon as
-//! its actual encoded size reaches the chunk byte budget — so the
-//! resident-window bound holds even when encoded state size grows across
-//! a level (accumulating histories), where the old first-record
-//! state-count probe overshot.
+//! Three record encodings ([`SpillCodec`]):
 //!
-//! Determinism is preserved by construction: chunk boundaries depend only
-//! on the (deterministic) encoded byte sizes of the pushed states, chunks
-//! are replayed in push order, and the no-spill mode stores the plain
+//! - **Delta** (the default): each record delta-encodes against its chunk
+//!   predecessor ([`crate::DeltaCodec`]) — consecutive records of a level
+//!   are siblings sharing layouts, memory words, and history prefixes, so
+//!   unchanged fields collapse to a few skip/copy varints.
+//! - **Plain**: every record self-contained (the PR 3 baseline, kept as
+//!   the comparison arm).
+//! - **Replay**: records store *(parent state, child action indices)*
+//!   instead of the children themselves, and the replay **regenerates**
+//!   the children by re-expanding the parent (see
+//!   [`crate::StateSpace::successor_at`]) — no per-child codec work at
+//!   all. One group record covers a parent's whole contiguous run of
+//!   spilled children; chunk-first parents stay self-contained while
+//!   subsequent parents delta-encode against their chunk predecessor, so
+//!   only parents ever touch the codec.
+//!
+//! The first record of every chunk is self-contained, so chunks decode
+//! independently and replay order stays deterministic; on decode, a
+//! per-replay [`crate::DeltaCtx`] intern table restores the `Arc` sharing
+//! between records that a per-field materialization would lose.
+//!
+//! The chunk window is **lazily encoded, byte-exact at the boundary**:
+//! pushes stay decoded until the window's estimated record bytes (state
+//! count × the run's measured record size, kept current by periodic
+//! sonde measurements) reach the chunk budget; records then materialize
+//! one at a time into the window buffer, whose exact length triggers the
+//! flush. Levels that fit the budget never touch the codec at all —
+//! under the previous eager scheme the encode of never-flushed windows
+//! was the single largest spill cost — while the flushed-chunk byte
+//! bound still holds record-exactly, even when encoded state size grows
+//! across a level (accumulating histories), where the original
+//! first-record state-count probe overshot.
+//!
+//! Determinism is preserved by construction: the size estimate and the
+//! chunk boundaries are pure functions of the (deterministic) push
+//! history, chunks are replayed in push order, re-expansion is pure (a
+//! [`StateSpace`] contract), and the no-spill mode stores the plain
 //! `Vec` with zero overhead — so merge order, verdicts, and every
-//! `ExploreStats` count are identical with spilling on or off. The
-//! differential suites pin exactly that equivalence.
+//! `ExploreStats` count are identical with spilling on or off and across
+//! all three codecs. The differential suites pin exactly that
+//! equivalence.
 //!
 //! Spill files are self-cleaning: each frontier owns at most one temp
 //! file, deleted when the frontier (or its chunk iterator) is dropped —
 //! including on early stop and on panic unwind.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
@@ -46,7 +70,6 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::codec::{DeltaCodec, DeltaCtx, StateCodec};
-use crate::Digest;
 
 /// How spill-chunk records are encoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,6 +83,29 @@ pub enum SpillCodec {
     /// Every record self-contained (the PR 3 baseline). Kept as the
     /// comparison arm for `engine_bench` and the differential suites.
     Plain,
+    /// Recompute-from-parent: a record stores a parent state plus the
+    /// push-order indices of its spilled children, and the replay
+    /// regenerates the children by re-expanding the parent
+    /// ([`crate::StateSpace::successor_at`], falling back to one shared
+    /// digest-free expansion per record). Only parents are ever encoded
+    /// or decoded, which removes per-child codec work from the spill hot
+    /// path entirely — the classic external-memory reconstruction trade.
+    Replay,
+}
+
+/// Regenerates spilled successors for [`SpillCodec::Replay`] chunks: the
+/// checker supplies one per BFS level, closing over the space and the
+/// parents' expansion depth. `regenerate` must append the successors that
+/// a full expansion of `parent` would have pushed at the (strictly
+/// increasing) `indices`, in index order.
+pub(crate) trait Regenerator<S> {
+    fn regenerate(&self, parent: &S, indices: &[usize], out: &mut Vec<S>);
+}
+
+impl<S, F: Fn(&S, &[usize], &mut Vec<S>)> Regenerator<S> for F {
+    fn regenerate(&self, parent: &S, indices: &[usize], out: &mut Vec<S>) {
+        self(parent, indices, out);
+    }
 }
 
 /// Resolved spill settings for one exploration run.
@@ -68,7 +114,8 @@ pub(crate) struct SpillConfig {
     /// Byte size a chunk aims for (the decoded window's encoded bytes are
     /// measured against it). Each of the two frontiers alive at a time
     /// (the level being consumed and the level being built) keeps its
-    /// window at this size plus at most one record.
+    /// window at this size plus at most one record (one group record for
+    /// the replay codec, whose groups never split across chunks).
     pub(crate) chunk_bytes: usize,
     /// Record encoding for spilled chunks.
     pub(crate) codec: SpillCodec,
@@ -84,12 +131,16 @@ impl SpillConfig {
             pool: Rc::new(RefCell::new(SpillPool {
                 dir,
                 free: Vec::new(),
+                encoded_states: 0,
+                encoded_bytes: 0,
+                sonde_state_bytes: INITIAL_STATE_BYTES,
             })),
         }
     }
 }
 
-/// The spill files of one exploration run.
+/// The spill files of one exploration run, plus the run's record-size
+/// feedback.
 ///
 /// At most two frontiers are alive at a time, so the pool holds at most
 /// two files, leased to spilling frontiers and recycled (truncated to
@@ -97,11 +148,41 @@ impl SpillConfig {
 /// unlinking a temp file per BFS level costs directory operations that
 /// measurably drag the spill arm on a real filesystem. The files are
 /// unlinked when the pool itself drops — end of run or panic unwind.
+///
+/// The feedback counters make the **lazy window encode** possible: a
+/// frontier defers encoding pushed records until the window's *estimated*
+/// size reaches the chunk budget, and the estimate is the run's measured
+/// average encoded bytes per state. Levels that fit the budget therefore
+/// never touch the codec at all — with the eager scheme they paid a full
+/// encode per push only to discard the buffer. The counters are a pure
+/// function of the (deterministic) push history, so chunk boundaries
+/// remain deterministic.
 #[derive(Debug)]
 pub(crate) struct SpillPool {
     dir: PathBuf,
     free: Vec<SpillFile>,
+    /// States covered by records encoded so far this run.
+    encoded_states: u64,
+    /// Bytes those records encoded to.
+    encoded_bytes: u64,
+    /// Most recent sonde measurement: the per-state byte size of a
+    /// recent record, scratch-encoded just for measurement (every
+    /// [`SONDE_EVERY`]-th pushed state). Keeps the estimate tracking
+    /// record-size *growth* across a level, which the cumulative average
+    /// alone would lag behind — the accumulating-history shape that
+    /// broke the original state-count window.
+    sonde_state_bytes: u64,
 }
+
+/// Pessimistic per-state record-size estimate before any feedback exists:
+/// low enough that encoding starts promptly on record-heavy states, high
+/// enough that a handful of tiny test records do not defer forever.
+const INITIAL_STATE_BYTES: u64 = 64;
+
+/// One in this many pushed states is sonde-encoded to keep the lazy
+/// window's size estimate current. The sonde is the lazy scheme's whole
+/// residual encode cost on levels that never spill.
+const SONDE_EVERY: usize = 8;
 
 impl SpillPool {
     fn lease(&mut self) -> SpillFile {
@@ -116,6 +197,24 @@ impl SpillPool {
             self.free.push(file);
         }
     }
+
+    /// The per-state record-size estimate the lazy window works against:
+    /// the larger of the run's measured average and the latest sonde, so
+    /// both long-run drift and sudden growth err toward encoding early
+    /// (the safe direction for the memory bound).
+    fn est_state_bytes(&self) -> u64 {
+        let avg = if self.encoded_states == 0 {
+            0
+        } else {
+            self.encoded_bytes.div_ceil(self.encoded_states)
+        };
+        avg.max(self.sonde_state_bytes).max(1)
+    }
+
+    fn record_feedback(&mut self, states: usize, bytes: usize) {
+        self.encoded_states += states as u64;
+        self.encoded_bytes += bytes as u64;
+    }
 }
 
 /// Descriptor of one chunk written to the spill file.
@@ -123,6 +222,7 @@ impl SpillPool {
 struct ChunkMeta {
     offset: u64,
     len: usize,
+    /// States the chunk replays to (group records count their children).
     count: usize,
 }
 
@@ -162,38 +262,73 @@ impl SpillFile {
     }
 }
 
-/// One BFS level's frontier of `(state, digest)` pairs, optionally backed
-/// by disk.
+/// One BFS level's frontier of states, optionally backed by disk.
 ///
 /// Without a [`SpillConfig`] this is a plain `Vec` (the kernel's historic
-/// behaviour, zero overhead). With one, pushed pairs accumulate in a
-/// decoded tail window whose encoded byte size is tracked exactly (each
-/// push appends the record — delta-encoded against its window predecessor
-/// under [`SpillCodec::Delta`] — to the window buffer); the moment the
-/// buffer reaches the chunk byte budget, it is appended to a
-/// self-cleaning temp file and the window restarts. Only states that
-/// overflow into a flushed chunk ever round-trip through a decode — the
-/// final window of every frontier replays its decoded states directly —
-/// and [`SpillFrontier::into_chunks`] replays the pairs in push order,
-/// one chunk resident at a time.
+/// behaviour, zero overhead). With one, pushed states accumulate in a
+/// decoded tail window that is encoded **lazily**: nothing touches the
+/// codec until the window's *estimated* record bytes (state count times
+/// the run's measured average record size — see
+/// [`SpillPool::est_state_bytes`]) reach the chunk byte budget. Under
+/// pressure, records materialize one at a time into the window buffer,
+/// whose length is an exact byte measure; the moment it reaches the
+/// budget, the encoded prefix is appended to a self-cleaning temp file
+/// and the window restarts. Levels that fit the budget therefore do no
+/// codec work at all (the eager scheme paid a full encode per push only
+/// to discard the buffer), and the final window of every level — which
+/// replays its decoded states directly — never encodes either. Chunk
+/// boundaries are still byte-exact and the estimate is a pure function
+/// of the deterministic push history, so replay order, chunk contents,
+/// and every statistic remain deterministic.
+///
+/// States enter either one at a time ([`SpillFrontier::push`] — initial
+/// states, encoded as self-contained "literal" records under the replay
+/// codec) or as one parent's contiguous run of accepted successors
+/// ([`SpillFrontier::push_group`] — the shape the replay codec stores as
+/// a single *(parent, indices)* record).
 #[derive(Debug)]
 pub(crate) struct SpillFrontier<S> {
-    /// The decoded pairs: everything (no-spill mode) or the tail window
-    /// not yet spilled (spill mode).
-    resident: Vec<(S, Digest)>,
-    spill: Option<SpillState>,
-    /// Pairs pushed.
+    /// The decoded states: everything (no-spill mode) or the unflushed
+    /// tail window (spill mode; its prefix may already be encoded into
+    /// the spill buffer).
+    resident: Vec<S>,
+    spill: Option<SpillState<S>>,
+    /// States pushed.
     total: usize,
     /// Truncation point from [`SpillFrontier::truncate`].
     limit: Option<usize>,
 }
 
+/// Deferred replay-record shape for states not yet encoded: a literal
+/// (initial state, no parent) or a parent group. Group action indices
+/// live in the shared [`SpillState::pending_indices`] ring, consumed in
+/// record order, so deferring costs no per-group allocation.
 #[derive(Debug)]
-struct SpillState {
+struct ReplayMeta<S> {
+    /// `None` for a literal record (the state itself sits in `resident`).
+    parent: Option<S>,
+    /// States the record covers (1 for a literal). Groups pop exactly
+    /// this many action indices from the shared ring; literals pop none.
+    count: usize,
+}
+
+#[derive(Debug)]
+struct SpillState<S> {
     config: SpillConfig,
-    /// Encoded records of the current window (`resident`), appended push
-    /// by push; its length is the window's exact byte measure.
+    /// Encoded records of `resident[..encoded]`; its length is the exact
+    /// byte measure lazy encoding works against.
     buf: Vec<u8>,
+    /// How many leading `resident` states have records in `buf`.
+    encoded: usize,
+    /// Replay codec: deferred record metas for `resident[encoded..]`.
+    pending: VecDeque<ReplayMeta<S>>,
+    /// Replay codec: the deferred groups' action indices, in record
+    /// order.
+    pending_indices: VecDeque<usize>,
+    /// Replay codec: the parent of the current chunk's most recent
+    /// encoded group, the delta anchor for the next one. `None` at chunk
+    /// start, so chunk-first parents stay self-contained.
+    prev_parent: Option<S>,
     /// Largest window byte measure observed (the resident-byte bound the
     /// memory budget is supposed to enforce).
     peak_window_bytes: usize,
@@ -205,9 +340,14 @@ struct SpillState {
     /// Byte length of this frontier's file contents so far (the next
     /// write offset).
     spilled_bytes: u64,
+    /// Pushed states until the next sonde measurement fires (0 = the
+    /// next push sondes).
+    sonde_countdown: usize,
+    /// Reused sonde buffer; never written anywhere, only measured.
+    scratch: Vec<u8>,
 }
 
-impl Drop for SpillState {
+impl<S> Drop for SpillState<S> {
     fn drop(&mut self) {
         if let Some(file) = self.file.take() {
             self.config.pool.borrow_mut().recycle(file);
@@ -215,57 +355,176 @@ impl Drop for SpillState {
     }
 }
 
-impl<S: DeltaCodec> SpillFrontier<S> {
-    /// A frontier; `config: None` keeps every pair decoded and resident.
+impl<S: DeltaCodec + Clone> SpillFrontier<S> {
+    /// A frontier; `config: None` keeps every state decoded and resident.
     pub(crate) fn new(config: Option<SpillConfig>) -> Self {
         SpillFrontier {
             resident: Vec::new(),
             spill: config.map(|config| SpillState {
                 config,
                 buf: Vec::new(),
+                encoded: 0,
+                pending: VecDeque::new(),
+                pending_indices: VecDeque::new(),
+                prev_parent: None,
                 peak_window_bytes: 0,
                 chunks: Vec::new(),
                 file: None,
                 spilled_bytes: 0,
+                sonde_countdown: 0,
+                scratch: Vec::new(),
             }),
             total: 0,
             limit: None,
         }
     }
 
-    /// Appends one pair. Push order is replay order.
-    pub(crate) fn push(&mut self, state: S, digest: Digest) {
+    /// Appends one state with no parent context (initial states). Push
+    /// order is replay order.
+    pub(crate) fn push(&mut self, state: S) {
         debug_assert!(self.limit.is_none(), "push after truncate is undefined");
         self.total += 1;
-        self.resident.push((state, digest));
+        self.resident.push(state);
         let Some(spill) = &mut self.spill else {
             return;
         };
-        let (prev, record) = match self.resident.as_slice() {
-            [.., prev, record] => (Some(&prev.0), record),
-            [record] => (None, record),
-            [] => unreachable!("just pushed"),
-        };
-        spill.append_record(prev, record);
-        if spill.buf.len() >= spill.config.chunk_bytes {
-            spill.flush_chunk(self.resident.len());
-            self.resident.clear();
+        if spill.config.codec == SpillCodec::Replay {
+            spill.pending.push_back(ReplayMeta {
+                parent: None,
+                count: 1,
+            });
+        }
+        if spill.sonde_due(1) {
+            spill.scratch.clear();
+            let state = self.resident.last().expect("just pushed");
+            match spill.config.codec {
+                SpillCodec::Plain => state.encode(&mut spill.scratch),
+                SpillCodec::Delta => {
+                    let prev = self
+                        .resident
+                        .len()
+                        .checked_sub(2)
+                        .map(|i| &self.resident[i]);
+                    state.encode_delta(prev, &mut spill.scratch);
+                }
+                // A literal record: marker plus the self-contained state.
+                SpillCodec::Replay => {
+                    0usize.encode(&mut spill.scratch);
+                    state.encode(&mut spill.scratch);
+                }
+            }
+            spill.report_sonde(1);
+        }
+        self.settle();
+    }
+
+    /// Appends one parent's contiguous run of accepted successors:
+    /// `children` (drained) with their push-order action `indices` in the
+    /// parent's expansion. The parent is taken by value (the checker owns
+    /// the consumed chunk and is done with it) so the replay codec can
+    /// keep it as a deferred record — and later as the next group's delta
+    /// anchor — without a clone.
+    ///
+    /// Under [`SpillCodec::Replay`] the run is stored as one *(parent,
+    /// indices)* group record — the children themselves are never
+    /// encoded, and a replay regenerates them by re-expanding the parent.
+    /// Groups never split across chunks, so a parent is re-expanded at
+    /// most once per frontier replay. Under the other codecs (and without
+    /// a spill config) this is equivalent to pushing each child
+    /// individually.
+    pub(crate) fn push_group(&mut self, parent: S, children: &mut Vec<S>, indices: &[usize]) {
+        debug_assert_eq!(children.len(), indices.len(), "one index per child");
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "action indices are push-order positions, strictly increasing"
+        );
+        if children.is_empty() {
+            return;
+        }
+        match &mut self.spill {
+            None => {
+                self.total += children.len();
+                self.resident.append(children);
+            }
+            Some(spill) if spill.config.codec == SpillCodec::Replay => {
+                debug_assert!(self.limit.is_none(), "push after truncate is undefined");
+                self.total += children.len();
+                if spill.sonde_due(children.len()) {
+                    spill.scratch.clear();
+                    children.len().encode(&mut spill.scratch);
+                    // Any plausible sibling works as the sonde's delta
+                    // anchor; the newest deferred parent (else the
+                    // encoded chain's anchor) is one push away.
+                    let anchor = spill
+                        .pending
+                        .back()
+                        .and_then(|meta| meta.parent.as_ref())
+                        .or(spill.prev_parent.as_ref());
+                    parent.encode_delta(anchor, &mut spill.scratch);
+                    let mut prev_index = 0usize;
+                    for &index in indices {
+                        (index - prev_index).encode(&mut spill.scratch);
+                        prev_index = index;
+                    }
+                    spill.report_sonde(children.len());
+                }
+                spill.pending.push_back(ReplayMeta {
+                    parent: Some(parent),
+                    count: children.len(),
+                });
+                spill.pending_indices.extend(indices.iter().copied());
+                self.resident.append(children);
+                self.settle();
+            }
+            Some(_) => {
+                for child in children.drain(..) {
+                    self.push(child);
+                }
+            }
         }
     }
 
-    /// Pairs the frontier will replay (pushes, capped by any truncation).
+    /// Materializes deferred records while the window's estimated byte
+    /// measure sits at or above the chunk budget, flushing the encoded
+    /// prefix whenever its exact size reaches the budget. One record is
+    /// encoded per iteration, so the buffer never overshoots the budget
+    /// by more than a single record even when record sizes grow across a
+    /// level.
+    fn settle(&mut self) {
+        let Some(spill) = &mut self.spill else {
+            return;
+        };
+        loop {
+            let unencoded = self.resident.len() - spill.encoded;
+            if unencoded == 0 {
+                return;
+            }
+            let avg = spill.config.pool.borrow().est_state_bytes();
+            let window_est = spill.buf.len() as u64 + unencoded as u64 * avg;
+            if window_est < spill.config.chunk_bytes as u64 {
+                return;
+            }
+            spill.encode_next(&self.resident);
+            if spill.buf.len() >= spill.config.chunk_bytes {
+                spill.flush_encoded(&mut self.resident);
+            }
+        }
+    }
+
+    /// States the frontier will replay (pushes, capped by any truncation).
     pub(crate) fn len(&self) -> usize {
         self.limit.map_or(self.total, |limit| limit.min(self.total))
     }
 
-    /// Whether no pair will be replayed.
+    /// Whether no state will be replayed.
     pub(crate) fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Caps replay at the first `len` pairs — the same prefix whether the
+    /// Caps replay at the first `len` states — the same prefix whether the
     /// tail is resident or already spilled (the budget-truncation
-    /// regression suite pins this).
+    /// regression suite pins this), including mid-group under the replay
+    /// codec (only the first surviving indices regenerate).
     pub(crate) fn truncate(&mut self, len: usize) {
         self.limit = Some(self.limit.map_or(len, |limit| limit.min(len)));
     }
@@ -292,36 +551,100 @@ impl<S: DeltaCodec> SpillFrontier<S> {
     /// Consumes the frontier into its chunk replay. Chunks come back in
     /// push order; the spill file (if any) is deleted when the replay is
     /// dropped.
-    pub(crate) fn into_chunks(self) -> FrontierChunks<S> {
+    pub(crate) fn into_chunks(mut self) -> FrontierChunks<S> {
         let remaining = self.len();
         FrontierChunks {
-            resident: Some(self.resident),
-            spill: self.spill,
+            resident: Some(std::mem::take(&mut self.resident)),
+            spill: self.spill.take(),
             ctx: DeltaCtx::new(),
             next_chunk: 0,
             remaining,
+            regenerated_parents: 0,
         }
     }
 }
 
-impl SpillState {
-    /// Encodes one just-pushed pair onto the window buffer, delta-chained
-    /// to its window predecessor (`None` for the first record of the
-    /// window, which therefore stays self-contained — the chunk boundary
-    /// invariant the replay relies on).
-    fn append_record<S: DeltaCodec>(&mut self, prev: Option<&S>, (state, digest): &(S, Digest)) {
-        digest.0.encode(&mut self.buf);
-        match self.config.codec {
-            SpillCodec::Delta => state.encode_delta(prev, &mut self.buf),
-            SpillCodec::Plain => state.encode(&mut self.buf),
+impl<S: DeltaCodec> SpillState<S> {
+    /// Whether the record being pushed (covering `states` states) is due
+    /// a sonde measurement, rearming the countdown if so.
+    fn sonde_due(&mut self, states: usize) -> bool {
+        if self.sonde_countdown < states {
+            // The firing record itself counts toward the cadence.
+            self.sonde_countdown = SONDE_EVERY - 1;
+            true
+        } else {
+            self.sonde_countdown -= states;
+            false
         }
+    }
+
+    /// Publishes the scratch buffer's measurement as the run's latest
+    /// per-state record size.
+    fn report_sonde(&mut self, states: usize) {
+        self.config.pool.borrow_mut().sonde_state_bytes =
+            (self.scratch.len().div_ceil(states) as u64).max(1);
+    }
+
+    /// Encodes the next deferred record onto the window buffer,
+    /// delta-chained to its buffer predecessor (`None` for the first
+    /// record of a chunk, which therefore stays self-contained — the
+    /// chunk boundary invariant the replay relies on), and feeds the
+    /// actual record size back to the pool's estimate.
+    fn encode_next(&mut self, resident: &[S]) {
+        let before = self.buf.len();
+        let covered = match self.config.codec {
+            SpillCodec::Delta => {
+                let prev = self.encoded.checked_sub(1).map(|i| &resident[i]);
+                resident[self.encoded].encode_delta(prev, &mut self.buf);
+                1
+            }
+            SpillCodec::Plain => {
+                resident[self.encoded].encode(&mut self.buf);
+                1
+            }
+            SpillCodec::Replay => {
+                let meta = self.pending.pop_front().expect("unencoded replay meta");
+                match meta.parent {
+                    // A literal record: zero children marker, then the
+                    // state itself, self-contained (initial states have
+                    // no parent to replay from).
+                    None => {
+                        0usize.encode(&mut self.buf);
+                        resident[self.encoded].encode(&mut self.buf);
+                    }
+                    Some(parent) => {
+                        meta.count.encode(&mut self.buf);
+                        parent.encode_delta(self.prev_parent.as_ref(), &mut self.buf);
+                        // First index absolute, then the (strictly
+                        // positive) gaps.
+                        let mut prev_index = 0usize;
+                        for _ in 0..meta.count {
+                            let index = self
+                                .pending_indices
+                                .pop_front()
+                                .expect("index ring tracks metas");
+                            (index - prev_index).encode(&mut self.buf);
+                            prev_index = index;
+                        }
+                        self.prev_parent = Some(parent);
+                    }
+                }
+                meta.count
+            }
+        };
+        self.encoded += covered;
+        self.config
+            .pool
+            .borrow_mut()
+            .record_feedback(covered, self.buf.len() - before);
         self.peak_window_bytes = self.peak_window_bytes.max(self.buf.len());
     }
 
-    /// Appends the window buffer (holding `count` records) to the spill
-    /// file as one chunk.
-    fn flush_chunk(&mut self, count: usize) {
-        if count == 0 {
+    /// Appends the window buffer (the records of `resident`'s encoded
+    /// prefix) to the spill file as one chunk and drops that prefix from
+    /// the decoded window.
+    fn flush_encoded(&mut self, resident: &mut Vec<S>) {
+        if self.encoded == 0 {
             return;
         }
         let file = self
@@ -336,10 +659,13 @@ impl SpillState {
         self.chunks.push(ChunkMeta {
             offset: self.spilled_bytes,
             len: self.buf.len(),
-            count,
+            count: self.encoded,
         });
         self.spilled_bytes += self.buf.len() as u64;
         self.buf.clear();
+        resident.drain(..self.encoded);
+        self.encoded = 0;
+        self.prev_parent = None;
     }
 }
 
@@ -349,27 +675,32 @@ impl SpillState {
 pub(crate) struct FrontierChunks<S> {
     /// The final decoded window (spill mode) or the whole frontier
     /// (no-spill mode), yielded after the file chunks.
-    resident: Option<Vec<(S, Digest)>>,
-    spill: Option<SpillState>,
+    resident: Option<Vec<S>>,
+    spill: Option<SpillState<S>>,
     /// Per-replay intern table: self-contained chunk-first records
     /// rebuild their shared sub-structures through it, so records in
     /// different chunks of one replay share allocations again.
     ctx: DeltaCtx,
     next_chunk: usize,
-    /// Pairs still to yield (pre-capped by any truncation).
+    /// States still to yield (pre-capped by any truncation).
     remaining: usize,
+    /// Parents re-expanded by replay regeneration so far (one per group
+    /// record reached).
+    regenerated_parents: usize,
 }
 
-impl<S: DeltaCodec> FrontierChunks<S> {
-    /// The next chunk of pairs, in push order, or `None` when the replay
-    /// (or its truncation point) is exhausted.
+impl<S: DeltaCodec + Clone> FrontierChunks<S> {
+    /// The next chunk of states, in push order, or `None` when the replay
+    /// (or its truncation point) is exhausted. `regen` regenerates
+    /// [`SpillCodec::Replay`] group records and is never invoked for the
+    /// other codecs.
     ///
     /// # Panics
     ///
     /// Panics if the spill file cannot be read back or a record fails to
     /// decode — a damaged spill file cannot be explored soundly, so the
     /// run fails loudly rather than silently dropping states.
-    pub(crate) fn next_chunk(&mut self) -> Option<Vec<(S, Digest)>> {
+    pub(crate) fn next_chunk(&mut self, regen: &impl Regenerator<S>) -> Option<Vec<S>> {
         if self.remaining == 0 {
             return None;
         }
@@ -387,25 +718,60 @@ impl<S: DeltaCodec> FrontierChunks<S> {
                 let yield_count = meta.count.min(self.remaining);
                 self.remaining -= yield_count;
                 let mut input = bytes.as_slice();
-                let mut pairs: Vec<(S, Digest)> = Vec::with_capacity(yield_count);
-                for _ in 0..yield_count {
-                    let digest = u128::decode(&mut input).expect("corrupt spill record: digest");
-                    let state = match spill.config.codec {
-                        SpillCodec::Delta => {
-                            let prev = pairs.last().map(|(state, _)| state);
-                            S::decode_delta(prev, &mut input, &mut self.ctx)
-                                .expect("corrupt spill record: state")
+                let mut states: Vec<S> = Vec::with_capacity(yield_count);
+                match spill.config.codec {
+                    SpillCodec::Replay => {
+                        let mut prev_parent: Option<S> = None;
+                        let mut indices: Vec<usize> = Vec::new();
+                        while states.len() < yield_count {
+                            let kind =
+                                usize::decode(&mut input).expect("corrupt spill record: kind");
+                            if kind == 0 {
+                                states.push(
+                                    S::decode(&mut input).expect("corrupt spill record: literal"),
+                                );
+                                continue;
+                            }
+                            let parent =
+                                S::decode_delta(prev_parent.as_ref(), &mut input, &mut self.ctx)
+                                    .expect("corrupt spill record: parent");
+                            // A truncation point mid-group regenerates
+                            // only the surviving prefix of the indices;
+                            // the loop then exits, so the unread tail of
+                            // the chunk needs no stream alignment.
+                            let take = kind.min(yield_count - states.len());
+                            indices.clear();
+                            let mut index = 0usize;
+                            for nth in 0..take {
+                                let gap = usize::decode(&mut input)
+                                    .expect("corrupt spill record: successor index");
+                                index = if nth == 0 { gap } else { index + gap };
+                                indices.push(index);
+                            }
+                            self.regenerated_parents += 1;
+                            regen.regenerate(&parent, &indices, &mut states);
+                            prev_parent = Some(parent);
                         }
-                        SpillCodec::Plain => {
-                            S::decode(&mut input).expect("corrupt spill record: state")
+                    }
+                    SpillCodec::Delta => {
+                        for _ in 0..yield_count {
+                            let prev = states.last();
+                            let state = S::decode_delta(prev, &mut input, &mut self.ctx)
+                                .expect("corrupt spill record: state");
+                            states.push(state);
                         }
-                    };
-                    pairs.push((state, Digest(digest)));
+                    }
+                    SpillCodec::Plain => {
+                        for _ in 0..yield_count {
+                            states
+                                .push(S::decode(&mut input).expect("corrupt spill record: state"));
+                        }
+                    }
                 }
-                return Some(pairs);
+                return Some(states);
             }
         }
-        // The decoded tail: never touched a decode.
+        // The decoded tail: never touched a decode or a regeneration.
         let mut window = self.resident.take()?;
         window.truncate(self.remaining);
         self.remaining = 0;
@@ -415,11 +781,20 @@ impl<S: DeltaCodec> FrontierChunks<S> {
             Some(window)
         }
     }
+
+    /// Parents re-expanded by replay regeneration so far (the checker
+    /// tracks its own count inside the regenerator; this accessor backs
+    /// the unit-level once-per-parent pins).
+    #[cfg(test)]
+    pub(crate) fn regenerated_parents(&self) -> usize {
+        self.regenerated_parents
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Digest;
 
     fn test_dir() -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -435,57 +810,79 @@ mod tests {
         SpillConfig::new(chunk_bytes, SpillCodec::Delta, test_dir())
     }
 
-    fn drain<S: DeltaCodec>(mut chunks: FrontierChunks<S>) -> (Vec<(S, Digest)>, Vec<usize>) {
+    /// A regenerator for codecs that never regenerate.
+    fn no_regen<S>() -> impl Fn(&S, &[usize], &mut Vec<S>) {
+        |_: &S, _: &[usize], _: &mut Vec<S>| panic!("non-replay chunks must not regenerate")
+    }
+
+    fn drain<S: DeltaCodec + Clone>(
+        mut chunks: FrontierChunks<S>,
+        regen: &impl Regenerator<S>,
+    ) -> (Vec<S>, Vec<usize>) {
         let mut all = Vec::new();
         let mut sizes = Vec::new();
-        while let Some(chunk) = chunks.next_chunk() {
+        while let Some(chunk) = chunks.next_chunk(regen) {
             sizes.push(chunk.len());
             all.extend(chunk);
         }
         (all, sizes)
     }
 
-    fn pairs(n: u64) -> Vec<(u64, Digest)> {
-        (0..n)
-            .map(|i| (i, Digest(u128::from(i) << 64 | 7)))
-            .collect()
+    fn states(n: u64) -> Vec<u64> {
+        (1000..1000 + n).collect()
+    }
+
+    /// The grouped shape the checker pushes: parent `p` contributes
+    /// children `10 * p + index` at the given action indices. The
+    /// matching regenerator rebuilds exactly that.
+    fn push_parent_groups(frontier: &mut SpillFrontier<u64>, groups: &[(u64, &[usize])]) {
+        for &(parent, indices) in groups {
+            let mut children: Vec<u64> = indices.iter().map(|&i| 10 * parent + i as u64).collect();
+            frontier.push_group(parent, &mut children, indices);
+        }
+    }
+
+    fn group_regen(parent: &u64, indices: &[usize], out: &mut Vec<u64>) {
+        for &i in indices {
+            out.push(10 * parent + i as u64);
+        }
     }
 
     #[test]
     fn resident_mode_replays_in_one_chunk() {
         let mut frontier: SpillFrontier<u64> = SpillFrontier::new(None);
-        for (s, d) in pairs(10) {
-            frontier.push(s, d);
+        for s in states(10) {
+            frontier.push(s);
         }
         assert_eq!(frontier.len(), 10);
         assert_eq!(frontier.spilled_chunks(), 0);
         assert_eq!(frontier.peak_window_bytes(), 0, "nothing encoded");
-        let (all, sizes) = drain(frontier.into_chunks());
-        assert_eq!(all, pairs(10));
+        let (all, sizes) = drain(frontier.into_chunks(), &no_regen());
+        assert_eq!(all, states(10));
         assert_eq!(sizes, vec![10]);
     }
 
     #[test]
     fn spill_mode_round_trips_in_push_order() {
-        // Each record is 16 (digest) + 1 (small u64 varint) = 17 bytes;
-        // a 50-byte chunk threshold spills every third push.
-        let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(test_config(50)));
-        for (s, d) in pairs(100) {
-            frontier.push(s, d);
+        // Each state is a two-byte varint (values ≥ 1000); an 8-byte
+        // chunk threshold spills every fourth push.
+        let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(test_config(8)));
+        for s in states(100) {
+            frontier.push(s);
         }
-        assert!(frontier.spilled_chunks() >= 30, "must have spilled");
-        assert!(frontier.spilled_bytes() >= 17 * 90);
-        let (all, sizes) = drain(frontier.into_chunks());
-        assert_eq!(all, pairs(100));
+        assert!(frontier.spilled_chunks() >= 20, "must have spilled");
+        assert!(frontier.spilled_bytes() >= 2 * 90);
+        let (all, sizes) = drain(frontier.into_chunks(), &no_regen());
+        assert_eq!(all, states(100));
         assert!(
-            sizes.iter().all(|&s| s <= 3),
+            sizes.iter().all(|&s| s <= 4),
             "chunks stay bounded: {sizes:?}"
         );
     }
 
     #[test]
     fn plain_and_delta_codecs_replay_identically() {
-        for chunk_bytes in [40usize, 64, 200] {
+        for chunk_bytes in [24usize, 48, 96] {
             let mut delta: SpillFrontier<Vec<u64>> = SpillFrontier::new(Some(SpillConfig::new(
                 chunk_bytes,
                 SpillCodec::Delta,
@@ -498,16 +895,16 @@ mod tests {
             )));
             // Sibling-shaped states: a long shared prefix plus a varying
             // tail, like the configurations of one BFS level.
-            let states: Vec<(Vec<u64>, Digest)> = (0..64u64)
+            let siblings: Vec<Vec<u64>> = (0..64u64)
                 .map(|i| {
                     let mut v: Vec<u64> = (0..12).collect();
                     v.push(i);
-                    (v, Digest(u128::from(i) | 0xabc0))
+                    v
                 })
                 .collect();
-            for (s, d) in &states {
-                delta.push(s.clone(), *d);
-                plain.push(s.clone(), *d);
+            for s in &siblings {
+                delta.push(s.clone());
+                plain.push(s.clone());
             }
             assert!(
                 delta.spilled_chunks() >= 2,
@@ -519,34 +916,135 @@ mod tests {
                 delta.spilled_bytes(),
                 plain.spilled_bytes()
             );
-            let (from_delta, _) = drain(delta.into_chunks());
-            let (from_plain, _) = drain(plain.into_chunks());
-            assert_eq!(from_delta, states, "chunk {chunk_bytes}");
-            assert_eq!(from_plain, states, "chunk {chunk_bytes}");
+            let (from_delta, _) = drain(delta.into_chunks(), &no_regen());
+            let (from_plain, _) = drain(plain.into_chunks(), &no_regen());
+            assert_eq!(from_delta, siblings, "chunk {chunk_bytes}");
+            assert_eq!(from_plain, siblings, "chunk {chunk_bytes}");
         }
     }
 
     #[test]
+    fn replay_groups_round_trip_without_storing_children() {
+        let groups: Vec<(u64, &[usize])> = vec![
+            (7, &[0, 1, 2]),
+            (8, &[1]),
+            (9, &[0, 2, 5]),
+            (11, &[3]),
+            (12, &[0, 1]),
+        ];
+        let expected: Vec<u64> = groups
+            .iter()
+            .flat_map(|&(p, idx)| idx.iter().map(move |&i| 10 * p + i as u64))
+            .collect();
+        // A tiny chunk budget forces several flushes mid-run.
+        for chunk_bytes in [4usize, 16, 1 << 20] {
+            let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(SpillConfig::new(
+                chunk_bytes,
+                SpillCodec::Replay,
+                test_dir(),
+            )));
+            push_parent_groups(&mut frontier, &groups);
+            assert_eq!(frontier.len(), expected.len());
+            let chunks = frontier.into_chunks();
+            let (all, _) = drain(chunks, &group_regen);
+            assert_eq!(all, expected, "chunk {chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn replay_regenerates_each_parent_at_most_once() {
+        let groups: Vec<(u64, &[usize])> = (0..40u64).map(|p| (p, &[0usize, 1, 2][..])).collect();
+        let mut frontier: SpillFrontier<u64> =
+            SpillFrontier::new(Some(SpillConfig::new(12, SpillCodec::Replay, test_dir())));
+        push_parent_groups(&mut frontier, &groups);
+        assert!(frontier.spilled_chunks() >= 4, "must spill repeatedly");
+        let mut chunks = frontier.into_chunks();
+        let mut total = 0;
+        while let Some(chunk) = chunks.next_chunk(&group_regen) {
+            total += chunk.len();
+        }
+        assert_eq!(total, 40 * 3);
+        assert!(
+            chunks.regenerated_parents() <= 40,
+            "{} regenerations for 40 parents: groups must never split \
+             across chunks or records",
+            chunks.regenerated_parents()
+        );
+    }
+
+    #[test]
+    fn replay_spills_far_fewer_bytes_than_delta() {
+        // Sibling-shaped Vec states: delta already collapses most of each
+        // child, but replay stores no child bytes at all — one parent
+        // record per group plus one varint per child.
+        let parents: Vec<Vec<u64>> = (0..32u64)
+            .map(|p| {
+                let mut v: Vec<u64> = (0..16).collect();
+                v.push(p);
+                v
+            })
+            .collect();
+        let make = |codec: SpillCodec| -> SpillFrontier<Vec<u64>> {
+            SpillFrontier::new(Some(SpillConfig::new(64, codec, test_dir())))
+        };
+        let mut delta = make(SpillCodec::Delta);
+        let mut replay = make(SpillCodec::Replay);
+        // Each child scatters edits across the parent, so sibling deltas
+        // cost several gap/value pairs per record while a replay group is
+        // one parent record plus a varint per child.
+        let child_of = |parent: &Vec<u64>, i: u64| {
+            let mut child = parent.clone();
+            for k in 0..4 {
+                child[(k * 4) as usize] = i * 100 + k;
+            }
+            child
+        };
+        for parent in &parents {
+            let mut children: Vec<Vec<u64>> = (0..3u64).map(|i| child_of(parent, i)).collect();
+            let indices = [0usize, 1, 2];
+            delta.push_group(parent.clone(), &mut children.clone(), &indices);
+            replay.push_group(parent.clone(), &mut children, &indices);
+        }
+        assert!(delta.spilled_chunks() >= 2 && replay.spilled_chunks() >= 1);
+        assert!(
+            replay.spilled_bytes() * 2 < delta.spilled_bytes(),
+            "replay ({}) must spill far fewer bytes than delta ({})",
+            replay.spilled_bytes(),
+            delta.spilled_bytes()
+        );
+        let regen = |parent: &Vec<u64>, indices: &[usize], out: &mut Vec<Vec<u64>>| {
+            for &i in indices {
+                let mut child = parent.clone();
+                for k in 0..4 {
+                    child[(k * 4) as usize] = i as u64 * 100 + k;
+                }
+                out.push(child);
+            }
+        };
+        let (from_replay, _) = drain(replay.into_chunks(), &regen);
+        let (from_delta, _) = drain(delta.into_chunks(), &no_regen());
+        assert_eq!(from_replay, from_delta);
+    }
+
+    #[test]
     fn growing_records_respect_the_byte_budget() {
-        // Records grow from ~18 to ~120 encoded bytes across the level —
+        // Records grow from ~2 to ~200 encoded bytes across the level —
         // the accumulating-history shape. The old state-count window
         // (chunk_bytes / first_record_size states per chunk) would pack
-        // 256/18 = 14 of the large records = ~1.7 KiB into one window;
-        // the byte-measured window must stay within chunk_bytes plus one
+        // far too many of the large records into one window; the
+        // byte-measured window must stay within chunk_bytes plus one
         // record regardless of growth. Plain encoding so the sizes are
         // predictable.
         const CHUNK: usize = 256;
         let mut frontier: SpillFrontier<Vec<u64>> =
             SpillFrontier::new(Some(SpillConfig::new(CHUNK, SpillCodec::Plain, test_dir())));
-        let states: Vec<(Vec<u64>, Digest)> = (0..100u64)
-            .map(|i| ((0..i).collect(), Digest(u128::from(i))))
-            .collect();
+        let grown: Vec<Vec<u64>> = (0..100u64).map(|i| (0..i).collect()).collect();
         let mut max_record = 0;
-        for (s, d) in &states {
+        for s in &grown {
             let mut one = Vec::new();
             s.encode(&mut one);
-            max_record = max_record.max(16 + one.len());
-            frontier.push(s.clone(), *d);
+            max_record = max_record.max(one.len());
+            frontier.push(s.clone());
         }
         assert!(frontier.spilled_chunks() >= 4, "must spill repeatedly");
         assert!(
@@ -562,55 +1060,85 @@ mod tests {
                 meta.len
             );
         }
-        let (all, _) = drain(frontier.into_chunks());
-        assert_eq!(all, states);
+        let (all, _) = drain(frontier.into_chunks(), &no_regen());
+        assert_eq!(all, grown);
     }
 
     #[test]
     fn truncation_cuts_the_same_prefix_resident_or_spilled() {
         for cut in [0usize, 1, 5, 17, 99, 100, 1000] {
             let mut resident: SpillFrontier<u64> = SpillFrontier::new(None);
-            let mut spilled: SpillFrontier<u64> = SpillFrontier::new(Some(test_config(64)));
-            for (s, d) in pairs(100) {
-                resident.push(s, d);
-                spilled.push(s, d);
+            let mut spilled: SpillFrontier<u64> = SpillFrontier::new(Some(test_config(16)));
+            for s in states(100) {
+                resident.push(s);
+                spilled.push(s);
             }
             resident.truncate(cut);
             spilled.truncate(cut);
             assert_eq!(resident.len(), cut.min(100), "cut {cut}");
             assert_eq!(spilled.len(), cut.min(100), "cut {cut}");
-            let (from_resident, _) = drain(resident.into_chunks());
-            let (from_spilled, _) = drain(spilled.into_chunks());
+            let (from_resident, _) = drain(resident.into_chunks(), &no_regen());
+            let (from_spilled, _) = drain(spilled.into_chunks(), &no_regen());
             assert_eq!(from_resident, from_spilled, "cut {cut}");
             assert_eq!(from_spilled.len(), cut.min(100), "cut {cut}");
         }
     }
 
     #[test]
+    fn truncation_mid_group_regenerates_only_the_surviving_prefix() {
+        let groups: Vec<(u64, &[usize])> = (0..20u64).map(|p| (p, &[0usize, 1, 2][..])).collect();
+        let full: Vec<u64> = groups
+            .iter()
+            .flat_map(|&(p, idx)| idx.iter().map(move |&i| 10 * p + i as u64))
+            .collect();
+        for cut in [0usize, 1, 2, 3, 4, 29, 30, 31, 59, 60, 61] {
+            let mut frontier: SpillFrontier<u64> =
+                SpillFrontier::new(Some(SpillConfig::new(12, SpillCodec::Replay, test_dir())));
+            push_parent_groups(&mut frontier, &groups);
+            frontier.truncate(cut);
+            let (got, _) = drain(frontier.into_chunks(), &group_regen);
+            assert_eq!(got, full[..cut.min(full.len())], "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn replay_literals_round_trip() {
+        // Initial states have no parent: they spill as self-contained
+        // literal records even under the replay codec.
+        let mut frontier: SpillFrontier<u64> =
+            SpillFrontier::new(Some(SpillConfig::new(6, SpillCodec::Replay, test_dir())));
+        for s in states(40) {
+            frontier.push(s);
+        }
+        assert!(frontier.spilled_chunks() >= 4);
+        let (all, _) = drain(frontier.into_chunks(), &no_regen::<u64>());
+        assert_eq!(all, states(40));
+    }
+
+    #[test]
     fn small_levels_never_touch_disk() {
         let dir = test_dir();
-        let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(SpillConfig::new(
-            1 << 20,
-            SpillCodec::Delta,
-            dir.clone(),
-        )));
-        for (s, d) in pairs(50) {
-            frontier.push(s, d);
+        for codec in [SpillCodec::Delta, SpillCodec::Plain, SpillCodec::Replay] {
+            let mut frontier: SpillFrontier<u64> =
+                SpillFrontier::new(Some(SpillConfig::new(1 << 20, codec, dir.clone())));
+            for s in states(50) {
+                frontier.push(s);
+            }
+            assert_eq!(frontier.spilled_chunks(), 0, "{codec:?}");
+            assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0, "{codec:?}");
+            let (all, _) = drain(frontier.into_chunks(), &no_regen());
+            assert_eq!(all, states(50), "{codec:?}");
         }
-        assert_eq!(frontier.spilled_chunks(), 0);
-        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
-        let (all, _) = drain(frontier.into_chunks());
-        assert_eq!(all, pairs(50));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn spill_file_dies_with_the_last_pool_holder() {
         let dir = test_dir();
-        let config = SpillConfig::new(32, SpillCodec::Delta, dir.clone());
+        let config = SpillConfig::new(8, SpillCodec::Delta, dir.clone());
         let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(config.clone()));
-        for (s, d) in pairs(64) {
-            frontier.push(s, d);
+        for s in states(64) {
+            frontier.push(s);
         }
         let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
         assert_eq!(files.len(), 1, "one spill file per frontier");
@@ -631,14 +1159,14 @@ mod tests {
     #[test]
     fn consecutive_frontiers_reuse_the_pooled_file() {
         let dir = test_dir();
-        let config = SpillConfig::new(32, SpillCodec::Delta, dir.clone());
+        let config = SpillConfig::new(8, SpillCodec::Delta, dir.clone());
         for round in 0..3 {
             let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(config.clone()));
-            for (s, d) in pairs(64) {
-                frontier.push(s, d);
+            for s in states(64) {
+                frontier.push(s);
             }
-            let (all, _) = drain(frontier.into_chunks());
-            assert_eq!(all, pairs(64), "round {round}");
+            let (all, _) = drain(frontier.into_chunks(), &no_regen());
+            assert_eq!(all, states(64), "round {round}");
             assert_eq!(
                 std::fs::read_dir(&dir).unwrap().count(),
                 1,
@@ -657,24 +1185,21 @@ mod tests {
         // own (fully rewritten) records — never a stale tail from before
         // the recycle's `set_len(0)`.
         let dir = test_dir();
-        let config = SpillConfig::new(48, SpillCodec::Delta, dir.clone());
+        let config = SpillConfig::new(12, SpillCodec::Delta, dir.clone());
         let mut big: SpillFrontier<u64> = SpillFrontier::new(Some(config.clone()));
-        for (s, d) in pairs(200) {
-            big.push(s, d);
+        for s in states(200) {
+            big.push(s);
         }
-        let (all_big, _) = drain(big.into_chunks());
-        assert_eq!(all_big, pairs(200));
-        for round in 0..3 {
+        let (all_big, _) = drain(big.into_chunks(), &no_regen());
+        assert_eq!(all_big, states(200));
+        for round in 0..3u64 {
             let mut small: SpillFrontier<u64> = SpillFrontier::new(Some(config.clone()));
-            let expected: Vec<(u64, Digest)> = pairs(20)
-                .into_iter()
-                .map(|(s, d)| (s + 1000 * round, d))
-                .collect();
-            for (s, d) in &expected {
-                small.push(*s, *d);
+            let expected: Vec<u64> = states(20).into_iter().map(|s| s + 1000 * round).collect();
+            for &s in &expected {
+                small.push(s);
             }
             assert!(small.spilled_chunks() >= 2, "round {round} must spill");
-            let (all_small, _) = drain(small.into_chunks());
+            let (all_small, _) = drain(small.into_chunks(), &no_regen());
             assert_eq!(all_small, expected, "round {round}: no stale records");
         }
         drop(config);
@@ -684,15 +1209,33 @@ mod tests {
     #[test]
     fn partially_consumed_replay_cleans_up_too() {
         let dir = test_dir();
-        let mut frontier: SpillFrontier<u64> =
-            SpillFrontier::new(Some(SpillConfig::new(32, SpillCodec::Delta, dir.clone())));
-        for (s, d) in pairs(64) {
-            frontier.push(s, d);
+        for codec in [SpillCodec::Delta, SpillCodec::Replay] {
+            let mut frontier: SpillFrontier<u64> =
+                SpillFrontier::new(Some(SpillConfig::new(8, codec, dir.clone())));
+            for s in states(64) {
+                frontier.push(s);
+            }
+            let mut chunks = frontier.into_chunks();
+            let _ = chunks.next_chunk(&no_regen());
+            drop(chunks);
+            assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0, "{codec:?}");
         }
-        let mut chunks = frontier.into_chunks();
-        let _ = chunks.next_chunk();
-        drop(chunks);
-        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn digest_type_is_not_part_of_the_record_layout() {
+        // A reminder-by-construction: records are states only. A frontier
+        // of digests would be a type error at the call sites; this pin
+        // documents the byte cost the layout saves (16 bytes per record).
+        let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(test_config(8)));
+        for s in states(10) {
+            frontier.push(s);
+        }
+        let per_record = frontier.peak_window_bytes() as f64 / 4.0;
+        assert!(
+            per_record < std::mem::size_of::<Digest>() as f64,
+            "a u64 record ({per_record} bytes) must undercut even a bare digest"
+        );
     }
 }

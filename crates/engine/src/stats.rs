@@ -33,6 +33,12 @@ pub struct ExploreStats {
     pub spilled_chunks: usize,
     /// Bytes written to spill files by the counted chunks.
     pub spilled_bytes: u64,
+    /// Parents re-expanded by [`crate::SpillCodec::Replay`] chunk
+    /// regeneration (0 under the other codecs and without a budget).
+    /// Replay records never split a parent's children across chunks, so
+    /// this is also the number of replay group records read back — at
+    /// most one re-expansion per spilled parent per level.
+    pub replayed_parents: usize,
     /// The frontier memory budget that was active, if any (the resolved
     /// [`crate::Checker::with_mem_budget`] / `SLX_ENGINE_MEM_BUDGET`
     /// value). `None` for unbudgeted runs and for the DFS backend, which
@@ -131,6 +137,9 @@ impl fmt::Display for ExploreStats {
                 self.peak_resident_states,
                 self.peak_resident_bytes,
             )?;
+            if self.replayed_parents > 0 {
+                write!(f, ", {} parents replayed", self.replayed_parents)?;
+            }
         }
         write!(
             f,
@@ -167,6 +176,7 @@ mod tests {
             peak_resident_bytes: 64,
             spilled_chunks: 3,
             spilled_bytes: 96,
+            replayed_parents: 5,
             mem_budget: Some(128),
             truncated: true,
             stopped_early: false,
@@ -181,6 +191,7 @@ mod tests {
         assert!(s.contains("4 shards"));
         assert!(s.contains("spilled 3 chunks"));
         assert!(s.contains("peak 2 resident states"));
+        assert!(s.contains("5 parents replayed"));
     }
 
     #[test]

@@ -175,9 +175,10 @@ fn budget_truncation_is_identical_across_shard_and_thread_counts() {
     // of the grid has d+1 states), so truncation cuts a level in half —
     // the accounting must not depend on how the visited set is sharded,
     // nor (since the disk-backed frontier) on whether the cut tail was
-    // resident or already spilled: a `(u32, u32)` record is 24 encoded
-    // bytes, so the 128-byte memory budget keeps only ~2 states resident
-    // and truncation almost always cuts into spilled chunks.
+    // resident or already spilled: a `(u32, u32)` record is two encoded
+    // varint bytes (digests are no longer stored), so the 32-byte memory
+    // budget keeps only ~8 states resident and truncation almost always
+    // cuts into spilled chunks.
     let space = GridWalk { bound: 40 };
     for budget in [1usize, 7, 55, 300, 1000] {
         let baseline = Checker::parallel_bfs(1)
@@ -189,7 +190,7 @@ fn budget_truncation_is_identical_across_shard_and_thread_counts() {
         assert_eq!(baseline.stats.configs, budget, "budget {budget}");
         for threads in [1usize, 2, 4, 8] {
             for shards in [1usize, 4, 16] {
-                for mem_budget in [0usize, 128] {
+                for mem_budget in [0usize, 32] {
                     let out = Checker::parallel_bfs(threads)
                         .with_shards(shards)
                         .with_budget(budget)

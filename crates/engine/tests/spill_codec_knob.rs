@@ -1,0 +1,56 @@
+//! The `SLX_ENGINE_SPILL_CODEC` environment knob.
+//!
+//! Lives in its own test binary (= its own process): the sibling suites
+//! resolve the codec from the environment on every budgeted run, so
+//! mutating the variable — in particular parking an invalid value on it
+//! while probing the panic path — from inside their process would race
+//! them. One `#[test]` keeps the mutations sequential within this
+//! process too.
+
+use slx_engine::{Checker, SpillCodec};
+
+#[test]
+fn env_knob_accepts_all_three_codecs_and_rejects_junk() {
+    let checker = Checker::parallel_bfs(1);
+
+    // Unset (and empty): the built-in default.
+    std::env::remove_var("SLX_ENGINE_SPILL_CODEC");
+    assert_eq!(checker.resolve_spill_codec(), SpillCodec::Delta);
+    std::env::set_var("SLX_ENGINE_SPILL_CODEC", "");
+    assert_eq!(checker.resolve_spill_codec(), SpillCodec::Delta);
+
+    // The three accepted values.
+    for (value, codec) in [
+        ("delta", SpillCodec::Delta),
+        ("plain", SpillCodec::Plain),
+        ("replay", SpillCodec::Replay),
+    ] {
+        std::env::set_var("SLX_ENGINE_SPILL_CODEC", value);
+        assert_eq!(checker.resolve_spill_codec(), codec, "{value}");
+        // An explicit builder codec still wins over the variable.
+        assert_eq!(
+            checker
+                .clone()
+                .with_spill_codec(SpillCodec::Plain)
+                .resolve_spill_codec(),
+            SpillCodec::Plain,
+            "{value}"
+        );
+    }
+
+    // A typo must fail loudly, not silently re-test the default codec:
+    // the variable exists to pin CI comparison arms.
+    std::env::set_var("SLX_ENGINE_SPILL_CODEC", "rplay");
+    let result = std::panic::catch_unwind(|| checker.resolve_spill_codec());
+    std::env::remove_var("SLX_ENGINE_SPILL_CODEC");
+    let err = result.expect_err("an unrecognized codec value must panic");
+    let message = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default();
+    assert!(
+        message.contains("\"delta\", \"plain\", or \"replay\"") && message.contains("rplay"),
+        "the panic must name every accepted value and the offender: {message}"
+    );
+}

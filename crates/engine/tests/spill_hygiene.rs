@@ -12,9 +12,14 @@
 //! test-thread interleaving.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use slx_engine::{digest128_of, Checker, Digest, Expansion, StateSpace};
+use slx_engine::{digest128_of, Checker, Digest, Expansion, SpillCodec, StateSpace};
+
+/// All three chunk record encodings; the hygiene guarantees must hold
+/// under each (replay in particular re-enters `expand` *during* chunk
+/// replay, a code path the other codecs never take).
+const CODECS: [SpillCodec; 3] = [SpillCodec::Delta, SpillCodec::Plain, SpillCodec::Replay];
 
 /// A fresh, unique, not-yet-created directory for one test.
 fn fresh_dir(tag: &str) -> PathBuf {
@@ -70,58 +75,214 @@ fn tree(bound: usize) -> WideTree {
 
 #[test]
 fn normal_completion_creates_the_dir_and_removes_every_file() {
-    let dir = fresh_dir("normal");
-    assert!(!dir.exists(), "test premise: dir must start absent");
-    let out = Checker::parallel_bfs(1)
-        .with_mem_budget(256)
-        .with_spill_dir(&dir)
-        .run(&tree(9), vec![0]);
-    assert!(out.stats.spilled_chunks >= 2, "budget must force spilling");
-    assert!(dir.exists(), "absent spill dir must be created");
-    assert_eq!(dir_entries(&dir), Vec::<String>::new());
-    std::fs::remove_dir_all(&dir).unwrap();
+    for codec in CODECS {
+        let dir = fresh_dir("normal");
+        assert!(!dir.exists(), "test premise: dir must start absent");
+        let out = Checker::parallel_bfs(1)
+            .with_mem_budget(256)
+            .with_spill_dir(&dir)
+            .with_spill_codec(codec)
+            .run(&tree(9), vec![0]);
+        assert!(
+            out.stats.spilled_chunks >= 2,
+            "{codec:?}: budget must force spilling"
+        );
+        assert!(dir.exists(), "{codec:?}: absent spill dir must be created");
+        assert_eq!(dir_entries(&dir), Vec::<String>::new(), "{codec:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }
 
 #[test]
 fn early_stop_removes_every_file() {
-    let dir = fresh_dir("early-stop");
-    // Findings only appear at the horizon, so the stop fires while both
-    // the consumed frontier and the half-built next frontier hold spill
-    // files.
-    let out = Checker::parallel_bfs(1)
-        .with_mem_budget(256)
-        .with_spill_dir(&dir)
-        .run_until(&tree(9), vec![0], |findings| !findings.is_empty());
-    assert!(out.stats.stopped_early);
-    assert!(out.stats.spilled_chunks >= 2, "budget must force spilling");
-    assert_eq!(dir_entries(&dir), Vec::<String>::new());
-    std::fs::remove_dir_all(&dir).unwrap();
+    for codec in CODECS {
+        let dir = fresh_dir("early-stop");
+        // Findings only appear at the horizon, so the stop fires while
+        // both the consumed frontier and the half-built next frontier
+        // hold spill files.
+        let out = Checker::parallel_bfs(1)
+            .with_mem_budget(256)
+            .with_spill_dir(&dir)
+            .with_spill_codec(codec)
+            .run_until(&tree(9), vec![0], |findings| !findings.is_empty());
+        assert!(out.stats.stopped_early, "{codec:?}");
+        assert!(
+            out.stats.spilled_chunks >= 2,
+            "{codec:?}: budget must force spilling"
+        );
+        assert_eq!(dir_entries(&dir), Vec::<String>::new(), "{codec:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }
 
 #[test]
 fn panic_mid_exploration_removes_every_file() {
-    let dir = fresh_dir("panic");
-    let space = WideTree {
+    for codec in CODECS {
+        let dir = fresh_dir("panic");
+        let space = WideTree {
+            bound: 9,
+            panic_depth: 6,
+        };
+        let checker = Checker::parallel_bfs(1)
+            .with_mem_budget(256)
+            .with_spill_dir(&dir)
+            .with_spill_codec(codec);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            checker.run(&space, vec![0])
+        }));
+        assert!(
+            result.is_err(),
+            "{codec:?}: the injected panic must surface"
+        );
+        assert!(
+            dir.exists(),
+            "{codec:?}: spilling must have started before the depth-6 panic"
+        );
+        assert_eq!(
+            dir_entries(&dir),
+            Vec::<String>::new(),
+            "{codec:?}: unwinding must drop (and delete) live spill files"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn panic_inside_replay_regeneration_removes_every_file() {
+    // Replay is the only codec that re-enters `expand` *while a chunk is
+    // being replayed*: a panic there unwinds through the chunk iterator
+    // and both live frontiers at once. A regeneration is detectable from
+    // inside the space: BFS depths are non-decreasing for ordinary
+    // expansions, so any `expand` call whose depth is *below* the
+    // maximum depth already seen must be a replay re-expansion (parents
+    // of a level's second and later chunks re-expand after that level's
+    // own expansions began).
+    struct PanicOnRegen {
+        bound: usize,
+        max_depth: AtomicUsize,
+    }
+    impl StateSpace for PanicOnRegen {
+        type State = u64;
+        type Finding = u64;
+        fn digest(&self, s: &u64) -> Digest {
+            digest128_of(s)
+        }
+        fn expand(&self, &s: &u64, depth: usize, ctx: &mut Expansion<Self>) {
+            let seen = self.max_depth.fetch_max(depth, Ordering::Relaxed);
+            assert!(
+                depth >= seen,
+                "injected panic inside replay regeneration (depth {depth} < seen {seen})"
+            );
+            if depth >= self.bound {
+                ctx.finding(s);
+                return;
+            }
+            ctx.push(s * 2 + 1);
+            ctx.push(s * 2 + 2);
+            ctx.push(s | 1);
+        }
+    }
+    let dir = fresh_dir("replay-panic");
+    let space = PanicOnRegen {
         bound: 9,
-        panic_depth: 6,
+        max_depth: AtomicUsize::new(0),
     };
     let checker = Checker::parallel_bfs(1)
         .with_mem_budget(256)
-        .with_spill_dir(&dir);
+        .with_spill_dir(&dir)
+        .with_spill_codec(SpillCodec::Replay);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         checker.run(&space, vec![0])
     }));
-    assert!(result.is_err(), "the injected panic must surface");
-    assert!(
-        dir.exists(),
-        "spilling must have started before the depth-6 panic"
-    );
+    assert!(result.is_err(), "the regeneration panic must surface");
+    assert!(dir.exists(), "spilling must have started before the panic");
     assert_eq!(
         dir_entries(&dir),
         Vec::<String>::new(),
-        "unwinding must drop (and delete) live spill files"
+        "unwinding from inside a chunk replay must still delete every file"
     );
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn replay_truncation_and_reexpansion_accounting_match_resident() {
+    // Two pins in one run shape: (a) a config budget that truncates
+    // mid-level cuts the same prefix under replay spilling as resident
+    // exploration; (b) replay re-expands each parent at most once per
+    // level — total expansions are exactly configs + replayed_parents
+    // (WideTree has no successor fast path, so every replayed record
+    // costs one fallback re-expansion).
+    struct CountingTree {
+        inner: WideTree,
+        expansions: AtomicUsize,
+    }
+    impl StateSpace for CountingTree {
+        type State = u64;
+        type Finding = u64;
+        fn digest(&self, s: &u64) -> Digest {
+            digest128_of(s)
+        }
+        fn expand(&self, s: &u64, depth: usize, ctx: &mut Expansion<Self>) {
+            self.expansions.fetch_add(1, Ordering::Relaxed);
+            if depth >= self.inner.bound {
+                ctx.finding(*s);
+                return;
+            }
+            ctx.push(s * 2 + 1);
+            ctx.push(s * 2 + 2);
+            ctx.push(s | 1);
+        }
+    }
+    let counting = |bound: usize| CountingTree {
+        inner: tree(bound),
+        expansions: AtomicUsize::new(0),
+    };
+    for config_budget in [None, Some(500usize)] {
+        let dir = fresh_dir("replay-trunc");
+        let space = counting(8);
+        let mut resident_checker = Checker::parallel_bfs(1).with_mem_budget(0);
+        let mut replay_checker = Checker::parallel_bfs(1)
+            .with_mem_budget(256)
+            .with_spill_dir(&dir)
+            .with_spill_codec(SpillCodec::Replay);
+        if let Some(budget) = config_budget {
+            resident_checker = resident_checker.with_budget(budget);
+            replay_checker = replay_checker.with_budget(budget);
+        }
+        let resident = resident_checker.run(&space, vec![0]);
+        let resident_expansions = space.expansions.swap(0, Ordering::Relaxed);
+        let replayed = replay_checker.run(&space, vec![0]);
+        let replay_expansions = space.expansions.load(Ordering::Relaxed);
+        let label = format!("config budget {config_budget:?}");
+        assert_eq!(replayed.findings, resident.findings, "{label}");
+        assert_eq!(replayed.stats.configs, resident.stats.configs, "{label}");
+        assert_eq!(
+            replayed.stats.dedup_hits, resident.stats.dedup_hits,
+            "{label}"
+        );
+        assert_eq!(
+            replayed.stats.truncated, resident.stats.truncated,
+            "{label}"
+        );
+        assert_eq!(resident_expansions, resident.stats.configs, "{label}");
+        assert!(replayed.stats.spilled_chunks >= 2, "{label}: must spill");
+        assert!(replayed.stats.replayed_parents > 0, "{label}");
+        assert_eq!(
+            replay_expansions,
+            replayed.stats.configs + replayed.stats.replayed_parents,
+            "{label}: replay must re-expand each spilled parent exactly once \
+             per level ({} expansions for {} configs + {} replayed parents)",
+            replay_expansions,
+            replayed.stats.configs,
+            replayed.stats.replayed_parents
+        );
+        assert!(
+            replayed.stats.replayed_parents <= replayed.stats.configs,
+            "{label}: more regenerations than parents"
+        );
+        assert_eq!(dir_entries(&dir), Vec::<String>::new(), "{label}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }
 
 #[test]

@@ -285,60 +285,151 @@ fn spill_and_in_memory_runs_are_byte_identical() {
     }
 }
 
-/// The spill-codec pin: the delta-encoded chunk records (the default
-/// since the delta refactor) and the plain self-contained records must
-/// replay to identical verdicts, counts, and findings — and both must
-/// match the resident run — while the delta arm writes measurably fewer
-/// bytes on the sibling-heavy consensus levels.
+/// The four-way spill-codec pin: replay ≡ delta ≡ plain ≡ resident. On
+/// both seed scenarios (register consensus and the TM commit race), all
+/// three chunk record encodings — delta (the default), plain
+/// self-contained records, and replay recompute-from-parent records —
+/// must produce verdicts, visited-config counts, findings, truncation,
+/// and dedup accounting identical to the fully-resident run, across the
+/// 256-byte budget matrix of {1, 4} worker threads. Replay must actually
+/// regenerate (its whole point), the other codecs must never, and the
+/// spill-volume ordering (replay < delta < plain) must hold on the
+/// sibling-heavy consensus levels.
 #[test]
-fn delta_and_plain_spill_codecs_agree() {
+fn replay_delta_plain_and_resident_runs_agree() {
     use slx_engine::SpillCodec;
     let consensus = of_consensus_scenario();
+    let tm = tm_scenario();
     let active = [p(0), p(1)];
-    let safety = ConsensusSafety::new();
-    let resident = explore_safety_with(
+    let consensus_safety = ConsensusSafety::new();
+    let tm_safety = Opacity::new(v(0));
+    let consensus_base = explore_safety_with(
         &Checker::parallel_bfs(1).with_shards(1).with_mem_budget(0),
         &consensus,
         &active,
         14,
-        &safety,
+        &consensus_safety,
         history_digest,
     );
-    let run = |codec: SpillCodec| {
-        explore_safety_with(
+    let tm_base = explore_safety_with(
+        &Checker::parallel_bfs(1).with_shards(1).with_mem_budget(0),
+        &tm,
+        &active,
+        20,
+        &tm_safety,
+        history_digest,
+    );
+    assert_eq!(consensus_base.stats.replayed_parents, 0);
+
+    const TINY_BUDGET: usize = 256;
+    let mut consensus_bytes = std::collections::HashMap::new();
+    for codec in [SpillCodec::Replay, SpillCodec::Delta, SpillCodec::Plain] {
+        for threads in [1usize, 4] {
+            let checker = Checker::parallel_bfs(threads)
+                .with_shards(1)
+                .with_mem_budget(TINY_BUDGET)
+                .with_spill_codec(codec);
+            let label = format!("{codec:?}, {threads} threads");
+
+            let c = explore_safety_with(
+                &checker,
+                &consensus,
+                &active,
+                14,
+                &consensus_safety,
+                history_digest,
+            );
+            assert_eq!(c.holds(), consensus_base.holds(), "consensus, {label}");
+            assert_eq!(c.configs, consensus_base.configs, "consensus, {label}");
+            assert_eq!(
+                c.violations, consensus_base.violations,
+                "consensus, {label}"
+            );
+            assert_eq!(c.truncated, consensus_base.truncated, "consensus, {label}");
+            assert_eq!(
+                c.stats.transitions, consensus_base.stats.transitions,
+                "consensus, {label}"
+            );
+            assert_eq!(
+                c.stats.dedup_hits, consensus_base.stats.dedup_hits,
+                "consensus, {label}"
+            );
+            assert_eq!(
+                c.stats.peak_frontier, consensus_base.stats.peak_frontier,
+                "consensus, {label}"
+            );
+            assert!(c.stats.spilled_chunks >= 2, "{label} must spill");
+
+            let t = explore_safety_with(&checker, &tm, &active, 20, &tm_safety, history_digest);
+            assert_eq!(t.holds(), tm_base.holds(), "tm, {label}");
+            assert_eq!(t.configs, tm_base.configs, "tm, {label}");
+            assert_eq!(t.truncated, tm_base.truncated, "tm, {label}");
+            assert_eq!(t.stats.dedup_hits, tm_base.stats.dedup_hits, "tm, {label}");
+            assert!(t.stats.spilled_chunks >= 2, "tm, {label} must spill");
+
+            for (got, scenario) in [(&c, "consensus"), (&t, "tm")] {
+                if codec == SpillCodec::Replay {
+                    assert!(
+                        got.stats.replayed_parents > 0,
+                        "{scenario}, {label}: replay chunks must regenerate from parents"
+                    );
+                    assert!(
+                        got.stats.replayed_parents <= got.configs,
+                        "{scenario}, {label}: at most one re-expansion per parent \
+                         per level ({} > {})",
+                        got.stats.replayed_parents,
+                        got.configs
+                    );
+                } else {
+                    assert_eq!(got.stats.replayed_parents, 0, "{scenario}, {label}");
+                }
+            }
+        }
+        // The spill-volume comparison needs chunks that actually hold
+        // several records: at the 256-byte matrix budget every ~230-byte
+        // consensus record is its own (self-contained) chunk, where delta
+        // degenerates to plain by design. 512-byte chunks restore the
+        // sibling chains while still forcing every arm (including the
+        // nearly-free replay records) to spill repeatedly.
+        let roomy = explore_safety_with(
             &Checker::parallel_bfs(1)
                 .with_shards(1)
-                .with_mem_budget(2048)
+                .with_mem_budget(1024)
                 .with_spill_codec(codec),
             &consensus,
             &active,
             14,
-            &safety,
+            &consensus_safety,
             history_digest,
-        )
-    };
-    let delta = run(SpillCodec::Delta);
-    let plain = run(SpillCodec::Plain);
-    for (got, name) in [(&delta, "delta"), (&plain, "plain")] {
-        assert_eq!(got.holds(), resident.holds(), "{name}");
-        assert_eq!(got.configs, resident.configs, "{name}");
-        assert_eq!(got.violations, resident.violations, "{name}");
-        assert_eq!(got.truncated, resident.truncated, "{name}");
-        assert_eq!(got.stats.transitions, resident.stats.transitions, "{name}");
-        assert_eq!(got.stats.dedup_hits, resident.stats.dedup_hits, "{name}");
-        assert_eq!(
-            got.stats.peak_frontier, resident.stats.peak_frontier,
-            "{name}"
         );
-        assert!(got.stats.spilled_chunks >= 2, "{name} must spill");
+        assert_eq!(roomy.configs, consensus_base.configs, "{codec:?}, roomy");
+        assert_eq!(roomy.holds(), consensus_base.holds(), "{codec:?}, roomy");
+        assert!(roomy.stats.spilled_chunks >= 2, "{codec:?}, roomy");
+        consensus_bytes.insert(codec_name(codec), roomy.stats.spilled_bytes);
     }
-    assert!(
-        delta.stats.spilled_bytes < plain.stats.spilled_bytes / 2,
-        "delta chunks ({} bytes) must substantially undercut plain chunks \
-         ({} bytes) on sibling-heavy consensus levels",
-        delta.stats.spilled_bytes,
-        plain.stats.spilled_bytes
+    let (replay, delta, plain) = (
+        consensus_bytes["replay"],
+        consensus_bytes["delta"],
+        consensus_bytes["plain"],
     );
+    assert!(
+        delta < plain / 2,
+        "delta chunks ({delta} bytes) must substantially undercut plain chunks \
+         ({plain} bytes) on sibling-heavy consensus levels"
+    );
+    assert!(
+        replay < delta,
+        "replay chunks ({replay} bytes) store only parents + indices and must \
+         undercut even delta chunks ({delta} bytes)"
+    );
+}
+
+fn codec_name(codec: slx_engine::SpillCodec) -> &'static str {
+    match codec {
+        slx_engine::SpillCodec::Delta => "delta",
+        slx_engine::SpillCodec::Plain => "plain",
+        slx_engine::SpillCodec::Replay => "replay",
+    }
 }
 
 /// The same pin on the *budgeted* valence query: `max_states` truncation
@@ -363,17 +454,23 @@ fn spilled_valence_truncation_matches_resident() {
             budget,
         );
         for threads in [1usize, 4] {
-            let spilling = Checker::parallel_bfs(threads)
-                .with_shards(16)
-                .with_mem_budget(2048);
-            let got_cas = decidable_values_with(&spilling, &cas, &active, budget);
-            let got_of = decidable_values_with(&spilling, &of, &active, budget);
-            for (got, base, name) in [(&got_cas, &base_cas, "cas"), (&got_of, &base_of, "of")] {
-                let label = format!("{name}, budget {budget}, {threads} threads");
-                assert_eq!(got.values, base.values, "{label}");
-                assert_eq!(got.bivalent(), base.bivalent(), "{label}");
-                assert_eq!(got.truncated, base.truncated, "{label}");
-                assert_eq!(got.configs, base.configs, "{label}");
+            for codec in [
+                slx_engine::SpillCodec::Delta,
+                slx_engine::SpillCodec::Replay,
+            ] {
+                let spilling = Checker::parallel_bfs(threads)
+                    .with_shards(16)
+                    .with_mem_budget(2048)
+                    .with_spill_codec(codec);
+                let got_cas = decidable_values_with(&spilling, &cas, &active, budget);
+                let got_of = decidable_values_with(&spilling, &of, &active, budget);
+                for (got, base, name) in [(&got_cas, &base_cas, "cas"), (&got_of, &base_of, "of")] {
+                    let label = format!("{name}, budget {budget}, {threads} threads, {codec:?}");
+                    assert_eq!(got.values, base.values, "{label}");
+                    assert_eq!(got.bivalent(), base.bivalent(), "{label}");
+                    assert_eq!(got.truncated, base.truncated, "{label}");
+                    assert_eq!(got.configs, base.configs, "{label}");
+                }
             }
         }
     }
