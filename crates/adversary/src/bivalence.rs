@@ -11,7 +11,7 @@ use slx_consensus::{ConsWord, ObstructionFreeConsensus, OfNormalizedState};
 use slx_engine::{Checker, DeltaCodec};
 use slx_explorer::decidable_values_with;
 use slx_history::{History, ProcessId, Value};
-use slx_memory::{BaseObject, Decision, ObjId, Process, Scheduler, StepEffect, System, Word};
+use slx_memory::{Decision, Process, Scheduler, StepEffect, System, Word};
 
 /// Report of a [`run_bivalence_adversary`] run.
 #[derive(Debug, Clone)]
@@ -268,85 +268,26 @@ where
 
 /// The round-shift-normalized cycle-detection key for an
 /// [`ObstructionFreeConsensus`] system driven by a
-/// [`BivalenceScheduler`] — the consensus-side analogue of
-/// `slx_tm::normalize::normalized_global_version`.
+/// [`BivalenceScheduler`]: the algorithm-side
+/// [`slx_consensus::round_shift_key`] (which owns the normalization —
+/// the round-shift invariance is a property of the consensus algorithm,
+/// not of this adversary) joined with the scheduler's
+/// [`BivalenceScheduler::normalized_counts`].
 ///
 /// Raw configurations never repeat under the adversary: processes adopt
-/// forever and climb through fresh commit-adopt rounds, so the round
-/// index and the touched register set grow without bound. But the
-/// algorithm treats every round identically and never revisits rounds
-/// below every climbing process's current one, so behaviour is invariant
-/// under a uniform round shift. The key therefore contains, with `base`
-/// = the minimum current round over the **pending** processes (a process
-/// that never proposed idles at round 0 forever and must not pin the
-/// base, and under the scheduler every proposal is issued up front, so
-/// no later invocation can re-enter a round below `base`):
-///
-/// - each pending process's
-///   [`ObstructionFreeConsensus::normalized_state`] rebased by `base`
-///   (register identities erased); idle processes are frozen and enter
-///   rebased to their own round,
-/// - the contents of the commit-adopt registers of rounds `base..=top`
-///   (`top` = the maximum current round of a pending process; rounds
-///   above are untouched, rounds below are dead),
-/// - the decision register, and
-/// - the scheduler's [`BivalenceScheduler::normalized_counts`].
-///
-/// A repeat of this key witnesses a genuine infinite execution, provided
-/// the layout has round headroom left (the detector's run would panic on
-/// exhaustion rather than mis-report).
+/// forever and climb through fresh commit-adopt rounds. A repeat of this
+/// key witnesses a genuine infinite execution — under the scheduler
+/// every proposal is issued up front, so no later invocation can
+/// re-enter a round below the key's window base — provided the layout
+/// has round headroom left (the detector's run would panic on exhaustion
+/// rather than mis-report).
 #[must_use]
 pub fn normalized_of_consensus_key(
     sys: &System<ConsWord, ObstructionFreeConsensus>,
     sched: &BivalenceScheduler,
 ) -> (Vec<OfNormalizedState>, Vec<ConsWord>, ConsWord, Vec<u64>) {
-    let procs: Vec<(bool, &ObstructionFreeConsensus)> = (0..sys.n())
-        .map(|i| {
-            let p = ProcessId::new(i);
-            (sys.is_pending(p), sys.process(p).expect("process exists"))
-        })
-        .collect();
-    let climbing = || procs.iter().filter(|(pending, _)| *pending);
-    let base = climbing().map(|(_, q)| q.round()).min().unwrap_or(0);
-    let top = climbing().map(|(_, q)| q.round()).max().unwrap_or(0);
-
-    let contents: std::collections::HashMap<usize, ConsWord> = sys
-        .memory()
-        .iter_objects()
-        .filter_map(|(id, obj)| match obj {
-            BaseObject::Register(w) => Some((id.index(), *w)),
-            _ => None,
-        })
-        .collect();
-    let read = |id: ObjId| contents.get(&id.index()).copied().unwrap_or(ConsWord::Bot);
-
-    let layout = procs
-        .first()
-        .expect("at least one process")
-        .1
-        .shared_layout();
-    let mut window: Vec<ConsWord> = Vec::new();
-    for r in base..=top {
-        if let Some((a, b)) = layout.round_registers(r) {
-            window.extend(a.iter().chain(b).map(|&id| read(id)));
-        }
-    }
-
-    (
-        procs
-            .iter()
-            .map(|(pending, q)| {
-                // Idle processes are frozen at their own round: rebase to
-                // it (their round may sit below `base`, which would
-                // underflow — and they must not perturb the shifted key).
-                let rebase = if *pending { base } else { q.round() };
-                q.normalized_state(rebase)
-            })
-            .collect(),
-        window,
-        read(layout.decision()),
-        sched.normalized_counts(),
-    )
+    let (states, window, decision) = slx_consensus::round_shift_key(sys);
+    (states, window, decision, sched.normalized_counts())
 }
 
 #[cfg(test)]

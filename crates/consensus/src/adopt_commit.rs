@@ -107,7 +107,7 @@ impl AdoptCommit {
     /// Round-shift normalization needs this projection because a process
     /// re-running commit-adopt at a later round holds different `ObjId`s
     /// even when its behaviour is identical; see
-    /// `slx_adversary::normalized_of_consensus_key`.
+    /// [`crate::round_shift_key`].
     #[must_use]
     pub fn normalized_state(&self) -> AcNormalizedState {
         let pc = match self.pc {
@@ -126,6 +126,20 @@ impl AdoptCommit {
             self.any_b,
             self.min_b_seen,
         )
+    }
+
+    /// A copy of this participant re-indexed to `me` (same registers,
+    /// same progress): participant identity only selects which column
+    /// the sub-machine writes, which is exactly what a process
+    /// permutation moves. Used by the symmetry property suites via
+    /// [`crate::permuted_of_system`].
+    ///
+    /// # Panics
+    /// If `me` is out of range for the register arrays.
+    #[must_use]
+    pub fn retargeted(&self, me: usize) -> Self {
+        assert!(me < self.a.len(), "participant index out of range");
+        AdoptCommit { me, ..self.clone() }
     }
 
     fn read(&self, mem: &mut Memory<ConsWord>, obj: ObjId) -> ConsWord {

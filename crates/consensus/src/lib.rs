@@ -23,6 +23,7 @@
 mod adopt_commit;
 mod cas_consensus;
 mod kset;
+mod normalize;
 mod of_consensus;
 mod trivial;
 mod word;
@@ -30,6 +31,9 @@ mod word;
 pub use adopt_commit::{AcNormalizedState, AcOutcome, AdoptCommit};
 pub use cas_consensus::CasConsensus;
 pub use kset::grouped_kset;
+pub use normalize::{
+    canonical_of_digest, permutation_safe, permuted_of_system, round_shift_key, OfRoundShiftKey,
+};
 pub use of_consensus::{Layout as OfLayout, ObstructionFreeConsensus, OfNormalizedState};
 pub use trivial::{SingleResponse, TrivialNoResponse};
 pub use word::ConsWord;

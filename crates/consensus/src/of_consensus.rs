@@ -188,6 +188,21 @@ impl ObstructionFreeConsensus {
         };
         (self.est, self.round - base_round, pc)
     }
+
+    /// A copy of this process re-indexed to `me`, its in-round
+    /// sub-machine (if any) retargeted with it
+    /// ([`AdoptCommit::retargeted`]): the process-permutation hook used
+    /// by [`crate::permuted_of_system`] and the symmetry property
+    /// suites.
+    #[must_use]
+    pub fn retargeted(&self, me: ProcessId) -> Self {
+        let mut p = self.clone();
+        p.me = me;
+        if let Pc::Round(ac) = &mut p.pc {
+            *ac = ac.retargeted(me.index());
+        }
+        p
+    }
 }
 
 impl StateCodec for Layout {
@@ -373,6 +388,14 @@ impl DeltaCodec for ObstructionFreeConsensus {
 }
 
 impl Process<ConsWord> for ObstructionFreeConsensus {
+    fn has_symmetry_reduction() -> bool {
+        true
+    }
+
+    fn canonical_system_digest(sys: &slx_memory::System<ConsWord, Self>) -> slx_engine::Digest {
+        crate::normalize::canonical_of_digest(sys)
+    }
+
     fn on_invoke(&mut self, op: Operation) {
         let Operation::Propose(v) = op else {
             panic!("consensus accepts only propose(), got {op}");

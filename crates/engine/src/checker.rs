@@ -74,6 +74,11 @@ pub struct Checker {
     /// `SLX_ENGINE_SPILL_CODEC` (`delta`, `plain`, or `replay`), then to
     /// [`SpillCodec::Delta`].
     spill_codec: Option<SpillCodec>,
+    /// Explicit symmetry-reduction request: `Some(false)` pins reduction
+    /// off, `Some(true)` asks for it; `None` defers to
+    /// `SLX_ENGINE_SYMMETRY`. Reduction only activates on spaces that
+    /// advertise [`StateSpace::has_symmetry_reduction`].
+    symmetry: Option<bool>,
 }
 
 /// Minimum frontier size before a BFS level is worth spawning workers for:
@@ -112,6 +117,7 @@ impl Checker {
             mem_budget: None,
             spill_dir: None,
             spill_codec: None,
+            symmetry: None,
         }
     }
 
@@ -125,6 +131,7 @@ impl Checker {
             mem_budget: None,
             spill_dir: None,
             spill_codec: None,
+            symmetry: None,
         }
     }
 
@@ -245,6 +252,46 @@ impl Checker {
             .unwrap_or_default()
     }
 
+    /// Pins symmetry reduction on or off: when on (and the space
+    /// advertises [`StateSpace::has_symmetry_reduction`]), the kernel
+    /// dedups on [`StateSpace::canonical_digest`] instead of the exact
+    /// digest, so each symmetry orbit — e.g. every process-permutation
+    /// image of a configuration — is explored exactly once. Verdicts and
+    /// findings are preserved by the canonicalizer's soundness contract
+    /// (pinned by the symmetry differential suites); raw counts
+    /// (`configs`, `transitions`, `dedup_hits`, occupancies) legitimately
+    /// shrink. `with_symmetry(false)` overrides the `SLX_ENGINE_SYMMETRY`
+    /// environment variable — reference arms pin the unreduced kernel
+    /// this way; without this knob the variable decides.
+    #[must_use]
+    pub fn with_symmetry(mut self, on: bool) -> Self {
+        self.symmetry = Some(on);
+        self
+    }
+
+    /// Whether this checker will *ask* for symmetry reduction (it still
+    /// only activates on spaces advertising the capability): the explicit
+    /// [`Checker::with_symmetry`] value, else `SLX_ENGINE_SYMMETRY`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized `SLX_ENGINE_SYMMETRY` value, for the
+    /// same reason [`Checker::resolve_spill_codec`] does: the variable
+    /// pins CI arms, and a typo silently meaning "off" would green-light
+    /// a "reduced" arm that re-tested the unreduced path.
+    #[must_use]
+    pub fn resolve_symmetry(&self) -> bool {
+        self.symmetry.unwrap_or_else(|| {
+            match std::env::var("SLX_ENGINE_SYMMETRY").ok().as_deref() {
+                Some("1" | "true") => true,
+                Some("0" | "false" | "") | None => false,
+                Some(other) => panic!(
+                    "SLX_ENGINE_SYMMETRY must be \"1\"/\"true\" or \"0\"/\"false\", got {other:?}"
+                ),
+            }
+        })
+    }
+
     /// The frontier memory budget this checker will spill under, if any:
     /// the explicit [`Checker::with_mem_budget`] value (`0` meaning
     /// "never spill"), else a positive `SLX_ENGINE_MEM_BUDGET`.
@@ -336,18 +383,29 @@ impl Checker {
     {
         let start = Instant::now();
         let spill = self.resolve_spill();
+        let symmetry = self.resolve_symmetry() && space.has_symmetry_reduction();
         // Fingerprint-only visited set, sharded by digest range. BFS
         // enqueues every state at its minimal depth by construction, so no
-        // depth needs to be stored.
+        // depth needs to be stored. Under symmetry reduction it holds
+        // *canonical* digests — one entry per orbit.
         let mut visited = ShardedVisited::new(self.resolve_shards(threads));
         let shard_count = visited.shard_count();
         let mut stats = ExploreStats {
             threads,
             shards: shard_count,
             mem_budget: self.resolve_mem_budget(),
+            symmetry,
             ..ExploreStats::default()
         };
         let mut findings: Vec<Sp::Finding> = Vec::new();
+        // Exact-digest side set, maintained only under symmetry reduction,
+        // so `orbit_hits` can tell a *symmetry* dedup (canonical digest
+        // seen, exact digest fresh — a distinct state collapsed into an
+        // explored orbit) from an ordinary re-encounter of the same state.
+        // Canonical and exact digests live in different hash domains, so
+        // comparing their values is meaningless; a second set is the only
+        // exact accounting.
+        let mut exact_seen: std::collections::HashSet<u128> = std::collections::HashSet::new();
         // Per-shard counts of digests *accepted by the deterministic
         // merge* (not raw set sizes): the batched path pre-inserts a whole
         // level before merging, so on an early stop the set itself may
@@ -358,7 +416,12 @@ impl Checker {
 
         let mut frontier: SpillFrontier<Sp::State> = SpillFrontier::new(spill.clone());
         for state in initial {
-            let digest = space.digest(&state);
+            let digest = if symmetry {
+                exact_seen.insert(space.digest(&state).0);
+                space.canonical_digest(&state)
+            } else {
+                space.digest(&state)
+            };
             if visited.insert(digest.0) {
                 occupancy[visited.shard_of(digest.0)] += 1;
                 frontier.push(state);
@@ -454,7 +517,7 @@ impl Checker {
             let mut accepted_indices: Vec<usize> = Vec::new();
             while let Some(chunk) = chunks.next_chunk(&regen) {
                 stats.peak_resident_states = stats.peak_resident_states.max(chunk.len());
-                let expansions = expand_level(space, &chunk, depth, threads);
+                let expansions = expand_level(space, &chunk, depth, threads, symmetry);
 
                 // Large chunks dedup in parallel before the merge:
                 // successors are routed to their shards in frontier order,
@@ -491,6 +554,11 @@ impl Checker {
                     findings.extend(parts.findings);
                     for (index, (succ, digest)) in parts.succs.into_iter().enumerate() {
                         stats.transitions += 1;
+                        // Under symmetry, `digest` is canonical (computed
+                        // at push time); track the exact digest on the
+                        // side so a canonical dup whose exact digest is
+                        // fresh counts as an orbit collapse.
+                        let exact_fresh = symmetry && exact_seen.insert(space.digest(&succ).0);
                         let shard = visited.shard_of(digest.0);
                         let is_new = match &fresh {
                             Some(bits) => {
@@ -506,6 +574,9 @@ impl Checker {
                             accepted_indices.push(index);
                         } else {
                             stats.dedup_hits += 1;
+                            if exact_fresh {
+                                stats.orbit_hits += 1;
+                            }
                         }
                     }
                     next.push_group(parent, &mut accepted, &accepted_indices);
@@ -543,9 +614,11 @@ impl Checker {
         Sp: StateSpace + Sync,
     {
         let start = Instant::now();
+        let symmetry = self.resolve_symmetry() && space.has_symmetry_reduction();
         let mut stats = ExploreStats {
             threads: 1,
             shards: 1,
+            symmetry,
             ..ExploreStats::default()
         };
         let mut findings: Vec<Sp::Finding> = Vec::new();
@@ -553,14 +626,21 @@ impl Checker {
         // so a re-expansion can replace its earlier contribution.
         let mut finding_owners: Vec<u128> = Vec::new();
         let mut visited: HashMap<u128, u32> = HashMap::new();
+        // Exact-digest side set for `orbit_hits`; see `run_bfs`.
+        let mut exact_seen: std::collections::HashSet<u128> = std::collections::HashSet::new();
         let mut stack: Vec<(Sp::State, Digest, usize)> = initial
             .into_iter()
             .map(|state| {
-                let digest = space.digest(&state);
+                let digest = if symmetry {
+                    exact_seen.insert(space.digest(&state).0);
+                    space.canonical_digest(&state)
+                } else {
+                    space.digest(&state)
+                };
                 (state, digest, 0usize)
             })
             .collect();
-        let mut exp = Expansion::new(space);
+        let mut exp = Expansion::new_maybe_canonical(space, symmetry);
 
         while let Some((state, digest, depth)) = stack.pop() {
             let reexpansion = match visited.entry(digest.0) {
@@ -611,11 +691,15 @@ impl Checker {
             findings.append(&mut exp.findings);
             for (succ, succ_digest) in exp.succs.drain(..) {
                 stats.transitions += 1;
+                let exact_fresh = symmetry && exact_seen.insert(space.digest(&succ).0);
                 if visited
                     .get(&succ_digest.0)
                     .is_some_and(|&seen| seen <= depth as u32 + 1)
                 {
                     stats.dedup_hits += 1;
+                    if exact_fresh {
+                        stats.orbit_hits += 1;
+                    }
                 } else {
                     stack.push((succ, succ_digest, depth + 1));
                 }
@@ -642,8 +726,13 @@ struct Parts<Sp: StateSpace + ?Sized> {
     truncated: bool,
 }
 
-fn expand_one<Sp: StateSpace + ?Sized>(space: &Sp, state: &Sp::State, depth: usize) -> Parts<Sp> {
-    let mut exp = Expansion::new(space);
+fn expand_one<Sp: StateSpace + ?Sized>(
+    space: &Sp,
+    state: &Sp::State,
+    depth: usize,
+    canonical: bool,
+) -> Parts<Sp> {
+    let mut exp = Expansion::new_maybe_canonical(space, canonical);
     space.expand(state, depth, &mut exp);
     Parts {
         succs: exp.succs,
@@ -662,6 +751,7 @@ fn expand_level<Sp>(
     frontier: &[Sp::State],
     depth: usize,
     threads: usize,
+    canonical: bool,
 ) -> Vec<Parts<Sp>>
 where
     Sp: StateSpace + Sync,
@@ -669,7 +759,7 @@ where
     if threads <= 1 || frontier.len() < PAR_MIN_FRONTIER {
         return frontier
             .iter()
-            .map(|state| expand_one(space, state, depth))
+            .map(|state| expand_one(space, state, depth, canonical))
             .collect();
     }
 
@@ -689,7 +779,7 @@ where
                 };
                 let parts: Vec<Parts<Sp>> = chunk
                     .iter()
-                    .map(|state| expand_one(space, state, depth))
+                    .map(|state| expand_one(space, state, depth, canonical))
                     .collect();
                 done.lock()
                     .expect("no poisoned workers")
@@ -1099,6 +1189,134 @@ mod tests {
             via_fallback.stats.replayed_parents
         );
         assert!(via_fast_path.stats.spilled_chunks >= 2);
+    }
+
+    /// GridWalk with its transpose symmetry made explicit: `(x, y)` and
+    /// `(y, x)` behave identically up to the swap, the corner finding is
+    /// swap-invariant, so sorting the coordinates is a sound
+    /// canonicalizer — orbits halve the off-diagonal states.
+    struct SymmetricGrid(GridWalk);
+
+    impl StateSpace for SymmetricGrid {
+        type State = (u32, u32);
+        type Finding = (u32, u32);
+
+        fn digest(&self, state: &Self::State) -> Digest {
+            self.0.digest(state)
+        }
+
+        fn expand(&self, state: &Self::State, depth: usize, ctx: &mut Expansion<Self>) {
+            let mut inner = Expansion::new(&self.0);
+            self.0.expand(state, depth, &mut inner);
+            for finding in inner.findings {
+                ctx.finding(finding);
+            }
+            for (succ, _) in inner.succs {
+                ctx.push(succ);
+            }
+        }
+
+        fn has_symmetry_reduction(&self) -> bool {
+            true
+        }
+
+        fn canonical_digest(&self, state: &Self::State) -> Digest {
+            self.0.digest(&self.orbit_representative(state))
+        }
+
+        fn orbit_representative(&self, &(x, y): &Self::State) -> Self::State {
+            (x.min(y), x.max(y))
+        }
+    }
+
+    #[test]
+    fn symmetry_collapses_orbits_and_preserves_findings() {
+        let space = SymmetricGrid(grid(10));
+        let full = Checker::parallel_bfs(1)
+            .with_symmetry(false)
+            .run(&space, vec![(0, 0)]);
+        let reduced = Checker::parallel_bfs(1)
+            .with_symmetry(true)
+            .run(&space, vec![(0, 0)]);
+        assert_eq!(full.stats.configs, 11 * 11);
+        // One representative per orbit: the upper triangle incl. diagonal.
+        assert_eq!(reduced.stats.configs, 11 * 12 / 2);
+        assert_eq!(reduced.findings, full.findings);
+        assert!(reduced.stats.symmetry);
+        assert!(!full.stats.symmetry);
+        assert!(
+            reduced.stats.orbit_hits > 0,
+            "off-diagonal twins must collapse"
+        );
+        assert_eq!(full.stats.orbit_hits, 0, "no orbit hits when off");
+        assert!(reduced.stats.orbit_hits <= reduced.stats.dedup_hits);
+    }
+
+    #[test]
+    fn symmetry_reduced_dfs_matches_reduced_bfs() {
+        let space = SymmetricGrid(grid(8));
+        let bfs = Checker::parallel_bfs(1)
+            .with_symmetry(true)
+            .run(&space, vec![(0, 0)]);
+        let dfs = Checker::sequential_dfs()
+            .with_symmetry(true)
+            .run(&space, vec![(0, 0)]);
+        assert_eq!(bfs.stats.configs, dfs.stats.configs);
+        assert_eq!(bfs.findings, dfs.findings);
+        assert!(dfs.stats.symmetry);
+        assert!(dfs.stats.orbit_hits > 0);
+    }
+
+    #[test]
+    fn symmetry_request_is_inert_without_the_capability() {
+        // GridWalk does not advertise symmetry: asking for it must run
+        // the unreduced kernel bit-for-bit (and say so in the stats).
+        let on = Checker::parallel_bfs(1)
+            .with_symmetry(true)
+            .run(&grid(10), vec![(0, 0)]);
+        let off = Checker::parallel_bfs(1)
+            .with_symmetry(false)
+            .run(&grid(10), vec![(0, 0)]);
+        assert_eq!(on.stats.configs, off.stats.configs);
+        assert_eq!(on.stats.dedup_hits, off.stats.dedup_hits);
+        assert_eq!(on.stats.orbit_hits, 0);
+        assert!(!on.stats.symmetry, "capability gate must win");
+    }
+
+    #[test]
+    fn symmetric_initial_states_collapse_to_one_orbit() {
+        // (0,1) and (1,0) are one orbit: seeding both must explore
+        // exactly what seeding one does.
+        let space = SymmetricGrid(grid(4));
+        let both = Checker::parallel_bfs(1)
+            .with_symmetry(true)
+            .run(&space, vec![(0, 1), (1, 0)]);
+        let one = Checker::parallel_bfs(1)
+            .with_symmetry(true)
+            .run(&space, vec![(0, 1)]);
+        assert_eq!(both.stats.configs, one.stats.configs);
+        assert_eq!(both.findings, one.findings);
+    }
+
+    #[test]
+    fn symmetry_resolution() {
+        // The env knob (covered in the process-isolated differential
+        // suites) outranks the default, so only assert the default when
+        // the environment is silent.
+        if std::env::var_os("SLX_ENGINE_SYMMETRY").is_none_or(|v| v.is_empty()) {
+            assert!(
+                !Checker::parallel_bfs(1).resolve_symmetry(),
+                "unreduced is the default"
+            );
+        }
+        assert!(Checker::parallel_bfs(1)
+            .with_symmetry(true)
+            .resolve_symmetry());
+        // The explicit knob pins reference arms off even under
+        // SLX_ENGINE_SYMMETRY=1.
+        assert!(!Checker::parallel_bfs(1)
+            .with_symmetry(false)
+            .resolve_symmetry());
     }
 
     #[test]

@@ -72,6 +72,48 @@ pub trait StateSpace {
     fn has_successor_fast_path(&self) -> bool {
         false
     }
+
+    /// Whether [`StateSpace::canonical_digest`] is a real orbit-collapsing
+    /// canonicalizer rather than the [`StateSpace::digest`] fallback.
+    ///
+    /// Symmetry reduction ([`crate::Checker::with_symmetry`] /
+    /// `SLX_ENGINE_SYMMETRY`) only activates when the space advertises
+    /// this capability: a checker asked for symmetry on a space without
+    /// one runs the unreduced kernel unchanged (and its stats assert so).
+    fn has_symmetry_reduction(&self) -> bool {
+        false
+    }
+
+    /// The state's fingerprint **canonicalized over its symmetry orbit**:
+    /// states reachable from one another by a symmetry of the space (a
+    /// process permutation, a uniform counter shift, …) must digest
+    /// equally, and states the symmetry group does not identify must keep
+    /// distinct digests with the same 128-bit-collision confidence as
+    /// [`StateSpace::digest`].
+    ///
+    /// Soundness contract: every [`StateSpace::Finding`] must be
+    /// preserved by the symmetries the canonicalizer quotients by —
+    /// exploring one orbit representative must surface a finding iff
+    /// exploring any orbit member would. The default is the exact digest
+    /// (no reduction); spaces that override it must also override
+    /// [`StateSpace::has_symmetry_reduction`].
+    fn canonical_digest(&self, state: &Self::State) -> Digest {
+        self.digest(state)
+    }
+
+    /// A member of `state`'s orbit chosen canonically (the same member
+    /// for every state of the orbit), for callers that need a
+    /// representative *state* rather than a digest — e.g. cross-run
+    /// cycle keys. The default returns the state unchanged, which is
+    /// correct for the identity symmetry group.
+    ///
+    /// Note this is **not** required to satisfy
+    /// `canonical_digest(s) == digest(orbit_representative(s))`: a space
+    /// may canonicalize digests over a projection (erasing fields its
+    /// digest mixes in) that no concrete representative state realizes.
+    fn orbit_representative(&self, state: &Self::State) -> Self::State {
+        state.clone()
+    }
 }
 
 /// Sink for one state's expansion: successors, findings, and truncation.
@@ -90,6 +132,11 @@ pub struct Expansion<'sp, Sp: StateSpace + ?Sized> {
     /// was first expanded), so hashing them again would be pure waste on
     /// the spill hot path.
     digests: bool,
+    /// Whether pushes compute [`StateSpace::canonical_digest`] instead of
+    /// the exact digest. Set by the checker when symmetry reduction is
+    /// active, so orbit collapse happens at push time — inside the
+    /// (possibly parallel) expansion phase — like ordinary digesting.
+    canonical: bool,
 }
 
 impl<'sp, Sp: StateSpace + ?Sized> Expansion<'sp, Sp> {
@@ -100,6 +147,16 @@ impl<'sp, Sp: StateSpace + ?Sized> Expansion<'sp, Sp> {
             findings: Vec::new(),
             truncated: false,
             digests: true,
+            canonical: false,
+        }
+    }
+
+    /// An expansion whose pushes digest canonically (symmetry reduction
+    /// active) or exactly, per `canonical`.
+    pub(crate) fn new_maybe_canonical(space: &'sp Sp, canonical: bool) -> Self {
+        Expansion {
+            canonical,
+            ..Expansion::new(space)
         }
     }
 
@@ -132,10 +189,12 @@ impl<'sp, Sp: StateSpace + ?Sized> Expansion<'sp, Sp> {
 
     /// Emits a successor state.
     pub fn push(&mut self, succ: Sp::State) {
-        let digest = if self.digests {
-            self.space.digest(&succ)
-        } else {
+        let digest = if !self.digests {
             Digest(0)
+        } else if self.canonical {
+            self.space.canonical_digest(&succ)
+        } else {
+            self.space.digest(&succ)
         };
         self.succs.push((succ, digest));
     }

@@ -13,6 +13,16 @@ pub struct ExploreStats {
     /// Generated successors dropped because their fingerprint was already
     /// visited at an equal or smaller depth.
     pub dedup_hits: usize,
+    /// Among [`ExploreStats::dedup_hits`], successors dropped **only
+    /// because of symmetry reduction**: their canonical digest was
+    /// already visited but their exact digest was fresh — a distinct
+    /// state collapsed into an already-explored orbit. Always 0 when
+    /// symmetry is off (the differential suites assert exactly that).
+    pub orbit_hits: usize,
+    /// Whether symmetry reduction was active for this run (the checker
+    /// asked for it **and** the space advertised
+    /// [`crate::StateSpace::has_symmetry_reduction`]).
+    pub symmetry: bool,
     /// Largest BFS frontier (or DFS stack) observed.
     pub peak_frontier: usize,
     /// Largest number of decoded frontier states resident in memory at
@@ -141,6 +151,9 @@ impl fmt::Display for ExploreStats {
                 write!(f, ", {} parents replayed", self.replayed_parents)?;
             }
         }
+        if self.symmetry {
+            write!(f, ", symmetry ({} orbit hits)", self.orbit_hits)?;
+        }
         write!(
             f,
             "{}{}",
@@ -171,6 +184,8 @@ mod tests {
             configs: 10,
             transitions: 20,
             dedup_hits: 5,
+            orbit_hits: 2,
+            symmetry: true,
             peak_frontier: 4,
             peak_resident_states: 2,
             peak_resident_bytes: 64,
@@ -192,6 +207,25 @@ mod tests {
         assert!(s.contains("spilled 3 chunks"));
         assert!(s.contains("peak 2 resident states"));
         assert!(s.contains("5 parents replayed"));
+        assert!(s.contains("symmetry (2 orbit hits)"));
+    }
+
+    #[test]
+    fn display_omits_symmetry_when_off() {
+        let stats = ExploreStats {
+            configs: 10,
+            threads: 1,
+            shards: 1,
+            ..ExploreStats::default()
+        };
+        assert!(!stats.to_string().contains("symmetry"));
+        // Even with zero orbit hits, an active-symmetry run says so — the
+        // zero is the interesting datum (a canonicalizer that never fired).
+        let on = ExploreStats {
+            symmetry: true,
+            ..stats
+        };
+        assert!(on.to_string().contains("symmetry (0 orbit hits)"));
     }
 
     #[test]

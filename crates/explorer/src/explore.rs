@@ -54,7 +54,23 @@ struct SafetySpace<'a, W, P, S, D> {
     depth: usize,
     safety: &'a S,
     digest: D,
+    /// Whether `active` covers every process of the explored systems —
+    /// required for the symmetry reduction: a process permutation is only
+    /// schedule-preserving when the active set is permutation-closed.
+    all_active: bool,
     _marker: std::marker::PhantomData<(W, P)>,
+}
+
+/// Whether `active` is exactly `{0, .., n-1}` — the full, permutation-
+/// closed active set symmetry reduction requires.
+pub(crate) fn covers_all_processes(active: &[ProcessId], n: usize) -> bool {
+    active.len() == n && {
+        let mut seen = vec![false; n];
+        active.iter().all(|p| {
+            let i = p.index();
+            i < n && !std::mem::replace(&mut seen[i], true)
+        })
+    }
 }
 
 impl<W, P, S, D> StateSpace for SafetySpace<'_, W, P, S, D>
@@ -73,6 +89,24 @@ where
         // retained-set implementation deduplicated on.
         let mut fp = Fingerprinter::new();
         sys.hash(&mut fp);
+        std::hash::Hasher::write_u64(&mut fp, (self.digest)(sys.history()));
+        fp.digest()
+    }
+
+    fn has_symmetry_reduction(&self) -> bool {
+        self.all_active && P::has_symmetry_reduction()
+    }
+
+    fn canonical_digest(&self, sys: &Self::State) -> Digest {
+        // The algorithm's orbit-canonical configuration digest mixed with
+        // the same history digest as the exact key: the history captures
+        // everything verdict-relevant about the past, and it is constant
+        // across the (undecided) bulk of each level, so orbit twins with
+        // equal histories still collapse. Sound for the same reason the
+        // exact key is: two states with equal canonical keys have
+        // symmetry-equivalent futures and identical past verdicts.
+        let mut fp = Fingerprinter::new();
+        std::hash::Hasher::write_u128(&mut fp, P::canonical_system_digest(sys).0);
         std::hash::Hasher::write_u64(&mut fp, (self.digest)(sys.history()));
         fp.digest()
     }
@@ -179,6 +213,7 @@ where
         depth,
         safety,
         digest,
+        all_active: covers_all_processes(active, initial.n()),
         _marker: std::marker::PhantomData,
     };
     let out = checker.run(&space, vec![initial.clone()]);
@@ -207,6 +242,9 @@ struct SoloSpace<'a, W, P> {
     active: &'a [ProcessId],
     depth: usize,
     solo_budget: usize,
+    /// See [`SafetySpace::all_active`]: symmetry reduction needs the
+    /// active set permutation-closed.
+    all_active: bool,
     _marker: std::marker::PhantomData<(W, P)>,
 }
 
@@ -220,6 +258,19 @@ where
 
     fn digest(&self, sys: &Self::State) -> Digest {
         sys.digest128()
+    }
+
+    fn has_symmetry_reduction(&self) -> bool {
+        self.all_active && P::has_symmetry_reduction()
+    }
+
+    fn canonical_digest(&self, sys: &Self::State) -> Digest {
+        // Starvation is symmetry-invariant: if some pending process of
+        // `sys` starves running solo, its image starves in every
+        // orbit-equivalent configuration, so checking one representative
+        // per orbit preserves the verdict (the reported witness history
+        // may differ by the symmetry, nothing else).
+        P::canonical_system_digest(sys)
     }
 
     fn expand(&self, sys: &Self::State, depth: usize, ctx: &mut Expansion<Self>) {
@@ -283,13 +334,31 @@ where
     W: Word + DeltaCodec + Send + Sync,
     P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
 {
+    verify_solo_progress_with(&Checker::auto(), initial, active, depth, solo_budget)
+}
+
+/// [`verify_solo_progress`] on an explicit kernel backend (the symmetry
+/// differential suite pins backends and reduction settings against each
+/// other).
+pub fn verify_solo_progress_with<W, P>(
+    checker: &Checker,
+    initial: &System<W, P>,
+    active: &[ProcessId],
+    depth: usize,
+    solo_budget: usize,
+) -> Option<SoloCounterexample>
+where
+    W: Word + DeltaCodec + Send + Sync,
+    P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
+{
     let space = SoloSpace {
         active,
         depth,
         solo_budget,
+        all_active: covers_all_processes(active, initial.n()),
         _marker: std::marker::PhantomData,
     };
-    let out = Checker::auto().run_until(&space, vec![initial.clone()], |found| !found.is_empty());
+    let out = checker.run_until(&space, vec![initial.clone()], |found| !found.is_empty());
     out.findings.into_iter().next()
 }
 

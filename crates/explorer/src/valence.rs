@@ -32,6 +32,9 @@ impl DecidableSet {
 /// each first decision as a finding and not exploring past it.
 struct ValenceSpace<'a, W, P> {
     active: &'a [ProcessId],
+    /// Whether `active` covers every process — symmetry reduction is only
+    /// sound when the active set is permutation-closed.
+    all_active: bool,
     _marker: std::marker::PhantomData<(W, P)>,
 }
 
@@ -45,6 +48,18 @@ where
 
     fn digest(&self, sys: &Self::State) -> Digest {
         sys.digest128()
+    }
+
+    fn has_symmetry_reduction(&self) -> bool {
+        self.all_active && P::has_symmetry_reduction()
+    }
+
+    fn canonical_digest(&self, sys: &Self::State) -> Digest {
+        // The decidable-value set is symmetry-invariant: a permutation
+        // relabels which process decides, never the decided value, and
+        // the shifts never touch values. So one representative per orbit
+        // yields the same valence verdict.
+        P::canonical_system_digest(sys)
     }
 
     fn expand(&self, sys: &Self::State, _depth: usize, ctx: &mut Expansion<Self>) {
@@ -133,6 +148,7 @@ where
 {
     let space = ValenceSpace {
         active,
+        all_active: crate::explore::covers_all_processes(active, sys.n()),
         _marker: std::marker::PhantomData,
     };
     // The retained seed implementation counted the budget-th state but

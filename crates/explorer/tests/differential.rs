@@ -11,9 +11,7 @@
 use slx_consensus::{CasConsensus, ConsWord, ObstructionFreeConsensus};
 use slx_engine::Checker;
 use slx_explorer::baseline::{decidable_values_retained, explore_safety_retained};
-use slx_explorer::{
-    decidable_values, decidable_values_with, explore_safety, explore_safety_with, history_digest,
-};
+use slx_explorer::{decidable_values_with, explore_safety_with, history_digest};
 use slx_history::{Operation, ProcessId, Value, VarId};
 use slx_memory::{Memory, System};
 use slx_safety::{ConsensusSafety, Opacity};
@@ -595,8 +593,12 @@ fn kernel_matches_retained_baseline_on_consensus() {
     let sys = of_consensus_scenario();
     let active = [p(0), p(1)];
     let safety = ConsensusSafety::new();
+    // The retained baseline has no symmetry reduction: pin it off on the
+    // kernel arm so the count comparison survives `SLX_ENGINE_SYMMETRY=1`
+    // environments (the symmetry CI job).
+    let checker = Checker::auto().with_symmetry(false);
     for depth in [8usize, 14, 18] {
-        let engine = explore_safety(&sys, &active, depth, &safety, history_digest);
+        let engine = explore_safety_with(&checker, &sys, &active, depth, &safety, history_digest);
         let baseline = explore_safety_retained(&sys, &active, depth, &safety, history_digest);
         assert_eq!(engine.holds(), baseline.holds(), "depth {depth}");
         assert_eq!(engine.configs, baseline.configs, "depth {depth}");
@@ -609,7 +611,10 @@ fn kernel_matches_retained_baseline_on_tm() {
     let sys = tm_scenario();
     let active = [p(0), p(1)];
     let safety = Opacity::new(v(0));
-    let engine = explore_safety(&sys, &active, 20, &safety, history_digest);
+    // See the consensus twin: symmetry pinned off against the unreduced
+    // retained baseline.
+    let checker = Checker::auto().with_symmetry(false);
+    let engine = explore_safety_with(&checker, &sys, &active, 20, &safety, history_digest);
     let baseline = explore_safety_retained(&sys, &active, 20, &safety, history_digest);
     assert_eq!(engine.holds(), baseline.holds());
     assert_eq!(engine.configs, baseline.configs);
@@ -625,10 +630,13 @@ fn valence_matches_retained_baseline_across_budgets() {
     let active = [p(0), p(1)];
     let cas = cas_consensus_scenario();
     let of = of_consensus_scenario();
+    // Symmetry pinned off against the unreduced retained baseline (the
+    // truncation boundary is count-sensitive).
+    let checker = Checker::auto().with_symmetry(false);
     for budget in [1usize, 2, 3, 5, 10, 50, 200, 1000, 10_000] {
-        let engine_cas = decidable_values(&cas, &active, budget);
+        let engine_cas = decidable_values_with(&checker, &cas, &active, budget);
         let seed_cas = decidable_values_retained(&cas, &active, budget);
-        let engine_of = decidable_values(&of, &active, budget);
+        let engine_of = decidable_values_with(&checker, &of, &active, budget);
         let seed_of = decidable_values_retained(&of, &active, budget);
         for (engine, seed, name) in [
             (&engine_cas, &seed_cas, "cas"),

@@ -416,6 +416,32 @@ impl<W: Word> Memory<W> {
         }
     }
 
+    /// A copy of the memory with every base object transformed by `f`,
+    /// which receives the object's id alongside its contents. Like
+    /// [`Memory::map_words`] this resets the applied-primitive counter:
+    /// the result is a *derived* configuration for keying/canonicalizing,
+    /// not a resumable one.
+    ///
+    /// This is the object-granular sibling of [`Memory::map_words`],
+    /// needed by process-permutation symmetries: permuting processes
+    /// moves per-process register *contents* between objects (commit-adopt
+    /// column `i` to column `π(i)`, snapshot components likewise), which
+    /// a word-wise map cannot express.
+    pub fn map_objects(
+        &self,
+        mut f: impl FnMut(ObjId, &BaseObject<W>) -> BaseObject<W>,
+    ) -> Memory<W> {
+        Memory {
+            objects: self
+                .objects
+                .iter()
+                .enumerate()
+                .map(|(i, o)| f(ObjId(i), o))
+                .collect(),
+            applied: 0,
+        }
+    }
+
     /// Applies an atomic primitive.
     ///
     /// # Errors

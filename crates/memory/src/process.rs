@@ -52,6 +52,37 @@ pub trait Process<W: Word> {
     /// Notifies the process that it crashed. After this, the system never
     /// calls [`Process::step`] again; the default does nothing.
     fn on_crash(&mut self) {}
+
+    /// Whether [`Process::canonical_system_digest`] is a real
+    /// orbit-collapsing canonicalizer rather than the exact-digest
+    /// fallback. Exploration spaces forward this as their
+    /// `StateSpace::has_symmetry_reduction` capability flag.
+    fn has_symmetry_reduction() -> bool
+    where
+        Self: Sized,
+    {
+        false
+    }
+
+    /// A fingerprint of `sys` **canonicalized over its symmetry orbit**:
+    /// configurations equivalent under a symmetry of the algorithm — a
+    /// process permutation, a uniform round/version/timestamp shift —
+    /// must digest equally, while inequivalent configurations keep
+    /// distinct digests with the same 128-bit-collision confidence as
+    /// [`crate::System::digest128`].
+    ///
+    /// Soundness contract: the verdicts the exploration spaces extract
+    /// (safety violations, decidable values, progress witnesses) must be
+    /// invariant under the symmetries this quotients by. The default is
+    /// the exact configuration digest (identity group, no reduction);
+    /// algorithms overriding it must also override
+    /// [`Process::has_symmetry_reduction`].
+    fn canonical_system_digest(sys: &crate::System<W, Self>) -> slx_engine::Digest
+    where
+        Self: Sized + std::hash::Hash,
+    {
+        sys.digest128()
+    }
 }
 
 #[cfg(test)]

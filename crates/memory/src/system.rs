@@ -298,6 +298,58 @@ impl<W: Word, P: Process<W>> System<W, P> {
         }
     }
 
+    /// A copy of the system with the processes **reindexed** by `perm`
+    /// (process `i` moves to slot `perm[i]`, its pending/crashed flags
+    /// riding along), each moved process state rebuilt by
+    /// `f_proc(i, &procs[i])` — which is where an algorithm retargets
+    /// its own-identity fields, e.g. `me = perm[me]` — and the memory
+    /// rebuilt object-by-object via [`Memory::map_objects`], where
+    /// per-process register contents move to their permuted columns.
+    /// History and events are dropped, like [`System::transformed`].
+    ///
+    /// This is the process-permutation symmetry hook: canonicalizers and
+    /// the symmetry property suites build the π-image of a configuration
+    /// with it and check behavioural invariance.
+    ///
+    /// # Panics
+    /// If `perm` is not a permutation of `0..n`.
+    pub fn permuted(
+        &self,
+        perm: &[usize],
+        mut f_proc: impl FnMut(usize, &P) -> P,
+        f_obj: impl FnMut(crate::ObjId, &crate::BaseObject<W>) -> crate::BaseObject<W>,
+    ) -> System<W, P> {
+        let n = self.procs.len();
+        assert_eq!(perm.len(), n, "permutation arity mismatch");
+        let mut procs: Vec<Option<P>> = (0..n).map(|_| None).collect();
+        let mut pending = vec![false; n];
+        let mut crashed = vec![false; n];
+        for (i, p) in self.procs.iter().enumerate() {
+            let slot = procs
+                .get_mut(perm[i])
+                .unwrap_or_else(|| panic!("perm[{i}] = {} out of range 0..{n}", perm[i]));
+            assert!(
+                slot.is_none(),
+                "perm maps two processes to slot {}",
+                perm[i]
+            );
+            *slot = Some(f_proc(i, p));
+            pending[perm[i]] = self.pending[i];
+            crashed[perm[i]] = self.crashed[i];
+        }
+        System {
+            memory: self.memory.map_objects(f_obj),
+            procs: procs
+                .into_iter()
+                .map(|p| p.expect("perm covers every slot"))
+                .collect(),
+            pending,
+            crashed,
+            history: History::new(),
+            events: Vec::new(),
+        }
+    }
+
     /// Drives the system with `scheduler` until it halts, the event budget
     /// `max_events` is exhausted, or the scheduler makes an invalid decision
     /// (which is treated as a halt — schedulers observe the system and

@@ -94,6 +94,17 @@ impl AgpTm {
         self.cas_aborts
     }
 
+    /// A copy of this instance re-indexed to `me` (same shared objects,
+    /// same transaction-local state): process identity only selects
+    /// which `R` slot the instance announces into, which is exactly what
+    /// a process permutation moves. Used by
+    /// [`crate::normalize::canonical_agp_digest`] (identity erasure) and
+    /// the symmetry property suites (permutation images).
+    #[must_use]
+    pub fn retargeted(&self, me: ProcessId) -> AgpTm {
+        AgpTm { me, ..self.clone() }
+    }
+
     /// A copy with timestamps, versions and values uniformly shifted, and
     /// statistics counters zeroed — the per-process half of
     /// [`crate::normalize::normalized_agp`]. Behaviour-preserving by the
@@ -272,6 +283,14 @@ impl DeltaCodec for AgpTm {
 }
 
 impl Process<TmWord> for AgpTm {
+    fn has_symmetry_reduction() -> bool {
+        true
+    }
+
+    fn canonical_system_digest(sys: &slx_memory::System<TmWord, Self>) -> slx_engine::Digest {
+        crate::normalize::canonical_agp_digest(sys)
+    }
+
     fn on_invoke(&mut self, op: Operation) {
         self.pc = match op {
             Operation::TxStart => {

@@ -216,6 +216,14 @@ impl DeltaCodec for GlobalVersionTm {
 }
 
 impl Process<TmWord> for GlobalVersionTm {
+    fn has_symmetry_reduction() -> bool {
+        true
+    }
+
+    fn canonical_system_digest(sys: &slx_memory::System<TmWord, Self>) -> slx_engine::Digest {
+        crate::normalize::canonical_global_version_digest(sys)
+    }
+
     fn on_invoke(&mut self, op: Operation) {
         self.pc = match op {
             Operation::TxStart => Pc::StartReadC,

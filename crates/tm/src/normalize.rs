@@ -20,7 +20,10 @@
 //! `slx-explorer` needs. (This module provides the normalizing maps; the
 //! explorer crate provides the detector.)
 
-use slx_history::Value;
+use std::hash::{Hash, Hasher};
+
+use slx_engine::{digest128_of, Digest, Fingerprinter};
+use slx_history::{ProcessId, Value};
 use slx_memory::{BaseObject, System};
 
 use crate::agp::AgpTm;
@@ -98,6 +101,137 @@ pub fn normalized_agp(sys: &System<TmWord, AgpTm>) -> System<TmWord, AgpTm> {
     sys.transformed(|w| shift_word(w, s), |p| p.shifted(s))
 }
 
+/// The canonical symmetry digest for a [`GlobalVersionTm`] system:
+/// invariant under uniform version/value shifts *and* process
+/// permutations. Backs `Process::canonical_system_digest` for the
+/// exploration kernel's symmetry reduction.
+///
+/// Every process runs the same code against the single shared CAS `C`
+/// and holds no identity-dependent state, so permuting processes is
+/// behaviour-preserving at *every* program counter — the sorted
+/// per-process signature multiset quotients the full permutation orbit.
+/// The shift and the statistics-counter erasure come from
+/// [`normalized_global_version`] (whose `shifted` halves zero
+/// `commits`/`aborts`), collapsing states that differ only in scheduling
+/// history.
+pub fn canonical_global_version_digest(sys: &System<TmWord, GlobalVersionTm>) -> Digest {
+    let norm = normalized_global_version(sys);
+    let mut sigs: Vec<u128> = (0..norm.n())
+        .map(|i| {
+            let p = ProcessId::new(i);
+            digest128_of(&(
+                norm.is_pending(p),
+                norm.is_crashed(p),
+                norm.process(p).expect("process exists"),
+            ))
+            .0
+        })
+        .collect();
+    sigs.sort_unstable();
+    let mut fp = Fingerprinter::new();
+    fp.write_usize(norm.n());
+    for sig in &sigs {
+        fp.write_u128(*sig);
+    }
+    for (_, obj) in norm.memory().iter_objects() {
+        obj.hash(&mut fp);
+    }
+    fp.digest()
+}
+
+/// The canonical symmetry digest for an [`AgpTm`] system: invariant
+/// under uniform version/timestamp/value shifts *and* process
+/// permutations. Backs `Process::canonical_system_digest` for the
+/// exploration kernel's symmetry reduction.
+///
+/// Process identity enters Algorithm 1 only through which slot of the
+/// timestamp snapshot `R` a process announces into; the commit-time scan
+/// reads the *whole* snapshot atomically and aggregates it into a count,
+/// which is permutation-insensitive. So each process's signature carries
+/// its own `R` slot (the slot travels with its owner under a
+/// permutation) with the `me` index erased, the signature multiset is
+/// sorted, and the snapshot is *excluded* from the shared-memory part of
+/// the digest (the remaining objects — the CAS `C` — are
+/// identity-independent). Permutation is safe at every program counter:
+/// there is no incremental collect to tear.
+pub fn canonical_agp_digest(sys: &System<TmWord, AgpTm>) -> Digest {
+    let norm = normalized_agp(sys);
+    let slots: Vec<TmWord> = norm
+        .memory()
+        .iter_objects()
+        .find_map(|(_, obj)| match obj {
+            BaseObject::Snapshot(v) => Some(v.clone()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let mut sigs: Vec<u128> = (0..norm.n())
+        .map(|i| {
+            let p = ProcessId::new(i);
+            digest128_of(&(
+                norm.is_pending(p),
+                norm.is_crashed(p),
+                norm.process(p)
+                    .expect("process exists")
+                    .retargeted(ProcessId::new(0)),
+                slots.get(i),
+            ))
+            .0
+        })
+        .collect();
+    sigs.sort_unstable();
+    let mut fp = Fingerprinter::new();
+    fp.write_usize(norm.n());
+    for sig in &sigs {
+        fp.write_u128(*sig);
+    }
+    for (_, obj) in norm.memory().iter_objects() {
+        if !matches!(obj, BaseObject::Snapshot(_)) {
+            obj.hash(&mut fp);
+        }
+    }
+    fp.digest()
+}
+
+/// The π-image of a [`GlobalVersionTm`] configuration: process `i` moves
+/// to slot `perm[i]`. Processes hold no identity-dependent state and the
+/// shared CAS stays put, so only the pending/crashed flags and the
+/// process states move. History and events are dropped. Used by the
+/// symmetry property suites.
+///
+/// # Panics
+/// If `perm` is not a permutation of `0..n`.
+pub fn permuted_global_version(
+    sys: &System<TmWord, GlobalVersionTm>,
+    perm: &[usize],
+) -> System<TmWord, GlobalVersionTm> {
+    sys.permuted(perm, |_, p| p.clone(), |_, obj| obj.clone())
+}
+
+/// The π-image of an [`AgpTm`] configuration: process `i` moves to slot
+/// `perm[i]` (re-indexed via [`AgpTm::retargeted`]) and the timestamp
+/// snapshot's slots move with their owners; the CAS stays put. History
+/// and events are dropped. Used by the symmetry property suites.
+///
+/// # Panics
+/// If `perm` is not a permutation of `0..n`.
+pub fn permuted_agp(sys: &System<TmWord, AgpTm>, perm: &[usize]) -> System<TmWord, AgpTm> {
+    let n = perm.len();
+    let mut inverse = vec![usize::MAX; n];
+    for (i, &target) in perm.iter().enumerate() {
+        inverse[target] = i;
+    }
+    sys.permuted(
+        perm,
+        |i, p| p.retargeted(ProcessId::new(perm[i])),
+        |_, obj| match obj {
+            BaseObject::Snapshot(v) => {
+                BaseObject::Snapshot((0..n).map(|j| v[inverse[j]].clone()).collect())
+            }
+            other => other.clone(),
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,5 +292,100 @@ mod tests {
         };
         assert_eq!(word(&a), word(&b));
         assert_eq!(word(&b), word(&c));
+    }
+
+    #[test]
+    fn canonical_global_version_digest_is_shift_invariant() {
+        // Compare laps ≥ 1: the zero-lap configuration is genuinely
+        // different (a never-run process has pristine transaction-locals,
+        // a lapped one retains dead — but `TxRead`-observable — ones).
+        let d1 = canonical_global_version_digest(&gv_after_commits(1));
+        let d2 = canonical_global_version_digest(&gv_after_commits(2));
+        let d3 = canonical_global_version_digest(&gv_after_commits(3));
+        assert_eq!(d1, d2);
+        assert_eq!(d2, d3);
+        assert_ne!(
+            canonical_global_version_digest(&gv_after_commits(0)),
+            d1,
+            "pristine vs lapped transaction-locals stay distinct"
+        );
+    }
+
+    fn agp_system(n: usize) -> System<TmWord, AgpTm> {
+        let mut mem: Memory<TmWord> = Memory::new();
+        let (c, r) = AgpTm::alloc(&mut mem, n, 1);
+        let procs = (0..n)
+            .map(|i| AgpTm::new(c, r, ProcessId::new(i), n, 1))
+            .collect();
+        System::new(mem, procs)
+    }
+
+    fn run_whole(sys: &mut System<TmWord, AgpTm>, p: ProcessId, op: Operation) {
+        sys.invoke(p, op).unwrap();
+        while !matches!(sys.step(p).unwrap(), slx_memory::StepEffect::Responded(_)) {}
+    }
+
+    #[test]
+    fn canonical_agp_digest_is_timestamp_shift_invariant() {
+        // One empty transaction per process advances every timestamp and
+        // every R slot by one and bumps the committed version; the
+        // canonical digest rebases all of it away.
+        let mut sys = agp_system(2);
+        let d0 = canonical_agp_digest(&sys);
+        for i in 0..2 {
+            run_whole(&mut sys, ProcessId::new(i), Operation::TxStart);
+            run_whole(&mut sys, ProcessId::new(i), Operation::TxCommit);
+        }
+        assert_eq!(canonical_agp_digest(&sys), d0, "uniform lap rebased away");
+    }
+
+    #[test]
+    fn canonical_agp_digest_is_permutation_invariant() {
+        // Drive an asymmetric state: p0 completes a transaction (its
+        // timestamp and R slot advance), p1 starts one and parks before
+        // commit. The permuted image is raw-distinct but canonically
+        // equal.
+        let mut sys = agp_system(3);
+        run_whole(&mut sys, ProcessId::new(0), Operation::TxStart);
+        run_whole(
+            &mut sys,
+            ProcessId::new(0),
+            Operation::TxWrite(VarId::new(0), Value::new(5)),
+        );
+        run_whole(&mut sys, ProcessId::new(0), Operation::TxCommit);
+        run_whole(&mut sys, ProcessId::new(1), Operation::TxStart);
+        sys.invoke(ProcessId::new(1), Operation::TxCommit).unwrap();
+        sys.step(ProcessId::new(1)).unwrap(); // scan: parked at CommitCas
+        for perm in [[1usize, 0, 2], [2, 1, 0], [1, 2, 0]] {
+            let image = permuted_agp(&sys, &perm);
+            assert_ne!(sys.digest128(), image.digest128());
+            assert_eq!(canonical_agp_digest(&sys), canonical_agp_digest(&image));
+        }
+        // Sanity: a *non*-orbit change (drop p1's pending commit moves
+        // its pc) changes the canonical digest.
+        let mut other = sys.clone();
+        other.step(ProcessId::new(1)).unwrap();
+        assert_ne!(canonical_agp_digest(&sys), canonical_agp_digest(&other));
+    }
+
+    #[test]
+    fn canonical_global_version_digest_is_permutation_invariant() {
+        let mut mem: Memory<TmWord> = Memory::new();
+        let c = GlobalVersionTm::alloc(&mut mem, 1);
+        let procs = (0..3).map(|_| GlobalVersionTm::new(c, 1)).collect();
+        let mut sys: System<TmWord, GlobalVersionTm> = System::new(mem, procs);
+        let p0 = ProcessId::new(0);
+        sys.invoke(p0, Operation::TxStart).unwrap();
+        while !matches!(sys.step(p0).unwrap(), slx_memory::StepEffect::Responded(_)) {}
+        sys.invoke(p0, Operation::TxWrite(VarId::new(0), Value::new(3)))
+            .unwrap();
+        sys.step(p0).unwrap();
+        sys.invoke(p0, Operation::TxCommit).unwrap();
+        let image = permuted_global_version(&sys, &[2, 0, 1]);
+        assert_ne!(sys.digest128(), image.digest128());
+        assert_eq!(
+            canonical_global_version_digest(&sys),
+            canonical_global_version_digest(&image)
+        );
     }
 }
