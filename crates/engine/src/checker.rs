@@ -7,7 +7,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::codec::DeltaCodec;
+use crate::checkpoint::{CheckpointStore, LoadedCheckpoint, RunHeader};
+use crate::codec::{DeltaCodec, StateCodec};
+use crate::digest::Fingerprinter;
 use crate::space::{Expansion, StateSpace};
 use crate::spill::{SpillCodec, SpillConfig, SpillFrontier};
 use crate::stats::ExploreStats;
@@ -79,6 +81,59 @@ pub struct Checker {
     /// `SLX_ENGINE_SYMMETRY`. Reduction only activates on spaces that
     /// advertise [`StateSpace::has_symmetry_reduction`].
     symmetry: Option<bool>,
+    /// Explicit checkpoint-store directory; `None` defers to
+    /// `SLX_ENGINE_CHECKPOINT_DIR` (checkpointing is off when neither is
+    /// set).
+    checkpoint_dir: Option<PathBuf>,
+    /// Explicit checkpoint cadence in BFS levels; `None` defers to
+    /// `SLX_ENGINE_CHECKPOINT_EVERY`, then to every level.
+    checkpoint_every: Option<usize>,
+    /// Directory holding the committed checkpoint a run should resume
+    /// from ([`Checker::resume`]); `None` starts fresh.
+    resume_from: Option<PathBuf>,
+}
+
+/// Parses a decimal integer environment knob, or `None` when the variable
+/// is unset or empty. Anything else that does not parse — and, unless
+/// `allow_zero`, a zero — is a hard error naming the variable and the
+/// offending value: these knobs pin CI comparison arms and operational
+/// budgets, and a typo silently falling back to a default would
+/// green-light a run that tested the wrong configuration.
+fn env_usize(var: &str, allow_zero: bool) -> Option<usize> {
+    let value = std::env::var_os(var)?;
+    let Some(text) = value.to_str() else {
+        panic!("{var} must be a decimal integer, got non-UTF-8 {value:?}")
+    };
+    if text.is_empty() {
+        return None;
+    }
+    match text.parse::<usize>() {
+        Ok(n) if n > 0 || allow_zero => Some(n),
+        Ok(_) => panic!("{var} must be a positive integer, got \"0\""),
+        Err(_) => {
+            let expected = if allow_zero {
+                "non-negative"
+            } else {
+                "positive"
+            };
+            panic!("{var} must be a {expected} decimal integer, got {text:?}")
+        }
+    }
+}
+
+/// Fingerprint of one exploration's identity: the space's Rust type name
+/// plus the exact digests of the initial states, in order. Persisted in
+/// the checkpoint header so a resume under a different space or different
+/// initial states fails loudly instead of silently exploring nonsense.
+fn space_fingerprint<Sp: StateSpace>(space: &Sp, initial: &[Sp::State]) -> u128 {
+    use std::hash::Hasher as _;
+    let mut fp = Fingerprinter::new();
+    fp.write(std::any::type_name::<Sp>().as_bytes());
+    fp.write_u8(0);
+    for state in initial {
+        fp.write_u128(space.digest(state).0);
+    }
+    fp.digest().0
 }
 
 /// Minimum frontier size before a BFS level is worth spawning workers for:
@@ -95,12 +150,15 @@ impl Checker {
     /// (`std::thread::available_parallelism`, overridable via the
     /// `SLX_ENGINE_THREADS` environment variable; visited-set shard count
     /// via `SLX_ENGINE_SHARDS`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed `SLX_ENGINE_THREADS` value (see
+    /// [`env_usize`]): a typo silently falling back to autodetection
+    /// would run a pinned CI arm on the wrong thread count.
     #[must_use]
     pub fn auto() -> Self {
-        let threads = std::env::var("SLX_ENGINE_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
+        let threads = env_usize("SLX_ENGINE_THREADS", false)
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         Checker::parallel_bfs(threads)
     }
@@ -118,6 +176,9 @@ impl Checker {
             spill_dir: None,
             spill_codec: None,
             symmetry: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            resume_from: None,
         }
     }
 
@@ -132,6 +193,9 @@ impl Checker {
             spill_dir: None,
             spill_codec: None,
             symmetry: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            resume_from: None,
         }
     }
 
@@ -161,15 +225,15 @@ impl Checker {
     /// phase keeps every worker busy even with uneven shard occupancy),
     /// capped at 256 on the autodetected path — past that the per-shard
     /// sets are too sparse to help; the explicit knobs go up to 4096.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed `SLX_ENGINE_SHARDS` value (see
+    /// [`env_usize`]).
     #[must_use]
     pub fn resolve_shards(&self, threads: usize) -> usize {
         self.shards
-            .or_else(|| {
-                std::env::var("SLX_ENGINE_SHARDS")
-                    .ok()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .filter(|&n| n > 0)
-            })
+            .or_else(|| env_usize("SLX_ENGINE_SHARDS", false))
             .unwrap_or_else(|| threads.max(1).saturating_mul(4).min(256))
     }
 
@@ -294,17 +358,86 @@ impl Checker {
 
     /// The frontier memory budget this checker will spill under, if any:
     /// the explicit [`Checker::with_mem_budget`] value (`0` meaning
-    /// "never spill"), else a positive `SLX_ENGINE_MEM_BUDGET`.
+    /// "never spill"), else a positive `SLX_ENGINE_MEM_BUDGET` (`0`
+    /// likewise pinning spilling off).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed `SLX_ENGINE_MEM_BUDGET` value (see
+    /// [`env_usize`]; zero is allowed here — it is the documented
+    /// "spilling off" pin, not a typo).
     #[must_use]
     pub fn resolve_mem_budget(&self) -> Option<usize> {
         match self.mem_budget {
             Some(0) => None,
             Some(bytes) => Some(bytes),
-            None => std::env::var("SLX_ENGINE_MEM_BUDGET")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&n| n > 0),
+            None => env_usize("SLX_ENGINE_MEM_BUDGET", true).filter(|&n| n > 0),
         }
+    }
+
+    /// Turns on crash-tolerant checkpointing: every `every_n_levels` BFS
+    /// levels (clamped to at least 1) the checker commits its complete
+    /// resumable image — visited digests, frontier, findings, counters,
+    /// and a validated run-config header — to `dir` with atomic
+    /// rename-commit semantics (see [`CheckpointStore`]). A later
+    /// [`Checker::resume`] on the same directory continues the run
+    /// bit-identically in verdict, state counts, and truncation flags.
+    /// Without this knob the `SLX_ENGINE_CHECKPOINT_DIR` and
+    /// `SLX_ENGINE_CHECKPOINT_EVERY` environment variables are honored.
+    /// The DFS backend ignores checkpointing (its stack is depth-bounded
+    /// and never persisted).
+    #[must_use]
+    pub fn with_checkpoint(mut self, dir: impl Into<PathBuf>, every_n_levels: usize) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self.checkpoint_every = Some(every_n_levels.max(1));
+        self
+    }
+
+    /// Resumes the next run from the committed checkpoint in `dir`
+    /// instead of the initial states. The checkpoint's run-config header
+    /// is validated field by field against this checker's resolved
+    /// configuration and the space + initial states handed to
+    /// [`Checker::run`] — any mismatch is a hard error ([`RunHeader`]'s
+    /// validation), never a silently different answer. Checkpointing
+    /// continues into the same directory unless
+    /// [`Checker::with_checkpoint`] pinned another one. Use
+    /// [`CheckpointStore::exists`] as the "resume or start fresh?" probe.
+    ///
+    /// Resuming requires the parallel BFS backend; the run panics on the
+    /// DFS backend, which has no checkpoint store.
+    #[must_use]
+    pub fn resume(mut self, dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        if self.checkpoint_dir.is_none() {
+            self.checkpoint_dir = Some(dir.clone());
+        }
+        self.resume_from = Some(dir);
+        self
+    }
+
+    /// The checkpoint store this checker will commit through, if any:
+    /// the explicit [`Checker::with_checkpoint`] directory, else
+    /// `SLX_ENGINE_CHECKPOINT_DIR`; cadence from the explicit value, else
+    /// `SLX_ENGINE_CHECKPOINT_EVERY`, else every level. Creates the
+    /// directory if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed `SLX_ENGINE_CHECKPOINT_EVERY` value (see
+    /// [`env_usize`]) or an uncreatable directory.
+    fn resolve_checkpoint(&self) -> Option<CheckpointStore> {
+        let dir = self.checkpoint_dir.clone().or_else(|| {
+            std::env::var_os("SLX_ENGINE_CHECKPOINT_DIR")
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from)
+        })?;
+        let every = self
+            .checkpoint_every
+            .or_else(|| env_usize("SLX_ENGINE_CHECKPOINT_EVERY", false))
+            .unwrap_or(1);
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|err| panic!("cannot create checkpoint dir {}: {err}", dir.display()));
+        Some(CheckpointStore::new(dir, every))
     }
 
     /// Resolves the spill configuration for one BFS run, creating the
@@ -346,6 +479,7 @@ impl Checker {
     where
         Sp: StateSpace + Sync,
         Sp::State: DeltaCodec,
+        Sp::Finding: StateCodec,
     {
         self.run_until(space, initial, |_| false)
     }
@@ -363,10 +497,19 @@ impl Checker {
     where
         Sp: StateSpace + Sync,
         Sp::State: DeltaCodec,
+        Sp::Finding: StateCodec,
     {
         match self.backend {
             Backend::ParallelBfs { threads } => self.run_bfs(space, initial, threads, stop),
-            Backend::SequentialDfs => self.run_dfs(space, initial, stop),
+            Backend::SequentialDfs => {
+                assert!(
+                    self.resume_from.is_none(),
+                    "Checker::resume requires the parallel BFS backend: the DFS \
+                     backend has no checkpoint store, so \"resuming\" it would \
+                     silently restart from scratch"
+                );
+                self.run_dfs(space, initial, stop)
+            }
         }
     }
 
@@ -380,16 +523,31 @@ impl Checker {
     where
         Sp: StateSpace + Sync,
         Sp::State: DeltaCodec,
+        Sp::Finding: StateCodec,
     {
         let start = Instant::now();
         let spill = self.resolve_spill();
         let symmetry = self.resolve_symmetry() && space.has_symmetry_reduction();
+        // The checkpoint store (if any) and the run-config header every
+        // committed image carries — and every resume is validated
+        // against. Built only when checkpointing or resuming is active:
+        // the fingerprint digests the initial states, work a plain run
+        // never needs.
+        let store = self.resolve_checkpoint();
         // Fingerprint-only visited set, sharded by digest range. BFS
         // enqueues every state at its minimal depth by construction, so no
         // depth needs to be stored. Under symmetry reduction it holds
         // *canonical* digests — one entry per orbit.
         let mut visited = ShardedVisited::new(self.resolve_shards(threads));
         let shard_count = visited.shard_count();
+        let header = (store.is_some() || self.resume_from.is_some()).then(|| RunHeader {
+            space_fingerprint: space_fingerprint(space, &initial),
+            codec: self.resolve_spill_codec(),
+            symmetry,
+            shards: shard_count,
+            config_budget: self.config_budget,
+            mem_budget: self.resolve_mem_budget(),
+        });
         let mut stats = ExploreStats {
             threads,
             shards: shard_count,
@@ -414,26 +572,103 @@ impl Checker {
         // dedup paths.
         let mut occupancy = vec![0usize; shard_count];
 
-        let mut frontier: SpillFrontier<Sp::State> = SpillFrontier::new(spill.clone());
-        for state in initial {
-            let digest = if symmetry {
-                exact_seen.insert(space.digest(&state).0);
-                space.canonical_digest(&state)
-            } else {
-                space.digest(&state)
-            };
-            if visited.insert(digest.0) {
-                occupancy[visited.shard_of(digest.0)] += 1;
-                frontier.push(state);
-            }
-        }
-
         // Parents re-expanded by replay regeneration across the whole run
         // (a `Cell` so the per-level regenerator closures can share it
         // with the loop below).
         let replayed = std::cell::Cell::new(0usize);
+        let mut frontier: SpillFrontier<Sp::State> = SpillFrontier::new(spill.clone());
         let mut depth: usize = 0;
+        // The level a resumed run re-entered at: its checkpoint is already
+        // on disk, so the cadence check below skips rewriting it.
+        let mut resumed_at: Option<usize> = None;
+        if let Some(dir) = &self.resume_from {
+            // Restore the committed image instead of seeding `initial`:
+            // visited set, exact-seen side set, findings, counters, and
+            // the frontier about to be expanded. The header validation
+            // inside `load` guarantees the image belongs to this exact
+            // space, configuration, and initial states.
+            let expected = header.as_ref().expect("resuming implies a header");
+            let loaded: LoadedCheckpoint<Sp::State, Sp::Finding> =
+                CheckpointStore::load(dir, expected);
+            visited = ShardedVisited::from_snapshot(loaded.visited);
+            exact_seen = loaded.exact_seen.into_iter().collect();
+            findings = loaded.findings;
+            depth = loaded.depth;
+            resumed_at = Some(depth);
+            occupancy.clone_from(&loaded.stats.shard_occupancy);
+            replayed.set(loaded.stats.replayed_parents);
+            stats = ExploreStats {
+                threads,
+                shards: shard_count,
+                mem_budget: self.resolve_mem_budget(),
+                symmetry,
+                resumed_from_depth: Some(depth),
+                shard_occupancy: Vec::new(),
+                elapsed: std::time::Duration::default(),
+                ..loaded.stats
+            };
+            for state in loaded.frontier {
+                frontier.push(state);
+            }
+        } else {
+            for state in initial {
+                let digest = if symmetry {
+                    exact_seen.insert(space.digest(&state).0);
+                    space.canonical_digest(&state)
+                } else {
+                    space.digest(&state)
+                };
+                if visited.insert(digest.0) {
+                    occupancy[visited.shard_of(digest.0)] += 1;
+                    frontier.push(state);
+                }
+            }
+        }
         'levels: while !frontier.is_empty() {
+            // Commit a checkpoint at the configured level-boundary
+            // cadence, before any of this level's work: the image then
+            // means "about to expand level `depth`", and a resume
+            // re-enters the loop right here, recomputing the budget
+            // truncation and peak accounting below from restored state —
+            // so resume ≡ uninterrupted run, bit for bit. The level a
+            // resume re-entered at already has its image on disk and is
+            // skipped.
+            if let Some(store) = &store {
+                if depth > 0 && depth.is_multiple_of(store.every()) && resumed_at != Some(depth) {
+                    let parent_depth = depth - 1;
+                    let snapshot = frontier.snapshot_states(
+                        &|parent: &Sp::State, indices: &[usize], out: &mut Vec<Sp::State>| {
+                            regenerate(space, parent, parent_depth, indices, out);
+                        },
+                    );
+                    let mut exact: Vec<u128> = exact_seen.iter().copied().collect();
+                    exact.sort_unstable();
+                    let mut saved = stats.clone();
+                    saved.replayed_parents = replayed.get();
+                    saved.shard_occupancy.clone_from(&occupancy);
+                    // The image counts itself, so restoring it leaves the
+                    // same lifetime total the uninterrupted run carries.
+                    saved.checkpoints_written += 1;
+                    // The commit is synchronous: a background-thread
+                    // fdatasync was measured to *cost* throughput on
+                    // single-core hosts (the committer steals scheduler
+                    // slices from the exploration thread), and a
+                    // detached writer outliving an unwound run is a
+                    // hazard besides. The fdatasync is the whole cost —
+                    // encode and snapshot measure as free on tmpfs.
+                    let image = CheckpointStore::encode_image(
+                        header.as_ref().expect("checkpointing implies a header"),
+                        depth,
+                        &saved,
+                        &findings,
+                        &visited.snapshot(),
+                        &exact,
+                        &snapshot,
+                    );
+                    store.commit_bytes(&image);
+                    stats.checkpoints_written += 1;
+                }
+            }
             // Budget: expand at most `allowed` more states, ever. The
             // truncation point is a state count, so it cuts the same
             // frontier prefix whether the tail is resident or spilled.
@@ -464,42 +699,7 @@ impl Checker {
             let parent_depth = depth.saturating_sub(1);
             let regen = |parent: &Sp::State, indices: &[usize], out: &mut Vec<Sp::State>| {
                 replayed.set(replayed.get() + 1);
-                // The indexed fast path rebuilds one child without the
-                // successor vector, but must still walk the preceding
-                // pushes; for multi-child groups one shared expansion
-                // does that walk once instead of once per index.
-                if space.has_successor_fast_path() && indices.len() == 1 {
-                    for &index in indices {
-                        let succ = space
-                            .successor_at(parent, parent_depth, index)
-                            .unwrap_or_else(|| {
-                                panic!(
-                                    "corrupt replay record: parent has no successor at \
-                                     push index {index}"
-                                )
-                            });
-                        out.push(succ);
-                    }
-                } else {
-                    // One shared, digest-free expansion regenerates every
-                    // index of this record: the fallback never re-expands
-                    // a parent more than once per replayed record.
-                    let mut exp = Expansion::new_undigested(space);
-                    space.expand(parent, parent_depth, &mut exp);
-                    let total = exp.succs.len();
-                    let mut want = indices.iter().peekable();
-                    for (index, (succ, _)) in exp.succs.into_iter().enumerate() {
-                        if want.peek().is_some_and(|&&w| w == index) {
-                            out.push(succ);
-                            want.next();
-                        }
-                    }
-                    assert!(
-                        want.peek().is_none(),
-                        "corrupt replay record: successor index past the parent's \
-                         {total} pushes"
-                    );
-                }
+                regenerate(space, parent, parent_depth, indices, out);
             };
 
             // Stream the level back chunk by chunk (one chunk, the whole
@@ -716,6 +916,58 @@ impl Checker {
         stats.shard_occupancy = vec![visited.len()];
         stats.elapsed = start.elapsed();
         KernelOutcome { findings, stats }
+    }
+}
+
+/// Regenerates the `indices`-th pushed successors of `parent` (expanded
+/// at `parent_depth`) for a replay-codec record. Shared between the level
+/// loop's counting regenerator and the checkpoint snapshot's non-counting
+/// one, so taking a checkpoint never perturbs the run's replay
+/// accounting.
+fn regenerate<Sp>(
+    space: &Sp,
+    parent: &Sp::State,
+    parent_depth: usize,
+    indices: &[usize],
+    out: &mut Vec<Sp::State>,
+) where
+    Sp: StateSpace + ?Sized,
+{
+    // The indexed fast path rebuilds one child without the successor
+    // vector, but must still walk the preceding pushes; for multi-child
+    // groups one shared expansion does that walk once instead of once per
+    // index.
+    if space.has_successor_fast_path() && indices.len() == 1 {
+        for &index in indices {
+            let succ = space
+                .successor_at(parent, parent_depth, index)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "corrupt replay record: parent has no successor at \
+                         push index {index}"
+                    )
+                });
+            out.push(succ);
+        }
+    } else {
+        // One shared, digest-free expansion regenerates every index of
+        // this record: the fallback never re-expands a parent more than
+        // once per replayed record.
+        let mut exp = Expansion::new_undigested(space);
+        space.expand(parent, parent_depth, &mut exp);
+        let total = exp.succs.len();
+        let mut want = indices.iter().peekable();
+        for (index, (succ, _)) in exp.succs.into_iter().enumerate() {
+            if want.peek().is_some_and(|&&w| w == index) {
+                out.push(succ);
+                want.next();
+            }
+        }
+        assert!(
+            want.peek().is_none(),
+            "corrupt replay record: successor index past the parent's \
+             {total} pushes"
+        );
     }
 }
 

@@ -28,6 +28,20 @@
 //! two fixed 64-bit words (digests are uniformly random, where varints
 //! expand). `usize` encodes as `u64`, so spill files do not depend on the
 //! platform word size.
+//!
+//! # Persistence and compatibility
+//!
+//! Spill files are strictly run-private (created, replayed, and unlinked
+//! within one exploration), so the wire format above can change freely
+//! between builds. **Checkpoint images cannot**: `crate::checkpoint`
+//! persists frontiers and findings in this same encoding across process
+//! lifetimes, so any change to an existing encoding here — or to a
+//! state type's hand-written `StateCodec`/[`DeltaCodec`] impl — is a
+//! checkpoint file-format break and must bump
+//! `checkpoint::FORMAT_VERSION` (old images are then *refused* with a
+//! version error rather than misread; there is no migration path —
+//! resumability is a crash-tolerance feature, not an archival one).
+//! Purely additive changes (a codec impl for a new type) need no bump.
 
 use std::any::{Any, TypeId};
 use std::collections::HashMap;

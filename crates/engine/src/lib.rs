@@ -45,7 +45,14 @@
 //!   workspace — use [`digest64_of`] / [`digest64_of_iter`] instead);
 //! - [`ExploreStats`] — built-in exploration statistics: states visited,
 //!   transitions generated, dedup hit rate, peak frontier size,
-//!   states/sec, and truncation accounting.
+//!   states/sec, and truncation accounting;
+//! - [`CheckpointStore`] — crash-tolerant checkpoint/resume: at
+//!   configurable level boundaries ([`Checker::with_checkpoint`] or
+//!   `SLX_ENGINE_CHECKPOINT_DIR` / `SLX_ENGINE_CHECKPOINT_EVERY`) the BFS
+//!   backend commits its complete resumable image — visited digests,
+//!   frontier, findings, counters, and a validated run-config header —
+//!   with atomic rename semantics, and [`Checker::resume`] continues the
+//!   run bit-identically in verdict, state counts, and truncation flags.
 //!
 //! The kernel is dependency-free and fully generic; `slx-explorer`,
 //! `slx-adversary`, and the `slx-core` grid drivers all layer on it.
@@ -66,6 +73,7 @@
 #![warn(missing_docs)]
 
 mod checker;
+mod checkpoint;
 mod codec;
 mod digest;
 mod space;
@@ -74,6 +82,7 @@ mod stats;
 mod visited;
 
 pub use checker::{Backend, Checker, KernelOutcome};
+pub use checkpoint::CheckpointStore;
 pub use codec::{decode_slice_delta, encode_slice_delta, DeltaCodec, DeltaCtx, StateCodec};
 pub use digest::{digest128_of, digest64_of, digest64_of_iter, Digest, Fingerprinter};
 pub use space::{Expansion, StateSpace};

@@ -226,6 +226,109 @@ struct ChunkMeta {
     count: usize,
 }
 
+/// Decode-site context: which file, which chunk, which codec. A corrupt
+/// record aborts the run (a damaged frontier cannot be explored soundly),
+/// and the report must name all three — "corrupt spill record" alone is
+/// useless against a persistent store holding many files.
+struct ChunkContext<'a> {
+    path: &'a std::path::Path,
+    chunk_index: usize,
+    codec: SpillCodec,
+}
+
+impl ChunkContext<'_> {
+    /// Aborts the replay, naming the record part that failed to decode
+    /// plus the file path, chunk index, and active codec.
+    fn corrupt(&self, what: &str) -> ! {
+        panic!(
+            "corrupt spill record in chunk {} of {}: bad {what} ({:?} codec)",
+            self.chunk_index,
+            self.path.display(),
+            self.codec,
+        )
+    }
+}
+
+/// Decodes one chunk's records — its first `yield_count` states — onto
+/// `states`, regenerating replay groups through `regen`. Shared by the
+/// consuming replay ([`FrontierChunks::next_chunk`]) and the
+/// non-destructive checkpoint snapshot
+/// ([`SpillFrontier::snapshot_states`]), so both fail corrupt records
+/// with the same fully-named report.
+fn decode_chunk<S: DeltaCodec + Clone>(
+    context: &ChunkContext<'_>,
+    mut input: &[u8],
+    yield_count: usize,
+    ctx: &mut DeltaCtx,
+    regen: &impl Regenerator<S>,
+    regenerated_parents: &mut usize,
+    states: &mut Vec<S>,
+) {
+    // `states` may already hold earlier chunks (the snapshot accumulates);
+    // chunk-relative positions keep the delta chain and the yield count
+    // anchored to *this* chunk, whose first record is self-contained.
+    let base = states.len();
+    match context.codec {
+        SpillCodec::Replay => {
+            let mut prev_parent: Option<S> = None;
+            let mut indices: Vec<usize> = Vec::new();
+            while states.len() - base < yield_count {
+                let Some(kind) = usize::decode(&mut input) else {
+                    context.corrupt("record kind");
+                };
+                if kind == 0 {
+                    let Some(state) = S::decode(&mut input) else {
+                        context.corrupt("literal state");
+                    };
+                    states.push(state);
+                    continue;
+                }
+                let Some(parent) = S::decode_delta(prev_parent.as_ref(), &mut input, ctx) else {
+                    context.corrupt("parent state");
+                };
+                // A truncation point mid-group regenerates only the
+                // surviving prefix of the indices; the loop then exits,
+                // so the unread tail of the chunk needs no stream
+                // alignment.
+                let take = kind.min(yield_count - (states.len() - base));
+                indices.clear();
+                let mut index = 0usize;
+                for nth in 0..take {
+                    let Some(gap) = usize::decode(&mut input) else {
+                        context.corrupt("successor index");
+                    };
+                    index = if nth == 0 { gap } else { index + gap };
+                    indices.push(index);
+                }
+                *regenerated_parents += 1;
+                regen.regenerate(&parent, &indices, states);
+                prev_parent = Some(parent);
+            }
+        }
+        SpillCodec::Delta => {
+            for _ in 0..yield_count {
+                let prev = if states.len() > base {
+                    states.last()
+                } else {
+                    None
+                };
+                let Some(state) = S::decode_delta(prev, &mut input, ctx) else {
+                    context.corrupt("delta state");
+                };
+                states.push(state);
+            }
+        }
+        SpillCodec::Plain => {
+            for _ in 0..yield_count {
+                let Some(state) = S::decode(&mut input) else {
+                    context.corrupt("state");
+                };
+                states.push(state);
+            }
+        }
+    }
+}
+
 /// An open spill file that removes itself from disk on drop (normal
 /// completion, early stop, and panic unwind alike).
 #[derive(Debug)]
@@ -548,6 +651,54 @@ impl<S: DeltaCodec + Clone> SpillFrontier<S> {
             .map_or(0, |spill| spill.peak_window_bytes)
     }
 
+    /// A non-destructive copy of every state the frontier will replay, in
+    /// push order — the checkpoint store's frontier image. Spilled chunks
+    /// decode through the same record paths as
+    /// [`FrontierChunks::next_chunk`], but with a fresh [`DeltaCtx`] and a
+    /// caller-supplied regenerator, so snapshotting perturbs neither the
+    /// frontier (still fully replayable afterwards) nor any replay
+    /// statistics; the decoded resident tail is then cloned directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming the file, chunk, and codec) if a spilled chunk
+    /// cannot be read back or fails to decode.
+    pub(crate) fn snapshot_states(&mut self, regen: &impl Regenerator<S>) -> Vec<S> {
+        let mut states: Vec<S> = Vec::with_capacity(self.len());
+        if let Some(spill) = &mut self.spill {
+            let mut ctx = DeltaCtx::new();
+            let mut regenerated = 0usize;
+            let metas = spill.chunks.clone();
+            for (chunk_index, meta) in metas.iter().enumerate() {
+                let file = spill.file.as_mut().expect("spilled chunks imply a file");
+                let mut bytes = vec![0u8; meta.len];
+                file.file
+                    .seek(SeekFrom::Start(meta.offset))
+                    .and_then(|_| file.file.read_exact(&mut bytes))
+                    .unwrap_or_else(|err| {
+                        panic!("spill read from {} failed: {err}", file.path.display())
+                    });
+                let context = ChunkContext {
+                    path: &file.path,
+                    chunk_index,
+                    codec: spill.config.codec,
+                };
+                decode_chunk(
+                    &context,
+                    &bytes,
+                    meta.count,
+                    &mut ctx,
+                    regen,
+                    &mut regenerated,
+                    &mut states,
+                );
+            }
+        }
+        states.extend_from_slice(&self.resident);
+        states.truncate(self.len());
+        states
+    }
+
     /// Consumes the frontier into its chunk replay. Chunks come back in
     /// push order; the spill file (if any) is deleted when the replay is
     /// dropped.
@@ -706,6 +857,7 @@ impl<S: DeltaCodec + Clone> FrontierChunks<S> {
         }
         if let Some(spill) = &mut self.spill {
             if let Some(meta) = spill.chunks.get(self.next_chunk).copied() {
+                let chunk_index = self.next_chunk;
                 self.next_chunk += 1;
                 let file = spill.file.as_mut().expect("spilled chunks imply a file");
                 let mut bytes = vec![0u8; meta.len];
@@ -717,57 +869,21 @@ impl<S: DeltaCodec + Clone> FrontierChunks<S> {
                     });
                 let yield_count = meta.count.min(self.remaining);
                 self.remaining -= yield_count;
-                let mut input = bytes.as_slice();
                 let mut states: Vec<S> = Vec::with_capacity(yield_count);
-                match spill.config.codec {
-                    SpillCodec::Replay => {
-                        let mut prev_parent: Option<S> = None;
-                        let mut indices: Vec<usize> = Vec::new();
-                        while states.len() < yield_count {
-                            let kind =
-                                usize::decode(&mut input).expect("corrupt spill record: kind");
-                            if kind == 0 {
-                                states.push(
-                                    S::decode(&mut input).expect("corrupt spill record: literal"),
-                                );
-                                continue;
-                            }
-                            let parent =
-                                S::decode_delta(prev_parent.as_ref(), &mut input, &mut self.ctx)
-                                    .expect("corrupt spill record: parent");
-                            // A truncation point mid-group regenerates
-                            // only the surviving prefix of the indices;
-                            // the loop then exits, so the unread tail of
-                            // the chunk needs no stream alignment.
-                            let take = kind.min(yield_count - states.len());
-                            indices.clear();
-                            let mut index = 0usize;
-                            for nth in 0..take {
-                                let gap = usize::decode(&mut input)
-                                    .expect("corrupt spill record: successor index");
-                                index = if nth == 0 { gap } else { index + gap };
-                                indices.push(index);
-                            }
-                            self.regenerated_parents += 1;
-                            regen.regenerate(&parent, &indices, &mut states);
-                            prev_parent = Some(parent);
-                        }
-                    }
-                    SpillCodec::Delta => {
-                        for _ in 0..yield_count {
-                            let prev = states.last();
-                            let state = S::decode_delta(prev, &mut input, &mut self.ctx)
-                                .expect("corrupt spill record: state");
-                            states.push(state);
-                        }
-                    }
-                    SpillCodec::Plain => {
-                        for _ in 0..yield_count {
-                            states
-                                .push(S::decode(&mut input).expect("corrupt spill record: state"));
-                        }
-                    }
-                }
+                let context = ChunkContext {
+                    path: &file.path,
+                    chunk_index,
+                    codec: spill.config.codec,
+                };
+                decode_chunk(
+                    &context,
+                    &bytes,
+                    yield_count,
+                    &mut self.ctx,
+                    regen,
+                    &mut self.regenerated_parents,
+                    &mut states,
+                );
                 return Some(states);
             }
         }
@@ -1221,6 +1337,86 @@ mod tests {
             assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0, "{codec:?}");
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_leaves_the_frontier_fully_replayable() {
+        // The snapshot must equal the replay (same states, same order)
+        // without consuming anything — the checkpoint store reads it
+        // mid-run and the level is then expanded as if nothing happened.
+        for codec in [SpillCodec::Delta, SpillCodec::Plain, SpillCodec::Replay] {
+            let mut frontier: SpillFrontier<u64> =
+                SpillFrontier::new(Some(SpillConfig::new(12, codec, test_dir())));
+            let groups: Vec<(u64, &[usize])> =
+                (0..20u64).map(|p| (p, &[0usize, 1, 2][..])).collect();
+            push_parent_groups(&mut frontier, &groups);
+            assert!(frontier.spilled_chunks() >= 2, "{codec:?} must spill");
+            let snapshot = frontier.snapshot_states(&group_regen);
+            assert_eq!(snapshot.len(), frontier.len(), "{codec:?}");
+            let again = frontier.snapshot_states(&group_regen);
+            assert_eq!(snapshot, again, "{codec:?}: snapshot is repeatable");
+            let (replayed, _) = drain(frontier.into_chunks(), &group_regen);
+            assert_eq!(snapshot, replayed, "{codec:?}");
+        }
+        // Resident-only frontier (nothing spilled): a straight clone.
+        let mut resident: SpillFrontier<u64> = SpillFrontier::new(None);
+        for s in states(10) {
+            resident.push(s);
+        }
+        assert_eq!(resident.snapshot_states(&no_regen()), states(10));
+        // Truncation caps the snapshot exactly like the replay.
+        let mut cut: SpillFrontier<u64> = SpillFrontier::new(Some(test_config(16)));
+        for s in states(50) {
+            cut.push(s);
+        }
+        cut.truncate(13);
+        assert_eq!(cut.snapshot_states(&no_regen()), states(13));
+    }
+
+    #[test]
+    fn corrupt_records_name_the_file_chunk_and_codec() {
+        for codec in [SpillCodec::Delta, SpillCodec::Plain, SpillCodec::Replay] {
+            let mut frontier: SpillFrontier<u64> =
+                SpillFrontier::new(Some(SpillConfig::new(8, codec, test_dir())));
+            for s in states(40) {
+                frontier.push(s);
+            }
+            assert!(frontier.spilled_chunks() >= 2, "{codec:?} must spill");
+            // Overwrite the second chunk with bytes no varint decoder
+            // accepts (ten continuation bytes overflow the u64 shift).
+            let path = {
+                let spill = frontier.spill.as_mut().expect("spill mode");
+                let meta = spill.chunks[1];
+                let file = spill.file.as_mut().expect("spilled chunks imply a file");
+                file.file
+                    .seek(SeekFrom::Start(meta.offset))
+                    .and_then(|_| file.file.write_all(&vec![0xff; meta.len]))
+                    .expect("corrupting the spill file");
+                file.path.clone()
+            };
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                drain(frontier.into_chunks(), &no_regen())
+            }))
+            .expect_err("corrupt chunk must abort the replay");
+            let message = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .expect("panic payload is a message");
+            assert!(
+                message.contains("corrupt spill record"),
+                "{codec:?}: {message}"
+            );
+            assert!(message.contains("chunk 1"), "{codec:?}: {message}");
+            assert!(
+                message.contains(&path.display().to_string()),
+                "{codec:?}: {message}"
+            );
+            assert!(
+                message.contains(&format!("{codec:?} codec")),
+                "{codec:?}: {message}"
+            );
+        }
     }
 
     #[test]

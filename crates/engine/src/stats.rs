@@ -60,6 +60,15 @@ pub struct ExploreStats {
     /// Whether the run stopped early because the caller's stop predicate
     /// fired (early verdicts, e.g. a bivalence witness).
     pub stopped_early: bool,
+    /// BFS level this run was resumed from via [`crate::Checker::resume`]
+    /// (`None` for a fresh run). A resumed run re-enters the level loop at
+    /// this depth with the checkpointed frontier, visited set, and counters
+    /// restored, so verdicts and state counts match the uninterrupted run.
+    pub resumed_from_depth: Option<usize>,
+    /// Checkpoints committed to the on-disk store over the run's lifetime,
+    /// including those carried over from the segments a resumed run
+    /// continues (0 when checkpointing is off).
+    pub checkpoints_written: usize,
     /// Worker threads used by the backend.
     pub threads: usize,
     /// Visited-set shards used by the backend (1 for DFS).
@@ -154,6 +163,12 @@ impl fmt::Display for ExploreStats {
         if self.symmetry {
             write!(f, ", symmetry ({} orbit hits)", self.orbit_hits)?;
         }
+        if let Some(depth) = self.resumed_from_depth {
+            write!(f, ", resumed from depth {depth}")?;
+        }
+        if self.checkpoints_written > 0 {
+            write!(f, ", {} checkpoints written", self.checkpoints_written)?;
+        }
         write!(
             f,
             "{}{}",
@@ -195,6 +210,8 @@ mod tests {
             mem_budget: Some(128),
             truncated: true,
             stopped_early: false,
+            resumed_from_depth: Some(8),
+            checkpoints_written: 3,
             threads: 2,
             shards: 4,
             shard_occupancy: vec![4, 2, 2, 2],
@@ -208,6 +225,21 @@ mod tests {
         assert!(s.contains("peak 2 resident states"));
         assert!(s.contains("5 parents replayed"));
         assert!(s.contains("symmetry (2 orbit hits)"));
+        assert!(s.contains("resumed from depth 8"));
+        assert!(s.contains("3 checkpoints written"));
+    }
+
+    #[test]
+    fn display_omits_checkpointing_for_fresh_uncheckpointed_runs() {
+        let stats = ExploreStats {
+            configs: 10,
+            threads: 1,
+            shards: 1,
+            ..ExploreStats::default()
+        };
+        let s = stats.to_string();
+        assert!(!s.contains("resumed"));
+        assert!(!s.contains("checkpoint"));
     }
 
     #[test]

@@ -96,6 +96,61 @@ impl ShardedVisited {
         self.shards.iter().map(HashSet::len).collect()
     }
 
+    /// A deterministic snapshot of the set: one sorted digest vector per
+    /// shard, in shard order. Sorting fixes the nondeterministic `HashSet`
+    /// iteration order, so the same visited set always snapshots to the
+    /// same bytes — and since shards own contiguous digest ranges in shard
+    /// order, the concatenation is globally digest-ordered (the
+    /// digest-range-ordered layout the checkpoint store persists).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Vec<u128>> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let mut digests: Vec<u128> = shard.iter().copied().collect();
+                digests.sort_unstable();
+                digests
+            })
+            .collect()
+    }
+
+    /// Rebuilds a visited set from a [`ShardedVisited::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard count is not a power of two in `[1, 4096]` or
+    /// if any digest is routed to the wrong shard — both indicate a
+    /// corrupt or foreign snapshot, and restoring it silently would
+    /// corrupt every later dedup verdict.
+    #[must_use]
+    pub fn from_snapshot(shards: Vec<Vec<u128>>) -> Self {
+        let count = shards.len();
+        assert!(
+            count.is_power_of_two() && count <= MAX_SHARDS,
+            "corrupt visited snapshot: shard count {count} is not a power \
+             of two in [1, {MAX_SHARDS}]"
+        );
+        let set = ShardedVisited {
+            shards: shards
+                .iter()
+                .map(|digests| digests.iter().copied().collect())
+                .collect(),
+            shard_bits: count.trailing_zeros(),
+        };
+        for (shard, digests) in shards.iter().enumerate() {
+            for &digest in digests {
+                assert_eq!(
+                    set.shard_of(digest),
+                    shard,
+                    "corrupt visited snapshot: digest {digest:#034x} stored \
+                     in shard {shard} routes to shard {}",
+                    set.shard_of(digest)
+                );
+            }
+        }
+        set
+    }
+
     /// Inserts one pre-routed batch per shard, in batch order, and returns
     /// the per-shard fresh bits (`true` where the digest was new), aligned
     /// with the input batches.
@@ -209,6 +264,37 @@ mod tests {
             assert_eq!(batched.len(), sequential.len());
             assert_eq!(batched.occupancy(), sequential.occupancy());
         }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_is_sorted() {
+        let mut set = ShardedVisited::new(8);
+        for i in 0..500u128 {
+            set.insert(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) << 64 | i);
+        }
+        let snap = set.snapshot();
+        assert_eq!(snap.len(), 8);
+        for (shard, digests) in snap.iter().enumerate() {
+            assert!(digests.windows(2).all(|w| w[0] < w[1]), "shard {shard}");
+            for &d in digests {
+                assert_eq!(set.shard_of(d), shard);
+            }
+        }
+        let restored = ShardedVisited::from_snapshot(snap.clone());
+        assert_eq!(restored.len(), set.len());
+        assert_eq!(restored.occupancy(), set.occupancy());
+        assert_eq!(restored.snapshot(), snap);
+        for i in 0..500u128 {
+            assert!(restored.contains(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) << 64 | i));
+        }
+    }
+
+    #[test]
+    fn from_snapshot_rejects_misrouted_digests_and_bad_shard_counts() {
+        let misrouted = vec![vec![u128::MAX], Vec::new()];
+        assert!(std::panic::catch_unwind(|| ShardedVisited::from_snapshot(misrouted)).is_err());
+        let bad_count = vec![Vec::new(); 3];
+        assert!(std::panic::catch_unwind(|| ShardedVisited::from_snapshot(bad_count)).is_err());
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! Crash/resume differential: a checkpointed run killed at a random
+//! level boundary and resumed must be **bit-identical** to the
+//! uninterrupted run — verdict (findings), state counts (`configs`,
+//! `transitions`, `dedup_hits`, `orbit_hits`, `peak_frontier`,
+//! `shard_occupancy`), and truncation flags — across the
+//! {resident, plain, delta, replay} × {symmetry on, off} matrix.
+//!
+//! The "crash" is an injected panic on the first expansion of the kill
+//! level, caught with `catch_unwind`: the last committed checkpoint
+//! survives (commits are atomic renames at level boundaries), everything
+//! after it dies mid-level, exactly like a SIGKILL between two commits.
+//! Kill depths are drawn from a SplitMix64 stream so each matrix cell
+//! exercises a different boundary; the fixed seed keeps failures
+//! reproducible.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use slx_engine::{
+    Checker, CheckpointStore, Digest, Expansion, ExploreStats, SpillCodec, StateSpace,
+};
+
+const SEED: u64 = 0xC0FF_EE00_D15E_A5E5;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Transpose-symmetric grid walk with an injectable crash: `(x, y)` with
+/// moves +x/+y to a bound, a finding at the far corner, coordinate-sort
+/// canonicalization (sound: the dynamics and the finding are
+/// swap-invariant) — and a panic on the first expansion at `kill_depth`,
+/// standing in for the process dying mid-level.
+struct CrashyGrid {
+    bound: u32,
+    kill_depth: usize,
+}
+
+/// Disarmed value for [`CrashyGrid::kill_depth`].
+const NEVER: usize = usize::MAX;
+
+impl StateSpace for CrashyGrid {
+    type State = (u32, u32);
+    type Finding = (u32, u32);
+
+    fn digest(&self, state: &Self::State) -> Digest {
+        slx_engine::digest128_of(state)
+    }
+
+    fn expand(&self, &(x, y): &Self::State, depth: usize, ctx: &mut Expansion<Self>) {
+        assert!(depth < self.kill_depth, "injected crash at level {depth}");
+        if x == self.bound && y == self.bound {
+            ctx.finding((x, y));
+            return;
+        }
+        if x < self.bound {
+            ctx.push((x + 1, y));
+        }
+        if y < self.bound {
+            ctx.push((x, y + 1));
+        }
+    }
+
+    fn has_symmetry_reduction(&self) -> bool {
+        true
+    }
+
+    fn canonical_digest(&self, state: &Self::State) -> Digest {
+        self.digest(&self.orbit_representative(state))
+    }
+
+    fn orbit_representative(&self, &(x, y): &Self::State) -> Self::State {
+        (x.min(y), x.max(y))
+    }
+}
+
+fn grid(bound: u32) -> CrashyGrid {
+    CrashyGrid {
+        bound,
+        kill_depth: NEVER,
+    }
+}
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "slx-ckpt-resume-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("test checkpoint dir");
+    dir
+}
+
+/// The statistics the resume contract pins bit-identically. Spill-volume
+/// counters (`spilled_*`, `peak_resident_*`, `replayed_parents`) measure
+/// I/O actually performed and legitimately differ across a resume.
+fn identical_part(stats: &ExploreStats) -> impl PartialEq + std::fmt::Debug {
+    (
+        stats.configs,
+        stats.transitions,
+        stats.dedup_hits,
+        stats.orbit_hits,
+        stats.peak_frontier,
+        stats.shard_occupancy.clone(),
+        stats.truncated,
+        stats.stopped_early,
+    )
+}
+
+/// One checker per matrix cell: single-threaded, pinned shards, the
+/// cell's spill budget/codec and symmetry setting.
+fn cell_checker(budget: usize, codec: SpillCodec, symmetry: bool) -> Checker {
+    Checker::parallel_bfs(1)
+        .with_shards(8)
+        .with_mem_budget(budget)
+        .with_spill_codec(codec)
+        .with_symmetry(symmetry)
+}
+
+#[test]
+fn killed_and_resumed_runs_match_uninterrupted_ones_across_the_matrix() {
+    // (budget, codec): budget 0 is the resident arm (the codec is inert
+    // there for spilling but still the checkpoint frontier encoding);
+    // 128 bytes (64-byte chunks of two-varint-byte records) forces every
+    // level of the 41-wide grid wider than ~32 states to spill.
+    let arms = [
+        (0usize, SpillCodec::Delta),
+        (128, SpillCodec::Plain),
+        (128, SpillCodec::Delta),
+        (128, SpillCodec::Replay),
+    ];
+    let mut rng = SEED;
+    for (budget, codec) in arms {
+        for symmetry in [false, true] {
+            let space = grid(40);
+            let baseline = cell_checker(budget, codec, symmetry).run(&space, vec![(0, 0)]);
+            assert_eq!(baseline.findings, vec![(40, 40)]);
+            assert_eq!(baseline.stats.checkpoints_written, 0);
+            if symmetry {
+                assert!(baseline.stats.orbit_hits > 0);
+            }
+            // Symmetry halves level widths (only x <= y survives), which
+            // keeps every window under the 64-byte chunk bound — so only
+            // the unreduced budgeted arms are guaranteed to spill.
+            if budget > 0 && !symmetry {
+                assert!(baseline.stats.spilled_chunks > 0, "{codec:?} must spill");
+            }
+
+            // Cadence in [1, 3], kill somewhere past the first boundary
+            // (so a committed checkpoint exists to resume from) and
+            // before the run ends at depth 80.
+            let every = 1 + (splitmix64(&mut rng) % 3) as usize;
+            let kill = every + (splitmix64(&mut rng) as usize) % (78 - every);
+            let dir = unique_dir("matrix");
+            let label =
+                format!("{codec:?}/sym={symmetry}/budget={budget}/every={every}/kill={kill}");
+
+            // Crash: the injected panic fires expanding level `kill`,
+            // after the last cadence boundary at or below it committed.
+            let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cell_checker(budget, codec, symmetry)
+                    .with_checkpoint(&dir, every)
+                    .run(
+                        &CrashyGrid {
+                            bound: 40,
+                            kill_depth: kill,
+                        },
+                        vec![(0, 0)],
+                    )
+            }));
+            assert!(crashed.is_err(), "{label}: the kill level must be reached");
+            assert!(
+                CheckpointStore::exists(&dir),
+                "{label}: a committed checkpoint must survive the crash"
+            );
+
+            // Resume: bit-identical verdict, counts, and flags.
+            let resumed = cell_checker(budget, codec, symmetry)
+                .resume(&dir)
+                .run(&space, vec![(0, 0)]);
+            assert_eq!(resumed.findings, baseline.findings, "{label}");
+            assert_eq!(
+                identical_part(&resumed.stats),
+                identical_part(&baseline.stats),
+                "{label}"
+            );
+            let resumed_from = resumed
+                .stats
+                .resumed_from_depth
+                .expect("resumed runs report their entry level");
+            assert!(
+                resumed_from.is_multiple_of(every) && resumed_from <= kill,
+                "{label}: resumed at {resumed_from}, not a committed boundary"
+            );
+            // Whenever the uninterrupted replay-codec run spilled, the
+            // crash/resume pair must have replayed too: either the
+            // crashed segment already regenerated (and the restored
+            // counter carries it) or the resumed tail crosses the wide
+            // spilling levels itself.
+            if codec == SpillCodec::Replay && baseline.stats.spilled_chunks > 0 {
+                assert!(
+                    resumed.stats.replayed_parents > 0,
+                    "{label}: the resumed run must still replay-regenerate"
+                );
+            }
+            std::fs::remove_dir_all(&dir).expect("checkpoint dir cleanup");
+        }
+    }
+}
+
+#[test]
+fn checkpointing_overhead_changes_no_verdict_or_count() {
+    // Checkpoint-on vs checkpoint-off, uninterrupted: the store must be
+    // a pure observer. Also pins the lifetime checkpoint count and that
+    // a completed run leaves its last image on disk (callers own the
+    // directory's lifecycle).
+    let space = grid(12);
+    let off = cell_checker(128, SpillCodec::Delta, true).run(&space, vec![(0, 0)]);
+    let dir = unique_dir("observer");
+    let on = cell_checker(128, SpillCodec::Delta, true)
+        .with_checkpoint(&dir, 5)
+        .run(&space, vec![(0, 0)]);
+    assert_eq!(on.findings, off.findings);
+    assert_eq!(identical_part(&on.stats), identical_part(&off.stats));
+    assert_eq!(on.stats.checkpoints_written, 4, "levels 5, 10, 15, 20");
+    assert!(CheckpointStore::exists(&dir));
+    assert_eq!(off.stats.checkpoints_written, 0);
+    assert!(off.stats.resumed_from_depth.is_none());
+    std::fs::remove_dir_all(&dir).expect("checkpoint dir cleanup");
+}
+
+#[test]
+fn resumed_runs_keep_checkpointing_and_can_resume_again() {
+    // Crash twice at different boundaries: each resume re-arms the store
+    // in the same directory, and the lifetime checkpoint count carried
+    // across both segments equals the uninterrupted run's.
+    let dir = unique_dir("twice");
+    let baseline = cell_checker(128, SpillCodec::Delta, false).run(&grid(15), vec![(0, 0)]);
+    let ckpt_baseline = {
+        let dir = unique_dir("twice-ref");
+        let out = cell_checker(128, SpillCodec::Delta, false)
+            .with_checkpoint(&dir, 2)
+            .run(&grid(15), vec![(0, 0)]);
+        std::fs::remove_dir_all(&dir).expect("checkpoint dir cleanup");
+        out
+    };
+    for kill in [7usize, 19] {
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let checker = cell_checker(128, SpillCodec::Delta, false).with_checkpoint(&dir, 2);
+            let checker = if CheckpointStore::exists(&dir) {
+                checker.resume(&dir)
+            } else {
+                checker
+            };
+            checker.run(
+                &CrashyGrid {
+                    bound: 15,
+                    kill_depth: kill,
+                },
+                vec![(0, 0)],
+            )
+        }));
+        assert!(crashed.is_err(), "kill at {kill} must be reached");
+    }
+    // The cadence is deliberately not part of the validated header (it
+    // affects only checkpoint timing, never the verdict), so a resume
+    // that wants the same lifetime count must re-state it.
+    let finished = cell_checker(128, SpillCodec::Delta, false)
+        .with_checkpoint(&dir, 2)
+        .resume(&dir)
+        .run(&grid(15), vec![(0, 0)]);
+    assert_eq!(finished.findings, baseline.findings);
+    assert_eq!(
+        identical_part(&finished.stats),
+        identical_part(&baseline.stats)
+    );
+    assert_eq!(
+        finished.stats.checkpoints_written, ckpt_baseline.stats.checkpoints_written,
+        "the lifetime count spans all segments, without double-counting \
+         the boundaries the resumes re-entered at"
+    );
+    std::fs::remove_dir_all(&dir).expect("checkpoint dir cleanup");
+}
+
+#[test]
+fn parallel_resume_matches_single_threaded_baseline() {
+    // Determinism across thread counts extends to crash/resume: kill a
+    // 2-thread checkpointed run, resume with 2 threads, compare against
+    // the 1-thread uninterrupted baseline.
+    let baseline = Checker::parallel_bfs(1)
+        .with_shards(8)
+        .run(&grid(40), vec![(0, 0)]);
+    let dir = unique_dir("threads");
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Checker::parallel_bfs(2)
+            .with_shards(8)
+            .with_checkpoint(&dir, 3)
+            .run(
+                &CrashyGrid {
+                    bound: 40,
+                    kill_depth: 31,
+                },
+                vec![(0, 0)],
+            )
+    }));
+    assert!(crashed.is_err());
+    let resumed = Checker::parallel_bfs(2)
+        .with_shards(8)
+        .resume(&dir)
+        .run(&grid(40), vec![(0, 0)]);
+    assert_eq!(resumed.findings, baseline.findings);
+    assert_eq!(
+        identical_part(&resumed.stats),
+        identical_part(&baseline.stats)
+    );
+    std::fs::remove_dir_all(&dir).expect("checkpoint dir cleanup");
+}
+
+/// Renders a caught panic payload for message assertions.
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default()
+}
+
+/// Runs `f` expecting a panic, returning its message.
+fn expect_panic<T>(f: impl FnOnce() -> T) -> String {
+    panic_message(
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+            .map(|_| ())
+            .expect_err("must panic"),
+    )
+}
+
+#[test]
+fn mismatched_configurations_are_refused_not_resumed() {
+    // Commit a checkpoint under one configuration, then try to resume it
+    // under different ones: every mismatch must hard-error naming the
+    // field — a silent resume under the wrong configuration would be a
+    // silently wrong answer.
+    let dir = unique_dir("mismatch");
+    let committed = cell_checker(128, SpillCodec::Delta, true)
+        .with_checkpoint(&dir, 2)
+        .run(&grid(8), vec![(0, 0)]);
+    assert!(committed.stats.checkpoints_written > 0);
+
+    let message = expect_panic(|| {
+        cell_checker(128, SpillCodec::Plain, true)
+            .resume(&dir)
+            .run(&grid(8), vec![(0, 0)])
+    });
+    assert!(
+        message.contains("different configuration") && message.contains("spill codec"),
+        "codec mismatch: {message}"
+    );
+
+    let message = expect_panic(|| {
+        cell_checker(128, SpillCodec::Delta, false)
+            .resume(&dir)
+            .run(&grid(8), vec![(0, 0)])
+    });
+    assert!(
+        message.contains("different configuration") && message.contains("symmetry"),
+        "symmetry mismatch: {message}"
+    );
+
+    let message = expect_panic(|| {
+        cell_checker(128, SpillCodec::Delta, true)
+            .with_shards(16)
+            .resume(&dir)
+            .run(&grid(8), vec![(0, 0)])
+    });
+    assert!(
+        message.contains("different configuration") && message.contains("shard count"),
+        "shard mismatch: {message}"
+    );
+
+    // Different initial states = a different exploration entirely.
+    let message = expect_panic(|| {
+        cell_checker(128, SpillCodec::Delta, true)
+            .resume(&dir)
+            .run(&grid(8), vec![(1, 0)])
+    });
+    assert!(
+        message.contains("different configuration") && message.contains("state space"),
+        "space mismatch: {message}"
+    );
+
+    // The matching configuration still resumes (and, with the store
+    // already at the final image, just finishes the tail).
+    let resumed = cell_checker(128, SpillCodec::Delta, true)
+        .resume(&dir)
+        .run(&grid(8), vec![(0, 0)]);
+    assert_eq!(resumed.findings, committed.findings);
+    std::fs::remove_dir_all(&dir).expect("checkpoint dir cleanup");
+}
+
+#[test]
+fn resuming_without_a_checkpoint_or_on_dfs_fails_loudly() {
+    let dir = unique_dir("absent");
+    assert!(!CheckpointStore::exists(&dir));
+    let message = expect_panic(|| {
+        cell_checker(0, SpillCodec::Delta, false)
+            .resume(&dir)
+            .run(&grid(4), vec![(0, 0)])
+    });
+    assert!(
+        message.contains("cannot read checkpoint"),
+        "missing store: {message}"
+    );
+    let message = expect_panic(|| {
+        Checker::sequential_dfs()
+            .resume(&dir)
+            .run(&grid(4), vec![(0, 0)])
+    });
+    assert!(
+        message.contains("parallel BFS backend"),
+        "DFS resume: {message}"
+    );
+    std::fs::remove_dir_all(&dir).expect("checkpoint dir cleanup");
+}

@@ -1,19 +1,65 @@
-//! The `SLX_ENGINE_SPILL_CODEC` environment knob.
+//! The `SLX_ENGINE_*` environment knobs.
 //!
 //! Lives in its own test binary (= its own process): the sibling suites
-//! resolve the codec from the environment on every budgeted run, so
-//! mutating the variable — in particular parking an invalid value on it
-//! while probing the panic path — from inside their process would race
+//! resolve these knobs from the environment on every budgeted run, so
+//! mutating the variables — in particular parking invalid values on them
+//! while probing the panic paths — from inside their process would race
 //! them. One `#[test]` keeps the mutations sequential within this
 //! process too.
+//!
+//! Every knob shares one failure contract: a malformed value is a hard
+//! error naming the variable and the offender, never a silent fall-back
+//! to a default — the variables exist to pin CI comparison arms and
+//! operational budgets, and a typo that silently meant "default" would
+//! green-light a run that tested the wrong configuration.
 
-use slx_engine::{Checker, SpillCodec};
+use slx_engine::{Backend, Checker, CheckpointStore, Digest, Expansion, SpillCodec, StateSpace};
+
+/// Renders a caught panic payload for message assertions.
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default()
+}
+
+/// Asserts that `probe` panics and that the message names `var` and the
+/// offending `value` — the diagnosability contract of every knob.
+fn assert_rejects(var: &str, value: &str, probe: impl FnOnce() + std::panic::UnwindSafe) {
+    std::env::set_var(var, value);
+    let result = std::panic::catch_unwind(probe);
+    std::env::remove_var(var);
+    let message = panic_message(result.expect_err("a malformed knob value must panic"));
+    assert!(
+        message.contains(var) && message.contains(value.trim_start_matches('"')),
+        "{var}={value:?} must fail naming the variable and the value: {message}"
+    );
+}
+
+/// A short chain, just big enough to drive the checkpoint knobs through
+/// a real run.
+struct Chain(u32);
+
+impl StateSpace for Chain {
+    type State = u32;
+    type Finding = ();
+
+    fn digest(&self, s: &u32) -> Digest {
+        slx_engine::digest128_of(s)
+    }
+
+    fn expand(&self, &s: &u32, _depth: usize, ctx: &mut Expansion<Self>) {
+        if s < self.0 {
+            ctx.push(s + 1);
+        }
+    }
+}
 
 #[test]
-fn env_knob_accepts_all_three_codecs_and_rejects_junk() {
+fn env_knobs_resolve_and_reject_junk() {
     let checker = Checker::parallel_bfs(1);
 
-    // Unset (and empty): the built-in default.
+    // SLX_ENGINE_SPILL_CODEC — unset (and empty): the built-in default.
     std::env::remove_var("SLX_ENGINE_SPILL_CODEC");
     assert_eq!(checker.resolve_spill_codec(), SpillCodec::Delta);
     std::env::set_var("SLX_ENGINE_SPILL_CODEC", "");
@@ -38,19 +84,81 @@ fn env_knob_accepts_all_three_codecs_and_rejects_junk() {
         );
     }
 
-    // A typo must fail loudly, not silently re-test the default codec:
-    // the variable exists to pin CI comparison arms.
+    // A typo must fail loudly, not silently re-test the default codec.
     std::env::set_var("SLX_ENGINE_SPILL_CODEC", "rplay");
     let result = std::panic::catch_unwind(|| checker.resolve_spill_codec());
     std::env::remove_var("SLX_ENGINE_SPILL_CODEC");
-    let err = result.expect_err("an unrecognized codec value must panic");
-    let message = err
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
-        .unwrap_or_default();
+    let message = panic_message(result.expect_err("an unrecognized codec value must panic"));
     assert!(
         message.contains("\"delta\", \"plain\", or \"replay\"") && message.contains("rplay"),
         "the panic must name every accepted value and the offender: {message}"
     );
+
+    // SLX_ENGINE_THREADS — honored by Checker::auto, observable through
+    // the backend; zero and junk hard-error (before this fix they fell
+    // back silently to autodetection).
+    std::env::set_var("SLX_ENGINE_THREADS", "3");
+    assert_eq!(
+        Checker::auto().backend(),
+        Backend::ParallelBfs { threads: 3 }
+    );
+    std::env::set_var("SLX_ENGINE_THREADS", "");
+    assert!(matches!(
+        Checker::auto().backend(),
+        Backend::ParallelBfs { threads } if threads >= 1
+    ));
+    std::env::remove_var("SLX_ENGINE_THREADS");
+    for bad in ["two", "-2", "1.5", "0"] {
+        assert_rejects("SLX_ENGINE_THREADS", bad, || {
+            let _ = Checker::auto();
+        });
+    }
+
+    // SLX_ENGINE_SHARDS — same contract; the explicit builder still wins.
+    std::env::set_var("SLX_ENGINE_SHARDS", "16");
+    assert_eq!(checker.resolve_shards(1), 16);
+    assert_eq!(checker.clone().with_shards(4).resolve_shards(1), 4);
+    std::env::set_var("SLX_ENGINE_SHARDS", "");
+    assert_eq!(checker.resolve_shards(2), 8, "empty defers to threads*4");
+    std::env::remove_var("SLX_ENGINE_SHARDS");
+    for bad in ["four", "-1", "0x10", "0"] {
+        assert_rejects("SLX_ENGINE_SHARDS", bad, || {
+            let _ = checker.resolve_shards(1);
+        });
+    }
+
+    // SLX_ENGINE_MEM_BUDGET — zero is the documented "spilling off" pin,
+    // so it stays accepted; junk hard-errors.
+    std::env::set_var("SLX_ENGINE_MEM_BUDGET", "4096");
+    assert_eq!(checker.resolve_mem_budget(), Some(4096));
+    std::env::set_var("SLX_ENGINE_MEM_BUDGET", "0");
+    assert_eq!(checker.resolve_mem_budget(), None, "0 pins spilling off");
+    std::env::remove_var("SLX_ENGINE_MEM_BUDGET");
+    for bad in ["2KB", "-5", "lots"] {
+        assert_rejects("SLX_ENGINE_MEM_BUDGET", bad, || {
+            let _ = checker.resolve_mem_budget();
+        });
+    }
+
+    // SLX_ENGINE_CHECKPOINT_DIR / _EVERY — the env-only activation path:
+    // a run with the directory set commits checkpoints at the configured
+    // cadence, and a malformed cadence hard-errors instead of silently
+    // checkpointing every level.
+    let dir = std::env::temp_dir().join(format!("slx-ckpt-knob-{}", std::process::id()));
+    std::env::set_var("SLX_ENGINE_CHECKPOINT_DIR", &dir);
+    std::env::set_var("SLX_ENGINE_CHECKPOINT_EVERY", "2");
+    let out = checker.run(&Chain(6), vec![0u32]);
+    assert_eq!(out.stats.configs, 7);
+    assert_eq!(out.stats.checkpoints_written, 3, "levels 2, 4, and 6");
+    assert!(CheckpointStore::exists(&dir));
+    std::env::remove_var("SLX_ENGINE_CHECKPOINT_DIR");
+    std::env::remove_var("SLX_ENGINE_CHECKPOINT_EVERY");
+    for bad in ["every-sunday", "0", "-3"] {
+        std::env::set_var("SLX_ENGINE_CHECKPOINT_DIR", &dir);
+        assert_rejects("SLX_ENGINE_CHECKPOINT_EVERY", bad, || {
+            let _ = checker.run(&Chain(6), vec![0u32]);
+        });
+        std::env::remove_var("SLX_ENGINE_CHECKPOINT_DIR");
+    }
+    std::fs::remove_dir_all(&dir).expect("checkpoint dir cleanup");
 }

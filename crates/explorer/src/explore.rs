@@ -8,7 +8,9 @@
 
 use std::hash::Hash;
 
-use slx_engine::{Checker, DeltaCodec, Digest, Expansion, ExploreStats, Fingerprinter, StateSpace};
+use slx_engine::{
+    Checker, DeltaCodec, Digest, Expansion, ExploreStats, Fingerprinter, StateCodec, StateSpace,
+};
 use slx_history::{History, ProcessId};
 use slx_memory::{Process, StepEffect, System, Word};
 use slx_safety::SafetyProperty;
@@ -234,6 +236,22 @@ pub struct SoloCounterexample {
     pub proc: ProcessId,
     /// The history of the configuration from which the solo run starved.
     pub reached_by: History,
+}
+
+// Findings must be persistable so checkpointed obstruction-freedom runs
+// can carry accumulated counterexamples across a crash/resume.
+impl StateCodec for SoloCounterexample {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.proc.encode(out);
+        self.reached_by.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(SoloCounterexample {
+            proc: ProcessId::decode(input)?,
+            reached_by: History::decode(input)?,
+        })
+    }
 }
 
 /// State space for the obstruction-freedom check: reachable configurations
