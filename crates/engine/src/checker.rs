@@ -499,8 +499,36 @@ impl Checker {
         Sp::State: DeltaCodec,
         Sp::Finding: StateCodec,
     {
+        self.run_observed(space, initial, stop, |_, _| true)
+    }
+
+    /// [`Checker::run_until`] with a progress observer: `progress` is
+    /// invoked with the current depth and a lifetime statistics snapshot
+    /// (counters so far, `elapsed` filled in) at every BFS level boundary
+    /// — after the level's checkpoint (if due) has committed, so a
+    /// cancellation never outruns the last durable image — and
+    /// periodically (every 1024 expansions) on the DFS backend. Returning
+    /// `false` cancels the run: it stops before expanding further states
+    /// and reports `stopped_early`, exactly like a firing stop predicate.
+    /// A checkpointed run cancelled this way resumes from its last
+    /// committed image; this is the long-running check service's
+    /// progress-streaming and per-request cancellation hook.
+    pub fn run_observed<Sp>(
+        &self,
+        space: &Sp,
+        initial: Vec<Sp::State>,
+        stop: impl FnMut(&[Sp::Finding]) -> bool,
+        progress: impl FnMut(usize, &ExploreStats) -> bool,
+    ) -> KernelOutcome<Sp::Finding>
+    where
+        Sp: StateSpace + Sync,
+        Sp::State: DeltaCodec,
+        Sp::Finding: StateCodec,
+    {
         match self.backend {
-            Backend::ParallelBfs { threads } => self.run_bfs(space, initial, threads, stop),
+            Backend::ParallelBfs { threads } => {
+                self.run_bfs(space, initial, threads, stop, progress)
+            }
             Backend::SequentialDfs => {
                 assert!(
                     self.resume_from.is_none(),
@@ -508,7 +536,7 @@ impl Checker {
                      backend has no checkpoint store, so \"resuming\" it would \
                      silently restart from scratch"
                 );
-                self.run_dfs(space, initial, stop)
+                self.run_dfs(space, initial, stop, progress)
             }
         }
     }
@@ -519,6 +547,7 @@ impl Checker {
         initial: Vec<Sp::State>,
         threads: usize,
         mut stop: impl FnMut(&[Sp::Finding]) -> bool,
+        mut progress: impl FnMut(usize, &ExploreStats) -> bool,
     ) -> KernelOutcome<Sp::Finding>
     where
         Sp: StateSpace + Sync,
@@ -578,6 +607,12 @@ impl Checker {
         let replayed = std::cell::Cell::new(0usize);
         let mut frontier: SpillFrontier<Sp::State> = SpillFrontier::new(spill.clone());
         let mut depth: usize = 0;
+        // Wall-clock already spent by the segments a resumed run
+        // continues (zero for a fresh run). `stats.elapsed` always
+        // reports `prior_elapsed + start.elapsed()` — the *lifetime*
+        // wall-clock — so derived rates divide lifetime configs by
+        // lifetime time instead of lying after a resume.
+        let mut prior_elapsed = std::time::Duration::default();
         // The level a resumed run re-entered at: its checkpoint is already
         // on disk, so the cadence check below skips rewriting it.
         let mut resumed_at: Option<usize> = None;
@@ -597,6 +632,7 @@ impl Checker {
             resumed_at = Some(depth);
             occupancy.clone_from(&loaded.stats.shard_occupancy);
             replayed.set(loaded.stats.replayed_parents);
+            prior_elapsed = loaded.stats.elapsed;
             stats = ExploreStats {
                 threads,
                 shards: shard_count,
@@ -646,6 +682,11 @@ impl Checker {
                     let mut saved = stats.clone();
                     saved.replayed_parents = replayed.get();
                     saved.shard_occupancy.clone_from(&occupancy);
+                    // Lifetime wall-clock: the image carries everything
+                    // spent so far, across every earlier segment, so a
+                    // resume keeps accumulating instead of restarting
+                    // the clock (and the derived states/sec rate).
+                    saved.elapsed = prior_elapsed + start.elapsed();
                     // The image counts itself, so restoring it leaves the
                     // same lifetime total the uninterrupted run carries.
                     saved.checkpoints_written += 1;
@@ -668,6 +709,14 @@ impl Checker {
                     store.commit_bytes(&image);
                     stats.checkpoints_written += 1;
                 }
+            }
+            // Progress observation, after the level's checkpoint (if any)
+            // committed: a cancellation here leaves the freshest durable
+            // image, so a cancelled-then-resumed run loses no work.
+            stats.elapsed = prior_elapsed + start.elapsed();
+            if !progress(depth, &stats) {
+                stats.stopped_early = true;
+                break 'levels;
             }
             // Budget: expand at most `allowed` more states, ever. The
             // truncation point is a state count, so it cuts the same
@@ -800,7 +849,7 @@ impl Checker {
 
         stats.replayed_parents = replayed.get();
         stats.shard_occupancy = occupancy;
-        stats.elapsed = start.elapsed();
+        stats.elapsed = prior_elapsed + start.elapsed();
         KernelOutcome { findings, stats }
     }
 
@@ -809,6 +858,7 @@ impl Checker {
         space: &Sp,
         initial: Vec<Sp::State>,
         mut stop: impl FnMut(&[Sp::Finding]) -> bool,
+        mut progress: impl FnMut(usize, &ExploreStats) -> bool,
     ) -> KernelOutcome<Sp::Finding>
     where
         Sp: StateSpace + Sync,
@@ -842,7 +892,18 @@ impl Checker {
             .collect();
         let mut exp = Expansion::new_maybe_canonical(space, symmetry);
 
+        // DFS has no level boundaries; observe every 1024 expanded states
+        // instead (the configs count at the last observation).
+        let mut observed_at = 0usize;
         while let Some((state, digest, depth)) = stack.pop() {
+            if stats.configs >= observed_at + 1024 {
+                observed_at = stats.configs;
+                stats.elapsed = start.elapsed();
+                if !progress(depth, &stats) {
+                    stats.stopped_early = true;
+                    break;
+                }
+            }
             let reexpansion = match visited.entry(digest.0) {
                 // Already expanded at this depth or shallower: skip.
                 Entry::Occupied(seen) if *seen.get() <= depth as u32 => continue,

@@ -14,7 +14,7 @@
 //! performed* and may legitimately differ across a resume: the rebuilt
 //! frontier re-chunks from scratch.
 //!
-//! # On-disk layout (format version 1)
+//! # On-disk layout (format version 2)
 //!
 //! One file, `slx-checkpoint.bin`, inside the checkpoint directory. All
 //! integers use the [`crate::StateCodec`] wire format (LEB128 varints,
@@ -28,7 +28,10 @@
 //!                      symmetry (bool), shard count, config budget,
 //!                      mem budget
 //! depth                the BFS level about to be expanded
-//! stats                the resumable ExploreStats counters
+//! stats                the resumable ExploreStats counters, including
+//!                      the lifetime elapsed wall-clock in microseconds
+//!                      (added in format version 2: a resume accumulates
+//!                      it, so states_per_sec() stays a lifetime rate)
 //! findings             count, then each via StateCodec
 //! visited set          per shard: digest count, then the digests
 //!                      sorted ascending (shards own contiguous digest
@@ -84,8 +87,11 @@ use crate::stats::ExploreStats;
 const MAGIC: &[u8; 8] = b"SLXCKPT\0";
 
 /// Current checkpoint file-format version. Bumped on **any** byte-layout
-/// change; loaders reject every other version.
-const FORMAT_VERSION: u64 = 1;
+/// change; loaders reject every other version. Version 2 added the
+/// lifetime `elapsed` microseconds to the stats section, so resumed runs
+/// report cumulative wall-clock (and truthful states/sec) instead of
+/// restarting the clock.
+const FORMAT_VERSION: u64 = 2;
 
 /// The checkpoint file inside a store directory. The store is a single
 /// file: one atomic rename commits the whole image.
@@ -251,6 +257,12 @@ fn corrupt(path: &Path, what: &str) -> ! {
 
 impl CheckpointStore {
     pub(crate) fn new(dir: PathBuf, every: usize) -> CheckpointStore {
+        // A kill landing mid-commit (after `create` but before the
+        // rename) strands the staging sibling; nothing else ever reads
+        // it, so opening the store is the place to reclaim it. Best
+        // effort: the file usually does not exist, and a commit recreates
+        // it from scratch anyway.
+        let _ = std::fs::remove_file(dir.join(format!("{FILE_NAME}.tmp")));
         CheckpointStore { dir, every }
     }
 
@@ -502,7 +514,11 @@ impl CheckpointStore {
 }
 
 /// The `ExploreStats` counters a resume restores (backend fields —
-/// threads, shards, budgets, elapsed — are re-set by the resuming run).
+/// threads, shards, budgets — are re-set by the resuming run). The
+/// persisted `elapsed` is the run's **lifetime** wall-clock at commit
+/// time, in microseconds: the resuming segment adds its own time on top,
+/// so `configs` and `elapsed` stay a matched lifetime pair and
+/// `states_per_sec()` never inflates after a resume.
 fn encode_stats(stats: &ExploreStats, out: &mut Vec<u8>) {
     stats.configs.encode(out);
     stats.transitions.encode(out);
@@ -517,6 +533,9 @@ fn encode_stats(stats: &ExploreStats, out: &mut Vec<u8>) {
     stats.truncated.encode(out);
     stats.checkpoints_written.encode(out);
     stats.shard_occupancy.encode(out);
+    u64::try_from(stats.elapsed.as_micros())
+        .unwrap_or(u64::MAX)
+        .encode(out);
 }
 
 fn decode_stats(input: &mut &[u8]) -> Option<ExploreStats> {
@@ -534,6 +553,7 @@ fn decode_stats(input: &mut &[u8]) -> Option<ExploreStats> {
         truncated: bool::decode(input)?,
         checkpoints_written: usize::decode(input)?,
         shard_occupancy: Vec::decode(input)?,
+        elapsed: std::time::Duration::from_micros(u64::decode(input)?),
         ..ExploreStats::default()
     })
 }
@@ -574,6 +594,7 @@ mod tests {
             truncated: true,
             checkpoints_written: 2,
             shard_occupancy: vec![30, 31, 32, 30],
+            elapsed: std::time::Duration::from_micros(1_234_567),
             ..ExploreStats::default()
         }
     }
@@ -632,6 +653,28 @@ mod tests {
             .map(|e| e.unwrap().file_name().into_string().unwrap())
             .collect();
         assert_eq!(names, vec![FILE_NAME.to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_staging_files_are_reclaimed() {
+        // A kill mid-commit leaves `slx-checkpoint.bin.tmp` behind; the
+        // rename never happened, so nothing would ever unlink it. Opening
+        // the store must reclaim it, and a full commit cycle must leave
+        // only the live file.
+        let dir = test_dir();
+        let tmp = dir.join(format!("{FILE_NAME}.tmp"));
+        std::fs::write(&tmp, b"torn half-written image").unwrap();
+        let store = CheckpointStore::new(dir.clone(), 1);
+        assert!(!tmp.exists(), "open must reclaim the stale staging file");
+        write_sample(&store, SpillCodec::Delta);
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(names, vec![FILE_NAME.to_string()]);
+        // The commit is unaffected: the image still loads.
+        let _ = CheckpointStore::load::<u64, u64>(&dir, &sample_header(SpillCodec::Delta));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

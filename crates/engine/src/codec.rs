@@ -33,15 +33,26 @@
 //!
 //! Spill files are strictly run-private (created, replayed, and unlinked
 //! within one exploration), so the wire format above can change freely
-//! between builds. **Checkpoint images cannot**: `crate::checkpoint`
-//! persists frontiers and findings in this same encoding across process
-//! lifetimes, so any change to an existing encoding here — or to a
-//! state type's hand-written `StateCodec`/[`DeltaCodec`] impl — is a
-//! checkpoint file-format break and must bump
-//! `checkpoint::FORMAT_VERSION` (old images are then *refused* with a
-//! version error rather than misread; there is no migration path —
-//! resumability is a crash-tolerance feature, not an archival one).
-//! Purely additive changes (a codec impl for a new type) need no bump.
+//! between builds. Two consumers pin it across *process* boundaries:
+//!
+//! - **Checkpoint images**: `crate::checkpoint` persists frontiers and
+//!   findings in this encoding across process lifetimes, so any change
+//!   to an existing encoding here — or to a state type's hand-written
+//!   `StateCodec`/[`DeltaCodec`] impl — is a checkpoint file-format
+//!   break and must bump `checkpoint::FORMAT_VERSION` (old images are
+//!   then *refused* with a version error rather than misread; there is
+//!   no migration path — resumability is a crash-tolerance feature, not
+//!   an archival one). Purely additive changes (a codec impl for a new
+//!   type) need no bump.
+//! - **Network frames**: the check service (`slx-server`) frames its
+//!   request/progress/verdict messages as length-prefixed records whose
+//!   bodies are encoded with these same impls, negotiated by a versioned
+//!   stream hello. The same discipline applies at one remove: a change
+//!   to an encoding used in a frame body is a protocol break and must
+//!   bump the server's `PROTOCOL_VERSION`, so an old client is refused
+//!   at the handshake instead of misreading frames. Decode totality
+//!   (rule 3) is what lets both consumers treat truncated or hostile
+//!   bytes as errors, never panics.
 
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
@@ -263,6 +274,21 @@ impl<T: StateCodec> StateCodec for Vec<T> {
     }
 }
 
+impl StateCodec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let len = u32::try_from(self.len()).expect("strings are far below 2^32 bytes");
+        len.encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(input)? as usize;
+        let bytes = take(input, len)?;
+        // Totality: invalid UTF-8 is malformed input, not a panic.
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
 impl<T: StateCodec> StateCodec for Option<T> {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -394,8 +420,9 @@ macro_rules! plain_delta_codec {
 }
 
 // Primitives are at most a few bytes; a delta marker would cost as much
-// as the value.
-plain_delta_codec!(u8, u16, u32, u64, u128, i64, usize, bool, ());
+// as the value. Strings in this workspace are short identifiers (wire
+// request ids, scenario names), not shareable structure.
+plain_delta_codec!(u8, u16, u32, u64, u128, i64, usize, bool, (), String);
 
 impl<A: DeltaCodec, B: DeltaCodec> DeltaCodec for (A, B) {
     fn encode_delta(&self, prev: Option<&Self>, out: &mut Vec<u8>) {
@@ -591,6 +618,26 @@ mod tests {
         buf.push(1);
         let mut input = buf.as_slice();
         assert_eq!(Vec::<u8>::decode(&mut input), None);
+    }
+
+    #[test]
+    fn strings_round_trip_and_reject_bad_utf8() {
+        round_trip(String::new());
+        round_trip("of-consensus-safety".to_string());
+        round_trip("snowman \u{2603} and beyond \u{10348}".to_string());
+        // A length prefix promising more than the input holds must fail.
+        let mut buf = Vec::new();
+        "abc".to_string().encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut input = &buf[..cut];
+            assert_eq!(String::decode(&mut input), None, "cut {cut}");
+        }
+        // Invalid UTF-8 under a valid length is malformed, not a panic.
+        let mut buf = Vec::new();
+        2u32.encode(&mut buf);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut input = buf.as_slice();
+        assert_eq!(String::decode(&mut input), None);
     }
 
     #[test]

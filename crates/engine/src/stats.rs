@@ -79,12 +79,17 @@ pub struct ExploreStats {
     /// on frontier order, never on scheduling, thread count, or shard
     /// routing of the dedup work.
     pub shard_occupancy: Vec<usize>,
-    /// Wall-clock duration of the run.
+    /// **Lifetime** wall-clock duration of the run: for a resumed run
+    /// this accumulates every earlier segment's persisted elapsed time
+    /// (checkpoint images carry it) plus the current segment's, matching
+    /// the lifetime `configs`/`transitions` counters — so the derived
+    /// [`ExploreStats::states_per_sec`] stays truthful across resumes.
     pub elapsed: Duration,
 }
 
 impl ExploreStats {
-    /// Distinct states expanded per wall-clock second.
+    /// Distinct states expanded per wall-clock second — a lifetime rate:
+    /// both `configs` and `elapsed` span every segment of a resumed run.
     #[must_use]
     pub fn states_per_sec(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();

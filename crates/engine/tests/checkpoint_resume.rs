@@ -320,6 +320,123 @@ fn parallel_resume_matches_single_threaded_baseline() {
     std::fs::remove_dir_all(&dir).expect("checkpoint dir cleanup");
 }
 
+/// Chain walk whose every expansion sleeps: `0 -> 1 -> ... -> bound`,
+/// one state per level, a finding at the end — so wall-clock grows
+/// linearly and predictably with depth. Used to pin the *lifetime*
+/// `elapsed` accounting across a crash/resume.
+struct SlowChain {
+    bound: u32,
+    kill_depth: usize,
+    step: std::time::Duration,
+}
+
+impl StateSpace for SlowChain {
+    type State = u32;
+    type Finding = u32;
+
+    fn digest(&self, state: &Self::State) -> Digest {
+        slx_engine::digest128_of(state)
+    }
+
+    fn expand(&self, &s: &Self::State, depth: usize, ctx: &mut Expansion<Self>) {
+        assert!(depth < self.kill_depth, "injected crash at level {depth}");
+        std::thread::sleep(self.step);
+        if s < self.bound {
+            ctx.push(s + 1);
+        } else {
+            ctx.finding(s);
+        }
+    }
+}
+
+#[test]
+fn resumed_elapsed_accumulates_the_pre_crash_segments() {
+    // The inflated-throughput regression: `configs` is a lifetime counter
+    // restored from the image, but `elapsed` used to restart at zero for
+    // the resumed segment — so `states_per_sec` over-reported by the
+    // ratio of lifetime work to tail work. Images now persist lifetime
+    // elapsed (format v2) and resumed runs accumulate it.
+    let step = std::time::Duration::from_millis(3);
+    let dir = unique_dir("elapsed");
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Checker::parallel_bfs(1).with_checkpoint(&dir, 1).run(
+            &SlowChain {
+                bound: 40,
+                kill_depth: 30,
+                step,
+            },
+            vec![0u32],
+        )
+    }));
+    assert!(crashed.is_err(), "the kill level must be reached");
+    let resumed = Checker::parallel_bfs(1).resume(&dir).run(
+        &SlowChain {
+            bound: 40,
+            kill_depth: NEVER,
+            step,
+        },
+        vec![0u32],
+    );
+    assert_eq!(resumed.findings, vec![40]);
+    // Thirty pre-crash levels of >= 3ms each were already on the clock
+    // when the last image committed; the resumed tail alone is ~11
+    // levels (~33ms). Without accumulation the final elapsed would sit
+    // far below this floor — and the derived rate (lifetime configs over
+    // tail elapsed) would be inflated several-fold vs the fresh run.
+    assert!(
+        resumed.stats.elapsed >= std::time::Duration::from_millis(90),
+        "lifetime elapsed must include the pre-crash segment: {:?}",
+        resumed.stats.elapsed
+    );
+    assert!(
+        resumed.stats.states_per_sec() <= resumed.stats.configs as f64 / 0.090,
+        "states/s must be derived from lifetime elapsed, got {}",
+        resumed.stats.states_per_sec()
+    );
+    std::fs::remove_dir_all(&dir).expect("checkpoint dir cleanup");
+}
+
+#[test]
+fn stale_staging_files_from_a_kill_mid_commit_are_reclaimed_on_resume() {
+    // A SIGKILL between writing `slx-checkpoint.bin.tmp` and the atomic
+    // rename strands the staging file: nothing ever committed it, and
+    // before the hygiene fix nothing ever deleted it either. Re-arming a
+    // store in that directory must reclaim it, and the stranded bytes
+    // must not disturb the resume (commits only ever read FILE_NAME).
+    let dir = unique_dir("stale-tmp");
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        cell_checker(0, SpillCodec::Delta, false)
+            .with_checkpoint(&dir, 2)
+            .run(
+                &CrashyGrid {
+                    bound: 15,
+                    kill_depth: 9,
+                },
+                vec![(0, 0)],
+            )
+    }));
+    assert!(crashed.is_err(), "the kill level must be reached");
+    let tmp = dir.join("slx-checkpoint.bin.tmp");
+    std::fs::write(&tmp, b"half-written staging garbage").expect("plant stale tmp");
+
+    let baseline = cell_checker(0, SpillCodec::Delta, false).run(&grid(15), vec![(0, 0)]);
+    let resumed = cell_checker(0, SpillCodec::Delta, false)
+        .with_checkpoint(&dir, 2)
+        .resume(&dir)
+        .run(&grid(15), vec![(0, 0)]);
+    assert_eq!(resumed.findings, baseline.findings);
+    assert_eq!(
+        identical_part(&resumed.stats),
+        identical_part(&baseline.stats)
+    );
+    assert!(
+        !tmp.exists(),
+        "the stranded staging file must be reclaimed by the next commit cycle"
+    );
+    assert!(CheckpointStore::exists(&dir));
+    std::fs::remove_dir_all(&dir).expect("checkpoint dir cleanup");
+}
+
 /// Renders a caught panic payload for message assertions.
 fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
     err.downcast_ref::<String>()

@@ -210,6 +210,29 @@ where
     P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
     S: SafetyProperty + Sync,
 {
+    explore_safety_observed(checker, initial, active, depth, safety, digest, |_, _| true)
+}
+
+/// [`explore_safety_with`] with a progress observer: `progress` receives
+/// the current depth and a lifetime [`ExploreStats`] snapshot at every
+/// BFS level boundary (see [`Checker::run_observed`]); returning `false`
+/// cancels the run, which then reports `stopped_early`. This is the
+/// check service's streaming/cancellation entry point — a checkpointed
+/// run cancelled here resumes from its last committed image.
+pub fn explore_safety_observed<W, P, S>(
+    checker: &Checker,
+    initial: &System<W, P>,
+    active: &[ProcessId],
+    depth: usize,
+    safety: &S,
+    digest: impl Fn(&History) -> u64 + Copy + Send + Sync,
+    progress: impl FnMut(usize, &ExploreStats) -> bool,
+) -> ExploreOutcome
+where
+    W: Word + DeltaCodec + Send + Sync,
+    P: Process<W> + DeltaCodec + Clone + Eq + Hash + Send + Sync,
+    S: SafetyProperty + Sync,
+{
     let space = SafetySpace {
         active,
         depth,
@@ -218,7 +241,7 @@ where
         all_active: covers_all_processes(active, initial.n()),
         _marker: std::marker::PhantomData,
     };
-    let out = checker.run(&space, vec![initial.clone()]);
+    let out = checker.run_observed(&space, vec![initial.clone()], |_| false, progress);
     ExploreOutcome {
         configs: out.stats.configs,
         violations: out.findings,

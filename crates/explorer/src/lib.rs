@@ -41,8 +41,8 @@ mod lasso;
 mod valence;
 
 pub use explore::{
-    explore_safety, explore_safety_with, history_digest, verify_solo_progress,
-    verify_solo_progress_with, ExploreOutcome, SoloCounterexample,
+    explore_safety, explore_safety_observed, explore_safety_with, history_digest,
+    verify_solo_progress, verify_solo_progress_with, ExploreOutcome, SoloCounterexample,
 };
 pub use lasso::{
     run_until_cycle, run_until_cycle_keyed, run_until_cycle_keyed_retained, CycleWitness,

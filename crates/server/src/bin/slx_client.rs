@@ -1,0 +1,89 @@
+//! `slx_client` — submit one check request and stream its result.
+//!
+//! ```text
+//! slx_client <addr> <scenario> <request-id> <depth> [config_budget] [progress_every]
+//! ```
+//!
+//! Progress snapshots go to stderr; the terminal verdict goes to stdout
+//! as a single deterministic line (see `slx_server::client::verdict_line`)
+//! that is byte-identical between an uninterrupted run and a
+//! crashed-server-resumed one — the CI probe diffs exactly these lines.
+//! Exits 0 on a verdict, 1 on a server-reported error or wire failure.
+
+use slx_server::client::verdict_line;
+use slx_server::{connect, CheckRequest, ServiceOutcome};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: slx_client <addr> <scenario> <request-id> <depth> [config_budget] [progress_every]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| usage());
+    let scenario = args.next().unwrap_or_else(|| usage());
+    let request_id = args.next().unwrap_or_else(|| usage());
+    let depth: u64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| usage());
+    let config_budget: Option<u64> = args.next().map(|a| a.parse().unwrap_or_else(|_| usage()));
+    let progress_every: u64 = args
+        .next()
+        .map(|a| a.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(1);
+
+    let req = CheckRequest {
+        request_id,
+        scenario: scenario.clone(),
+        depth,
+        config_budget,
+        mem_budget: None,
+        progress_every,
+    };
+
+    let mut conn = connect(&addr).unwrap_or_else(|e| {
+        eprintln!("slx_client: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let outcome = conn
+        .run_to_verdict(&req, |p| {
+            eprintln!(
+                "progress id={} depth={} configs={} transitions={} peak_frontier={} \
+                 elapsed_us={} checkpoints={}{}",
+                p.request_id,
+                p.depth,
+                p.configs,
+                p.transitions,
+                p.peak_frontier,
+                p.elapsed_micros,
+                p.checkpoints_written,
+                match p.resumed_from_depth {
+                    Some(d) => format!(" resumed_from={d}"),
+                    None => String::new(),
+                }
+            );
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("slx_client: {e}");
+            std::process::exit(1);
+        });
+
+    match outcome {
+        ServiceOutcome::Verdict(v) => {
+            if let Some(d) = v.resumed_from_depth {
+                eprintln!("resumed from depth {d}, lifetime {} us", v.elapsed_micros);
+            }
+            println!("{}", verdict_line(&scenario, &v));
+        }
+        ServiceOutcome::Error {
+            request_id,
+            message,
+        } => {
+            eprintln!("slx_client: request {request_id} failed: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Client side of the check service: connect, submit, stream.
+
+use crate::net::{Addr, Stream};
+use crate::wire::{
+    read_frame, read_hello, write_frame, write_hello, CheckRequest, Frame, ProgressFrame,
+    VerdictFrame, WireError,
+};
+
+/// A connected client session.
+pub struct Connection {
+    stream: Stream,
+}
+
+/// How a request ended.
+#[derive(Debug, Clone)]
+pub enum ServiceOutcome {
+    /// The run completed; here is its verdict.
+    Verdict(VerdictFrame),
+    /// The server refused or aborted the request.
+    Error {
+        /// The id the failure concerns.
+        request_id: String,
+        /// The server's reason.
+        message: String,
+    },
+}
+
+/// Connects to `addr` (`unix:<path>` or `tcp:<host:port>`) and performs
+/// the hello exchange.
+pub fn connect(addr: &str) -> Result<Connection, WireError> {
+    let addr = Addr::parse(addr).map_err(WireError::Protocol)?;
+    let mut stream = Stream::connect(&addr)?;
+    write_hello(&mut stream)?;
+    read_hello(&mut stream)?;
+    Ok(Connection { stream })
+}
+
+impl Connection {
+    /// Submits a check request. Results stream back interleaved with
+    /// other requests on this connection; match on `request_id`.
+    pub fn submit(&mut self, req: &CheckRequest) -> Result<(), WireError> {
+        write_frame(&mut self.stream, &Frame::Submit(req.clone()))
+    }
+
+    /// Asks the server to cancel a request submitted on this
+    /// connection. The run stops at its next level boundary; its
+    /// checkpoint survives for a later resubmit-to-resume.
+    pub fn cancel(&mut self, request_id: &str) -> Result<(), WireError> {
+        write_frame(
+            &mut self.stream,
+            &Frame::Cancel {
+                request_id: request_id.to_string(),
+            },
+        )
+    }
+
+    /// Reads the next server frame (`Ok(None)` = server hung up).
+    pub fn next_event(&mut self) -> Result<Option<Frame>, WireError> {
+        read_frame(&mut self.stream)
+    }
+
+    /// Submits `req` and blocks until *its* terminal frame, invoking
+    /// `on_progress` for each of its progress snapshots. Frames for
+    /// other request ids (interleaved submissions on a shared
+    /// connection) are skipped.
+    pub fn run_to_verdict(
+        &mut self,
+        req: &CheckRequest,
+        mut on_progress: impl FnMut(&ProgressFrame),
+    ) -> Result<ServiceOutcome, WireError> {
+        self.submit(req)?;
+        self.wait_for(&req.request_id, &mut on_progress)
+    }
+
+    /// Blocks until the terminal frame for `request_id` arrives.
+    pub fn wait_for(
+        &mut self,
+        request_id: &str,
+        on_progress: &mut impl FnMut(&ProgressFrame),
+    ) -> Result<ServiceOutcome, WireError> {
+        loop {
+            match self.next_event()? {
+                Some(Frame::Progress(p)) if p.request_id == request_id => on_progress(&p),
+                Some(Frame::Verdict(v)) if v.request_id == request_id => {
+                    return Ok(ServiceOutcome::Verdict(v))
+                }
+                Some(Frame::Error {
+                    request_id: id,
+                    message,
+                }) if id == request_id => {
+                    return Ok(ServiceOutcome::Error {
+                        request_id: id,
+                        message,
+                    })
+                }
+                Some(_) => continue,
+                None => {
+                    return Err(WireError::Protocol(format!(
+                        "server hung up before a verdict for {request_id:?}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// The diffable verdict line the `slx_client` binary prints on stdout:
+/// exactly the counters the resume contract pins (no elapsed, no
+/// resumed-from depth), so a crashed-and-resumed request's line is
+/// byte-identical to an uninterrupted run's — the CI probe diffs them.
+#[must_use]
+pub fn verdict_line(scenario: &str, v: &VerdictFrame) -> String {
+    format!(
+        "verdict={} scenario={} id={} findings={} configs={} transitions={} \
+         dedup_hits={} peak_frontier={} truncated={}",
+        if v.holds { "holds" } else { "violated" },
+        scenario,
+        v.request_id,
+        v.findings,
+        v.configs,
+        v.transitions,
+        v.dedup_hits,
+        v.peak_frontier,
+        v.truncated,
+    )
+}

@@ -1,0 +1,42 @@
+//! The check service: exploration requests over a socket.
+//!
+//! `slx-server` turns the workspace's exploration kernel into a small
+//! long-running service: clients connect over a Unix or TCP socket,
+//! submit named check scenarios with depth/budget knobs, and receive a
+//! stream of progress snapshots followed by a terminal verdict frame.
+//! Requests are checkpointed server-side (one directory per request id
+//! under the server's checkpoint root), so a `kill -9`'d server — or a
+//! cancelled request — resumes where it left off when the same id is
+//! resubmitted, with the engine's resume contract guaranteeing the
+//! final counters match an uninterrupted run bit for bit.
+//!
+//! Layering:
+//!
+//! - [`wire`] — the framed protocol (hello, length-prefixed
+//!   [`StateCodec`]-encoded frames, total decoding);
+//! - [`net`] — `unix:<path>` / `tcp:<host:port>` transports;
+//! - [`scenario`] — named checks ([`ScenarioRegistry`]), built-ins
+//!   `grid` and `of-consensus-safety`;
+//! - [`server`] — accept loop, FIFO worker pool, per-request
+//!   checkpointing, cancellation;
+//! - [`client`] — the client session API and the diffable verdict
+//!   line.
+//!
+//! The `slx_server` and `slx_client` binaries wrap [`CheckServer`] and
+//! [`client::connect`] for the CI crash probe and interactive use.
+//!
+//! [`StateCodec`]: slx_engine::StateCodec
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod net;
+pub mod scenario;
+pub mod server;
+pub mod wire;
+
+pub use client::{connect, Connection, ServiceOutcome};
+pub use scenario::{Scenario, ScenarioRegistry, ScenarioRun};
+pub use server::{CheckServer, ServerConfig, ServerHandle};
+pub use wire::{CheckRequest, Frame, ProgressFrame, VerdictFrame, WireError, PROTOCOL_VERSION};

@@ -1,0 +1,170 @@
+//! Transport: one address grammar over Unix-domain and TCP sockets.
+//!
+//! Addresses are `unix:<path>` or `tcp:<host:port>`. Unix sockets are
+//! the default deployment (local check service, filesystem
+//! permissions); TCP exists for cross-host use and for tests that want
+//! an OS-assigned port (`tcp:127.0.0.1:0`).
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// A parsed service address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    /// `unix:<path>` — a Unix-domain socket at the given path.
+    Unix(PathBuf),
+    /// `tcp:<host:port>` — a TCP socket (port 0 = OS-assigned).
+    Tcp(String),
+}
+
+impl Addr {
+    /// Parses `unix:<path>` / `tcp:<host:port>`.
+    pub fn parse(addr: &str) -> Result<Addr, String> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix: address needs a socket path".into());
+            }
+            Ok(Addr::Unix(PathBuf::from(path)))
+        } else if let Some(hostport) = addr.strip_prefix("tcp:") {
+            if hostport.is_empty() {
+                return Err("tcp: address needs host:port".into());
+            }
+            Ok(Addr::Tcp(hostport.to_string()))
+        } else {
+            Err(format!("address {addr:?} must start with unix: or tcp:"))
+        }
+    }
+}
+
+/// A bound listening socket of either family.
+pub enum Listener {
+    /// Unix-domain listener (the socket file is removed on bind if a
+    /// stale one is in the way, and by [`Listener`]'s owner on drop).
+    Unix(UnixListener, PathBuf),
+    /// TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds `addr`, replacing a stale Unix socket file if present.
+    pub fn bind(addr: &Addr) -> std::io::Result<Listener> {
+        match addr {
+            Addr::Unix(path) => {
+                // A previous server killed without cleanup leaves the
+                // socket file behind; binding over it needs the unlink.
+                let _ = std::fs::remove_file(path);
+                Ok(Listener::Unix(UnixListener::bind(path)?, path.clone()))
+            }
+            Addr::Tcp(hostport) => Ok(Listener::Tcp(TcpListener::bind(hostport.as_str())?)),
+        }
+    }
+
+    /// The bound address in parseable form (TCP reports the OS-assigned
+    /// port, so `tcp:127.0.0.1:0` turns into a connectable address).
+    pub fn local_addr(&self) -> std::io::Result<String> {
+        match self {
+            Listener::Unix(_, path) => Ok(format!("unix:{}", path.display())),
+            Listener::Tcp(l) => Ok(format!("tcp:{}", l.local_addr()?)),
+        }
+    }
+
+    /// Switches the listener to non-blocking accepts (the accept loop
+    /// polls so it can observe shutdown).
+    pub fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Unix(l, _) => l.set_nonblocking(on),
+            Listener::Tcp(l) => l.set_nonblocking(on),
+        }
+    }
+
+    /// Accepts one connection, if one is pending.
+    pub fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                // Frames are small and latency-sensitive (progress
+                // snapshots); batching them behind Nagle helps nothing.
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A connected socket of either family.
+#[derive(Debug)]
+pub enum Stream {
+    /// Unix-domain connection.
+    Unix(UnixStream),
+    /// TCP connection.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Connects to `addr`.
+    pub fn connect(addr: &Addr) -> std::io::Result<Stream> {
+        match addr {
+            Addr::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            Addr::Tcp(hostport) => TcpStream::connect(hostport.as_str()).map(|s| {
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
+        }
+    }
+
+    /// A second handle on the same connection (reader and writer sides
+    /// live on different threads server-side).
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    /// Shuts down both directions, unblocking any reader.
+    pub fn shutdown(&self) {
+        match self {
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
