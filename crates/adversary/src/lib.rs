@@ -21,7 +21,6 @@
 //!   ([`TripleRoundAdversary`]) showing (1,3)-freedom excludes property
 //!   `S`.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bivalence;

@@ -1,0 +1,67 @@
+//! CLI: `slx-analyze [--root <dir>] [--bless]`.
+//!
+//! Exit 0 on a clean tree, 1 with one finding per line on stderr
+//! otherwise, 2 on usage/environment errors. `--bless` regenerates
+//! `WIRE_MANIFEST.txt` from the current sources before checking — the
+//! explicit acknowledgment of an audited wire change.
+
+use slx_analyze::Workspace;
+
+fn main() {
+    let mut root = std::path::PathBuf::from(".");
+    let mut bless = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bless" => bless = true,
+            "--root" => match args.next() {
+                Some(dir) => root = dir.into(),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    // `cargo run -p slx-analyze` runs from the workspace root; fall back
+    // to the manifest's grandparent so the binary also works from
+    // anywhere inside the checkout.
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "slx-analyze: no Cargo.toml under {} — pass --root <workspace>",
+            root.display()
+        );
+        std::process::exit(2);
+    }
+
+    let workspace = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("slx-analyze: cannot load sources: {e}");
+            std::process::exit(2);
+        }
+    };
+    if bless {
+        if let Err(e) = workspace.bless() {
+            eprintln!("slx-analyze: bless failed: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("slx-analyze: wrote WIRE_MANIFEST.txt");
+    }
+    let findings = workspace.run_all();
+    if findings.is_empty() {
+        eprintln!(
+            "slx-analyze: clean — {} files, wire manifest + determinism lints + concurrency audit",
+            workspace.files.len()
+        );
+        return;
+    }
+    for finding in &findings {
+        eprintln!("{finding}");
+    }
+    eprintln!("slx-analyze: {} finding(s)", findings.len());
+    std::process::exit(1);
+}
+
+fn usage() -> ! {
+    eprintln!("usage: slx-analyze [--root <dir>] [--bless]");
+    std::process::exit(2);
+}

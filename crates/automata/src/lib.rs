@@ -21,7 +21,6 @@
 //! ensures is `Lmax ∪ fair(A_I)`), which [`Automaton::fair_histories`]
 //! makes checkable on finite truncations.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod automaton;

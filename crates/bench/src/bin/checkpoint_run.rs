@@ -62,9 +62,7 @@ fn main() {
     });
     let every: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
 
-    let stall_after: Option<usize> = std::env::var("SLX_CKPT_RUN_STALL_AFTER")
-        .ok()
-        .and_then(|v| v.parse().ok());
+    let stall_after = slx_core::engine::knobs::SLX_CKPT_RUN_STALL_AFTER.usize_value();
 
     let resuming = CheckpointStore::exists(&dir);
     let checker = Checker::auto().with_symmetry(false).with_mem_budget(0);

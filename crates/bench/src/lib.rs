@@ -8,7 +8,6 @@
 //! throughput). See `EXPERIMENTS.md` at the workspace root for the
 //! mapping from paper claims to targets.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use slx_core::history::{ProcessId, VarId};

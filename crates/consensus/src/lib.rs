@@ -17,7 +17,6 @@
 //!   of Theorem 4.9's `It` and `Ib` (the automata-level versions live in
 //!   `slx-automata`), usable inside the simulator.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adopt_commit;

@@ -13,7 +13,7 @@
 //! bivalence-adversary lasso in `slx-adversary`); [`canonical_of_digest`]
 //! composes both and backs the exploration kernel's symmetry reduction.
 
-use std::collections::HashMap;
+use slx_engine::DetHashMap;
 use std::hash::{Hash, Hasher};
 
 use slx_engine::{Digest, Fingerprinter};
@@ -268,7 +268,7 @@ pub fn permuted_of_system(
     // Column `j` of every round receives the contents of column
     // `perm⁻¹(j)` — the register that belonged to the process now sitting
     // in slot `j`.
-    let mut source: HashMap<usize, ObjId> = HashMap::new();
+    let mut source: DetHashMap<usize, ObjId> = DetHashMap::default();
     for r in 0..layout.max_rounds() {
         let (a, b) = layout.round_registers(r).expect("round in range");
         for j in 0..n {

@@ -37,7 +37,6 @@
 //! assert_eq!(white, vec!["(1,1)-freedom"]);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blocking;

@@ -1,18 +1,18 @@
 //! The exploration driver: parallel frontier BFS and sequential DFS.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 use crate::checkpoint::{CheckpointStore, LoadedCheckpoint, RunHeader};
 use crate::codec::{DeltaCodec, StateCodec};
+use crate::detmap::{DetHashMap, DetHashSet};
 use crate::digest::Fingerprinter;
+use crate::knobs;
 use crate::space::{Expansion, StateSpace};
 use crate::spill::{SpillCodec, SpillConfig, SpillFrontier};
-use crate::stats::ExploreStats;
+use crate::stats::{ExploreStats, Stopwatch};
 use crate::visited::ShardedVisited;
 use crate::Digest;
 
@@ -93,34 +93,6 @@ pub struct Checker {
     resume_from: Option<PathBuf>,
 }
 
-/// Parses a decimal integer environment knob, or `None` when the variable
-/// is unset or empty. Anything else that does not parse — and, unless
-/// `allow_zero`, a zero — is a hard error naming the variable and the
-/// offending value: these knobs pin CI comparison arms and operational
-/// budgets, and a typo silently falling back to a default would
-/// green-light a run that tested the wrong configuration.
-fn env_usize(var: &str, allow_zero: bool) -> Option<usize> {
-    let value = std::env::var_os(var)?;
-    let Some(text) = value.to_str() else {
-        panic!("{var} must be a decimal integer, got non-UTF-8 {value:?}")
-    };
-    if text.is_empty() {
-        return None;
-    }
-    match text.parse::<usize>() {
-        Ok(n) if n > 0 || allow_zero => Some(n),
-        Ok(_) => panic!("{var} must be a positive integer, got \"0\""),
-        Err(_) => {
-            let expected = if allow_zero {
-                "non-negative"
-            } else {
-                "positive"
-            };
-            panic!("{var} must be a {expected} decimal integer, got {text:?}")
-        }
-    }
-}
-
 /// Fingerprint of one exploration's identity: the space's Rust type name
 /// plus the exact digests of the initial states, in order. Persisted in
 /// the checkpoint header so a resume under a different space or different
@@ -154,11 +126,12 @@ impl Checker {
     /// # Panics
     ///
     /// Panics on a malformed `SLX_ENGINE_THREADS` value (see
-    /// [`env_usize`]): a typo silently falling back to autodetection
-    /// would run a pinned CI arm on the wrong thread count.
+    /// [`knobs::Knob::usize_value`]): a typo silently falling back to
+    /// autodetection would run a pinned CI arm on the wrong thread count.
     #[must_use]
     pub fn auto() -> Self {
-        let threads = env_usize("SLX_ENGINE_THREADS", false)
+        let threads = knobs::SLX_ENGINE_THREADS
+            .usize_value()
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         Checker::parallel_bfs(threads)
     }
@@ -229,11 +202,11 @@ impl Checker {
     /// # Panics
     ///
     /// Panics on a malformed `SLX_ENGINE_SHARDS` value (see
-    /// [`env_usize`]).
+    /// [`knobs::Knob::usize_value`]).
     #[must_use]
     pub fn resolve_shards(&self, threads: usize) -> usize {
         self.shards
-            .or_else(|| env_usize("SLX_ENGINE_SHARDS", false))
+            .or_else(|| knobs::SLX_ENGINE_SHARDS.usize_value())
             .unwrap_or_else(|| threads.max(1).saturating_mul(4).min(256))
     }
 
@@ -299,20 +272,12 @@ impl Checker {
     #[must_use]
     pub fn resolve_spill_codec(&self) -> SpillCodec {
         self.spill_codec
-            .or_else(
-                || match std::env::var("SLX_ENGINE_SPILL_CODEC").ok().as_deref() {
-                    Some("plain") => Some(SpillCodec::Plain),
-                    Some("delta") => Some(SpillCodec::Delta),
-                    Some("replay") => Some(SpillCodec::Replay),
-                    Some("") | None => None,
-                    Some(other) => {
-                        panic!(
-                            "SLX_ENGINE_SPILL_CODEC must be \"delta\", \"plain\", or \
-                             \"replay\", got {other:?}"
-                        )
-                    }
-                },
-            )
+            .or_else(|| match knobs::SLX_ENGINE_SPILL_CODEC.choice_value() {
+                Some("plain") => Some(SpillCodec::Plain),
+                Some("delta") => Some(SpillCodec::Delta),
+                Some("replay") => Some(SpillCodec::Replay),
+                _ => None,
+            })
             .unwrap_or_default()
     }
 
@@ -345,15 +310,8 @@ impl Checker {
     /// a "reduced" arm that re-tested the unreduced path.
     #[must_use]
     pub fn resolve_symmetry(&self) -> bool {
-        self.symmetry.unwrap_or_else(|| {
-            match std::env::var("SLX_ENGINE_SYMMETRY").ok().as_deref() {
-                Some("1" | "true") => true,
-                Some("0" | "false" | "") | None => false,
-                Some(other) => panic!(
-                    "SLX_ENGINE_SYMMETRY must be \"1\"/\"true\" or \"0\"/\"false\", got {other:?}"
-                ),
-            }
-        })
+        self.symmetry
+            .unwrap_or_else(|| knobs::SLX_ENGINE_SYMMETRY.flag_value().unwrap_or(false))
     }
 
     /// The frontier memory budget this checker will spill under, if any:
@@ -364,14 +322,16 @@ impl Checker {
     /// # Panics
     ///
     /// Panics on a malformed `SLX_ENGINE_MEM_BUDGET` value (see
-    /// [`env_usize`]; zero is allowed here — it is the documented
-    /// "spilling off" pin, not a typo).
+    /// [`knobs::Knob::usize_value`]; zero is allowed here — it is the
+    /// documented "spilling off" pin, not a typo).
     #[must_use]
     pub fn resolve_mem_budget(&self) -> Option<usize> {
         match self.mem_budget {
             Some(0) => None,
             Some(bytes) => Some(bytes),
-            None => env_usize("SLX_ENGINE_MEM_BUDGET", true).filter(|&n| n > 0),
+            None => knobs::SLX_ENGINE_MEM_BUDGET
+                .usize_value()
+                .filter(|&n| n > 0),
         }
     }
 
@@ -424,16 +384,15 @@ impl Checker {
     /// # Panics
     ///
     /// Panics on a malformed `SLX_ENGINE_CHECKPOINT_EVERY` value (see
-    /// [`env_usize`]) or an uncreatable directory.
+    /// [`knobs::Knob::usize_value`]) or an uncreatable directory.
     fn resolve_checkpoint(&self) -> Option<CheckpointStore> {
-        let dir = self.checkpoint_dir.clone().or_else(|| {
-            std::env::var_os("SLX_ENGINE_CHECKPOINT_DIR")
-                .filter(|v| !v.is_empty())
-                .map(PathBuf::from)
-        })?;
+        let dir = self
+            .checkpoint_dir
+            .clone()
+            .or_else(|| knobs::SLX_ENGINE_CHECKPOINT_DIR.path_value())?;
         let every = self
             .checkpoint_every
-            .or_else(|| env_usize("SLX_ENGINE_CHECKPOINT_EVERY", false))
+            .or_else(|| knobs::SLX_ENGINE_CHECKPOINT_EVERY.usize_value())
             .unwrap_or(1);
         std::fs::create_dir_all(&dir)
             .unwrap_or_else(|err| panic!("cannot create checkpoint dir {}: {err}", dir.display()));
@@ -449,11 +408,7 @@ impl Checker {
         let dir = self
             .spill_dir
             .clone()
-            .or_else(|| {
-                std::env::var_os("SLX_ENGINE_SPILL_DIR")
-                    .filter(|v| !v.is_empty())
-                    .map(PathBuf::from)
-            })
+            .or_else(|| knobs::SLX_ENGINE_SPILL_DIR.path_value())
             .unwrap_or_else(std::env::temp_dir);
         std::fs::create_dir_all(&dir)
             .unwrap_or_else(|err| panic!("cannot create spill dir {}: {err}", dir.display()));
@@ -554,7 +509,7 @@ impl Checker {
         Sp::State: DeltaCodec,
         Sp::Finding: StateCodec,
     {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let spill = self.resolve_spill();
         let symmetry = self.resolve_symmetry() && space.has_symmetry_reduction();
         // The checkpoint store (if any) and the run-config header every
@@ -592,7 +547,7 @@ impl Checker {
         // Canonical and exact digests live in different hash domains, so
         // comparing their values is meaningless; a second set is the only
         // exact accounting.
-        let mut exact_seen: std::collections::HashSet<u128> = std::collections::HashSet::new();
+        let mut exact_seen: DetHashSet<u128> = DetHashSet::default();
         // Per-shard counts of digests *accepted by the deterministic
         // merge* (not raw set sizes): the batched path pre-inserts a whole
         // level before merging, so on an early stop the set itself may
@@ -863,7 +818,7 @@ impl Checker {
     where
         Sp: StateSpace + Sync,
     {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let symmetry = self.resolve_symmetry() && space.has_symmetry_reduction();
         let mut stats = ExploreStats {
             threads: 1,
@@ -875,9 +830,9 @@ impl Checker {
         // Which expanded state (by fingerprint) contributed each finding,
         // so a re-expansion can replace its earlier contribution.
         let mut finding_owners: Vec<u128> = Vec::new();
-        let mut visited: HashMap<u128, u32> = HashMap::new();
+        let mut visited: DetHashMap<u128, u32> = DetHashMap::default();
         // Exact-digest side set for `orbit_hits`; see `run_bfs`.
-        let mut exact_seen: std::collections::HashSet<u128> = std::collections::HashSet::new();
+        let mut exact_seen: DetHashSet<u128> = DetHashSet::default();
         let mut stack: Vec<(Sp::State, Digest, usize)> = initial
             .into_iter()
             .map(|state| {

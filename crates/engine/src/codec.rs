@@ -53,9 +53,16 @@
 //!   at the handshake instead of misreading frames. Decode totality
 //!   (rule 3) is what lets both consumers treat truncated or hostile
 //!   bytes as errors, never panics.
+//!
+//! This discipline is machine-enforced: `slx-analyze` (a required CI
+//! gate) fingerprints every `StateCodec`/`DeltaCodec` impl and persisted
+//! struct layout into the checked-in `WIRE_MANIFEST.txt` and fails on
+//! any drift that is not paired with the matching version bump plus an
+//! explicit `cargo run -p slx-analyze -- --bless` regeneration. See
+//! EXPERIMENTS.md, "Wire-schema manifest", for the audit workflow.
 
+use crate::detmap::DetHashMap;
 use std::any::{Any, TypeId};
-use std::collections::HashMap;
 
 /// A state that can be serialized into (and restored from) a
 /// self-delimiting binary encoding, enabling the [`crate::Checker`] to
@@ -328,11 +335,11 @@ impl<T: StateCodec> StateCodec for Option<T> {
 /// frontier it came from.
 #[derive(Debug, Default)]
 pub struct DeltaCtx {
-    interned: HashMap<TypeId, InternedByKey>,
+    interned: DetHashMap<TypeId, InternedByKey>,
 }
 
 /// One type's interned values, keyed by their encoded bytes.
-type InternedByKey = HashMap<Box<[u8]>, Box<dyn Any>>;
+type InternedByKey = DetHashMap<Box<[u8]>, Box<dyn Any>>;
 
 impl DeltaCtx {
     /// An empty context.
@@ -357,7 +364,7 @@ impl DeltaCtx {
     /// Interned entries (for tests and diagnostics).
     #[must_use]
     pub fn interned_count(&self) -> usize {
-        self.interned.values().map(HashMap::len).sum()
+        self.interned.values().map(DetHashMap::len).sum()
     }
 }
 

@@ -69,13 +69,14 @@
 //! harness: full-width digests reproduce exact-set exploration verbatim,
 //! and deliberately truncated digests stay sound.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod checker;
 mod checkpoint;
 mod codec;
+mod detmap;
 mod digest;
+pub mod knobs;
 mod space;
 mod spill;
 mod stats;
@@ -84,8 +85,9 @@ mod visited;
 pub use checker::{Backend, Checker, KernelOutcome};
 pub use checkpoint::CheckpointStore;
 pub use codec::{decode_slice_delta, encode_slice_delta, DeltaCodec, DeltaCtx, StateCodec};
+pub use detmap::{DetBuildHasher, DetHashMap, DetHashSet};
 pub use digest::{digest128_of, digest64_of, digest64_of_iter, Digest, Fingerprinter};
 pub use space::{Expansion, StateSpace};
 pub use spill::SpillCodec;
-pub use stats::ExploreStats;
+pub use stats::{ExploreStats, Stopwatch};
 pub use visited::ShardedVisited;

@@ -1,7 +1,38 @@
-//! Exploration statistics.
+//! Exploration statistics — and the kernel's sanctioned wall-clock.
 
 use std::fmt;
 use std::time::Duration;
+
+/// The workspace's sanctioned monotonic wall-clock: a started
+/// [`Stopwatch`] reports the time elapsed since [`Stopwatch::start`].
+///
+/// Every duration a verdict-producing path measures flows through this
+/// type, and `slx-analyze`'s determinism lint flags any direct
+/// `Instant::now`/`SystemTime` read outside this module (and the bench
+/// crate, whose whole purpose is timing): wall-clock must only ever feed
+/// *reporting* statistics, never a digest, a merge order, or an encoded
+/// byte, and funneling every read through one audited type is what makes
+/// that reviewable.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts the clock.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
 
 /// Statistics of one [`crate::Checker`] run.
 #[derive(Debug, Clone, Default, PartialEq)]

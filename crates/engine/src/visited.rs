@@ -19,7 +19,7 @@
 //! every worker count. The `shard_props` integration test pins this
 //! equivalence against a single-map reference on random digest streams.
 
-use std::collections::HashSet;
+use crate::detmap::DetHashSet;
 
 /// Upper bound on the shard count (2^12): beyond this the per-shard sets
 /// are too small to amortize their fixed footprint at the scopes this
@@ -30,7 +30,7 @@ const MAX_SHARDS: usize = 1 << 12;
 /// by digest range.
 #[derive(Debug, Clone)]
 pub struct ShardedVisited {
-    shards: Vec<HashSet<u128>>,
+    shards: Vec<DetHashSet<u128>>,
     /// `log2(shards.len())`; the top `shard_bits` bits of a digest select
     /// its shard.
     shard_bits: u32,
@@ -43,7 +43,7 @@ impl ShardedVisited {
     pub fn new(shards: usize) -> Self {
         let count = shards.clamp(1, MAX_SHARDS).next_power_of_two();
         ShardedVisited {
-            shards: (0..count).map(|_| HashSet::new()).collect(),
+            shards: (0..count).map(|_| DetHashSet::default()).collect(),
             shard_bits: count.trailing_zeros(),
         }
     }
@@ -81,19 +81,19 @@ impl ShardedVisited {
     /// Total distinct digests across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(HashSet::len).sum()
+        self.shards.iter().map(DetHashSet::len).sum()
     }
 
     /// Whether no digest has been inserted.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(HashSet::is_empty)
+        self.shards.iter().all(DetHashSet::is_empty)
     }
 
     /// Per-shard occupancy (distinct digests per shard), in shard order.
     #[must_use]
     pub fn occupancy(&self) -> Vec<usize> {
-        self.shards.iter().map(HashSet::len).collect()
+        self.shards.iter().map(DetHashSet::len).collect()
     }
 
     /// A deterministic snapshot of the set: one sorted digest vector per
@@ -174,7 +174,7 @@ impl ShardedVisited {
             }
         }
 
-        let insert_all = |sets: &mut [HashSet<u128>], routed: &[Vec<u128>]| -> Vec<Vec<bool>> {
+        let insert_all = |sets: &mut [DetHashSet<u128>], routed: &[Vec<u128>]| -> Vec<Vec<bool>> {
             sets.iter_mut()
                 .zip(routed)
                 .map(|(set, batch)| batch.iter().map(|&digest| set.insert(digest)).collect())

@@ -4,13 +4,14 @@
 //! two jobs: (1) the benchmark harness measures the `slx-engine` kernel's
 //! states/sec against them, and (2) the differential test suite checks the
 //! kernel reproduces their verdicts exactly. They deduplicate on a
-//! `HashSet` of **fully retained** `(System, digest)` clones — the memory
+//! set of **fully retained** `(System, digest)` clones — the memory
 //! and hashing cost the fingerprint-based kernel removes — and should not
 //! be used by new checkers.
 
-use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::hash::Hash;
 
+use slx_engine::{DetHashSet, Stopwatch};
 use slx_history::{History, ProcessId, Response};
 use slx_memory::{Process, StepEffect, System, Word};
 use slx_safety::SafetyProperty;
@@ -20,7 +21,7 @@ use crate::valence::DecidableSet;
 
 /// Seed implementation of [`crate::explore_safety`]: sequential DFS over
 /// retained `(System, u64)` clones, `DefaultHasher`-free only in name —
-/// every visited configuration stays resident in the `HashSet`.
+/// every visited configuration stays resident in the visited set.
 pub fn explore_safety_retained<W, P, S>(
     initial: &System<W, P>,
     active: &[ProcessId],
@@ -39,8 +40,8 @@ where
         truncated: false,
         stats: slx_engine::ExploreStats::default(),
     };
-    let start = std::time::Instant::now();
-    let mut seen: HashSet<(System<W, P>, u64)> = HashSet::new();
+    let start = Stopwatch::start();
+    let mut seen: DetHashSet<(System<W, P>, u64)> = DetHashSet::default();
     let mut stack: Vec<(System<W, P>, usize)> = vec![(initial.clone(), 0)];
     while let Some((sys, d)) = stack.pop() {
         let key = (sys.clone(), digest(sys.history()));
@@ -90,7 +91,7 @@ where
         truncated: false,
         configs: 0,
     };
-    let mut seen: HashSet<System<W, P>> = HashSet::new();
+    let mut seen: DetHashSet<System<W, P>> = DetHashSet::default();
     let mut queue: VecDeque<System<W, P>> = VecDeque::new();
     queue.push_back(sys.clone());
     while let Some(s) = queue.pop_front() {

@@ -1,7 +1,8 @@
 //! Lasso detection: repeated configurations under deterministic schedulers.
 
-use std::collections::HashMap;
 use std::hash::Hash;
+
+use slx_engine::DetHashMap;
 
 use slx_memory::{Event, Process, Scheduler, System, Word};
 
@@ -137,7 +138,7 @@ where
     S: Scheduler<W, P>,
     K: Hash,
 {
-    let mut seen: HashMap<u128, usize> = HashMap::new();
+    let mut seen: DetHashMap<u128, usize> = DetHashMap::default();
     run_cycle_loop(sys, scheduler, max_events, |sys, sched, now| {
         let digest = slx_engine::digest128_of(&key(sys, sched)).0;
         match seen.entry(digest) {
@@ -166,7 +167,7 @@ where
     S: Scheduler<W, P>,
     K: Hash + Eq,
 {
-    let mut seen: HashMap<K, usize> = HashMap::new();
+    let mut seen: DetHashMap<K, usize> = DetHashMap::default();
     run_cycle_loop(sys, scheduler, max_events, |sys, sched, now| {
         match seen.entry(key(sys, sched)) {
             std::collections::hash_map::Entry::Occupied(first) => Some(*first.get()),

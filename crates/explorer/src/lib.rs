@@ -32,7 +32,6 @@
 //! retained-clone loops survive in [`baseline`] for benchmarking and
 //! differential testing.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;

@@ -39,7 +39,6 @@
 //! assert!(h.pending(p1));
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod action;

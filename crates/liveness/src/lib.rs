@@ -22,7 +22,6 @@
 //! - [`SFreedom`] — Taubenfeld's S-freedom (Section 6);
 //! - [`NxLiveness`] — Imbs–Raynal–Taubenfeld (n,x)-liveness (Section 6).
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod lk;

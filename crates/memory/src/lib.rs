@@ -33,7 +33,6 @@
 //! assert!(sys.history().is_well_formed());
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod atomic_proc;

@@ -20,7 +20,6 @@
 //! - the §5.3 counterexample property **S** ([`PropertyS`]): opacity plus
 //!   the equal-timestamp forced-abort rule.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod consensus_safety;

@@ -1,7 +1,7 @@
 //! A linearizability checker (Herlihy & Wing), in the Wing & Gong
 //! enumerate-and-search style.
 
-use std::collections::HashSet;
+use std::collections::HashSet; // det-lint: allow (membership-only memo; iteration order never observed)
 use std::hash::Hash;
 
 use slx_history::{History, OpCall};
@@ -69,7 +69,7 @@ impl<S: SeqSpec> Linearizability<S> {
                     dropped[ci] = true;
                 }
             }
-            let mut memo = HashSet::new();
+            let mut memo = HashSet::new(); // det-lint: allow (membership-only memo; iteration order never observed)
             if self.search(&calls, &dropped, 0, &self.spec.init(), &mut memo) {
                 return true;
             }
@@ -85,7 +85,7 @@ impl<S: SeqSpec> Linearizability<S> {
         dropped: &[bool],
         done_init: u64,
         state: &S::State,
-        memo: &mut HashSet<(u64, S::State)>,
+        memo: &mut HashSet<(u64, S::State)>, // det-lint: allow (membership-only memo; iteration order never observed)
     ) -> bool
     where
         S::State: Hash,
@@ -104,7 +104,7 @@ impl<S: SeqSpec> Linearizability<S> {
         calls: &[OpCall],
         done: u64,
         state: &S::State,
-        memo: &mut HashSet<(u64, S::State)>,
+        memo: &mut HashSet<(u64, S::State)>, // det-lint: allow (membership-only memo; iteration order never observed)
     ) -> bool
     where
         S::State: Hash,

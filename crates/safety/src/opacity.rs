@@ -1,7 +1,7 @@
 //! Opacity of transactional memory (Guerraoui & Kapalka), as defined in
 //! Section 4.1 of the paper.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashSet}; // det-lint: allow (membership-only memo; iteration order never observed)
 
 use slx_history::{
     History, Response, Transaction, TransactionStatus, TxnEvent, TxnView, Value, VarId,
@@ -71,7 +71,7 @@ impl FinalStateOpacity {
     /// real-time precedence, given the chosen completion.
     fn serializable(&self, view: &TxnView, committed: &[bool]) -> bool {
         let txns = view.transactions();
-        let mut memo: HashSet<(u64, BTreeMap<VarId, Value>)> = HashSet::new();
+        let mut memo: HashSet<(u64, BTreeMap<VarId, Value>)> = HashSet::new(); // det-lint: allow (membership-only memo; iteration order never observed)
         self.dfs(view, txns, committed, 0, &BTreeMap::new(), &mut memo)
     }
 
@@ -82,7 +82,7 @@ impl FinalStateOpacity {
         committed: &[bool],
         placed: u64,
         state: &BTreeMap<VarId, Value>,
-        memo: &mut HashSet<(u64, BTreeMap<VarId, Value>)>,
+        memo: &mut HashSet<(u64, BTreeMap<VarId, Value>)>, // det-lint: allow (membership-only memo; iteration order never observed)
     ) -> bool {
         if placed == (1u64 << txns.len()) - 1 {
             return true;

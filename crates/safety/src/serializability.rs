@@ -1,6 +1,6 @@
 //! Strict serializability of transactional memory.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashSet}; // det-lint: allow (membership-only memo; iteration order never observed)
 
 use slx_history::{
     History, Response, Transaction, TransactionStatus, TxnEvent, TxnView, Value, VarId,
@@ -56,7 +56,7 @@ impl StrictSerializability {
                     chosen.push(t);
                 }
             }
-            let mut memo = HashSet::new();
+            let mut memo = HashSet::new(); // det-lint: allow (membership-only memo; iteration order never observed)
             if self.dfs(&view, &chosen, 0, &BTreeMap::new(), &mut memo) {
                 return true;
             }
@@ -70,7 +70,7 @@ impl StrictSerializability {
         txns: &[&Transaction],
         placed: u64,
         state: &BTreeMap<VarId, Value>,
-        memo: &mut HashSet<(u64, BTreeMap<VarId, Value>)>,
+        memo: &mut HashSet<(u64, BTreeMap<VarId, Value>)>, // det-lint: allow (membership-only memo; iteration order never observed)
     ) -> bool {
         if placed == (1u64 << txns.len()) - 1 {
             return true;

@@ -34,10 +34,7 @@ fn main() {
         .map(|a| a.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(2);
 
-    let stall_after: Option<usize> = std::env::var("SLX_SERVER_STALL_AFTER").ok().map(|v| {
-        v.parse()
-            .expect("SLX_SERVER_STALL_AFTER must be a level count")
-    });
+    let stall_after = slx_engine::knobs::SLX_SERVER_STALL_AFTER.usize_value();
 
     let mut config = ServerConfig::new(root);
     config.workers = workers;

@@ -27,7 +27,6 @@
 //!
 //! [`StateCodec`]: slx_engine::StateCodec
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

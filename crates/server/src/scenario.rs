@@ -18,7 +18,6 @@
 //! Tests register extra scenarios (e.g. deliberately slow spaces for
 //! cancellation coverage) through [`ScenarioRegistry::register`].
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use slx_core::consensus::{ConsWord, ObstructionFreeConsensus};
@@ -26,7 +25,7 @@ use slx_core::explorer::{explore_safety_observed, history_digest};
 use slx_core::history::{Operation, ProcessId, Value};
 use slx_core::memory::{Memory, System};
 use slx_core::safety::ConsensusSafety;
-use slx_engine::{Checker, Digest, Expansion, ExploreStats, StateSpace};
+use slx_engine::{Checker, DetHashMap, Digest, Expansion, ExploreStats, StateSpace};
 
 use crate::wire::CheckRequest;
 
@@ -57,7 +56,7 @@ pub trait Scenario: Send + Sync {
 
 /// Name → scenario lookup, seeded with the built-ins.
 pub struct ScenarioRegistry {
-    map: HashMap<String, Arc<dyn Scenario>>,
+    map: DetHashMap<String, Arc<dyn Scenario>>,
 }
 
 impl ScenarioRegistry {
@@ -65,7 +64,7 @@ impl ScenarioRegistry {
     #[must_use]
     pub fn empty() -> Self {
         ScenarioRegistry {
-            map: HashMap::new(),
+            map: DetHashMap::default(),
         }
     }
 

@@ -27,14 +27,13 @@
 //! **resumes** from it, and the resume contract makes the final verdict
 //! frame's counters bit-identical to an uninterrupted run's.
 
-use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use slx_engine::{Checker, CheckpointStore, SpillCodec};
+use slx_engine::{Checker, CheckpointStore, DetHashMap, SpillCodec};
 
 use crate::net::{Addr, Listener, Stream};
 use crate::scenario::{ScenarioRegistry, ScenarioRun};
@@ -239,7 +238,7 @@ fn serve_connection(stream: Stream, queue: &Arc<JobQueue>) -> Result<(), crate::
 
     // The cancel flags of every request this connection submitted, so
     // hangup (or an explicit Cancel) can reach the running workers.
-    let mut flags: HashMap<String, Arc<AtomicBool>> = HashMap::new();
+    let mut flags: DetHashMap<String, Arc<AtomicBool>> = DetHashMap::default();
 
     let result = loop {
         match read_frame(&mut reader) {

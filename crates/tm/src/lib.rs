@@ -17,7 +17,6 @@
 //!   but *blocking*; a crashed lock holder starves everyone. The contrast
 //!   baseline for the benches and the non-blocking discussion.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod agp;
