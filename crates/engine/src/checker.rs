@@ -9,6 +9,7 @@ use crate::checkpoint::{CheckpointStore, LoadedCheckpoint, RunHeader};
 use crate::codec::{DeltaCodec, StateCodec};
 use crate::detmap::{DetHashMap, DetHashSet};
 use crate::digest::Fingerprinter;
+use crate::fault::{EngineError, FaultPlan, FaultPlane};
 use crate::knobs;
 use crate::space::{Expansion, StateSpace};
 use crate::spill::{SpillCodec, SpillConfig, SpillFrontier};
@@ -91,6 +92,10 @@ pub struct Checker {
     /// Directory holding the committed checkpoint a run should resume
     /// from ([`Checker::resume`]); `None` starts fresh.
     resume_from: Option<PathBuf>,
+    /// Explicit fault-injection plan; `None` defers to
+    /// `SLX_ENGINE_FAULT_PLAN` (fault injection is off when neither is
+    /// set).
+    fault_plan: Option<FaultPlan>,
 }
 
 /// Fingerprint of one exploration's identity: the space's Rust type name
@@ -152,6 +157,7 @@ impl Checker {
             checkpoint_dir: None,
             checkpoint_every: None,
             resume_from: None,
+            fault_plan: None,
         }
     }
 
@@ -169,6 +175,7 @@ impl Checker {
             checkpoint_dir: None,
             checkpoint_every: None,
             resume_from: None,
+            fault_plan: None,
         }
     }
 
@@ -335,6 +342,44 @@ impl Checker {
         }
     }
 
+    /// Arms the deterministic fault-injection plane with an explicit
+    /// [`FaultPlan`]: the BFS backend's spill, checkpoint, and retry
+    /// paths then draw injected I/O faults (ENOSPC, EINTR, short and
+    /// torn transfers) from the plan's seeded schedule. This is the
+    /// robustness suites' hook; production runs never set it. It
+    /// overrides the `SLX_ENGINE_FAULT_PLAN` environment variable;
+    /// without either, the plane is disarmed and every fault seam is an
+    /// inline no-op.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The fault-injection plane this checker will run under: armed with
+    /// the explicit [`Checker::with_fault_plan`] plan, else with a plan
+    /// parsed from `SLX_ENGINE_FAULT_PLAN`, else disarmed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed `SLX_ENGINE_FAULT_PLAN` value, for the same
+    /// reason [`Checker::resolve_spill_codec`] does: the variable pins
+    /// fault-soak CI arms, and a typo silently meaning "off" would
+    /// green-light a soak arm that injected nothing.
+    #[must_use]
+    pub fn resolve_fault_plane(&self) -> FaultPlane {
+        let plan = self.fault_plan.clone().or_else(|| {
+            knobs::SLX_ENGINE_FAULT_PLAN.text_value().map(|text| {
+                FaultPlan::parse(&text)
+                    .unwrap_or_else(|err| panic!("malformed SLX_ENGINE_FAULT_PLAN: {err}"))
+            })
+        });
+        match plan {
+            Some(plan) => FaultPlane::armed(plan),
+            None => FaultPlane::disabled(),
+        }
+    }
+
     /// Turns on crash-tolerant checkpointing: every `every_n_levels` BFS
     /// levels (clamped to at least 1) the checker commits its complete
     /// resumable image — visited digests, frontier, findings, counters,
@@ -430,6 +475,12 @@ impl Checker {
     }
 
     /// Explores the space exhaustively from `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an I/O failure the hardened spill/checkpoint paths
+    /// could not absorb (see [`Checker::try_run`] for the fallible
+    /// form and [`EngineError`] for what can go wrong).
     pub fn run<Sp>(&self, space: &Sp, initial: Vec<Sp::State>) -> KernelOutcome<Sp::Finding>
     where
         Sp: StateSpace + Sync,
@@ -437,6 +488,26 @@ impl Checker {
         Sp::Finding: StateCodec,
     {
         self.run_until(space, initial, |_| false)
+    }
+
+    /// [`Checker::run`], returning the typed [`EngineError`] instead of
+    /// panicking when the exploration's I/O gives out: transient spill
+    /// and checkpoint errors are retried with bounded backoff, an
+    /// out-of-space spill directory degrades to a capped resident
+    /// frontier, and only a fault that survives all of that surfaces
+    /// here — with the path and operation named, never a torn image or a
+    /// leaked spill file.
+    pub fn try_run<Sp>(
+        &self,
+        space: &Sp,
+        initial: Vec<Sp::State>,
+    ) -> Result<KernelOutcome<Sp::Finding>, EngineError>
+    where
+        Sp: StateSpace + Sync,
+        Sp::State: DeltaCodec,
+        Sp::Finding: StateCodec,
+    {
+        self.try_run_until(space, initial, |_| false)
     }
 
     /// Explores the space from `initial`, stopping early once `stop`
@@ -455,6 +526,22 @@ impl Checker {
         Sp::Finding: StateCodec,
     {
         self.run_observed(space, initial, stop, |_, _| true)
+    }
+
+    /// [`Checker::run_until`] in the fallible form: see
+    /// [`Checker::try_run`].
+    pub fn try_run_until<Sp>(
+        &self,
+        space: &Sp,
+        initial: Vec<Sp::State>,
+        stop: impl FnMut(&[Sp::Finding]) -> bool,
+    ) -> Result<KernelOutcome<Sp::Finding>, EngineError>
+    where
+        Sp: StateSpace + Sync,
+        Sp::State: DeltaCodec,
+        Sp::Finding: StateCodec,
+    {
+        self.try_run_observed(space, initial, stop, |_, _| true)
     }
 
     /// [`Checker::run_until`] with a progress observer: `progress` is
@@ -480,6 +567,24 @@ impl Checker {
         Sp::State: DeltaCodec,
         Sp::Finding: StateCodec,
     {
+        self.try_run_observed(space, initial, stop, progress)
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// [`Checker::run_observed`] in the fallible form: see
+    /// [`Checker::try_run`].
+    pub fn try_run_observed<Sp>(
+        &self,
+        space: &Sp,
+        initial: Vec<Sp::State>,
+        stop: impl FnMut(&[Sp::Finding]) -> bool,
+        progress: impl FnMut(usize, &ExploreStats) -> bool,
+    ) -> Result<KernelOutcome<Sp::Finding>, EngineError>
+    where
+        Sp: StateSpace + Sync,
+        Sp::State: DeltaCodec,
+        Sp::Finding: StateCodec,
+    {
         match self.backend {
             Backend::ParallelBfs { threads } => {
                 self.run_bfs(space, initial, threads, stop, progress)
@@ -491,7 +596,9 @@ impl Checker {
                      backend has no checkpoint store, so \"resuming\" it would \
                      silently restart from scratch"
                 );
-                self.run_dfs(space, initial, stop, progress)
+                // DFS never spills and never checkpoints, so it has no
+                // fallible I/O to report.
+                Ok(self.run_dfs(space, initial, stop, progress))
             }
         }
     }
@@ -503,21 +610,30 @@ impl Checker {
         threads: usize,
         mut stop: impl FnMut(&[Sp::Finding]) -> bool,
         mut progress: impl FnMut(usize, &ExploreStats) -> bool,
-    ) -> KernelOutcome<Sp::Finding>
+    ) -> Result<KernelOutcome<Sp::Finding>, EngineError>
     where
         Sp: StateSpace + Sync,
         Sp::State: DeltaCodec,
         Sp::Finding: StateCodec,
     {
         let start = Stopwatch::start();
-        let spill = self.resolve_spill();
+        // The fault-injection plane (disarmed outside the robustness
+        // suites — every seam is then an inline no-op) threads into the
+        // spill pool and the checkpoint store, the two places this run
+        // touches a file system.
+        let plane = self.resolve_fault_plane();
+        let spill = self
+            .resolve_spill()
+            .map(|config| config.with_fault_plane(plane.clone()));
         let symmetry = self.resolve_symmetry() && space.has_symmetry_reduction();
         // The checkpoint store (if any) and the run-config header every
         // committed image carries — and every resume is validated
         // against. Built only when checkpointing or resuming is active:
         // the fingerprint digests the initial states, work a plain run
         // never needs.
-        let store = self.resolve_checkpoint();
+        let store = self
+            .resolve_checkpoint()
+            .map(|store| store.with_fault_plane(plane.clone()));
         // Fingerprint-only visited set, sharded by digest range. BFS
         // enqueues every state at its minimal depth by construction, so no
         // depth needs to be stored. Under symmetry reduction it holds
@@ -579,7 +695,7 @@ impl Checker {
             // space, configuration, and initial states.
             let expected = header.as_ref().expect("resuming implies a header");
             let loaded: LoadedCheckpoint<Sp::State, Sp::Finding> =
-                CheckpointStore::load(dir, expected);
+                CheckpointStore::try_load(dir, expected)?;
             visited = ShardedVisited::from_snapshot(loaded.visited);
             exact_seen = loaded.exact_seen.into_iter().collect();
             findings = loaded.findings;
@@ -599,7 +715,7 @@ impl Checker {
                 ..loaded.stats
             };
             for state in loaded.frontier {
-                frontier.push(state);
+                frontier.push(state)?;
             }
         } else {
             for state in initial {
@@ -611,10 +727,17 @@ impl Checker {
                 };
                 if visited.insert(digest.0) {
                     occupancy[visited.shard_of(digest.0)] += 1;
-                    frontier.push(state);
+                    frontier.push(state)?;
                 }
             }
         }
+        // Fault accounting already carried by the resumed image (zero for
+        // a fresh run): the plane's own counters start at zero each
+        // segment, so every report below adds them to these priors —
+        // exactly the `prior_elapsed` discipline, applied to fault
+        // counters.
+        let prior_faults = stats.faults_injected;
+        let prior_retries = stats.io_retries;
         'levels: while !frontier.is_empty() {
             // Commit a checkpoint at the configured level-boundary
             // cadence, before any of this level's work: the image then
@@ -631,7 +754,7 @@ impl Checker {
                         &|parent: &Sp::State, indices: &[usize], out: &mut Vec<Sp::State>| {
                             regenerate(space, parent, parent_depth, indices, out);
                         },
-                    );
+                    )?;
                     let mut exact: Vec<u128> = exact_seen.iter().copied().collect();
                     exact.sort_unstable();
                     let mut saved = stats.clone();
@@ -645,6 +768,11 @@ impl Checker {
                     // The image counts itself, so restoring it leaves the
                     // same lifetime total the uninterrupted run carries.
                     saved.checkpoints_written += 1;
+                    // Lifetime fault accounting, like `elapsed` above.
+                    // Faults drawn *during* this commit land in the next
+                    // image (and in the live stats), not this one.
+                    saved.faults_injected = prior_faults + plane.faults_injected();
+                    saved.io_retries = prior_retries + plane.io_retries();
                     // The commit is synchronous: a background-thread
                     // fdatasync was measured to *cost* throughput on
                     // single-core hosts (the committer steals scheduler
@@ -661,7 +789,7 @@ impl Checker {
                         &exact,
                         &snapshot,
                     );
-                    store.commit_bytes(&image);
+                    store.commit_bytes(&image)?;
                     stats.checkpoints_written += 1;
                 }
             }
@@ -669,6 +797,8 @@ impl Checker {
             // committed: a cancellation here leaves the freshest durable
             // image, so a cancelled-then-resumed run loses no work.
             stats.elapsed = prior_elapsed + start.elapsed();
+            stats.faults_injected = prior_faults + plane.faults_injected();
+            stats.io_retries = prior_retries + plane.io_retries();
             if !progress(depth, &stats) {
                 stats.stopped_early = true;
                 break 'levels;
@@ -682,6 +812,9 @@ impl Checker {
             stats.spilled_chunks += frontier.spilled_chunks();
             stats.spilled_bytes += frontier.spilled_bytes();
             stats.peak_resident_bytes = stats.peak_resident_bytes.max(frontier.peak_window_bytes());
+            // A frontier that hit ENOSPC and finished resident-degraded
+            // counts its level once, here, when the level is consumed.
+            stats.degraded_levels += usize::from(frontier.degraded());
             if let Some(budget) = self.config_budget {
                 let allowed = budget.saturating_sub(stats.configs);
                 if frontier.len() > allowed {
@@ -719,7 +852,7 @@ impl Checker {
             // `push_group`; reused across parents to avoid churn).
             let mut accepted: Vec<Sp::State> = Vec::new();
             let mut accepted_indices: Vec<usize> = Vec::new();
-            while let Some(chunk) = chunks.next_chunk(&regen) {
+            while let Some(chunk) = chunks.next_chunk(&regen)? {
                 stats.peak_resident_states = stats.peak_resident_states.max(chunk.len());
                 let expansions = expand_level(space, &chunk, depth, threads, symmetry);
 
@@ -783,7 +916,7 @@ impl Checker {
                             }
                         }
                     }
-                    next.push_group(parent, &mut accepted, &accepted_indices);
+                    next.push_group(parent, &mut accepted, &accepted_indices)?;
                     accepted_indices.clear();
                     if had_findings && stop(&findings) {
                         stats.stopped_early = true;
@@ -794,6 +927,7 @@ impl Checker {
                         stats.spilled_bytes += next.spilled_bytes();
                         stats.peak_resident_bytes =
                             stats.peak_resident_bytes.max(next.peak_window_bytes());
+                        stats.degraded_levels += usize::from(next.degraded());
                         break 'levels;
                     }
                 }
@@ -805,7 +939,9 @@ impl Checker {
         stats.replayed_parents = replayed.get();
         stats.shard_occupancy = occupancy;
         stats.elapsed = prior_elapsed + start.elapsed();
-        KernelOutcome { findings, stats }
+        stats.faults_injected = prior_faults + plane.faults_injected();
+        stats.io_retries = prior_retries + plane.io_retries();
+        Ok(KernelOutcome { findings, stats })
     }
 
     fn run_dfs<Sp>(

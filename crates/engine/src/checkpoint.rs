@@ -14,7 +14,7 @@
 //! performed* and may legitimately differ across a resume: the rebuilt
 //! frontier re-chunks from scratch.
 //!
-//! # On-disk layout (format version 2)
+//! # On-disk layout (format version 3)
 //!
 //! One file, `slx-checkpoint.bin`, inside the checkpoint directory. All
 //! integers use the [`crate::StateCodec`] wire format (LEB128 varints,
@@ -32,6 +32,9 @@
 //!                      the lifetime elapsed wall-clock in microseconds
 //!                      (added in format version 2: a resume accumulates
 //!                      it, so states_per_sec() stays a lifetime rate)
+//!                      and the lifetime fault-plane counters
+//!                      (faults_injected / io_retries / degraded_levels,
+//!                      added in format version 3)
 //! findings             count, then each via StateCodec
 //! visited set          per shard: digest count, then the digests
 //!                      sorted ascending (shards own contiguous digest
@@ -61,10 +64,12 @@
 //!   cross-version reinterpretation.
 //! - **Configuration validation**: [`crate::Checker::resume`] compares
 //!   every header field (space fingerprint, spill codec, symmetry, shard
-//!   count, config/memory budgets) against the resuming run and panics
-//!   on any mismatch, naming the field and both values. A mismatched
-//!   resume can only produce a silently wrong answer, so it is never
-//!   attempted.
+//!   count, config/memory budgets) against the resuming run and refuses
+//!   any mismatch with a typed
+//!   [`crate::EngineError::CheckpointConfigMismatch`] naming the field
+//!   and both values (the legacy panicking `run` surfaces render it
+//!   verbatim). A mismatched resume can only produce a silently wrong
+//!   answer, so it is never attempted.
 //! - **Integrity**: magic, version, and the trailing checksum are
 //!   verified before anything is decoded; torn, truncated, or
 //!   bit-flipped files fail loudly with the file path.
@@ -74,11 +79,11 @@
 //! the directory's lifecycle.
 
 use std::hash::Hasher;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use crate::codec::{DeltaCodec, DeltaCtx, StateCodec};
 use crate::digest::Fingerprinter;
+use crate::fault::{self, EngineError, FaultOp, FaultPlane};
 use crate::spill::SpillCodec;
 use crate::stats::ExploreStats;
 
@@ -90,8 +95,10 @@ const MAGIC: &[u8; 8] = b"SLXCKPT\0";
 /// change; loaders reject every other version. Version 2 added the
 /// lifetime `elapsed` microseconds to the stats section, so resumed runs
 /// report cumulative wall-clock (and truthful states/sec) instead of
-/// restarting the clock.
-const FORMAT_VERSION: u64 = 2;
+/// restarting the clock. Version 3 added the lifetime fault-plane
+/// counters (`faults_injected`/`io_retries`/`degraded_levels`) so a
+/// resume keeps reporting the faults absorbed by earlier segments.
+const FORMAT_VERSION: u64 = 3;
 
 /// The checkpoint file inside a store directory. The store is a single
 /// file: one atomic rename commits the whole image.
@@ -150,69 +157,71 @@ impl RunHeader {
         })
     }
 
-    /// Hard-validates this (stored) header against the resuming run's
-    /// configuration. Any mismatch panics naming the field and both
-    /// values — resuming under a different configuration can only
-    /// produce a silently wrong answer.
-    fn validate(&self, current: &RunHeader, path: &Path) {
-        fn mismatch(path: &Path, field: &str, stored: &str, current: &str) -> ! {
-            panic!(
-                "checkpoint {} was taken under a different configuration: \
-                 {field} was {stored} at checkpoint time but the resuming \
-                 run has {current}; resuming would silently change the \
-                 answer — resume with the original configuration or delete \
-                 the checkpoint directory to start fresh",
-                path.display()
-            )
+    /// Validates this (stored) header against the resuming run's
+    /// configuration. Any mismatch is a typed
+    /// [`EngineError::CheckpointConfigMismatch`] naming the field and
+    /// both values — resuming under a different configuration can only
+    /// produce a silently wrong answer, so it is never attempted. (The
+    /// legacy panicking entry points render the error, preserving the
+    /// pinned message text.)
+    fn validate(&self, current: &RunHeader, path: &Path) -> Result<(), EngineError> {
+        fn mismatch(path: &Path, field: &str, stored: String, current: String) -> EngineError {
+            EngineError::CheckpointConfigMismatch {
+                path: path.to_path_buf(),
+                field: field.to_string(),
+                stored,
+                current,
+            }
         }
         if self.space_fingerprint != current.space_fingerprint {
-            mismatch(
+            return Err(mismatch(
                 path,
                 "the state space (space type + initial-state digests)",
-                &format!("fingerprint {:#034x}", self.space_fingerprint),
-                &format!("fingerprint {:#034x}", current.space_fingerprint),
-            );
+                format!("fingerprint {:#034x}", self.space_fingerprint),
+                format!("fingerprint {:#034x}", current.space_fingerprint),
+            ));
         }
         if self.codec != current.codec {
-            mismatch(
+            return Err(mismatch(
                 path,
                 "the spill codec",
-                &format!("{:?}", self.codec),
-                &format!("{:?}", current.codec),
-            );
+                format!("{:?}", self.codec),
+                format!("{:?}", current.codec),
+            ));
         }
         if self.symmetry != current.symmetry {
-            mismatch(
+            return Err(mismatch(
                 path,
                 "symmetry reduction",
-                &format!("{:?}", self.symmetry),
-                &format!("{:?}", current.symmetry),
-            );
+                format!("{:?}", self.symmetry),
+                format!("{:?}", current.symmetry),
+            ));
         }
         if self.shards != current.shards {
-            mismatch(
+            return Err(mismatch(
                 path,
                 "the visited-set shard count",
-                &self.shards.to_string(),
-                &current.shards.to_string(),
-            );
+                self.shards.to_string(),
+                current.shards.to_string(),
+            ));
         }
         if self.config_budget != current.config_budget {
-            mismatch(
+            return Err(mismatch(
                 path,
                 "the configuration budget",
-                &format!("{:?}", self.config_budget),
-                &format!("{:?}", current.config_budget),
-            );
+                format!("{:?}", self.config_budget),
+                format!("{:?}", current.config_budget),
+            ));
         }
         if self.mem_budget != current.mem_budget {
-            mismatch(
+            return Err(mismatch(
                 path,
                 "the frontier memory budget",
-                &format!("{:?}", self.mem_budget),
-                &format!("{:?}", current.mem_budget),
-            );
+                format!("{:?}", self.mem_budget),
+                format!("{:?}", current.mem_budget),
+            ));
         }
+        Ok(())
     }
 }
 
@@ -242,17 +251,17 @@ pub(crate) struct LoadedCheckpoint<S, F> {
 pub struct CheckpointStore {
     dir: PathBuf,
     every: usize,
+    plane: FaultPlane,
 }
 
-/// Aborts a load on a structurally damaged file. Configuration
-/// *mismatches* get the richer [`RunHeader::validate`] report; this is
-/// for files that cannot be decoded at all.
-fn corrupt(path: &Path, what: &str) -> ! {
-    panic!(
-        "corrupt checkpoint {}: {what} — delete the checkpoint directory \
-         to start fresh",
-        path.display()
-    )
+/// Builds the typed error for a structurally damaged file.
+/// Configuration *mismatches* get the richer [`RunHeader::validate`]
+/// report; this is for files that cannot be decoded at all.
+fn corrupt(path: &Path, what: &str) -> EngineError {
+    EngineError::CheckpointCorrupt {
+        path: path.to_path_buf(),
+        what: what.to_string(),
+    }
 }
 
 impl CheckpointStore {
@@ -263,7 +272,17 @@ impl CheckpointStore {
         // effort: the file usually does not exist, and a commit recreates
         // it from scratch anyway.
         let _ = std::fs::remove_file(dir.join(format!("{FILE_NAME}.tmp")));
-        CheckpointStore { dir, every }
+        CheckpointStore {
+            dir,
+            every,
+            plane: FaultPlane::disabled(),
+        }
+    }
+
+    /// Routes this store's commit I/O through a fault-injection plane.
+    pub(crate) fn with_fault_plane(mut self, plane: FaultPlane) -> CheckpointStore {
+        self.plane = plane;
+        self
     }
 
     /// The level-boundary cadence: a checkpoint is written every this
@@ -309,7 +328,8 @@ impl CheckpointStore {
         let buf = CheckpointStore::encode_image(
             header, depth, stats, findings, visited, exact_seen, frontier,
         );
-        self.commit_bytes(&buf);
+        self.commit_bytes(&buf)
+            .unwrap_or_else(|err| panic!("{err}"));
     }
 
     /// Serializes one complete checkpoint image — the pure-CPU half of a
@@ -376,116 +396,165 @@ impl CheckpointStore {
     /// point leaves either the previous or the new committed image —
     /// never a torn one.
     ///
-    /// # Panics
-    ///
-    /// Panics (naming the path) if the image cannot be written.
-    pub(crate) fn commit_bytes(&self, buf: &[u8]) {
+    /// Transient (EINTR-class) failures — injected or real — are
+    /// absorbed by bounded retry; each attempt recreates the staging
+    /// file from scratch (`File::create` truncates), so torn bytes from
+    /// a failed attempt never survive into the committed image. A
+    /// persistent failure removes the staging sibling and surfaces as
+    /// [`EngineError::CheckpointIo`]; the previously committed image is
+    /// untouched either way.
+    pub(crate) fn commit_bytes(&self, buf: &[u8]) -> Result<(), EngineError> {
         let live = CheckpointStore::file_path(&self.dir);
         let tmp = self.dir.join(format!("{FILE_NAME}.tmp"));
-        let commit = || -> std::io::Result<()> {
+        let plane = &self.plane;
+        fault::with_io_retries(plane, || {
             let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(buf)?;
+            fault::faulty_write_all(plane, FaultOp::CkptWrite, &mut file, buf)?;
             // fdatasync: the data plus the metadata needed to read it
             // back (the size) must be durable before the rename makes
             // the image the live one; timestamps and the rest of the
             // inode are not part of the commit, and skipping them saves
             // a journal flush per image on ext4.
+            if let Some(kind) = plane.inject(FaultOp::CkptSync) {
+                return Err(kind.to_io_error());
+            }
             file.sync_data()?;
             drop(file);
+            if let Some(kind) = plane.inject(FaultOp::CkptRename) {
+                return Err(kind.to_io_error());
+            }
             std::fs::rename(&tmp, &live)
-        };
-        commit().unwrap_or_else(|err| panic!("cannot commit checkpoint {}: {err}", live.display()));
+        })
+        .map_err(|err| {
+            // Leave no torn staging file behind a failed commit.
+            let _ = std::fs::remove_file(&tmp);
+            EngineError::CheckpointIo {
+                path: live.clone(),
+                op: "commit",
+                msg: err.to_string(),
+            }
+        })
     }
 
-    /// Loads and fully validates the committed checkpoint in `dir`.
+    /// Loads and fully validates the committed checkpoint in `dir`,
+    /// panicking on any failure — the legacy entry point the panicking
+    /// `run` surfaces use. The message is the rendered
+    /// [`EngineError`], so the pinned text is identical to what
+    /// [`CheckpointStore::try_load`] callers report.
     ///
     /// # Panics
     ///
     /// Panics (naming the path) on a missing or structurally damaged
     /// file — bad magic, unsupported format version, checksum mismatch,
-    /// undecodable section — and panics via [`RunHeader::validate`]
-    /// (naming the field and both values) when the stored run
-    /// configuration differs from `expected`.
+    /// undecodable section — and (naming the field and both values)
+    /// when the stored run configuration differs from `expected`.
+    #[cfg(test)]
     pub(crate) fn load<S: DeltaCodec + Clone, F: StateCodec>(
         dir: &Path,
         expected: &RunHeader,
     ) -> LoadedCheckpoint<S, F> {
+        CheckpointStore::try_load(dir, expected).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Loads and fully validates the committed checkpoint in `dir`.
+    ///
+    /// The error distinguishes the three distinct operator responses:
+    /// [`EngineError::CheckpointCorrupt`] and
+    /// [`EngineError::CheckpointVersion`] mean "re-run from scratch"
+    /// (the file itself is unusable),
+    /// [`EngineError::CheckpointConfigMismatch`] means "wrong
+    /// configuration — resume with the original one" (the file is
+    /// fine), and [`EngineError::CheckpointIo`] is an environment
+    /// problem (missing file, permissions).
+    pub(crate) fn try_load<S: DeltaCodec + Clone, F: StateCodec>(
+        dir: &Path,
+        expected: &RunHeader,
+    ) -> Result<LoadedCheckpoint<S, F>, EngineError> {
         let path = CheckpointStore::file_path(dir);
-        let bytes = std::fs::read(&path)
-            .unwrap_or_else(|err| panic!("cannot read checkpoint {}: {err}", path.display()));
+        let bytes = std::fs::read(&path).map_err(|err| EngineError::CheckpointIo {
+            path: path.clone(),
+            op: "read",
+            msg: err.to_string(),
+        })?;
         if bytes.len() < MAGIC.len() + 16 {
-            corrupt(&path, "file is shorter than its magic and checksum");
+            return Err(corrupt(
+                &path,
+                "file is shorter than its magic and checksum",
+            ));
         }
         let (body, trailer) = bytes.split_at(bytes.len() - 16);
         let stored_checksum = u128::from_le_bytes(trailer.try_into().expect("16-byte trailer"));
         let mut fp = Fingerprinter::new();
         fp.write(body);
         if fp.digest().0 != stored_checksum {
-            corrupt(&path, "checksum mismatch (torn or bit-flipped file)");
+            return Err(corrupt(
+                &path,
+                "checksum mismatch (torn or bit-flipped file)",
+            ));
         }
         if &body[..MAGIC.len()] != MAGIC {
-            corrupt(&path, "bad magic (not a checkpoint file)");
+            return Err(corrupt(&path, "bad magic (not a checkpoint file)"));
         }
         let mut input = &body[MAGIC.len()..];
         let Some(version) = u64::decode(&mut input) else {
-            corrupt(&path, "unreadable format version");
+            return Err(corrupt(&path, "unreadable format version"));
         };
-        assert!(
-            version == FORMAT_VERSION,
-            "checkpoint {} has format version {version}, but this build \
-             reads only version {FORMAT_VERSION} — re-run the exploration \
-             from scratch (checkpoint layouts do not migrate)",
-            path.display()
-        );
+        if version != FORMAT_VERSION {
+            return Err(EngineError::CheckpointVersion {
+                path: path.clone(),
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
         let Some(header) = RunHeader::decode(&mut input) else {
-            corrupt(&path, "unreadable run-config header");
+            return Err(corrupt(&path, "unreadable run-config header"));
         };
-        header.validate(expected, &path);
+        header.validate(expected, &path)?;
         let Some(depth) = usize::decode(&mut input) else {
-            corrupt(&path, "unreadable depth");
+            return Err(corrupt(&path, "unreadable depth"));
         };
         let Some(stats) = decode_stats(&mut input) else {
-            corrupt(&path, "unreadable statistics");
+            return Err(corrupt(&path, "unreadable statistics"));
         };
         let Some(finding_count) = usize::decode(&mut input) else {
-            corrupt(&path, "unreadable finding count");
+            return Err(corrupt(&path, "unreadable finding count"));
         };
         let mut findings = Vec::with_capacity(finding_count.min(input.len()));
         for _ in 0..finding_count {
             let Some(finding) = F::decode(&mut input) else {
-                corrupt(&path, "undecodable finding");
+                return Err(corrupt(&path, "undecodable finding"));
             };
             findings.push(finding);
         }
         let Some(shard_count) = usize::decode(&mut input) else {
-            corrupt(&path, "unreadable shard count");
+            return Err(corrupt(&path, "unreadable shard count"));
         };
         let mut visited = Vec::with_capacity(shard_count.min(input.len()));
         for _ in 0..shard_count {
             let Some(len) = usize::decode(&mut input) else {
-                corrupt(&path, "unreadable visited-shard length");
+                return Err(corrupt(&path, "unreadable visited-shard length"));
             };
             let mut shard = Vec::with_capacity(len.min(input.len()));
             for _ in 0..len {
                 let Some(digest) = u128::decode(&mut input) else {
-                    corrupt(&path, "undecodable visited digest");
+                    return Err(corrupt(&path, "undecodable visited digest"));
                 };
                 shard.push(digest);
             }
             visited.push(shard);
         }
         let Some(exact_count) = usize::decode(&mut input) else {
-            corrupt(&path, "unreadable exact-seen count");
+            return Err(corrupt(&path, "unreadable exact-seen count"));
         };
         let mut exact_seen = Vec::with_capacity(exact_count.min(input.len()));
         for _ in 0..exact_count {
             let Some(digest) = u128::decode(&mut input) else {
-                corrupt(&path, "undecodable exact-seen digest");
+                return Err(corrupt(&path, "undecodable exact-seen digest"));
             };
             exact_seen.push(digest);
         }
         let Some(frontier_count) = usize::decode(&mut input) else {
-            corrupt(&path, "unreadable frontier count");
+            return Err(corrupt(&path, "unreadable frontier count"));
         };
         let mut frontier: Vec<S> = Vec::with_capacity(frontier_count.min(input.len()));
         let mut ctx = DeltaCtx::new();
@@ -495,21 +564,21 @@ impl CheckpointStore {
                 SpillCodec::Plain | SpillCodec::Replay => S::decode(&mut input),
             };
             let Some(state) = state else {
-                corrupt(&path, "undecodable frontier state");
+                return Err(corrupt(&path, "undecodable frontier state"));
             };
             frontier.push(state);
         }
         if !input.is_empty() {
-            corrupt(&path, "trailing bytes after the frontier section");
+            return Err(corrupt(&path, "trailing bytes after the frontier section"));
         }
-        LoadedCheckpoint {
+        Ok(LoadedCheckpoint {
             depth,
             stats,
             findings,
             visited,
             exact_seen,
             frontier,
-        }
+        })
     }
 }
 
@@ -532,6 +601,9 @@ fn encode_stats(stats: &ExploreStats, out: &mut Vec<u8>) {
     stats.replayed_parents.encode(out);
     stats.truncated.encode(out);
     stats.checkpoints_written.encode(out);
+    stats.faults_injected.encode(out);
+    stats.io_retries.encode(out);
+    stats.degraded_levels.encode(out);
     stats.shard_occupancy.encode(out);
     u64::try_from(stats.elapsed.as_micros())
         .unwrap_or(u64::MAX)
@@ -552,6 +624,9 @@ fn decode_stats(input: &mut &[u8]) -> Option<ExploreStats> {
         replayed_parents: usize::decode(input)?,
         truncated: bool::decode(input)?,
         checkpoints_written: usize::decode(input)?,
+        faults_injected: u64::decode(input)?,
+        io_retries: u64::decode(input)?,
+        degraded_levels: usize::decode(input)?,
         shard_occupancy: Vec::decode(input)?,
         elapsed: std::time::Duration::from_micros(u64::decode(input)?),
         ..ExploreStats::default()
@@ -593,6 +668,9 @@ mod tests {
             peak_frontier: 44,
             truncated: true,
             checkpoints_written: 2,
+            faults_injected: 5,
+            io_retries: 3,
+            degraded_levels: 1,
             shard_occupancy: vec![30, 31, 32, 30],
             elapsed: std::time::Duration::from_micros(1_234_567),
             ..ExploreStats::default()
@@ -746,7 +824,7 @@ mod tests {
         let path = CheckpointStore::file_path(&dir);
         let bytes = std::fs::read(&path).unwrap();
         // Rebuild the file with a bumped version varint (FORMAT_VERSION
-        // is 1, a single byte) and a recomputed checksum.
+        // is small enough to be a single byte) and a recomputed checksum.
         let mut body = bytes[..bytes.len() - 16].to_vec();
         assert_eq!(body[MAGIC.len()], FORMAT_VERSION as u8);
         body[MAGIC.len()] = 0x7f;

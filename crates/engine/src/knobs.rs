@@ -38,6 +38,11 @@ pub enum KnobKind {
     Choice(&'static [&'static str]),
     /// A filesystem path, taken verbatim.
     Path,
+    /// Free-form text with its own downstream parser (e.g. the fault
+    /// plan grammar); the accessor hands the raw string through and the
+    /// consumer owns validation — still a hard error naming the
+    /// variable, never a silent default.
+    Text,
 }
 
 /// One environment knob: its name, value shape, default, and one-line
@@ -140,6 +145,15 @@ pub static SLX_CKPT_RUN_STALL_AFTER: Knob = Knob {
     doc: "checkpoint_run crash probe: park after this many levels",
 };
 
+/// Seeded fault-injection plan (see [`crate::FaultPlan`]); unset means
+/// the fault plane is disarmed and every seam is a no-op.
+pub static SLX_ENGINE_FAULT_PLAN: Knob = Knob {
+    name: "SLX_ENGINE_FAULT_PLAN",
+    kind: KnobKind::Text,
+    default: "unset (fault injection off)",
+    doc: "Seeded fault-injection plan: seed=N[,rate=R][,ops=a+b][,kinds=x+y]",
+};
+
 /// Every knob the workspace reads, in documentation order. `slx-analyze`
 /// checks this list against both the code (no unregistered `SLX_*`
 /// literal, no unreferenced entry) and the EXPERIMENTS.md knob table.
@@ -152,6 +166,7 @@ pub static REGISTRY: &[&Knob] = &[
     &SLX_ENGINE_SYMMETRY,
     &SLX_ENGINE_CHECKPOINT_DIR,
     &SLX_ENGINE_CHECKPOINT_EVERY,
+    &SLX_ENGINE_FAULT_PLAN,
     &SLX_SERVER_STALL_AFTER,
     &SLX_CKPT_RUN_STALL_AFTER,
 ];
@@ -280,6 +295,18 @@ impl Knob {
             .filter(|v| !v.is_empty())
             .map(PathBuf::from)
     }
+
+    /// Reads a [`KnobKind::Text`] knob verbatim. `None` when unset or
+    /// empty. The consumer owns parsing (and the hard-error contract).
+    #[must_use]
+    pub fn text_value(&self) -> Option<String> {
+        assert!(
+            matches!(self.kind, KnobKind::Text),
+            "{} is not a text knob",
+            self.name
+        );
+        self.raw()
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +329,8 @@ mod tests {
         assert!(std::panic::catch_unwind(|| SLX_ENGINE_THREADS.flag_value()).is_err());
         assert!(std::panic::catch_unwind(|| SLX_ENGINE_THREADS.choice_value()).is_err());
         assert!(std::panic::catch_unwind(|| SLX_ENGINE_THREADS.path_value()).is_err());
+        assert!(std::panic::catch_unwind(|| SLX_ENGINE_THREADS.text_value()).is_err());
+        assert!(std::panic::catch_unwind(|| SLX_ENGINE_FAULT_PLAN.usize_value()).is_err());
     }
 
     // The accept/reject parsing contract itself (hard errors naming the

@@ -52,7 +52,16 @@
 //!   backend commits its complete resumable image — visited digests,
 //!   frontier, findings, counters, and a validated run-config header —
 //!   with atomic rename semantics, and [`Checker::resume`] continues the
-//!   run bit-identically in verdict, state counts, and truncation flags.
+//!   run bit-identically in verdict, state counts, and truncation flags;
+//! - [`FaultPlane`] — a deterministic fault-injection plane over every
+//!   fallible I/O seam (spill file create/write/read/unlink, checkpoint
+//!   write/sync/rename), armed by a seeded [`FaultPlan`]
+//!   ([`Checker::with_fault_plan`] or `SLX_ENGINE_FAULT_PLAN`; a no-op
+//!   when disarmed). The hardened paths behind it retry transient
+//!   faults with bounded backoff, degrade gracefully when the spill
+//!   directory runs out of space, and surface anything unrecoverable as
+//!   a typed [`EngineError`] ([`Checker::try_run`]) — never a torn
+//!   checkpoint image or a leaked spill file.
 //!
 //! The kernel is dependency-free and fully generic; `slx-explorer`,
 //! `slx-adversary`, and the `slx-core` grid drivers all layer on it.
@@ -76,6 +85,7 @@ mod checkpoint;
 mod codec;
 mod detmap;
 mod digest;
+mod fault;
 pub mod knobs;
 mod space;
 mod spill;
@@ -87,6 +97,7 @@ pub use checkpoint::CheckpointStore;
 pub use codec::{decode_slice_delta, encode_slice_delta, DeltaCodec, DeltaCtx, StateCodec};
 pub use detmap::{DetBuildHasher, DetHashMap, DetHashSet};
 pub use digest::{digest128_of, digest64_of, digest64_of_iter, Digest, Fingerprinter};
+pub use fault::{EngineError, FaultKind, FaultOp, FaultPlan, FaultPlane};
 pub use space::{Expansion, StateSpace};
 pub use spill::SpillCodec;
 pub use stats::{ExploreStats, Stopwatch};

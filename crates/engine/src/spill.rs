@@ -64,12 +64,13 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::codec::{DeltaCodec, DeltaCtx, StateCodec};
+use crate::fault::{self, EngineError, FaultOp, FaultPlane};
 
 /// How spill-chunk records are encoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -121,6 +122,9 @@ pub(crate) struct SpillConfig {
     pub(crate) codec: SpillCodec,
     /// The run's shared file pool.
     pub(crate) pool: Rc<RefCell<SpillPool>>,
+    /// The run's fault-injection seam (disarmed by default — one inline
+    /// `None` check per I/O call).
+    pub(crate) plane: FaultPlane,
 }
 
 impl SpillConfig {
@@ -134,8 +138,17 @@ impl SpillConfig {
                 encoded_states: 0,
                 encoded_bytes: 0,
                 sonde_state_bytes: INITIAL_STATE_BYTES,
+                plane: FaultPlane::disabled(),
             })),
+            plane: FaultPlane::disabled(),
         }
+    }
+
+    /// Routes this run's spill I/O through a fault-injection plane.
+    pub(crate) fn with_fault_plane(mut self, plane: FaultPlane) -> SpillConfig {
+        self.pool.borrow_mut().plane = plane.clone();
+        self.plane = plane;
+        self
     }
 }
 
@@ -172,6 +185,9 @@ pub(crate) struct SpillPool {
     /// alone would lag behind — the accumulating-history shape that
     /// broke the original state-count window.
     sonde_state_bytes: u64,
+    /// The run's fault-injection seam, carried into created files (the
+    /// unlink seam lives on the file's drop).
+    plane: FaultPlane,
 }
 
 /// Pessimistic per-state record-size estimate before any feedback exists:
@@ -185,10 +201,11 @@ const INITIAL_STATE_BYTES: u64 = 64;
 const SONDE_EVERY: usize = 8;
 
 impl SpillPool {
-    fn lease(&mut self) -> SpillFile {
-        self.free
-            .pop()
-            .unwrap_or_else(|| SpillFile::create(&self.dir))
+    fn lease(&mut self) -> std::io::Result<SpillFile> {
+        match self.free.pop() {
+            Some(file) => Ok(file),
+            None => SpillFile::create(&self.dir, self.plane.clone()),
+        }
     }
 
     fn recycle(&mut self, file: SpillFile) {
@@ -335,10 +352,18 @@ fn decode_chunk<S: DeltaCodec + Clone>(
 struct SpillFile {
     file: File,
     path: PathBuf,
+    plane: FaultPlane,
 }
 
 impl Drop for SpillFile {
     fn drop(&mut self) {
+        // An injected unlink fault models EINTR on the unlink syscall:
+        // it is unconditionally retried (a spill file must never leak),
+        // so the seam exercises only the retry accounting — the file is
+        // removed either way.
+        if self.plane.inject(FaultOp::SpillUnlink).is_some() {
+            self.plane.note_retry();
+        }
         let _ = std::fs::remove_file(&self.path);
     }
 }
@@ -347,8 +372,11 @@ impl Drop for SpillFile {
 static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl SpillFile {
-    fn create(dir: &std::path::Path) -> SpillFile {
+    fn create(dir: &std::path::Path, plane: FaultPlane) -> std::io::Result<SpillFile> {
         loop {
+            if let Some(kind) = plane.inject(FaultOp::SpillCreate) {
+                return Err(kind.to_io_error());
+            }
             let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
             let path = dir.join(format!("slx-spill-{}-{seq}.bin", std::process::id()));
             match OpenOptions::new()
@@ -357,9 +385,9 @@ impl SpillFile {
                 .create_new(true)
                 .open(&path)
             {
-                Ok(file) => return SpillFile { file, path },
+                Ok(file) => return Ok(SpillFile { file, path, plane }),
                 Err(err) if err.kind() == std::io::ErrorKind::AlreadyExists => continue,
-                Err(err) => panic!("cannot create spill file {}: {err}", path.display()),
+                Err(err) => return Err(err),
             }
         }
     }
@@ -448,6 +476,10 @@ struct SpillState<S> {
     sonde_countdown: usize,
     /// Reused sonde buffer; never written anywhere, only measured.
     scratch: Vec<u8>,
+    /// Set when a flush hit a persistent out-of-space error: the level
+    /// finishes resident (no further encode or flush work), bounded by
+    /// the [`fault::DEGRADED_CAP_CHUNKS`] hard cap.
+    degraded: bool,
 }
 
 impl<S> Drop for SpillState<S> {
@@ -476,6 +508,7 @@ impl<S: DeltaCodec + Clone> SpillFrontier<S> {
                 spilled_bytes: 0,
                 sonde_countdown: 0,
                 scratch: Vec::new(),
+                degraded: false,
             }),
             total: 0,
             limit: None,
@@ -483,13 +516,16 @@ impl<S: DeltaCodec + Clone> SpillFrontier<S> {
     }
 
     /// Appends one state with no parent context (initial states). Push
-    /// order is replay order.
-    pub(crate) fn push(&mut self, state: S) {
+    /// order is replay order. Fails only on a persistent spill I/O error
+    /// ([`EngineError::SpillIo`]) or past the degraded-mode cap
+    /// ([`EngineError::SpillExhausted`]); no-spill frontiers are
+    /// infallible.
+    pub(crate) fn push(&mut self, state: S) -> Result<(), EngineError> {
         debug_assert!(self.limit.is_none(), "push after truncate is undefined");
         self.total += 1;
         self.resident.push(state);
         let Some(spill) = &mut self.spill else {
-            return;
+            return Ok(());
         };
         if spill.config.codec == SpillCodec::Replay {
             spill.pending.push_back(ReplayMeta {
@@ -518,7 +554,7 @@ impl<S: DeltaCodec + Clone> SpillFrontier<S> {
             }
             spill.report_sonde(1);
         }
-        self.settle();
+        self.settle()
     }
 
     /// Appends one parent's contiguous run of accepted successors:
@@ -535,19 +571,25 @@ impl<S: DeltaCodec + Clone> SpillFrontier<S> {
     /// most once per frontier replay. Under the other codecs (and without
     /// a spill config) this is equivalent to pushing each child
     /// individually.
-    pub(crate) fn push_group(&mut self, parent: S, children: &mut Vec<S>, indices: &[usize]) {
+    pub(crate) fn push_group(
+        &mut self,
+        parent: S,
+        children: &mut Vec<S>,
+        indices: &[usize],
+    ) -> Result<(), EngineError> {
         debug_assert_eq!(children.len(), indices.len(), "one index per child");
         debug_assert!(
             indices.windows(2).all(|w| w[0] < w[1]),
             "action indices are push-order positions, strictly increasing"
         );
         if children.is_empty() {
-            return;
+            return Ok(());
         }
         match &mut self.spill {
             None => {
                 self.total += children.len();
                 self.resident.append(children);
+                Ok(())
             }
             Some(spill) if spill.config.codec == SpillCodec::Replay => {
                 debug_assert!(self.limit.is_none(), "push after truncate is undefined");
@@ -577,12 +619,13 @@ impl<S: DeltaCodec + Clone> SpillFrontier<S> {
                 });
                 spill.pending_indices.extend(indices.iter().copied());
                 self.resident.append(children);
-                self.settle();
+                self.settle()
             }
             Some(_) => {
                 for child in children.drain(..) {
-                    self.push(child);
+                    self.push(child)?;
                 }
+                Ok(())
             }
         }
     }
@@ -593,23 +636,32 @@ impl<S: DeltaCodec + Clone> SpillFrontier<S> {
     /// encoded per iteration, so the buffer never overshoots the budget
     /// by more than a single record even when record sizes grow across a
     /// level.
-    fn settle(&mut self) {
+    ///
+    /// A frontier that has degraded (persistent out-of-space on a flush)
+    /// does no further codec or disk work; it only polices the resident
+    /// hard cap, failing with [`EngineError::SpillExhausted`] once the
+    /// level's estimated resident bytes exceed
+    /// [`fault::DEGRADED_CAP_CHUNKS`] chunk budgets.
+    fn settle(&mut self) -> Result<(), EngineError> {
         let Some(spill) = &mut self.spill else {
-            return;
+            return Ok(());
         };
         loop {
+            if spill.degraded {
+                return spill.check_degraded_cap(self.resident.len());
+            }
             let unencoded = self.resident.len() - spill.encoded;
             if unencoded == 0 {
-                return;
+                return Ok(());
             }
             let avg = spill.config.pool.borrow().est_state_bytes();
             let window_est = spill.buf.len() as u64 + unencoded as u64 * avg;
             if window_est < spill.config.chunk_bytes as u64 {
-                return;
+                return Ok(());
             }
             spill.encode_next(&self.resident);
             if spill.buf.len() >= spill.config.chunk_bytes {
-                spill.flush_encoded(&mut self.resident);
+                spill.flush_encoded(&mut self.resident)?;
             }
         }
     }
@@ -651,6 +703,12 @@ impl<S: DeltaCodec + Clone> SpillFrontier<S> {
             .map_or(0, |spill| spill.peak_window_bytes)
     }
 
+    /// Whether this frontier hit a persistent out-of-space error and
+    /// finished (or is finishing) its level resident.
+    pub(crate) fn degraded(&self) -> bool {
+        self.spill.as_ref().is_some_and(|spill| spill.degraded)
+    }
+
     /// A non-destructive copy of every state the frontier will replay, in
     /// push order — the checkpoint store's frontier image. Spilled chunks
     /// decode through the same record paths as
@@ -659,25 +717,23 @@ impl<S: DeltaCodec + Clone> SpillFrontier<S> {
     /// frontier (still fully replayable afterwards) nor any replay
     /// statistics; the decoded resident tail is then cloned directly.
     ///
-    /// # Panics
-    ///
-    /// Panics (naming the file, chunk, and codec) if a spilled chunk
-    /// cannot be read back or fails to decode.
-    pub(crate) fn snapshot_states(&mut self, regen: &impl Regenerator<S>) -> Vec<S> {
+    /// Fails with [`EngineError::SpillIo`] if a spilled chunk cannot be
+    /// read back past the bounded retry; panics (naming the file, chunk,
+    /// and codec) if a read-back record fails to decode — a damaged
+    /// spill file cannot be explored soundly.
+    pub(crate) fn snapshot_states(
+        &mut self,
+        regen: &impl Regenerator<S>,
+    ) -> Result<Vec<S>, EngineError> {
         let mut states: Vec<S> = Vec::with_capacity(self.len());
         if let Some(spill) = &mut self.spill {
             let mut ctx = DeltaCtx::new();
             let mut regenerated = 0usize;
+            let plane = spill.config.plane.clone();
             let metas = spill.chunks.clone();
             for (chunk_index, meta) in metas.iter().enumerate() {
                 let file = spill.file.as_mut().expect("spilled chunks imply a file");
-                let mut bytes = vec![0u8; meta.len];
-                file.file
-                    .seek(SeekFrom::Start(meta.offset))
-                    .and_then(|_| file.file.read_exact(&mut bytes))
-                    .unwrap_or_else(|err| {
-                        panic!("spill read from {} failed: {err}", file.path.display())
-                    });
+                let bytes = read_chunk_bytes(&plane, file, meta)?;
                 let context = ChunkContext {
                     path: &file.path,
                     chunk_index,
@@ -696,7 +752,7 @@ impl<S: DeltaCodec + Clone> SpillFrontier<S> {
         }
         states.extend_from_slice(&self.resident);
         states.truncate(self.len());
-        states
+        Ok(states)
     }
 
     /// Consumes the frontier into its chunk replay. Chunks come back in
@@ -794,19 +850,63 @@ impl<S: DeltaCodec> SpillState<S> {
     /// Appends the window buffer (the records of `resident`'s encoded
     /// prefix) to the spill file as one chunk and drops that prefix from
     /// the decoded window.
-    fn flush_encoded(&mut self, resident: &mut Vec<S>) {
+    ///
+    /// Transient (EINTR-class) errors — injected or real — get bounded
+    /// retry; each attempt re-seeks to the chunk's start offset, so a
+    /// torn partial write is simply overwritten by the next attempt and
+    /// never becomes a live chunk. A persistent out-of-space error flips
+    /// the frontier into degraded mode (the level finishes resident;
+    /// already-committed chunks stay valid); any other persistent error
+    /// is [`EngineError::SpillIo`].
+    fn flush_encoded(&mut self, resident: &mut Vec<S>) -> Result<(), EngineError> {
         if self.encoded == 0 {
-            return;
+            return Ok(());
         }
-        let file = self
-            .file
-            .get_or_insert_with(|| self.config.pool.borrow_mut().lease());
-        // Seek explicitly: a recycled file's cursor is wherever the
-        // previous frontier's replay left it.
-        file.file
-            .seek(SeekFrom::Start(self.spilled_bytes))
-            .and_then(|_| file.file.write_all(&self.buf))
-            .unwrap_or_else(|err| panic!("spill write to {} failed: {err}", file.path.display()));
+        let plane = self.config.plane.clone();
+        let write = fault::with_io_retries(&plane, || {
+            if self.file.is_none() {
+                self.file = Some(self.config.pool.borrow_mut().lease()?);
+            }
+            let file = self.file.as_mut().expect("just leased");
+            // Seek explicitly: a recycled file's cursor is wherever the
+            // previous frontier's replay left it — and a retry after a
+            // torn write must restart from the chunk's own offset.
+            file.file.seek(SeekFrom::Start(self.spilled_bytes))?;
+            fault::faulty_write_all(&plane, FaultOp::SpillWrite, &mut file.file, &self.buf)
+        });
+        if let Err(err) = write {
+            // A missing file means the lease (creation) itself failed.
+            let (path, op) = match &self.file {
+                Some(file) => (file.path.clone(), "write"),
+                None => (self.config.pool.borrow().dir.clone(), "create"),
+            };
+            // Never strand the pooled file on the error path: an empty
+            // lease goes straight back to the pool (hygiene holds even
+            // under injected ENOSPC), while a file already holding
+            // committed chunks of this frontier must stay — those chunks
+            // are replayed at consume time.
+            if self.chunks.is_empty() {
+                if let Some(file) = self.file.take() {
+                    self.config.pool.borrow_mut().recycle(file);
+                }
+            }
+            if fault::is_out_of_space(&err) {
+                // Graceful degradation: keep every unflushed state
+                // resident and stop touching the disk. The encoded
+                // buffer is discarded, not the states — `resident` still
+                // holds everything past the committed chunks.
+                self.degraded = true;
+                self.buf.clear();
+                self.encoded = 0;
+                self.prev_parent = None;
+                return self.check_degraded_cap(resident.len());
+            }
+            return Err(EngineError::SpillIo {
+                path,
+                op,
+                msg: err.to_string(),
+            });
+        }
         self.chunks.push(ChunkMeta {
             offset: self.spilled_bytes,
             len: self.buf.len(),
@@ -817,7 +917,51 @@ impl<S: DeltaCodec> SpillState<S> {
         resident.drain(..self.encoded);
         self.encoded = 0;
         self.prev_parent = None;
+        Ok(())
     }
+
+    /// Polices the degraded-mode hard cap: a frontier that can no longer
+    /// spill may keep at most [`fault::DEGRADED_CAP_CHUNKS`] chunk
+    /// budgets of estimated resident bytes before the run fails typed,
+    /// naming the spill directory and the cap.
+    fn check_degraded_cap(&self, resident_states: usize) -> Result<(), EngineError> {
+        let pool = self.config.pool.borrow();
+        let budget = self
+            .config
+            .chunk_bytes
+            .saturating_mul(fault::DEGRADED_CAP_CHUNKS);
+        if resident_states as u64 * pool.est_state_bytes() > budget as u64 {
+            return Err(EngineError::SpillExhausted {
+                path: pool.dir.clone(),
+                budget,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Reads one committed chunk's bytes back through the fault plane's
+/// read seam, with bounded retry on transient errors; a persistent
+/// failure is a typed [`EngineError::SpillIo`] naming the file.
+fn read_chunk_bytes(
+    plane: &FaultPlane,
+    file: &mut SpillFile,
+    meta: &ChunkMeta,
+) -> Result<Vec<u8>, EngineError> {
+    let mut bytes = vec![0u8; meta.len];
+    fault::with_io_retries(plane, || {
+        if let Some(kind) = plane.inject(FaultOp::SpillRead) {
+            return Err(kind.to_io_error());
+        }
+        file.file.seek(SeekFrom::Start(meta.offset))?;
+        file.file.read_exact(&mut bytes)
+    })
+    .map_err(|err| EngineError::SpillIo {
+        path: file.path.clone(),
+        op: "read",
+        msg: err.to_string(),
+    })?;
+    Ok(bytes)
 }
 
 /// Consuming chunk replay of a [`SpillFrontier`]; owns (and on drop
@@ -841,32 +985,30 @@ pub(crate) struct FrontierChunks<S> {
 }
 
 impl<S: DeltaCodec + Clone> FrontierChunks<S> {
-    /// The next chunk of states, in push order, or `None` when the replay
-    /// (or its truncation point) is exhausted. `regen` regenerates
+    /// The next chunk of states, in push order, or `Ok(None)` when the
+    /// replay (or its truncation point) is exhausted. `regen` regenerates
     /// [`SpillCodec::Replay`] group records and is never invoked for the
     /// other codecs.
     ///
-    /// # Panics
-    ///
-    /// Panics if the spill file cannot be read back or a record fails to
-    /// decode — a damaged spill file cannot be explored soundly, so the
-    /// run fails loudly rather than silently dropping states.
-    pub(crate) fn next_chunk(&mut self, regen: &impl Regenerator<S>) -> Option<Vec<S>> {
+    /// Fails with [`EngineError::SpillIo`] if the spill file cannot be
+    /// read back past the bounded retry; panics if a read-back record
+    /// fails to decode — a damaged spill file cannot be explored
+    /// soundly, so the run fails loudly rather than silently dropping
+    /// states.
+    pub(crate) fn next_chunk(
+        &mut self,
+        regen: &impl Regenerator<S>,
+    ) -> Result<Option<Vec<S>>, EngineError> {
         if self.remaining == 0 {
-            return None;
+            return Ok(None);
         }
         if let Some(spill) = &mut self.spill {
             if let Some(meta) = spill.chunks.get(self.next_chunk).copied() {
                 let chunk_index = self.next_chunk;
                 self.next_chunk += 1;
                 let file = spill.file.as_mut().expect("spilled chunks imply a file");
-                let mut bytes = vec![0u8; meta.len];
-                file.file
-                    .seek(SeekFrom::Start(meta.offset))
-                    .and_then(|_| file.file.read_exact(&mut bytes))
-                    .unwrap_or_else(|err| {
-                        panic!("spill read from {} failed: {err}", file.path.display())
-                    });
+                let plane = spill.config.plane.clone();
+                let bytes = read_chunk_bytes(&plane, file, &meta)?;
                 let yield_count = meta.count.min(self.remaining);
                 self.remaining -= yield_count;
                 let mut states: Vec<S> = Vec::with_capacity(yield_count);
@@ -884,17 +1026,19 @@ impl<S: DeltaCodec + Clone> FrontierChunks<S> {
                     &mut self.regenerated_parents,
                     &mut states,
                 );
-                return Some(states);
+                return Ok(Some(states));
             }
         }
         // The decoded tail: never touched a decode or a regeneration.
-        let mut window = self.resident.take()?;
+        let Some(mut window) = self.resident.take() else {
+            return Ok(None);
+        };
         window.truncate(self.remaining);
         self.remaining = 0;
         if window.is_empty() {
-            None
+            Ok(None)
         } else {
-            Some(window)
+            Ok(Some(window))
         }
     }
 
@@ -909,6 +1053,8 @@ impl<S: DeltaCodec + Clone> FrontierChunks<S> {
 
 #[cfg(test)]
 mod tests {
+    use std::io::Write as _;
+
     use super::*;
     use crate::Digest;
 
@@ -937,7 +1083,7 @@ mod tests {
     ) -> (Vec<S>, Vec<usize>) {
         let mut all = Vec::new();
         let mut sizes = Vec::new();
-        while let Some(chunk) = chunks.next_chunk(regen) {
+        while let Some(chunk) = chunks.next_chunk(regen).expect("replay read") {
             sizes.push(chunk.len());
             all.extend(chunk);
         }
@@ -954,7 +1100,7 @@ mod tests {
     fn push_parent_groups(frontier: &mut SpillFrontier<u64>, groups: &[(u64, &[usize])]) {
         for &(parent, indices) in groups {
             let mut children: Vec<u64> = indices.iter().map(|&i| 10 * parent + i as u64).collect();
-            frontier.push_group(parent, &mut children, indices);
+            frontier.push_group(parent, &mut children, indices).unwrap();
         }
     }
 
@@ -968,7 +1114,7 @@ mod tests {
     fn resident_mode_replays_in_one_chunk() {
         let mut frontier: SpillFrontier<u64> = SpillFrontier::new(None);
         for s in states(10) {
-            frontier.push(s);
+            frontier.push(s).unwrap();
         }
         assert_eq!(frontier.len(), 10);
         assert_eq!(frontier.spilled_chunks(), 0);
@@ -984,7 +1130,7 @@ mod tests {
         // chunk threshold spills every fourth push.
         let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(test_config(8)));
         for s in states(100) {
-            frontier.push(s);
+            frontier.push(s).unwrap();
         }
         assert!(frontier.spilled_chunks() >= 20, "must have spilled");
         assert!(frontier.spilled_bytes() >= 2 * 90);
@@ -1019,8 +1165,8 @@ mod tests {
                 })
                 .collect();
             for s in &siblings {
-                delta.push(s.clone());
-                plain.push(s.clone());
+                delta.push(s.clone()).unwrap();
+                plain.push(s.clone()).unwrap();
             }
             assert!(
                 delta.spilled_chunks() >= 2,
@@ -1076,7 +1222,7 @@ mod tests {
         assert!(frontier.spilled_chunks() >= 4, "must spill repeatedly");
         let mut chunks = frontier.into_chunks();
         let mut total = 0;
-        while let Some(chunk) = chunks.next_chunk(&group_regen) {
+        while let Some(chunk) = chunks.next_chunk(&group_regen).expect("replay read") {
             total += chunk.len();
         }
         assert_eq!(total, 40 * 3);
@@ -1118,8 +1264,12 @@ mod tests {
         for parent in &parents {
             let mut children: Vec<Vec<u64>> = (0..3u64).map(|i| child_of(parent, i)).collect();
             let indices = [0usize, 1, 2];
-            delta.push_group(parent.clone(), &mut children.clone(), &indices);
-            replay.push_group(parent.clone(), &mut children, &indices);
+            delta
+                .push_group(parent.clone(), &mut children.clone(), &indices)
+                .unwrap();
+            replay
+                .push_group(parent.clone(), &mut children, &indices)
+                .unwrap();
         }
         assert!(delta.spilled_chunks() >= 2 && replay.spilled_chunks() >= 1);
         assert!(
@@ -1160,7 +1310,7 @@ mod tests {
             let mut one = Vec::new();
             s.encode(&mut one);
             max_record = max_record.max(one.len());
-            frontier.push(s.clone());
+            frontier.push(s.clone()).unwrap();
         }
         assert!(frontier.spilled_chunks() >= 4, "must spill repeatedly");
         assert!(
@@ -1186,8 +1336,8 @@ mod tests {
             let mut resident: SpillFrontier<u64> = SpillFrontier::new(None);
             let mut spilled: SpillFrontier<u64> = SpillFrontier::new(Some(test_config(16)));
             for s in states(100) {
-                resident.push(s);
-                spilled.push(s);
+                resident.push(s).unwrap();
+                spilled.push(s).unwrap();
             }
             resident.truncate(cut);
             spilled.truncate(cut);
@@ -1224,7 +1374,7 @@ mod tests {
         let mut frontier: SpillFrontier<u64> =
             SpillFrontier::new(Some(SpillConfig::new(6, SpillCodec::Replay, test_dir())));
         for s in states(40) {
-            frontier.push(s);
+            frontier.push(s).unwrap();
         }
         assert!(frontier.spilled_chunks() >= 4);
         let (all, _) = drain(frontier.into_chunks(), &no_regen::<u64>());
@@ -1238,7 +1388,7 @@ mod tests {
             let mut frontier: SpillFrontier<u64> =
                 SpillFrontier::new(Some(SpillConfig::new(1 << 20, codec, dir.clone())));
             for s in states(50) {
-                frontier.push(s);
+                frontier.push(s).unwrap();
             }
             assert_eq!(frontier.spilled_chunks(), 0, "{codec:?}");
             assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0, "{codec:?}");
@@ -1254,7 +1404,7 @@ mod tests {
         let config = SpillConfig::new(8, SpillCodec::Delta, dir.clone());
         let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(config.clone()));
         for s in states(64) {
-            frontier.push(s);
+            frontier.push(s).unwrap();
         }
         let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
         assert_eq!(files.len(), 1, "one spill file per frontier");
@@ -1279,7 +1429,7 @@ mod tests {
         for round in 0..3 {
             let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(config.clone()));
             for s in states(64) {
-                frontier.push(s);
+                frontier.push(s).unwrap();
             }
             let (all, _) = drain(frontier.into_chunks(), &no_regen());
             assert_eq!(all, states(64), "round {round}");
@@ -1304,7 +1454,7 @@ mod tests {
         let config = SpillConfig::new(12, SpillCodec::Delta, dir.clone());
         let mut big: SpillFrontier<u64> = SpillFrontier::new(Some(config.clone()));
         for s in states(200) {
-            big.push(s);
+            big.push(s).unwrap();
         }
         let (all_big, _) = drain(big.into_chunks(), &no_regen());
         assert_eq!(all_big, states(200));
@@ -1312,7 +1462,7 @@ mod tests {
             let mut small: SpillFrontier<u64> = SpillFrontier::new(Some(config.clone()));
             let expected: Vec<u64> = states(20).into_iter().map(|s| s + 1000 * round).collect();
             for &s in &expected {
-                small.push(s);
+                small.push(s).unwrap();
             }
             assert!(small.spilled_chunks() >= 2, "round {round} must spill");
             let (all_small, _) = drain(small.into_chunks(), &no_regen());
@@ -1329,10 +1479,10 @@ mod tests {
             let mut frontier: SpillFrontier<u64> =
                 SpillFrontier::new(Some(SpillConfig::new(8, codec, dir.clone())));
             for s in states(64) {
-                frontier.push(s);
+                frontier.push(s).unwrap();
             }
             let mut chunks = frontier.into_chunks();
-            let _ = chunks.next_chunk(&no_regen());
+            let _ = chunks.next_chunk(&no_regen()).expect("replay read");
             drop(chunks);
             assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0, "{codec:?}");
         }
@@ -1351,9 +1501,9 @@ mod tests {
                 (0..20u64).map(|p| (p, &[0usize, 1, 2][..])).collect();
             push_parent_groups(&mut frontier, &groups);
             assert!(frontier.spilled_chunks() >= 2, "{codec:?} must spill");
-            let snapshot = frontier.snapshot_states(&group_regen);
+            let snapshot = frontier.snapshot_states(&group_regen).unwrap();
             assert_eq!(snapshot.len(), frontier.len(), "{codec:?}");
-            let again = frontier.snapshot_states(&group_regen);
+            let again = frontier.snapshot_states(&group_regen).unwrap();
             assert_eq!(snapshot, again, "{codec:?}: snapshot is repeatable");
             let (replayed, _) = drain(frontier.into_chunks(), &group_regen);
             assert_eq!(snapshot, replayed, "{codec:?}");
@@ -1361,16 +1511,16 @@ mod tests {
         // Resident-only frontier (nothing spilled): a straight clone.
         let mut resident: SpillFrontier<u64> = SpillFrontier::new(None);
         for s in states(10) {
-            resident.push(s);
+            resident.push(s).unwrap();
         }
-        assert_eq!(resident.snapshot_states(&no_regen()), states(10));
+        assert_eq!(resident.snapshot_states(&no_regen()).unwrap(), states(10));
         // Truncation caps the snapshot exactly like the replay.
         let mut cut: SpillFrontier<u64> = SpillFrontier::new(Some(test_config(16)));
         for s in states(50) {
-            cut.push(s);
+            cut.push(s).unwrap();
         }
         cut.truncate(13);
-        assert_eq!(cut.snapshot_states(&no_regen()), states(13));
+        assert_eq!(cut.snapshot_states(&no_regen()).unwrap(), states(13));
     }
 
     #[test]
@@ -1379,7 +1529,7 @@ mod tests {
             let mut frontier: SpillFrontier<u64> =
                 SpillFrontier::new(Some(SpillConfig::new(8, codec, test_dir())));
             for s in states(40) {
-                frontier.push(s);
+                frontier.push(s).unwrap();
             }
             assert!(frontier.spilled_chunks() >= 2, "{codec:?} must spill");
             // Overwrite the second chunk with bytes no varint decoder
@@ -1426,7 +1576,7 @@ mod tests {
         // documents the byte cost the layout saves (16 bytes per record).
         let mut frontier: SpillFrontier<u64> = SpillFrontier::new(Some(test_config(8)));
         for s in states(10) {
-            frontier.push(s);
+            frontier.push(s).unwrap();
         }
         let per_record = frontier.peak_window_bytes() as f64 / 4.0;
         assert!(

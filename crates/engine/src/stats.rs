@@ -100,6 +100,19 @@ pub struct ExploreStats {
     /// including those carried over from the segments a resumed run
     /// continues (0 when checkpointing is off).
     pub checkpoints_written: usize,
+    /// Faults injected by the run's [`crate::FaultPlane`] across every
+    /// seam (spill, checkpoint — the engine-owned surfaces). Always 0
+    /// when `SLX_ENGINE_FAULT_PLAN` is unset and no plan was supplied:
+    /// the acceptance bar for "the disarmed plane is free".
+    pub faults_injected: u64,
+    /// Transient (EINTR-class) I/O errors absorbed by bounded
+    /// retry-with-backoff on the spill and checkpoint paths. Nonzero
+    /// only under an armed fault plane or a genuinely flaky filesystem.
+    pub io_retries: u64,
+    /// BFS levels that finished resident after the spill path hit a
+    /// persistent out-of-space error and degraded gracefully instead of
+    /// failing the run.
+    pub degraded_levels: usize,
     /// Worker threads used by the backend.
     pub threads: usize,
     /// Visited-set shards used by the backend (1 for DFS).
@@ -205,6 +218,13 @@ impl fmt::Display for ExploreStats {
         if self.checkpoints_written > 0 {
             write!(f, ", {} checkpoints written", self.checkpoints_written)?;
         }
+        if self.faults_injected > 0 || self.io_retries > 0 || self.degraded_levels > 0 {
+            write!(
+                f,
+                ", {} faults injected ({} retries, {} degraded levels)",
+                self.faults_injected, self.io_retries, self.degraded_levels
+            )?;
+        }
         write!(
             f,
             "{}{}",
@@ -248,6 +268,9 @@ mod tests {
             stopped_early: false,
             resumed_from_depth: Some(8),
             checkpoints_written: 3,
+            faults_injected: 7,
+            io_retries: 4,
+            degraded_levels: 1,
             threads: 2,
             shards: 4,
             shard_occupancy: vec![4, 2, 2, 2],
@@ -263,6 +286,18 @@ mod tests {
         assert!(s.contains("symmetry (2 orbit hits)"));
         assert!(s.contains("resumed from depth 8"));
         assert!(s.contains("3 checkpoints written"));
+        assert!(s.contains("7 faults injected (4 retries, 1 degraded levels)"));
+    }
+
+    #[test]
+    fn display_omits_fault_counters_for_clean_runs() {
+        let stats = ExploreStats {
+            configs: 10,
+            threads: 1,
+            shards: 1,
+            ..ExploreStats::default()
+        };
+        assert!(!stats.to_string().contains("faults injected"));
     }
 
     #[test]

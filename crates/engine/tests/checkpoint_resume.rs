@@ -437,6 +437,69 @@ fn stale_staging_files_from_a_kill_mid_commit_are_reclaimed_on_resume() {
     std::fs::remove_dir_all(&dir).expect("checkpoint dir cleanup");
 }
 
+#[test]
+fn a_failed_commit_never_tears_the_previous_image() {
+    // ENOSPC or a torn write *during* `commit_bytes` (injected on the
+    // checkpoint write/sync/rename seams) must surface as a typed error
+    // that leaves the previously committed image loadable and no staging
+    // file behind — the atomic-rename discipline under real fault
+    // pressure, not just a planted panic between commits. Seed-pinned:
+    // one worker thread makes every schedule's outcome deterministic.
+    use slx_engine::{FaultKind, FaultOp, FaultPlan};
+    let baseline = cell_checker(0, SpillCodec::Delta, false).run(&grid(20), vec![(0, 0)]);
+    let mut failures = 0u32;
+    let mut failures_with_an_image = 0u32;
+    for seed in 0..16u64 {
+        let dir = unique_dir("commit-fault");
+        let plan = FaultPlan::seeded(seed)
+            .with_rate(96)
+            .with_ops(&[FaultOp::CkptWrite, FaultOp::CkptSync, FaultOp::CkptRename])
+            .with_kinds(&[FaultKind::Enospc, FaultKind::Torn]);
+        let result = cell_checker(0, SpillCodec::Delta, false)
+            .with_checkpoint(&dir, 1)
+            .with_fault_plan(plan)
+            .try_run(&grid(20), vec![(0, 0)]);
+        match result {
+            Ok(out) => {
+                assert_eq!(out.findings, baseline.findings, "seed {seed}");
+                assert_eq!(
+                    identical_part(&out.stats),
+                    identical_part(&baseline.stats),
+                    "seed {seed}"
+                );
+            }
+            Err(err) => {
+                failures += 1;
+                assert!(
+                    !dir.join("slx-checkpoint.bin.tmp").exists(),
+                    "seed {seed}: staging file stranded after {err}"
+                );
+                if CheckpointStore::exists(&dir) {
+                    failures_with_an_image += 1;
+                    let resumed = cell_checker(0, SpillCodec::Delta, false)
+                        .resume(&dir)
+                        .run(&grid(20), vec![(0, 0)]);
+                    assert_eq!(resumed.findings, baseline.findings, "seed {seed}");
+                    assert_eq!(
+                        identical_part(&resumed.stats),
+                        identical_part(&baseline.stats),
+                        "seed {seed}"
+                    );
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).expect("checkpoint dir cleanup");
+    }
+    // Exact floors, not probabilistic hopes (the schedules are fixed):
+    // the seeds must produce commit failures, and some of those failures
+    // must happen *after* an image committed — the interesting case.
+    assert!(failures > 0, "no seed made a commit fail");
+    assert!(
+        failures_with_an_image > 0,
+        "no failure left a prior image to validate ({failures} failures)"
+    );
+}
+
 /// Renders a caught panic payload for message assertions.
 fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
     err.downcast_ref::<String>()

@@ -1,0 +1,293 @@
+//! Fault-soak differential: a run under a seeded fault schedule must
+//! either finish **bit-identical** to the fault-free run or fail with a
+//! typed [`EngineError`] — never a panic, never a torn checkpoint image,
+//! never a leaked spill file — across the
+//! {resident, plain, delta, replay} × {symmetry on, off} matrix.
+//!
+//! Faults come from the engine's own [`FaultPlan`] seams (spill
+//! create/write/read/unlink, checkpoint write/sync/rename), injected by
+//! a SplitMix64 schedule: with a single worker thread the draw order is
+//! fixed, so every cell's outcome is deterministic and the asserts are
+//! exact, not probabilistic. Transient faults (EINTR, short writes) must
+//! be absorbed by the bounded retry loop; ENOSPC on the spill path must
+//! degrade to resident frontiers; everything else must surface as a
+//! structured error whose checkpoint directory still resumes cleanly.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use slx_engine::{
+    Checker, CheckpointStore, Digest, EngineError, Expansion, ExploreStats, FaultKind, FaultOp,
+    FaultPlan, SpillCodec, StateSpace,
+};
+
+/// Transpose-symmetric grid walk, the `checkpoint_resume` fixture
+/// without the crash switch: `(x, y)` with moves +x/+y to a bound, a
+/// finding at the far corner, coordinate-sort canonicalization.
+struct SymGrid {
+    bound: u32,
+}
+
+impl StateSpace for SymGrid {
+    type State = (u32, u32);
+    type Finding = (u32, u32);
+
+    fn digest(&self, state: &Self::State) -> Digest {
+        slx_engine::digest128_of(state)
+    }
+
+    fn expand(&self, &(x, y): &Self::State, _depth: usize, ctx: &mut Expansion<Self>) {
+        if x == self.bound && y == self.bound {
+            ctx.finding((x, y));
+            return;
+        }
+        if x < self.bound {
+            ctx.push((x + 1, y));
+        }
+        if y < self.bound {
+            ctx.push((x, y + 1));
+        }
+    }
+
+    fn has_symmetry_reduction(&self) -> bool {
+        true
+    }
+
+    fn canonical_digest(&self, state: &Self::State) -> Digest {
+        self.digest(&self.orbit_representative(state))
+    }
+
+    fn orbit_representative(&self, &(x, y): &Self::State) -> Self::State {
+        (x.min(y), x.max(y))
+    }
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "slx-fault-soak-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("test dir");
+    dir
+}
+
+fn dir_entries(dir: &PathBuf) -> Vec<String> {
+    std::fs::read_dir(dir)
+        .unwrap_or_else(|err| panic!("dir {} unreadable: {err}", dir.display()))
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect()
+}
+
+/// The statistics the differential pins bit-identically — the same set
+/// as the resume contract. Spill-volume counters measure I/O actually
+/// performed and legitimately differ once faults force retries or
+/// degraded (resident) levels.
+fn identical_part(stats: &ExploreStats) -> impl PartialEq + std::fmt::Debug {
+    (
+        stats.configs,
+        stats.transitions,
+        stats.dedup_hits,
+        stats.orbit_hits,
+        stats.peak_frontier,
+        stats.shard_occupancy.clone(),
+        stats.truncated,
+        stats.stopped_early,
+    )
+}
+
+fn cell_checker(budget: usize, codec: SpillCodec, symmetry: bool) -> Checker {
+    Checker::parallel_bfs(1)
+        .with_shards(8)
+        .with_mem_budget(budget)
+        .with_spill_codec(codec)
+        .with_symmetry(symmetry)
+}
+
+/// Every engine-side seam (the socket ops belong to `slx-server`).
+const ENGINE_OPS: [FaultOp; 7] = [
+    FaultOp::SpillCreate,
+    FaultOp::SpillWrite,
+    FaultOp::SpillRead,
+    FaultOp::SpillUnlink,
+    FaultOp::CkptWrite,
+    FaultOp::CkptSync,
+    FaultOp::CkptRename,
+];
+
+#[test]
+fn seeded_fault_schedules_never_change_the_verdict_or_tear_state() {
+    // (budget, codec) arms as in `checkpoint_resume`: budget 0 is the
+    // resident arm (checkpoint seams only), 128 bytes forces every wide
+    // unreduced level of the 41-wide grid to spill through the cell's
+    // codec.
+    let arms = [
+        (0usize, SpillCodec::Delta),
+        (128, SpillCodec::Plain),
+        (128, SpillCodec::Delta),
+        (128, SpillCodec::Replay),
+    ];
+    // Three soak schedules per cell, graded by survivability: a
+    // transient-only storm the retry loop must mostly absorb, a mixed
+    // low-rate drizzle, and a hard-fault schedule that mostly ends in a
+    // structured failure (exercising the resume-after-failure leg). The
+    // draw schedule is per-(seed, op), so each is a genuinely different
+    // soak.
+    let schedules: [(u64, u32, &[FaultKind]); 3] = [
+        (3, 128, &[FaultKind::Eintr, FaultKind::Short]),
+        (
+            0x5EED,
+            24,
+            &[
+                FaultKind::Enospc,
+                FaultKind::Eintr,
+                FaultKind::Short,
+                FaultKind::Torn,
+            ],
+        ),
+        (0xDEAD_BEEF, 64, &[FaultKind::Enospc, FaultKind::Torn]),
+    ];
+    let mut survived_with_faults = 0u64;
+    let mut total_injected = 0u64;
+    let mut total_retries = 0u64;
+    let mut clean_failures = 0u64;
+    let mut resumed_after_failure = 0u64;
+    let mut cell = 0u64;
+    for (budget, codec) in arms {
+        for symmetry in [false, true] {
+            cell += 1;
+            let space = SymGrid { bound: 40 };
+            let baseline = cell_checker(budget, codec, symmetry).run(&space, vec![(0, 0)]);
+            assert_eq!(baseline.findings, vec![(40, 40)]);
+            // The disabled-plane discipline: with no plan armed the new
+            // counters must stay exactly zero.
+            assert_eq!(baseline.stats.faults_injected, 0);
+            assert_eq!(baseline.stats.io_retries, 0);
+            assert_eq!(baseline.stats.degraded_levels, 0);
+
+            for (base_seed, rate, kinds) in schedules {
+                // Salt the schedule per cell: identical seeds would make
+                // every budget-0 cell draw the same checkpoint-seam
+                // sequence and die at the same commit.
+                let seed = base_seed ^ (cell << 32);
+                let ckpt_dir = unique_dir("ckpt");
+                let spill_dir = unique_dir("spill");
+                let label =
+                    format!("{codec:?}/sym={symmetry}/budget={budget}/seed={seed:#x}/rate={rate}");
+                let plan = FaultPlan::seeded(seed)
+                    .with_rate(rate)
+                    .with_ops(&ENGINE_OPS)
+                    .with_kinds(kinds);
+                let result = cell_checker(budget, codec, symmetry)
+                    .with_spill_dir(&spill_dir)
+                    .with_checkpoint(&ckpt_dir, 2)
+                    .with_fault_plan(plan)
+                    .try_run(&space, vec![(0, 0)]);
+                match result {
+                    Ok(out) => {
+                        assert_eq!(out.findings, baseline.findings, "{label}");
+                        assert_eq!(
+                            identical_part(&out.stats),
+                            identical_part(&baseline.stats),
+                            "{label}"
+                        );
+                        if out.stats.faults_injected > 0 {
+                            survived_with_faults += 1;
+                        }
+                        total_injected += out.stats.faults_injected;
+                        total_retries += out.stats.io_retries;
+                    }
+                    Err(err) => {
+                        // A clean structured failure: an I/O-shaped
+                        // variant naming its seam — any other class
+                        // (corruption, version, config) would mean the
+                        // injection broke an invariant it must not.
+                        clean_failures += 1;
+                        match &err {
+                            EngineError::SpillIo { .. }
+                            | EngineError::SpillExhausted { .. }
+                            | EngineError::CheckpointIo { .. } => {}
+                            other => panic!("{label}: unexpected failure class: {other}"),
+                        }
+                        // Never a torn image: no staging file survives a
+                        // failed commit, and whatever image did commit
+                        // resumes fault-free to the baseline verdict.
+                        assert!(
+                            !ckpt_dir.join("slx-checkpoint.bin.tmp").exists(),
+                            "{label}: stranded staging file after {err}"
+                        );
+                        if CheckpointStore::exists(&ckpt_dir) {
+                            resumed_after_failure += 1;
+                            let resumed = cell_checker(budget, codec, symmetry)
+                                .resume(&ckpt_dir)
+                                .run(&space, vec![(0, 0)]);
+                            assert_eq!(resumed.findings, baseline.findings, "{label}");
+                            assert_eq!(
+                                identical_part(&resumed.stats),
+                                identical_part(&baseline.stats),
+                                "{label}"
+                            );
+                        }
+                    }
+                }
+                // Never a leaked spill file, however the run ended.
+                if spill_dir.exists() {
+                    assert_eq!(dir_entries(&spill_dir), Vec::<String>::new(), "{label}");
+                }
+                std::fs::remove_dir_all(&ckpt_dir).expect("ckpt dir cleanup");
+                let _ = std::fs::remove_dir_all(&spill_dir);
+            }
+        }
+    }
+    // The soak must exercise both sides of the differential: runs that
+    // absorbed faults and still matched bit for bit, and runs that
+    // failed structurally and resumed. All deterministic given the
+    // seeds, so these are exact floors, not probabilistic hopes.
+    assert!(
+        survived_with_faults > 0 && total_injected > 0 && total_retries > 0,
+        "no run absorbed faults ({survived_with_faults} runs, {total_injected} faults, \
+         {total_retries} retries)"
+    );
+    assert!(
+        clean_failures > 0 && resumed_after_failure > 0,
+        "no run failed structurally ({clean_failures} failures, \
+         {resumed_after_failure} resumed)"
+    );
+}
+
+#[test]
+fn enospc_on_the_spill_path_degrades_to_resident_levels() {
+    // ENOSPC-only schedule aimed at the spill seams: the run must finish
+    // (levels fall back to resident once the disk "fills"), report the
+    // degradation, and still match the fault-free run bit for bit.
+    for codec in [SpillCodec::Plain, SpillCodec::Delta, SpillCodec::Replay] {
+        let space = SymGrid { bound: 40 };
+        let baseline = cell_checker(128, codec, false).run(&space, vec![(0, 0)]);
+        let spill_dir = unique_dir("enospc");
+        let plan = FaultPlan::seeded(0xD15C)
+            .with_rate(512)
+            .with_ops(&[FaultOp::SpillCreate, FaultOp::SpillWrite])
+            .with_kinds(&[FaultKind::Enospc]);
+        let out = cell_checker(128, codec, false)
+            .with_spill_dir(&spill_dir)
+            .with_fault_plan(plan)
+            .try_run(&space, vec![(0, 0)])
+            .unwrap_or_else(|err| panic!("{codec:?}: ENOSPC must degrade, not fail: {err}"));
+        assert_eq!(out.findings, baseline.findings, "{codec:?}");
+        assert_eq!(
+            identical_part(&out.stats),
+            identical_part(&baseline.stats),
+            "{codec:?}"
+        );
+        assert!(out.stats.faults_injected > 0, "{codec:?}");
+        assert!(
+            out.stats.degraded_levels > 0,
+            "{codec:?}: a half-rate ENOSPC schedule must degrade some level"
+        );
+        if spill_dir.exists() {
+            assert_eq!(dir_entries(&spill_dir), Vec::<String>::new(), "{codec:?}");
+        }
+        let _ = std::fs::remove_dir_all(&spill_dir);
+    }
+}

@@ -377,6 +377,62 @@ fn pool_recycles_at_most_two_files_under_delta_spilling() {
 }
 
 #[test]
+fn injected_enospc_leaves_no_spill_files_behind() {
+    // The temp-file-leak regression: a chunk write that fails with
+    // ENOSPC used to strand the half-written file outside the pool's
+    // cleanup. Under an injected out-of-space schedule every codec must
+    // finish (degrading to resident levels) or fail with a typed error —
+    // and either way the spill directory must end empty.
+    use slx_engine::{EngineError, FaultKind, FaultOp, FaultPlan};
+    for codec in CODECS {
+        let dir = fresh_dir("enospc");
+        let baseline = Checker::parallel_bfs(1)
+            .with_mem_budget(0)
+            .run(&tree(9), vec![0]);
+        let plan = FaultPlan::seeded(0xBAD_D15C)
+            .with_rate(256)
+            .with_ops(&[
+                FaultOp::SpillCreate,
+                FaultOp::SpillWrite,
+                FaultOp::SpillRead,
+            ])
+            .with_kinds(&[FaultKind::Enospc]);
+        let result = Checker::parallel_bfs(1)
+            .with_mem_budget(256)
+            .with_spill_dir(&dir)
+            .with_spill_codec(codec)
+            .with_fault_plan(plan)
+            .try_run(&tree(9), vec![0]);
+        match result {
+            Ok(out) => {
+                assert_eq!(out.findings, baseline.findings, "{codec:?}");
+                assert_eq!(out.stats.configs, baseline.stats.configs, "{codec:?}");
+                assert!(out.stats.faults_injected > 0, "{codec:?}");
+                assert!(
+                    out.stats.degraded_levels > 0,
+                    "{codec:?}: a quarter-rate ENOSPC schedule must degrade"
+                );
+            }
+            Err(err) => assert!(
+                matches!(
+                    err,
+                    EngineError::SpillIo { .. } | EngineError::SpillExhausted { .. }
+                ),
+                "{codec:?}: unexpected failure class: {err}"
+            ),
+        }
+        if dir.exists() {
+            assert_eq!(
+                dir_entries(&dir),
+                Vec::<String>::new(),
+                "{codec:?}: ENOSPC must not strand spill files"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+#[test]
 fn spilled_run_is_bit_identical_to_resident_run() {
     // The hygiene suite's sanity anchor: the same space explored with and
     // without spilling (budget pinned off) reports identical results.

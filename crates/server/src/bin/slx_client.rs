@@ -11,7 +11,11 @@
 //! Exits 0 on a verdict, 1 on a server-reported error or wire failure.
 
 use slx_server::client::verdict_line;
-use slx_server::{connect, CheckRequest, ServiceOutcome};
+use slx_server::{run_with_reconnect, CheckRequest, ServiceOutcome};
+
+/// Total submissions (first try + reconnects) before giving up: rides
+/// out a server restart without spinning forever against a dead one.
+const ATTEMPTS: usize = 5;
 
 fn usage() -> ! {
     eprintln!(
@@ -44,32 +48,30 @@ fn main() {
         progress_every,
     };
 
-    let mut conn = connect(&addr).unwrap_or_else(|e| {
-        eprintln!("slx_client: cannot connect to {addr}: {e}");
+    // Reconnect-and-resubmit on transport failures: the server resumes
+    // the id from its checkpoint, so a mid-run server restart still
+    // ends in the same deterministic verdict line.
+    let outcome = run_with_reconnect(&addr, &req, ATTEMPTS, |p| {
+        eprintln!(
+            "progress id={} depth={} configs={} transitions={} peak_frontier={} \
+             elapsed_us={} checkpoints={}{}",
+            p.request_id,
+            p.depth,
+            p.configs,
+            p.transitions,
+            p.peak_frontier,
+            p.elapsed_micros,
+            p.checkpoints_written,
+            match p.resumed_from_depth {
+                Some(d) => format!(" resumed_from={d}"),
+                None => String::new(),
+            }
+        );
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("slx_client: {e}");
         std::process::exit(1);
     });
-    let outcome = conn
-        .run_to_verdict(&req, |p| {
-            eprintln!(
-                "progress id={} depth={} configs={} transitions={} peak_frontier={} \
-                 elapsed_us={} checkpoints={}{}",
-                p.request_id,
-                p.depth,
-                p.configs,
-                p.transitions,
-                p.peak_frontier,
-                p.elapsed_micros,
-                p.checkpoints_written,
-                match p.resumed_from_depth {
-                    Some(d) => format!(" resumed_from={d}"),
-                    None => String::new(),
-                }
-            );
-        })
-        .unwrap_or_else(|e| {
-            eprintln!("slx_client: {e}");
-            std::process::exit(1);
-        });
 
     match outcome {
         ServiceOutcome::Verdict(v) => {

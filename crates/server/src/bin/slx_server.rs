@@ -35,11 +35,21 @@ fn main() {
         .unwrap_or(2);
 
     let stall_after = slx_engine::knobs::SLX_SERVER_STALL_AFTER.usize_value();
+    // Arms the socket fault seams (accepts, connection reads/writes) for
+    // the robustness suites; the engine parses the same plan for its own
+    // spill/checkpoint seams inside each worker's checker.
+    let fault_plan = slx_engine::knobs::SLX_ENGINE_FAULT_PLAN
+        .text_value()
+        .map(|text| {
+            slx_engine::FaultPlan::parse(&text)
+                .unwrap_or_else(|err| panic!("malformed SLX_ENGINE_FAULT_PLAN: {err}"))
+        });
 
     let mut config = ServerConfig::new(root);
     config.workers = workers;
     config.checkpoint_every = every;
     config.stall_after = stall_after;
+    config.fault_plan = fault_plan;
 
     let handle =
         CheckServer::start(&addr, config, ScenarioRegistry::builtin()).unwrap_or_else(|e| {

@@ -104,6 +104,63 @@ impl Connection {
     }
 }
 
+/// Reconnect backoff, capped: quick first retry for a blip, slower
+/// later ones for a restarting server.
+const RECONNECT_BACKOFF_MS: [u64; 4] = [100, 250, 500, 1000];
+
+/// Submits `req` and rides out transport failures: on a connect error,
+/// an I/O error mid-stream, or a server hangup before the terminal
+/// frame, it reconnects (capped backoff) and resubmits the *same*
+/// request id — the server resumes the run from that id's checkpoint
+/// directory, so the eventual verdict is bit-identical to an
+/// uninterrupted run's. A `duplicate request id` refusal is also
+/// retried: it means the previous incarnation of this request is still
+/// draining after our old connection died, and becomes resumable the
+/// moment it reaches its terminal frame. Protocol violations and every
+/// other server-reported error return immediately; `attempts` bounds
+/// the total number of submissions (min 1).
+pub fn run_with_reconnect(
+    addr: &str,
+    req: &CheckRequest,
+    attempts: usize,
+    mut on_progress: impl FnMut(&ProgressFrame),
+) -> Result<ServiceOutcome, WireError> {
+    let attempts = attempts.max(1);
+    let mut last_err: Option<WireError> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            let ms = RECONNECT_BACKOFF_MS[(attempt - 1).min(RECONNECT_BACKOFF_MS.len() - 1)];
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        let mut conn = match connect(addr) {
+            Ok(conn) => conn,
+            Err(e) => {
+                last_err = Some(e);
+                continue;
+            }
+        };
+        match conn.run_to_verdict(req, &mut on_progress) {
+            Ok(ServiceOutcome::Error {
+                request_id,
+                message,
+            }) if message.contains("duplicate request id") && attempt + 1 < attempts => {
+                last_err = Some(WireError::Protocol(format!(
+                    "request {request_id:?} still draining: {message}"
+                )));
+            }
+            Ok(outcome) => return Ok(outcome),
+            Err(WireError::Io(e)) => last_err = Some(WireError::Io(e)),
+            Err(WireError::Protocol(msg)) if msg.contains("hung up") => {
+                last_err = Some(WireError::Protocol(msg));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        WireError::Protocol("no connection attempts were permitted".to_string())
+    }))
+}
+
 /// The diffable verdict line the `slx_client` binary prints on stdout:
 /// exactly the counters the resume contract pins (no elapsed, no
 /// resumed-from depth), so a crashed-and-resumed request's line is

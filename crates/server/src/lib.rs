@@ -35,7 +35,7 @@ pub mod scenario;
 pub mod server;
 pub mod wire;
 
-pub use client::{connect, Connection, ServiceOutcome};
+pub use client::{connect, run_with_reconnect, Connection, ServiceOutcome};
 pub use scenario::{Scenario, ScenarioRegistry, ScenarioRun};
 pub use server::{CheckServer, ServerConfig, ServerHandle};
 pub use wire::{CheckRequest, Frame, ProgressFrame, VerdictFrame, WireError, PROTOCOL_VERSION};

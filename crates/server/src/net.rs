@@ -9,6 +9,9 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
+use std::time::Duration;
+
+use slx_engine::{FaultKind, FaultOp, FaultPlane};
 
 /// A parsed service address.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,12 +85,12 @@ impl Listener {
     /// Accepts one connection, if one is pending.
     pub fn accept(&self) -> std::io::Result<Stream> {
         match self {
-            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::plain(StreamInner::Unix(s))),
             Listener::Tcp(l) => l.accept().map(|(s, _)| {
                 // Frames are small and latency-sensitive (progress
                 // snapshots); batching them behind Nagle helps nothing.
                 let _ = s.set_nodelay(true);
-                Stream::Tcp(s)
+                Stream::plain(StreamInner::Tcp(s))
             }),
         }
     }
@@ -101,70 +104,148 @@ impl Drop for Listener {
     }
 }
 
-/// A connected socket of either family.
+/// The raw socket under a [`Stream`].
 #[derive(Debug)]
-pub enum Stream {
+enum StreamInner {
     /// Unix-domain connection.
     Unix(UnixStream),
     /// TCP connection.
     Tcp(TcpStream),
 }
 
+/// A connected socket of either family, with a fault-injection seam on
+/// every read and write ([`Stream::set_fault_plane`]; disarmed — an
+/// inline no-op — outside the robustness suites).
+#[derive(Debug)]
+pub struct Stream {
+    inner: StreamInner,
+    plane: FaultPlane,
+}
+
 impl Stream {
+    fn plain(inner: StreamInner) -> Stream {
+        Stream {
+            inner,
+            plane: FaultPlane::disabled(),
+        }
+    }
+
     /// Connects to `addr`.
     pub fn connect(addr: &Addr) -> std::io::Result<Stream> {
         match addr {
-            Addr::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            Addr::Unix(path) => {
+                UnixStream::connect(path).map(|s| Stream::plain(StreamInner::Unix(s)))
+            }
             Addr::Tcp(hostport) => TcpStream::connect(hostport.as_str()).map(|s| {
                 let _ = s.set_nodelay(true);
-                Stream::Tcp(s)
+                Stream::plain(StreamInner::Tcp(s))
             }),
         }
     }
 
-    /// A second handle on the same connection (reader and writer sides
-    /// live on different threads server-side).
-    pub fn try_clone(&self) -> std::io::Result<Stream> {
-        match self {
-            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
-            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+    /// Arms (or disarms) the fault-injection plane this stream draws
+    /// socket faults from.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.plane = plane;
+    }
+
+    /// Bounds how long a read blocks. Reads past the deadline fail with
+    /// `WouldBlock`/`TimedOut`; the frame reader issues the first byte
+    /// of a frame as its own read, so a timeout *between* frames leaves
+    /// the stream aligned and is safely retryable.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match &self.inner {
+            StreamInner::Unix(s) => s.set_read_timeout(timeout),
+            StreamInner::Tcp(s) => s.set_read_timeout(timeout),
         }
+    }
+
+    /// A second handle on the same connection (reader and writer sides
+    /// live on different threads server-side). The clone draws from the
+    /// same fault plane.
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        let inner = match &self.inner {
+            StreamInner::Unix(s) => s.try_clone().map(StreamInner::Unix),
+            StreamInner::Tcp(s) => s.try_clone().map(StreamInner::Tcp),
+        }?;
+        Ok(Stream {
+            inner,
+            plane: self.plane.clone(),
+        })
     }
 
     /// Shuts down both directions, unblocking any reader.
     pub fn shutdown(&self) {
+        match &self.inner {
+            StreamInner::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            StreamInner::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for StreamInner {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         match self {
-            Stream::Unix(s) => {
-                let _ = s.shutdown(std::net::Shutdown::Both);
-            }
-            Stream::Tcp(s) => {
-                let _ = s.shutdown(std::net::Shutdown::Both);
-            }
+            StreamInner::Unix(s) => s.read(buf),
+            StreamInner::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for StreamInner {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            StreamInner::Unix(s) => s.write(buf),
+            StreamInner::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            StreamInner::Unix(s) => s.flush(),
+            StreamInner::Tcp(s) => s.flush(),
         }
     }
 }
 
 impl Read for Stream {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        match self {
-            Stream::Unix(s) => s.read(buf),
-            Stream::Tcp(s) => s.read(buf),
+        match self.plane.inject(FaultOp::SockRead) {
+            None => {}
+            // A stall delays the bytes without corrupting them.
+            Some(FaultKind::Stall) => std::thread::sleep(Duration::from_millis(50)),
+            // A short read delivers one byte: legal for `read`, and
+            // `read_exact` loops — the caller must tolerate partial
+            // transfers, which is exactly what this arm checks.
+            Some(FaultKind::Short) if buf.len() > 1 => return self.inner.read(&mut buf[..1]),
+            // EINTR and connection resets surface as errors; `read_exact`
+            // retries the former transparently, the latter is fatal.
+            Some(kind) => return Err(kind.to_io_error()),
         }
+        self.inner.read(buf)
     }
 }
 
 impl Write for Stream {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        match self {
-            Stream::Unix(s) => s.write(buf),
-            Stream::Tcp(s) => s.write(buf),
+        match self.plane.inject(FaultOp::SockWrite) {
+            None => {}
+            Some(FaultKind::Stall) => std::thread::sleep(Duration::from_millis(50)),
+            // A short write lands a prefix: legal for `write`, and
+            // `write_all` loops over the remainder.
+            Some(FaultKind::Short) if buf.len() > 1 => {
+                return self.inner.write(&buf[..buf.len() / 2])
+            }
+            Some(kind) => return Err(kind.to_io_error()),
         }
+        self.inner.write(buf)
     }
 
     fn flush(&mut self) -> std::io::Result<()> {
-        match self {
-            Stream::Unix(s) => s.flush(),
-            Stream::Tcp(s) => s.flush(),
-        }
+        self.inner.flush()
     }
 }

@@ -4,13 +4,21 @@
 //! # Shape
 //!
 //! - one **accept thread** polls the listener (non-blocking + 10ms
-//!   sleep) so it can observe shutdown;
-//! - one **connection thread** per client reads frames: `Submit` is
-//!   validated and queued, `Cancel` flips the request's cancel flag.
-//!   Client hangup cancels everything the connection submitted — a
-//!   disconnected client's runs stop at their next level boundary
-//!   (their checkpoints survive, so reconnecting and resubmitting
-//!   resumes them);
+//!   sleep) so it can observe shutdown. Transient accept errors (EINTR,
+//!   a peer resetting before its accept) are retried; only a persistent
+//!   hard-error streak stops the service;
+//! - one **connection thread** per client reads frames under a
+//!   per-connection read timeout: `Submit` is validated, checked
+//!   against the in-flight id set (resubmitting an id that is still
+//!   queued or running is refused with a structured `Error` frame —
+//!   resubmit-to-resume only works on ids that have reached a terminal
+//!   frame), and queued; `Cancel` flips the request's cancel flag. Idle
+//!   timeout ticks re-send each in-flight request's freshest progress
+//!   frame as a heartbeat, so a client waiting out a slow level still
+//!   observes liveness. Client hangup cancels everything the connection
+//!   submitted — a disconnected client's runs stop at their next level
+//!   boundary (their checkpoints survive, so reconnecting and
+//!   resubmitting resumes them);
 //! - a bounded pool of **worker threads** drains a FIFO queue. Each
 //!   request runs with checkpointing into its own directory under the
 //!   server's checkpoint root, named by the request id.
@@ -33,14 +41,25 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use slx_engine::{Checker, CheckpointStore, DetHashMap, SpillCodec};
+use slx_engine::{
+    Checker, CheckpointStore, DetHashMap, FaultKind, FaultOp, FaultPlan, FaultPlane, SpillCodec,
+};
 
 use crate::net::{Addr, Listener, Stream};
 use crate::scenario::{ScenarioRegistry, ScenarioRun};
 use crate::wire::{
     read_frame, read_hello, validate_request_id, write_frame, write_hello, CheckRequest, Frame,
-    ProgressFrame, VerdictFrame,
+    ProgressFrame, VerdictFrame, WireError,
 };
+
+/// How long a connection read may block before an idle tick: long
+/// enough that a chatty client never hits it, short enough that
+/// heartbeats flow and a wedged peer cannot park the thread forever.
+const READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Consecutive hard accept errors (not `WouldBlock`, not transient)
+/// before the accept loop gives up on the listener.
+const MAX_ACCEPT_ERRORS: u32 = 64;
 
 /// Tuning for [`CheckServer::start`].
 #[derive(Debug, Clone)]
@@ -60,6 +79,10 @@ pub struct ServerConfig {
     /// harness to `kill -9` the server between two commits. `None` in
     /// normal operation.
     pub stall_after: Option<usize>,
+    /// Fault-injection plan for the service's socket paths (accepts,
+    /// per-connection reads and writes). `None` — every seam a no-op —
+    /// in normal operation; the robustness suites arm it.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ServerConfig {
@@ -73,6 +96,7 @@ impl ServerConfig {
             checkpoint_every: 2,
             threads: 1,
             stall_after: None,
+            fault_plan: None,
         }
     }
 }
@@ -82,6 +106,10 @@ struct Job {
     req: CheckRequest,
     out: Arc<Mutex<Stream>>,
     cancel: Arc<AtomicBool>,
+    /// The freshest progress frame this run has produced, re-sent by
+    /// the connection thread as an idle-tick heartbeat. Cleared when
+    /// the run reaches its terminal frame.
+    last_progress: Arc<Mutex<Option<ProgressFrame>>>,
 }
 
 /// FIFO queue + shutdown flag, shared by connection and worker threads.
@@ -89,6 +117,9 @@ struct JobQueue {
     jobs: Mutex<std::collections::VecDeque<Job>>,
     ready: Condvar,
     shutdown: AtomicBool,
+    /// Request ids queued or running right now — the duplicate-submit
+    /// guard. A `Vec`, not a set: a handful of in-flight ids at most.
+    active: Mutex<Vec<String>>,
 }
 
 impl JobQueue {
@@ -97,7 +128,27 @@ impl JobQueue {
             jobs: Mutex::new(std::collections::VecDeque::new()),
             ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            active: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Claims `id` for one queued-or-running request. `false` means the
+    /// id is already in flight: the caller must refuse the submission
+    /// (two concurrent runs would race on one checkpoint directory).
+    fn try_admit(&self, id: &str) -> bool {
+        let mut active = self.active.lock().expect("active lock");
+        if active.iter().any(|a| a == id) {
+            return false;
+        }
+        active.push(id.to_string());
+        true
+    }
+
+    /// Frees `id` after its terminal frame: a resubmit now resumes from
+    /// the request's checkpoint directory.
+    fn release(&self, id: &str) {
+        let mut active = self.active.lock().expect("active lock");
+        active.retain(|a| a != id);
     }
 
     fn push(&self, job: Job) {
@@ -168,11 +219,30 @@ impl CheckServer {
             })
             .collect();
 
+        let plane = match &config.fault_plan {
+            Some(plan) => FaultPlane::armed(plan.clone()),
+            None => FaultPlane::disabled(),
+        };
         let accept_queue = Arc::clone(&queue);
         let accept_thread = std::thread::spawn(move || {
+            // Transient accept failures (EINTR, a peer that reset before
+            // we reached its connection, kernel resource blips) must not
+            // kill the service; only a persistent hard-error streak does.
+            let mut hard_errors = 0u32;
             while !accept_queue.shutdown.load(Ordering::SeqCst) {
+                if let Some(kind) = plane.inject(FaultOp::Accept) {
+                    // Injected accept fault: exercise the retry path
+                    // without needing a real socket error.
+                    std::thread::sleep(Duration::from_millis(match kind {
+                        FaultKind::Stall => 50,
+                        _ => 1,
+                    }));
+                    continue;
+                }
                 match listener.accept() {
-                    Ok(stream) => {
+                    Ok(mut stream) => {
+                        hard_errors = 0;
+                        stream.set_fault_plane(plane.clone());
                         let queue = Arc::clone(&accept_queue);
                         std::thread::spawn(move || {
                             // A misbehaving client only poisons its own
@@ -183,7 +253,24 @@ impl CheckServer {
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(10));
                     }
-                    Err(_) => break,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::Interrupted
+                                | std::io::ErrorKind::ConnectionReset
+                                | std::io::ErrorKind::ConnectionAborted
+                        ) =>
+                    {
+                        hard_errors = 0;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => {
+                        hard_errors += 1;
+                        if hard_errors >= MAX_ACCEPT_ERRORS {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
                 }
             }
         });
@@ -230,15 +317,22 @@ impl ServerHandle {
 /// One client connection: hello exchange, then a read loop dispatching
 /// `Submit`/`Cancel`. Returns on hangup or protocol error, cancelling
 /// everything this connection submitted.
-fn serve_connection(stream: Stream, queue: &Arc<JobQueue>) -> Result<(), crate::wire::WireError> {
+fn serve_connection(stream: Stream, queue: &Arc<JobQueue>) -> Result<(), WireError> {
     let mut reader = stream;
     let writer = Arc::new(Mutex::new(reader.try_clone()?));
     write_hello(&mut *writer.lock().expect("writer lock"))?;
     read_hello(&mut reader)?;
+    // After the hello, bound every read: a silent peer cannot park this
+    // thread forever, and the timeout ticks drive the heartbeats below.
+    let _ = reader.set_read_timeout(Some(READ_TIMEOUT));
 
     // The cancel flags of every request this connection submitted, so
     // hangup (or an explicit Cancel) can reach the running workers.
     let mut flags: DetHashMap<String, Arc<AtomicBool>> = DetHashMap::default();
+    // Each submitted request's freshest progress frame, re-sent on idle
+    // ticks so a client waiting out a slow level still sees liveness.
+    let mut heartbeats: DetHashMap<String, Arc<Mutex<Option<ProgressFrame>>>> =
+        DetHashMap::default();
 
     let result = loop {
         match read_frame(&mut reader) {
@@ -253,12 +347,35 @@ fn serve_connection(stream: Stream, queue: &Arc<JobQueue>) -> Result<(), crate::
                     );
                     continue;
                 }
+                if !queue.try_admit(&req.request_id) {
+                    // Two concurrent runs of one id would race on one
+                    // checkpoint directory; refuse with a structured
+                    // terminal frame. Resubmit-to-resume stays available
+                    // the moment the in-flight run reaches its terminal
+                    // frame.
+                    let _ = write_frame(
+                        &mut *writer.lock().expect("writer lock"),
+                        &Frame::Error {
+                            request_id: req.request_id.clone(),
+                            message: format!(
+                                "duplicate request id {:?}: that request is still \
+                                 running (or queued); cancel it or wait for its \
+                                 terminal frame before resubmitting",
+                                req.request_id
+                            ),
+                        },
+                    );
+                    continue;
+                }
                 let cancel = Arc::new(AtomicBool::new(false));
+                let last_progress = Arc::new(Mutex::new(None));
                 flags.insert(req.request_id.clone(), Arc::clone(&cancel));
+                heartbeats.insert(req.request_id.clone(), Arc::clone(&last_progress));
                 queue.push(Job {
                     req,
                     out: Arc::clone(&writer),
                     cancel,
+                    last_progress,
                 });
             }
             Ok(Some(Frame::Cancel { request_id })) => {
@@ -268,12 +385,35 @@ fn serve_connection(stream: Stream, queue: &Arc<JobQueue>) -> Result<(), crate::
             }
             // Server-to-client frames arriving here mean a confused
             // peer; drop the connection.
-            Ok(Some(_)) => {
-                break Err(crate::wire::WireError::Malformed(
-                    "client sent a server-side frame",
-                ))
-            }
+            Ok(Some(_)) => break Err(WireError::Malformed("client sent a server-side frame")),
             Ok(None) => break Ok(()),
+            // An idle tick, not a failure: the frame reader issues the
+            // first byte of a frame as its own read, so a timeout
+            // between frames leaves the stream aligned and retryable.
+            // Heartbeat the in-flight runs and keep listening.
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                let mut hung_up = false;
+                {
+                    let mut w = writer.lock().expect("writer lock");
+                    for hb in heartbeats.values() {
+                        let frame = hb.lock().expect("progress lock").clone();
+                        if let Some(p) = frame {
+                            if write_frame(&mut *w, &Frame::Progress(p)).is_err() {
+                                hung_up = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if hung_up {
+                    break Ok(());
+                }
+            }
             Err(e) => break Err(e),
         }
     };
@@ -308,6 +448,10 @@ fn request_checker(config: &ServerConfig, req: &CheckRequest, dir: &std::path::P
 fn worker_loop(queue: &Arc<JobQueue>, registry: &ScenarioRegistry, config: &ServerConfig) {
     while let Some(job) = queue.pop() {
         run_job(&job, registry, config);
+        // The terminal frame is written: stop heartbeating this id and
+        // free it for resubmission (which resumes from its checkpoint).
+        *job.last_progress.lock().expect("progress lock") = None;
+        queue.release(&job.req.request_id);
     }
 }
 
@@ -345,6 +489,7 @@ fn run_job(job: &Job, registry: &ScenarioRegistry, config: &ServerConfig) {
     let every = req.progress_every.max(1);
     let stall_after = config.stall_after;
     let out = Arc::clone(&job.out);
+    let last_progress = Arc::clone(&job.last_progress);
     let request_id = req.request_id.clone();
     let mut writable = true;
     let mut progress = move |depth: usize, stats: &slx_engine::ExploreStats| -> bool {
@@ -366,7 +511,7 @@ fn run_job(job: &Job, registry: &ScenarioRegistry, config: &ServerConfig) {
             }
         }
         if (depth as u64).is_multiple_of(every) {
-            let frame = Frame::Progress(ProgressFrame {
+            let snapshot = ProgressFrame {
                 request_id: request_id.clone(),
                 depth: depth as u64,
                 configs: stats.configs as u64,
@@ -376,7 +521,12 @@ fn run_job(job: &Job, registry: &ScenarioRegistry, config: &ServerConfig) {
                 elapsed_micros: u64::try_from(stats.elapsed.as_micros()).unwrap_or(u64::MAX),
                 checkpoints_written: stats.checkpoints_written as u64,
                 resumed_from_depth: stats.resumed_from_depth.map(|d| d as u64),
-            });
+            };
+            // Published for the connection thread's idle-tick heartbeat
+            // before the live send, so even a send that blocks never
+            // starves the heartbeat of a fresh frame.
+            *last_progress.lock().expect("progress lock") = Some(snapshot.clone());
+            let frame = Frame::Progress(snapshot);
             if writable {
                 let mut w = out.lock().expect("writer lock");
                 if write_frame(&mut *w, &frame).is_err() {

@@ -411,3 +411,83 @@ fn cancelled_requests_resume_on_resubmit_even_across_server_instances() {
     server2.shutdown();
     std::fs::remove_dir_all(&root).expect("cleanup");
 }
+
+#[test]
+fn resubmitting_a_running_id_is_refused_with_a_structured_error() {
+    let root = unique_dir("dup");
+    let addr = unix_addr(&root);
+    let mut config = ServerConfig::new(root.join("ckpt"));
+    config.checkpoint_every = 1;
+    let server = CheckServer::start(&addr, config, sleepy_registry()).expect("server");
+
+    let req = request("dup-1", "sleepy-grid", 12);
+    let mut conn = connect(server.local_addr()).expect("connect");
+    conn.submit(&req).expect("submit");
+    // Wait until the run demonstrably started.
+    match conn.next_event().expect("event") {
+        Some(Frame::Progress(p)) => assert_eq!(p.request_id, "dup-1"),
+        Some(other) => panic!("expected progress, got {other:?}"),
+        None => panic!("server hung up"),
+    }
+
+    // Same id, same connection: refused with a structured terminal
+    // frame, without disturbing the running request.
+    conn.submit(&req).expect("submit duplicate");
+    let outcome = conn.wait_for("dup-1", &mut |_| {}).expect("terminal");
+    match outcome {
+        ServiceOutcome::Error {
+            request_id,
+            message,
+        } => {
+            assert_eq!(request_id, "dup-1");
+            assert!(message.contains("duplicate request id"), "{message}");
+            assert!(message.contains("resubmitting"), "{message}");
+        }
+        other => panic!("duplicate submit must be refused: {other:?}"),
+    }
+
+    // A second connection gets the same refusal while the run lives —
+    // the guard is server-wide, not per-connection.
+    let mut conn2 = connect(server.local_addr()).expect("connect 2");
+    let outcome = conn2.run_to_verdict(&req, |_| {}).expect("terminal");
+    match outcome {
+        ServiceOutcome::Error { message, .. } => {
+            assert!(message.contains("duplicate request id"), "{message}");
+        }
+        other => panic!("cross-connection duplicate must be refused: {other:?}"),
+    }
+    drop(conn2);
+
+    // Cancel the original run; once its terminal frame lands, the id
+    // frees up and a resubmit resumes it to the real verdict (retrying
+    // over the tiny window between the terminal frame and the release).
+    conn.cancel("dup-1").expect("cancel");
+    let outcome = conn.wait_for("dup-1", &mut |_| {}).expect("terminal");
+    match outcome {
+        ServiceOutcome::Error { message, .. } => {
+            assert!(message.contains("cancelled"), "{message}");
+        }
+        other => panic!("cancelled request must end in an error frame: {other:?}"),
+    }
+    let outcome = loop {
+        let outcome = conn.run_to_verdict(&req, |_| {}).expect("terminal");
+        match outcome {
+            ServiceOutcome::Error { message, .. } if message.contains("duplicate request id") => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => break other,
+        }
+    };
+    let ServiceOutcome::Verdict(v) = outcome else {
+        panic!("freed id must run to a verdict: {outcome:?}");
+    };
+    assert!(
+        v.resumed_from_depth.is_some(),
+        "the resubmit must resume the cancelled run, not restart it"
+    );
+    let baseline = baseline_checker().run(&SleepySpace { bound: 12 }, vec![(0u32, 0u32)]);
+    assert_eq!(v.configs, baseline.stats.configs as u64);
+    assert_eq!(v.transitions, baseline.stats.transitions as u64);
+    server.shutdown();
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
